@@ -1,0 +1,37 @@
+//! # vit-accel
+//!
+//! A MAGNet-style deep-learning accelerator model (paper §V): a PE array of
+//! vector MACs with an output-stationary local-weight-stationary (OS-LWS)
+//! dataflow, a four-level memory hierarchy (vector-MAC register files, per-PE
+//! weight/activation SRAMs, a global buffer, DRAM), INT8 datapath, and a
+//! constant budget of 16384 parallel MACs traded between vector width,
+//! vector-MAC count, and PE count.
+//!
+//! [`simulate`] maps each graph node onto the Listing-1 loop nest and
+//! produces per-layer cycles, utilization, DRAM traffic and energy;
+//! [`AccelConfig::pe_array_area_mm2`] provides the 5nm area model calibrated
+//! on Table IV; [`dse`] explores the design space (Figure 14).
+//!
+//! # Examples
+//!
+//! ```
+//! use vit_accel::{simulate, AccelConfig, SimOptions};
+//! use vit_models::{build_segformer, SegFormerConfig, SegFormerVariant};
+//!
+//! # fn main() -> Result<(), vit_models::ModelError> {
+//! let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2()))?;
+//! let report = simulate(&g, &AccelConfig::accelerator_a(), &SimOptions::default());
+//! println!("{} cycles = {:.2} ms", report.total_cycles(), report.total_time_s() * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dse;
+pub mod sim;
+
+pub use config::{AccelConfig, TechEnergy, TOTAL_PARALLEL_MACS};
+pub use dse::{design_space, DesignPoint};
+pub use sim::{simulate, AccelReport, LayerStats, SimOptions};

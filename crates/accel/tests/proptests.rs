@@ -1,0 +1,149 @@
+//! Property-based tests of the accelerator model: mapping invariants that
+//! must hold for any layer geometry.
+
+use proptest::prelude::*;
+use vit_accel::{simulate, AccelConfig, SimOptions, TOTAL_PARALLEL_MACS};
+use vit_graph::{Graph, LayerRole, Op};
+
+fn conv_graph(cin: usize, cout: usize, k: usize, hw: usize, groups: usize) -> Graph {
+    let mut g = Graph::new("p");
+    let x = g.input("in", &[1, cin, hw, hw]).unwrap();
+    let c = g
+        .add(
+            "conv",
+            Op::Conv2d {
+                out_channels: cout,
+                kernel: (k, k),
+                stride: (1, 1),
+                pad: (k / 2, k / 2),
+                groups,
+                bias: false,
+            },
+            LayerRole::Other,
+            &[x],
+        )
+        .unwrap();
+    g.set_output(c);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycles_bounded_below_by_perfect_utilization(
+        cin in 1usize..512,
+        cout in 1usize..512,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        hw in 4usize..48,
+    ) {
+        let g = conv_graph(cin, cout, k, hw, 1);
+        let r = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default());
+        let macs: u64 = r.layers.iter().map(|l| l.macs).sum();
+        let cycles = r.total_cycles();
+        // Can never beat 16384 MACs per cycle.
+        prop_assert!(cycles as u128 * TOTAL_PARALLEL_MACS as u128 >= macs as u128,
+                     "cycles {cycles} macs {macs}");
+        // Utilization in range on every layer.
+        for l in &r.layers {
+            prop_assert!(l.utilization <= 1.0 + 1e-9);
+            prop_assert!(l.utilization >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cross_pe_reduction_never_hurts(
+        cin in 1usize..256,
+        cout in 1usize..256,
+        hw in 4usize..32,
+    ) {
+        let g = conv_graph(cin, cout, 3, hw, 1);
+        let on = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default());
+        let off = simulate(
+            &g,
+            &AccelConfig::accelerator_star(),
+            &SimOptions { cross_pe_reduction: false, ..SimOptions::default() },
+        );
+        // The cross-PE mapper explores a superset of mappings.
+        prop_assert!(on.total_cycles() <= off.total_cycles());
+        // Weight passes can only shrink with more split options.
+        let wp = |r: &vit_accel::AccelReport| r.layers.iter().map(|l| l.weight_passes).max().unwrap_or(0);
+        prop_assert!(wp(&on) <= wp(&off));
+    }
+
+    #[test]
+    fn depthwise_utilization_is_poor_on_wide_lanes(
+        c in 8usize..256,
+        hw in 4usize..32,
+    ) {
+        let g = conv_graph(c, c, 3, hw, c);
+        let r = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default());
+        let conv = r.layers.iter().find(|l| l.name == "conv").unwrap();
+        // C0 = 32 lanes with 1 input channel per group: utilization can
+        // never exceed 1/32 by much (ceil effects can only hurt).
+        prop_assert!(conv.utilization <= 1.0 / 32.0 + 1e-9, "util {}", conv.utilization);
+    }
+
+    #[test]
+    fn bigger_weight_memory_never_increases_passes_or_cycles(
+        cin in 1usize..768,
+        cout in 1usize..768,
+        hw in 4usize..24,
+    ) {
+        let g = conv_graph(cin, cout, 1, hw, 1);
+        let small = simulate(
+            &g,
+            &AccelConfig { weight_mem_kb: 32, ..AccelConfig::accelerator_star() },
+            &SimOptions::default(),
+        );
+        let big = simulate(
+            &g,
+            &AccelConfig { weight_mem_kb: 1024, ..AccelConfig::accelerator_star() },
+            &SimOptions::default(),
+        );
+        prop_assert!(big.total_cycles() <= small.total_cycles());
+        let wp = |r: &vit_accel::AccelReport| r.layers.iter().map(|l| l.weight_passes).max().unwrap_or(0);
+        prop_assert!(wp(&big) <= wp(&small));
+    }
+
+    #[test]
+    fn energy_and_traffic_are_positive_and_finite(
+        cin in 1usize..128,
+        cout in 1usize..128,
+        hw in 4usize..24,
+    ) {
+        let g = conv_graph(cin, cout, 3, hw, 1);
+        let r = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default());
+        prop_assert!(r.total_energy_j() > 0.0 && r.total_energy_j().is_finite());
+        let conv = r.layers.iter().find(|l| l.name == "conv").unwrap();
+        // DRAM traffic at least covers weights + outputs once.
+        let min_traffic = (cout * cin * 9 + cout * hw * hw) as u64;
+        prop_assert!(conv.dram_bytes >= min_traffic);
+    }
+
+    #[test]
+    fn all_mac_budget_splits_simulate_consistently(
+        k0 in prop::sample::select(vec![8usize, 16, 32, 64]),
+        c0 in prop::sample::select(vec![8usize, 16, 32]),
+    ) {
+        let Some(cfg) = AccelConfig::with_vectorization(k0, c0, 128, 64) else {
+            return Ok(());
+        };
+        prop_assert_eq!(cfg.parallel_macs(), TOTAL_PARALLEL_MACS);
+        let g = conv_graph(64, 64, 3, 16, 1);
+        let r = simulate(&g, &cfg, &SimOptions::default());
+        let macs: u64 = r.layers.iter().map(|l| l.macs).sum();
+        // MAC count is architecture-independent.
+        prop_assert_eq!(macs, (64 * 64 * 9 * 16 * 16) as u64);
+    }
+
+    #[test]
+    fn area_is_monotone_in_memory(
+        wm in 16usize..2048,
+        am in 16usize..256,
+    ) {
+        let small = AccelConfig { weight_mem_kb: wm, act_mem_kb: am, ..AccelConfig::accelerator_star() };
+        let bigger = AccelConfig { weight_mem_kb: wm * 2, act_mem_kb: am, ..AccelConfig::accelerator_star() };
+        prop_assert!(bigger.pe_array_area_mm2() > small.pe_array_area_mm2());
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the accelerator simulator: per-graph mapping
+//! throughput and design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vit_accel::{design_space, simulate, AccelConfig, SimOptions};
+use vit_models::{
+    build_segformer, build_swin_upernet, SegFormerConfig, SegFormerVariant, SwinConfig,
+    SwinVariant,
+};
+
+fn bench_accelerator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator");
+    let seg = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+    let swin = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
+    let opts = SimOptions::default();
+
+    g.bench_function("simulate_segformer_b2", |bench| {
+        bench.iter(|| simulate(black_box(&seg), &AccelConfig::accelerator_star(), &opts))
+    });
+    g.bench_function("simulate_swin_tiny", |bench| {
+        bench.iter(|| simulate(black_box(&swin), &AccelConfig::accelerator_star(), &opts))
+    });
+    g.bench_function("graph_build_segformer_b2", |bench| {
+        bench.iter(|| build_segformer(black_box(&SegFormerConfig::ade20k(SegFormerVariant::b2()))).unwrap())
+    });
+    g.bench_function("design_space_10pt", |bench| {
+        bench.iter(|| {
+            design_space(
+                black_box(&seg),
+                &[(32, 32), (16, 16), (8, 8), (32, 16), (16, 8)],
+                &[128, 1024],
+                &[64],
+                &opts,
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_accelerator
+}
+criterion_main!(benches);

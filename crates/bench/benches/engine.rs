@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the DRT engine: LUT construction, budget lookup,
+//! and full dynamic inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vit_drt::{DrtEngine, Lut};
+use vit_models::SegFormerVariant;
+use vit_resilience::{
+    pareto_front, segformer_sweep_space, sweep_segformer, ResourceKind, Workload,
+};
+use vit_tensor::Tensor;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let v = SegFormerVariant::b0();
+
+    g.bench_function("sweep_and_pareto_b0_128px", |bench| {
+        let space = segformer_sweep_space(&v, 1, 4);
+        bench.iter(|| {
+            let pts = sweep_segformer(
+                &v,
+                Workload::SegFormerAde,
+                (128, 128),
+                150,
+                black_box(&space),
+                ResourceKind::GpuTime,
+            );
+            pareto_front(&pts)
+        })
+    });
+
+    let space = segformer_sweep_space(&v, 2, 8);
+    let pts = sweep_segformer(&v, Workload::SegFormerAde, (128, 128), 150, &space, ResourceKind::GpuTime);
+    let lut = Lut::from_points("bench", &pts);
+    let max = lut.entries().last().unwrap().resource;
+    g.bench_function("lut_lookup", |bench| {
+        bench.iter(|| lut.lookup(black_box(0.8 * max)).unwrap())
+    });
+
+    // Full dynamic inference at a small executable size. The graph cache is
+    // warm after the first iteration, so this measures selection + real
+    // model execution.
+    let mut engine = DrtEngine::segformer(v, Workload::SegFormerAde, (64, 64), ResourceKind::GpuTime)
+        .expect("engine builds");
+    let budget = engine.max_resource() * 0.8;
+    let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+    g.sample_size(10);
+    g.bench_function("dynamic_inference_b0_64px", |bench| {
+        bench.iter(|| engine.infer(black_box(&image), budget).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine
+}
+criterion_main!(benches);

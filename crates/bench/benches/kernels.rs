@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the tensor kernels that dominate graph
+//! execution time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vit_tensor::{ops, quant::QuantTensor, Tensor};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+
+    let a = Tensor::rand_uniform(&[128, 128], -1.0, 1.0, 1);
+    let b = Tensor::rand_uniform(&[128, 128], -1.0, 1.0, 2);
+    g.bench_function("matmul_128", |bench| {
+        bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+
+    let x = Tensor::rand_uniform(&[1, 32, 32, 32], -1.0, 1.0, 3);
+    let k = Tensor::rand_uniform(&[32, 32, 3, 3], -1.0, 1.0, 4);
+    g.bench_function("conv3x3_32ch_32px", |bench| {
+        bench.iter(|| ops::conv2d(black_box(&x), black_box(&k), None, ops::Conv2dParams::new().pad(1)).unwrap())
+    });
+
+    let k1 = Tensor::rand_uniform(&[64, 32, 1, 1], -1.0, 1.0, 5);
+    g.bench_function("conv1x1_32to64_32px", |bench| {
+        bench.iter(|| ops::conv2d(black_box(&x), black_box(&k1), None, ops::Conv2dParams::new()).unwrap())
+    });
+
+    let seq = Tensor::rand_uniform(&[1, 256, 64], -1.0, 1.0, 6);
+    let w = ops::AttentionWeights::synthetic(64, 7);
+    g.bench_function("attention_256tok_64d", |bench| {
+        bench.iter(|| ops::multi_head_attention(black_box(&seq), black_box(&seq), &w, 8).unwrap())
+    });
+
+    let img = Tensor::rand_uniform(&[1, 16, 32, 32], -1.0, 1.0, 8);
+    g.bench_function("bilinear_resize_2x", |bench| {
+        bench.iter(|| ops::bilinear_resize(black_box(&img), 64, 64).unwrap())
+    });
+
+    let qa = QuantTensor::quantize(&a);
+    let qb = QuantTensor::quantize(&b);
+    g.bench_function("quant_matmul_128", |bench| {
+        bench.iter(|| vit_tensor::quant::quant_matmul(black_box(&qa), black_box(&qb)).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,278 @@
+//! §II characterization experiments: Table I and Figures 1-5.
+
+use crate::{banner, f, pct, Table};
+use vit_graph::{Graph, LayerRole, OpClass};
+use vit_models::{
+    build_deformable_detr, build_detr, build_segformer,
+    build_swin_upernet, build_vit, DetrConfig, SegFormerConfig, SegFormerVariant, SwinConfig,
+    SwinVariant, VitConfig,
+};
+use vit_profiler::{GpuModel, Profile};
+
+/// Table I: state-of-the-art vision transformer model summary.
+pub fn table1() {
+    banner("Table I — model summary (batch 1, TITAN V-class GPU model)");
+    let gpu = GpuModel::titan_v();
+    // (name, graph, paper GFLOPs, paper ms, paper params M)
+    let rows: Vec<(&str, Graph, f64, f64, f64)> = vec![
+        (
+            "SegFormer B2 ADE",
+            build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).expect("builds"),
+            62.6,
+            58.0,
+            27.6,
+        ),
+        (
+            "SegFormer B2 Cityscapes",
+            build_segformer(&SegFormerConfig::cityscapes(SegFormerVariant::b2())).expect("builds"),
+            705.0,
+            415.0,
+            27.6,
+        ),
+        (
+            "Swin Tiny ADE",
+            build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).expect("builds"),
+            237.0,
+            215.0,
+            60.0,
+        ),
+        (
+            "DETR COCO",
+            build_detr(&DetrConfig::detr_coco()).expect("builds"),
+            86.0,
+            162.0,
+            41.0,
+        ),
+        (
+            "Deformable DETR COCO",
+            build_deformable_detr(&DetrConfig::deformable_coco()).expect("builds"),
+            173.0,
+            119.0,
+            40.0,
+        ),
+    ];
+    let mut t = Table::new(&[
+        "model",
+        "params M (paper)",
+        "params M (ours)",
+        "GFLOPs (paper)",
+        "GFLOPs (ours)",
+        "ms (paper)",
+        "ms (ours)",
+        "FPS (ours)",
+    ]);
+    for (name, g, p_gf, p_ms, p_m) in rows {
+        let ms = gpu.total_time(&g) * 1e3;
+        t.row(&[
+            name.to_string(),
+            f(p_m, 1),
+            f(g.total_params() as f64 / 1e6, 1),
+            f(p_gf, 1),
+            f(g.total_flops() as f64 / 1e9, 1),
+            f(p_ms, 0),
+            f(ms, 1),
+            f(1000.0 / ms, 1),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "note: DETR-family absolute latencies are not matched (the paper's \
+         measurements include mmdetection pipeline overheads the GPU model \
+         does not represent); Figure 1 reproduces the backbone/transformer \
+         split, which is the quantity the paper analyzes."
+    );
+}
+
+/// Figure 1: DETR / Deformable DETR execution-time split across batch sizes.
+pub fn fig1() {
+    banner("Figure 1 — backbone vs transformer time split (COCO 640x820)");
+    let gpu = GpuModel::titan_v();
+    let mut t = Table::new(&[
+        "model",
+        "batch",
+        "backbone ms",
+        "transformer ms",
+        "backbone share",
+        "paper share",
+    ]);
+    // Paper: transformer is 6.1-12.4% (DETR) / 6.1-18.4% (D-DETR) of time,
+    // and the backbone share *grows* with batch size.
+    for (name, deformable, paper) in [
+        ("DETR", false, "87.6-93.9%"),
+        ("Deformable DETR", true, "81.6-93.9%"),
+    ] {
+        for batch in [1usize, 2, 4, 8, 16] {
+            let cfg = if deformable {
+                DetrConfig::deformable_coco()
+            } else {
+                DetrConfig::detr_coco()
+            }
+            .with_image(640, 832)
+            .with_batch(batch);
+            let g = if deformable {
+                build_deformable_detr(&cfg).expect("builds")
+            } else {
+                build_detr(&cfg).expect("builds")
+            };
+            let mut backbone = 0.0;
+            let mut rest = 0.0;
+            for (_, n) in g.iter() {
+                let time = gpu.node_time(&g, n);
+                if matches!(n.role, LayerRole::Backbone) {
+                    backbone += time;
+                } else {
+                    rest += time;
+                }
+            }
+            t.row(&[
+                name.to_string(),
+                batch.to_string(),
+                f(backbone * 1e3, 1),
+                f(rest * 1e3, 1),
+                pct(backbone / (backbone + rest)),
+                paper.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Figure 2: the layer structure of SegFormer and Swin (printed inventory).
+pub fn fig2() {
+    banner("Figure 2 — SegFormer-B2 / Swin-T layer structure (inventory)");
+    for (name, g) in [
+        (
+            "SegFormer-B2 (512x512)",
+            build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).expect("builds"),
+        ),
+        (
+            "Swin-T + UPerNet (512x512)",
+            build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).expect("builds"),
+        ),
+    ] {
+        println!("{name}: {} nodes, {:.1} GFLOPs, {:.1} M params", g.len(),
+                 g.total_flops() as f64 / 1e9, g.total_params() as f64 / 1e6);
+        let mut t = Table::new(&["stage / component", "GFLOPs", "share"]);
+        let total = g.total_flops() as f64;
+        let prefixes = [
+            "encoder.patch_embed",
+            "encoder.stage0",
+            "encoder.stage1",
+            "encoder.stage2",
+            "encoder.stage3",
+            "encoder.merge",
+            "decoder.",
+        ];
+        for p in prefixes {
+            let fl: u64 = g
+                .iter()
+                .filter(|(_, n)| n.name.starts_with(p))
+                .map(|(_, n)| n.flops(&g))
+                .sum();
+            if fl > 0 {
+                t.row(&[p.to_string(), f(fl as f64 / 1e9, 2), pct(fl as f64 / total)]);
+            }
+        }
+        t.print();
+        println!();
+    }
+    // The §II contrast: convolution-free early transformers.
+    let vit = build_vit(&VitConfig::base16()).expect("builds");
+    println!(
+        "contrast (paper §II): ViT-B/16 convolution FLOPs share = {} (zero, as published)",
+        pct(vit.flops_by_class(OpClass::Conv) as f64 / vit.total_flops() as f64)
+    );
+}
+
+fn class_breakdown(name: &str, g: &Graph, named: &[(&str, &str, f64)]) {
+    let gpu = GpuModel::titan_v();
+    let profile = Profile::with_gpu(g, &gpu);
+    let total_f = profile.total_flops() as f64;
+    let total_t = profile.total_time();
+    println!("{name}");
+    let mut t = Table::new(&["layer class", "FLOPs share", "time share"]);
+    for (class, s) in profile.by_class() {
+        t.row(&[
+            class.to_string(),
+            pct(s.flops as f64 / total_f),
+            pct(s.time_s / total_t),
+        ]);
+    }
+    t.print();
+    println!();
+    let mut t2 = Table::new(&["named layer", "FLOPs share (ours)", "FLOPs share (paper)"]);
+    for (label, node, paper) in named {
+        t2.row(&[
+            label.to_string(),
+            pct(profile.flops_share(node)),
+            pct(*paper),
+        ]);
+    }
+    t2.print();
+}
+
+/// Figure 3: SegFormer-B2 FLOPs and time distribution.
+pub fn fig3() {
+    banner("Figure 3 — SegFormer-B2 FLOPs / time distribution (ADE 512x512)");
+    let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).expect("builds");
+    class_breakdown(
+        "SegFormer-B2",
+        &g,
+        &[
+            ("Conv2DFuse", "decoder.conv_fuse", 0.62),
+            ("Conv2DPred", "decoder.conv_pred", 0.03),
+            ("DecodeLinear0", "decoder.linear0", 0.013),
+        ],
+    );
+    let conv = g.flops_by_class(OpClass::Conv) as f64 / g.total_flops() as f64;
+    println!();
+    println!("convolution FLOPs share: {} (paper: 68%)", pct(conv));
+    println!(
+        "decoder FLOPs share:     {} (paper: ~68%)",
+        pct(g.decoder_flops() as f64 / g.total_flops() as f64)
+    );
+}
+
+/// Figure 4: Swin-Tiny FLOPs and time distribution.
+pub fn fig4() {
+    banner("Figure 4 — Swin-Tiny FLOPs / time distribution (ADE 512x512)");
+    let g = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).expect("builds");
+    class_breakdown(
+        "Swin-Tiny + UPerNet",
+        &g,
+        &[
+            ("fpn_bottleneck_Conv2D", "decoder.fpn_bottleneck", 0.65),
+            ("fpn_convs_0_Conv2D", "decoder.fpn_convs0.conv", 0.16),
+            ("fpn_convs_1_Conv2D", "decoder.fpn_convs1.conv", 0.04),
+        ],
+    );
+    let conv = g.flops_by_class(OpClass::Conv) as f64 / g.total_flops() as f64;
+    println!();
+    println!("convolution FLOPs share: {} (paper: 89%)", pct(conv));
+    println!(
+        "decoder FLOPs share:     {} (paper: 89%)",
+        pct(g.decoder_flops() as f64 / g.total_flops() as f64)
+    );
+}
+
+/// Figure 5: image size vs the fuse convolution's share of FLOPs / latency.
+pub fn fig5() {
+    banner("Figure 5 — image size vs fuse-convolution share (Swin-T)");
+    let gpu = GpuModel::titan_v();
+    let mut t = Table::new(&["image", "FLOPs share", "latency share (b=1)"]);
+    for (h, w) in [(128, 128), (256, 256), (512, 512), (768, 768), (1024, 1024), (1024, 2048)] {
+        let g = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny()).with_image(h, w))
+            .expect("builds");
+        let profile = Profile::with_gpu(&g, &gpu);
+        let fuse = profile.by_prefix("decoder.fpn_bottleneck");
+        t.row(&[
+            format!("{h}x{w}"),
+            pct(fuse.flops as f64 / profile.total_flops() as f64),
+            pct(fuse.time_s / profile.total_time()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper: this single convolution is the majority of FLOPs at the ADE and Cityscapes sizes.");
+}

@@ -1,0 +1,158 @@
+//! The paper's headline numeric claims, each checked against this
+//! reproduction in one place.
+
+use crate::{banner, pct, Table};
+use vit_accel::{simulate, AccelConfig, SimOptions};
+use vit_models::{
+    build_segformer, build_swin_upernet, SegFormerConfig, SegFormerDynamic, SegFormerVariant,
+    SwinConfig, SwinVariant,
+};
+use vit_profiler::GpuModel;
+use vit_resilience::{table2_ade, table2_cityscapes, AccuracyModel, Workload};
+
+/// Prints paper-claim vs reproduction rows for every headline number.
+pub fn headline() {
+    banner("Headline claims — paper vs reproduction");
+    let gpu = GpuModel::titan_v();
+    let opts = SimOptions::default();
+    let v = SegFormerVariant::b2();
+
+    let seg = build_segformer(&SegFormerConfig::ade20k(v)).expect("builds");
+    let swin = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).expect("builds");
+    let acc_a = simulate(&seg, &AccelConfig::accelerator_a(), &opts);
+    let acc_star = simulate(&seg, &AccelConfig::accelerator_star(), &opts);
+    let swin_star = simulate(&swin, &AccelConfig::accelerator_star(), &opts);
+
+    let mut t = Table::new(&["claim", "paper", "ours"]);
+
+    // Accelerator speedups.
+    let seg_gpu_ms = gpu.total_time(&seg) * 1e3;
+    let swin_gpu_ms = gpu.total_time(&swin) * 1e3;
+    t.row(&[
+        "SegFormer-B2 on accelerator_A vs TITAN V".to_string(),
+        "16.6x (3.5 ms vs 58 ms)".to_string(),
+        format!(
+            "{:.1}x ({:.1} ms vs {:.1} ms)",
+            seg_gpu_ms / (acc_a.total_time_s() * 1e3),
+            acc_a.total_time_s() * 1e3,
+            seg_gpu_ms
+        ),
+    ]);
+    t.row(&[
+        "SegFormer-B2 on accelerator* vs TITAN V".to_string(),
+        "16x (3.6 ms)".to_string(),
+        format!(
+            "{:.1}x ({:.1} ms)",
+            seg_gpu_ms / (acc_star.total_time_s() * 1e3),
+            acc_star.total_time_s() * 1e3
+        ),
+    ]);
+    t.row(&[
+        "Swin-Tiny on accelerator* vs TITAN V".to_string(),
+        "17x (12.4 ms vs 215 ms)".to_string(),
+        format!(
+            "{:.1}x ({:.1} ms vs {:.1} ms)",
+            swin_gpu_ms / (swin_star.total_time_s() * 1e3),
+            swin_star.total_time_s() * 1e3,
+            swin_gpu_ms
+        ),
+    ]);
+
+    // accelerator* vs accelerator_A.
+    t.row(&[
+        "accelerator* PE-array area vs accelerator_A".to_string(),
+        "4.3x smaller".to_string(),
+        format!(
+            "{:.1}x smaller ({:.2} vs {:.2} mm^2)",
+            AccelConfig::accelerator_a().pe_array_area_mm2()
+                / AccelConfig::accelerator_star().pe_array_area_mm2(),
+            AccelConfig::accelerator_star().pe_array_area_mm2(),
+            AccelConfig::accelerator_a().pe_array_area_mm2()
+        ),
+    ]);
+    t.row(&[
+        "accelerator* slowdown on full SegFormer-B2".to_string(),
+        "< 3%".to_string(),
+        pct(acc_star.total_cycles() as f64 / acc_a.total_cycles() as f64 - 1.0),
+    ]);
+
+    // Resilience savings.
+    let ade_model = AccuracyModel::for_workload(Workload::SegFormerAde);
+    let time_of = |d: &SegFormerDynamic, city: bool| {
+        let cfg = if city {
+            SegFormerConfig::cityscapes(v)
+        } else {
+            SegFormerConfig::ade20k(v)
+        }
+        .with_dynamic(*d);
+        gpu.total_time(&build_segformer(&cfg).expect("builds"))
+    };
+    let full_ade = time_of(&SegFormerDynamic::full(&v), false);
+    // Find the best time saving among Table II ADE points with < 6% drop.
+    let best_ade = table2_ade()
+        .iter()
+        .map(|p| p.to_segformer_dynamic(&v))
+        .filter(|d| ade_model.norm_miou_segformer(d, &v) > 0.94)
+        .map(|d| 1.0 - time_of(&d, false) / full_ade)
+        .fold(0.0f64, f64::max);
+    t.row(&[
+        "ADE time saving at <6% mIoU drop (no retraining)".to_string(),
+        "17%".to_string(),
+        pct(best_ade),
+    ]);
+    let energy_of = |d: &SegFormerDynamic| {
+        gpu.total_energy(&build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(*d)).expect("builds"))
+    };
+    let best_ade_cfg = table2_ade()
+        .iter()
+        .map(|p| p.to_segformer_dynamic(&v))
+        .filter(|d| ade_model.norm_miou_segformer(d, &v) > 0.94)
+        .min_by(|a, b| time_of(a, false).partial_cmp(&time_of(b, false)).expect("finite"))
+        .expect("points exist");
+    t.row(&[
+        "energy saving at that point".to_string(),
+        "28%".to_string(),
+        pct(1.0 - energy_of(&best_ade_cfg) / energy_of(&SegFormerDynamic::full(&v))),
+    ]);
+
+    let city_model = AccuracyModel::for_workload(Workload::SegFormerCityscapes);
+    let full_city = time_of(&SegFormerDynamic::full(&v), true);
+    let best_city = table2_cityscapes()
+        .iter()
+        .map(|p| p.to_segformer_dynamic(&v))
+        .filter(|d| city_model.norm_miou_segformer(d, &v) >= 0.95 - 1e-9)
+        .map(|d| 1.0 - time_of(&d, true) / full_city)
+        .fold(0.0f64, f64::max);
+    t.row(&[
+        "Cityscapes time saving at <5% mIoU drop".to_string(),
+        "28%".to_string(),
+        pct(best_city),
+    ]);
+
+    // The surprising 736-channel configuration.
+    let mut d736 = SegFormerDynamic::full(&v);
+    d736.fuse_out_channels = 736;
+    let miou736 = ade_model.absolute_miou(ade_model.norm_miou_segformer(&d736, &v));
+    let speed736 = 1.0 - time_of(&d736, false) / full_ade;
+    t.row(&[
+        "736-ch Conv2DPred config vs full model".to_string(),
+        "mIoU 0.4655 > 0.4651, 2.6% faster".to_string(),
+        format!("mIoU {:.4}, {} faster", miou736, pct(speed736)),
+    ]);
+    t.print();
+}
+
+/// A compact regression summary for EXPERIMENTS.md generation.
+pub fn summary() {
+    headline();
+    println!();
+    println!("see EXPERIMENTS.md for the full per-figure record.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn headline_runs() {
+        super::headline();
+    }
+}

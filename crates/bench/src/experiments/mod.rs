@@ -1,0 +1,8 @@
+//! One module per group of paper experiments.
+
+pub mod ablations;
+pub mod accelerator;
+pub mod characterization;
+pub mod engine;
+pub mod headline;
+pub mod resilience;

@@ -1,0 +1,272 @@
+//! §III resilience experiments: Tables II/III and Figures 6/7, plus the
+//! measured-fidelity companion study.
+
+use crate::{banner, f, Table};
+use vit_models::{
+    build_segformer, SegFormerConfig, SegFormerVariant, SwinDynamic, SwinVariant,
+};
+use vit_profiler::GpuModel;
+use vit_resilience::{
+    fig7_swin_tiny, pareto_front, segformer_fidelity, segformer_sweep_space, sweep_segformer,
+    sweep_swin, table2_ade, table2_cityscapes, table3_swin_base, trained_segformer_ade,
+    trained_segformer_cityscapes, trained_swin_ade, AccuracyModel, FidelitySettings, PaperPoint,
+    ResourceKind, Workload,
+};
+
+fn norm_time_segformer(workload: Workload, p: &PaperPoint) -> f64 {
+    let v = SegFormerVariant::b2();
+    let gpu = GpuModel::titan_v();
+    let base = match workload {
+        Workload::SegFormerCityscapes => SegFormerConfig::cityscapes(v),
+        _ => SegFormerConfig::ade20k(v),
+    };
+    let full = gpu.total_time(&build_segformer(&base.clone()).expect("builds"));
+    let cfg = base.with_dynamic(p.to_segformer_dynamic(&v));
+    gpu.total_time(&build_segformer(&cfg).expect("builds")) / full
+}
+
+/// Table II: SegFormer dynamic execution-path configurations.
+pub fn table2() {
+    banner("Table II — SegFormer-B2 dynamic configurations");
+    let v = SegFormerVariant::b2();
+    let mut t = Table::new(&[
+        "label",
+        "depths",
+        "fuse in-ch",
+        "norm util (paper)",
+        "norm time (ours)",
+        "norm mIoU (paper)",
+        "norm mIoU (model)",
+    ]);
+    for (workload, points) in [
+        (Workload::SegFormerAde, table2_ade()),
+        (Workload::SegFormerCityscapes, table2_cityscapes()),
+    ] {
+        let model = AccuracyModel::for_workload(workload);
+        for p in points {
+            if workload == Workload::SegFormerCityscapes && p.label == "A" {
+                continue; // shared row
+            }
+            let ours_res = norm_time_segformer(workload, &p);
+            let ours_miou = model.norm_miou_segformer(&p.to_segformer_dynamic(&v), &v);
+            t.row(&[
+                p.label.to_string(),
+                format!("{:?}", p.depths),
+                p.fuse_in_channels.to_string(),
+                f(p.norm_resource, 2),
+                f(ours_res, 2),
+                f(p.norm_miou, 2),
+                f(ours_miou, 2),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Figure 6: SegFormer trade-off curves + trained-model squares.
+pub fn fig6() {
+    banner("Figure 6 — SegFormer accuracy/time trade-off (dynamic pruning, no retraining)");
+    let v = SegFormerVariant::b2();
+    for (workload, name, trained) in [
+        (Workload::SegFormerAde, "ADE20K (512x512)", trained_segformer_ade()),
+        (
+            Workload::SegFormerCityscapes,
+            "Cityscapes (1024x2048)",
+            trained_segformer_cityscapes(),
+        ),
+    ] {
+        println!("--- {name} ---");
+        let image = if workload == Workload::SegFormerCityscapes {
+            (1024, 2048)
+        } else {
+            (512, 512)
+        };
+        let classes = if workload == Workload::SegFormerCityscapes { 19 } else { 150 };
+        let space = segformer_sweep_space(&v, 2, 8);
+        let points = sweep_segformer(&v, workload, image, classes, &space, ResourceKind::GpuTime);
+        let front = pareto_front(&points);
+        let mut t = Table::new(&["norm time", "norm mIoU", "depths", "fuse in-ch"]);
+        for p in front.iter().filter(|p| p.norm_miou > 0.55) {
+            if let vit_resilience::DynConfig::SegFormer(d) = p.config {
+                t.row(&[
+                    f(p.norm_resource, 3),
+                    f(p.norm_miou, 3),
+                    format!("{:?}", d.depths),
+                    d.fuse_in_channels.to_string(),
+                ]);
+            }
+        }
+        t.print();
+        println!();
+        println!("trained-model squares (retrained baselines):");
+        let mut t2 = Table::new(&["model", "norm resource (GFLOPs)", "norm mIoU"]);
+        let full_gf = trained[0].gflops;
+        for m in &trained {
+            t2.row(&[m.name.to_string(), f(m.gflops / full_gf, 3), f(m.norm_miou, 3)]);
+        }
+        t2.print();
+        println!();
+    }
+    println!(
+        "paper: ADE saves 17% time (<6% mIoU drop); Cityscapes saves 28% (<5% drop); \
+         dynamic pruning is competitive until ~25% savings, switch to retrained \
+         models by 50%."
+    );
+}
+
+/// Table III: Swin-Base dynamic configurations.
+pub fn table3() {
+    banner("Table III — Swin-Base dynamic configurations");
+    let vb = SwinVariant::base();
+    let model = AccuracyModel::for_workload(Workload::SwinBaseAde);
+    let space: Vec<SwinDynamic> = table3_swin_base()
+        .iter()
+        .map(|p| p.to_swin_dynamic(&vb))
+        .collect();
+    let pts = sweep_swin(&vb, Workload::SwinBaseAde, (512, 512), 150, &space, ResourceKind::GpuTime);
+    let mut t = Table::new(&[
+        "depths",
+        "bottleneck in-ch",
+        "norm util (paper)",
+        "norm time (ours)",
+        "norm mIoU (paper)",
+        "norm mIoU (model)",
+    ]);
+    for (p, ours) in table3_swin_base().iter().zip(pts.iter()) {
+        t.row(&[
+            format!("{:?}", p.depths),
+            p.fuse_in_channels.to_string(),
+            f(p.norm_resource, 3),
+            f(ours.norm_resource, 3),
+            f(p.norm_miou, 2),
+            f(model.norm_miou_swin(&p.to_swin_dynamic(&vb), &vb), 2),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "note: the paper's 'normalized resource' for Swin-Base drops faster than \
+         pure FLOPs because its measurements include the batch-16 batching \
+         effects discussed in §III-B; our column is batch-1 modeled GPU time."
+    );
+}
+
+/// Figure 7: Swin trade-off curves + trained-model squares.
+pub fn fig7() {
+    banner("Figure 7 — Swin accuracy/time trade-off");
+    let vt = SwinVariant::tiny();
+    let model_t = AccuracyModel::for_workload(Workload::SwinTinyAde);
+    println!("Swin-Tiny channel-cut curve (channels preserved into fpn_bottleneck):");
+    let space: Vec<SwinDynamic> = fig7_swin_tiny()
+        .iter()
+        .map(|p| p.to_swin_dynamic(&vt))
+        .collect();
+    let pts = sweep_swin(&vt, Workload::SwinTinyAde, (512, 512), 150, &space, ResourceKind::GpuTime);
+    let mut t = Table::new(&["channels", "norm time (ours)", "norm mIoU (model)"]);
+    for (p, ours) in fig7_swin_tiny().iter().zip(pts.iter()) {
+        t.row(&[
+            p.fuse_in_channels.to_string(),
+            f(ours.norm_resource, 3),
+            f(model_t.norm_miou_swin(&p.to_swin_dynamic(&vt), &vt), 2),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "deviation: our roofline GPU model rewards Swin channel cuts in\n\
+         proportion to FLOPs (0.39x at 512 channels), while the paper's GPU\n\
+         measurements found little saving (0.79x) — a cudnn kernel-selection\n\
+         inefficiency at low channel counts that a throughput model does not\n\
+         represent. On the accelerator (Figures 12/13) time tracks FLOPs and\n\
+         the two agree."
+    );
+    println!();
+    println!("Swin-Tiny encoder skips are not Pareto-competitive (paper §III-B):");
+    let skip = SwinDynamic { depths: [2, 2, 5, 2], bottleneck_in_channels: 2048 };
+    let skip_pts = sweep_swin(&vt, Workload::SwinTinyAde, (512, 512), 150, &[skip], ResourceKind::GpuTime);
+    println!(
+        "  skipping 1 stage-2 block: norm time {:.3}, norm mIoU {:.2} \
+         (large accuracy cost for little time)",
+        skip_pts[0].norm_resource,
+        model_t.norm_miou_swin(&skip, &vt)
+    );
+    println!();
+    println!("batch effect (paper: batch 16 pushes the curve left, 27% savings):");
+    {
+        use vit_models::{build_swin_upernet, SwinConfig};
+        use vit_profiler::GpuModel;
+        let gpu = GpuModel::titan_v();
+        let mut t = Table::new(&["channels", "norm time b=1", "norm time b=16"]);
+        let time_at = |ch: usize, batch: usize| -> f64 {
+            let cfg = SwinConfig::ade20k(vt)
+                .with_batch(batch)
+                .with_dynamic(SwinDynamic { depths: vt.depths, bottleneck_in_channels: ch });
+            gpu.total_time(&build_swin_upernet(&cfg).expect("builds"))
+        };
+        let full1 = time_at(2048, 1);
+        let full16 = time_at(2048, 16);
+        for ch in [2048usize, 1536, 1024, 512] {
+            t.row(&[
+                ch.to_string(),
+                f(time_at(ch, 1) / full1, 3),
+                f(time_at(ch, 16) / full16, 3),
+            ]);
+        }
+        t.print();
+    }
+    println!();
+    println!("trained Swin models (squares):");
+    let mut t2 = Table::new(&["model", "norm resource (GFLOPs)", "norm mIoU"]);
+    let trained = trained_swin_ade();
+    let full = trained[0].gflops;
+    for m in &trained {
+        t2.row(&[m.name.to_string(), f(m.gflops / full, 3), f(m.norm_miou, 3)]);
+    }
+    t2.print();
+    println!();
+    println!("Swin-Base dynamic points remain competitive with Swin-Small (paper §III-B):");
+    let vb = SwinVariant::base();
+    let model_b = AccuracyModel::for_workload(Workload::SwinBaseAde);
+    for p in table3_swin_base().iter().filter(|p| p.norm_resource < 0.8) {
+        println!(
+            "  depths {:?}, ch {}: paper norm mIoU {:.2}, model {:.2}",
+            p.depths,
+            p.fuse_in_channels,
+            p.norm_miou,
+            model_b.norm_miou_swin(&p.to_swin_dynamic(&vb), &vb)
+        );
+    }
+}
+
+/// Measured fidelity companion: runs the real pruned graphs and reports the
+/// mIoU between pruned and full outputs (executable at small image sizes).
+pub fn fidelity() {
+    banner("Measured fidelity — pruned vs full SegFormer output agreement (64x64, real execution)");
+    let v = SegFormerVariant::b0();
+    let settings = FidelitySettings {
+        image: (64, 64),
+        samples: 3,
+        seed: 11,
+    };
+    let mut t = Table::new(&["depths", "fuse in-ch", "fidelity mIoU vs full"]);
+    let configs = [
+        (v.depths, 1024usize),
+        (v.depths, 768),
+        (v.depths, 512),
+        ([2, 2, 2, 2], 256),
+        ([1, 2, 2, 2], 256),
+        ([1, 1, 1, 1], 128),
+    ];
+    for (depths, ch) in configs {
+        let d = vit_models::SegFormerDynamic::with_depths_and_fuse(&v, depths, ch);
+        let fidelity = segformer_fidelity(&v, &d, &settings).expect("fidelity runs");
+        t.row(&[format!("{depths:?}"), ch.to_string(), f(fidelity, 3)]);
+    }
+    t.print();
+    println!();
+    println!(
+        "the agreement degrades gracefully with pruning depth — the measured \
+         analogue of the paper's resilience claim, with the full model as \
+         the reference instead of dataset ground truth."
+    );
+}

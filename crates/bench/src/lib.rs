@@ -1,0 +1,106 @@
+//! # vit-bench
+//!
+//! The reproduction harness: one experiment per table/figure of the paper,
+//! each printing the paper's published rows or series next to the values
+//! this reproduction measures. Run them through the `repro` binary:
+//!
+//! ```text
+//! repro table1      # Table I  — model summary
+//! repro fig6        # Figure 6 — SegFormer trade-off curves
+//! repro all         # everything
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::fmt::Display;
+
+/// A simple fixed-width table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                s.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "longer-header"]);
+        t.row(&["1", "2"]);
+        t.row(&["something-long", "x"]);
+        t.print();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.625), "62.5%");
+    }
+}

@@ -1,0 +1,105 @@
+//! `repro`: regenerate the paper's tables and figures.
+
+use vit_bench::experiments::*;
+
+const USAGE: &str = "\
+usage: repro <experiment>
+
+characterization (paper §II):
+  table1      model summary
+  fig1        DETR/D-DETR backbone vs transformer split across batches
+  fig2        SegFormer/Swin layer structure inventory
+  fig3        SegFormer-B2 FLOPs/time distribution
+  fig4        Swin-Tiny FLOPs/time distribution
+  fig5        image size vs fuse-convolution share
+
+resilience (§III):
+  table2      SegFormer dynamic configurations
+  fig6        SegFormer trade-off curves + trained squares
+  table3      Swin-Base dynamic configurations
+  fig7        Swin trade-off curves + trained squares
+  fidelity    measured pruned-vs-full output agreement (executable)
+
+engine (§IV):
+  fig8        the DRT engine under a varying budget (executable)
+  earlyexit   deadline misses of input-dependent early exit
+  accel-lut   the engine keyed by accelerator cycles
+  crossover   when to switch to retrained models
+
+accelerator (§V/§VI):
+  fig9        accelerator organization + sample mapping
+  fig10       SegFormer time/energy distribution on accelerator_A
+  fig11       energy-per-FLOP outliers
+  fig12       dynamic configs across weight-memory sizes (+fig13 energy)
+  fig14       vectorization/memory design space
+  fig15       Swin-Tiny on accelerator*
+  table4      OFA accelerators (+fig16 accuracy vs cycles)
+
+summary:
+  headline    every headline claim, paper vs ours
+  ablations   design-choice ablations
+  all         run everything
+";
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+    match arg.as_str() {
+        "table1" => characterization::table1(),
+        "fig1" => characterization::fig1(),
+        "fig2" => characterization::fig2(),
+        "fig3" => characterization::fig3(),
+        "fig4" => characterization::fig4(),
+        "fig5" => characterization::fig5(),
+        "table2" => resilience::table2(),
+        "fig6" => resilience::fig6(),
+        "table3" => resilience::table3(),
+        "fig7" => resilience::fig7(),
+        "fidelity" => resilience::fidelity(),
+        "fig8" => engine::fig8(),
+        "earlyexit" => engine::early_exit(),
+        "accel-lut" => engine::accel_lut(),
+        "crossover" => engine::crossover(),
+        "fig9" => accelerator::fig9(),
+        "fig10" => accelerator::fig10(),
+        "fig11" => accelerator::fig11(),
+        "fig12" | "fig13" => accelerator::fig12_13(),
+        "fig14" => accelerator::fig14(),
+        "fig15" => accelerator::fig15(),
+        "table4" | "fig16" => accelerator::table4_fig16(),
+        "headline" => headline::headline(),
+        "ablations" => ablations::all(),
+        "all" => {
+            characterization::table1();
+            characterization::fig1();
+            characterization::fig2();
+            characterization::fig3();
+            characterization::fig4();
+            characterization::fig5();
+            resilience::table2();
+            resilience::fig6();
+            resilience::table3();
+            resilience::fig7();
+            resilience::fidelity();
+            engine::fig8();
+            engine::early_exit();
+            engine::accel_lut();
+            engine::crossover();
+            accelerator::fig9();
+            accelerator::fig10();
+            accelerator::fig11();
+            accelerator::fig12_13();
+            accelerator::fig14();
+            accelerator::fig15();
+            accelerator::table4_fig16();
+            headline::headline();
+            ablations::all();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Baselines the paper compares against: switching between independently
+//! *retrained* static models (the large squares in Figures 6/7) and
+//! input-dependent early-exit inference (the related-work class the paper
+//! argues cannot enforce a hard budget).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vit_models::{build_segformer, SegFormerConfig, SegFormerVariant};
+use vit_profiler::GpuModel;
+use vit_resilience::{
+    trained_segformer_ade, trained_segformer_cityscapes, trained_swin_ade, Workload,
+};
+
+/// One retrained static model: the resource it needs and the accuracy it
+/// delivers, both normalized to the case-study model's full execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticModel {
+    /// Model name.
+    pub name: String,
+    /// Resource normalized to the case-study full model.
+    pub norm_resource: f64,
+    /// Accuracy normalized to the case-study full model.
+    pub norm_miou: f64,
+}
+
+/// The trained-model-switching baseline: a family of retrained models, each
+/// a static point on the accuracy/resource plane.
+#[derive(Debug, Clone)]
+pub struct TrainedFamily {
+    models: Vec<StaticModel>,
+}
+
+impl TrainedFamily {
+    /// The published family for a workload, with resources normalized via
+    /// the calibrated GPU model (SegFormer families) or published GFLOPs
+    /// ratios (Swin).
+    pub fn for_workload(workload: Workload) -> Self {
+        let models = match workload {
+            Workload::SegFormerAde | Workload::SegFormerCityscapes => {
+                let gpu = GpuModel::titan_v();
+                let (points, mk_cfg): (_, Box<dyn Fn(SegFormerVariant) -> SegFormerConfig>) =
+                    if workload == Workload::SegFormerAde {
+                        (trained_segformer_ade(), Box::new(SegFormerConfig::ade20k))
+                    } else {
+                        (trained_segformer_cityscapes(), Box::new(SegFormerConfig::cityscapes))
+                    };
+                let time_of = |v: SegFormerVariant| {
+                    gpu.total_time(&build_segformer(&mk_cfg(v)).expect("published variants build"))
+                };
+                let full = time_of(SegFormerVariant::b2());
+                points
+                    .into_iter()
+                    .map(|p| {
+                        let v = match p.name {
+                            "segformer-b0" => SegFormerVariant::b0(),
+                            "segformer-b1" => SegFormerVariant::b1(),
+                            _ => SegFormerVariant::b2(),
+                        };
+                        StaticModel {
+                            name: p.name.to_string(),
+                            norm_resource: time_of(v) / full,
+                            norm_miou: p.norm_miou,
+                        }
+                    })
+                    .collect()
+            }
+            Workload::SwinTinyAde | Workload::SwinBaseAde => {
+                let points = trained_swin_ade();
+                let full = points[0].gflops;
+                points
+                    .into_iter()
+                    .map(|p| StaticModel {
+                        name: p.name.to_string(),
+                        norm_resource: p.gflops / full,
+                        norm_miou: p.norm_miou,
+                    })
+                    .collect()
+            }
+        };
+        TrainedFamily { models }
+    }
+
+    /// The family's models, largest first.
+    pub fn models(&self) -> &[StaticModel] {
+        &self.models
+    }
+
+    /// The most accurate trained model fitting a normalized budget.
+    pub fn best_for_budget(&self, norm_budget: f64) -> Option<&StaticModel> {
+        self.models
+            .iter()
+            .filter(|m| m.norm_resource <= norm_budget)
+            .max_by(|a, b| a.norm_miou.partial_cmp(&b.norm_miou).expect("finite"))
+    }
+
+    /// The normalized resource below which switching to a retrained model
+    /// beats a dynamic-pruning front: the largest front resource where some
+    /// trained model (other than the full model itself) achieves at least
+    /// the front's accuracy at no more resource.
+    ///
+    /// `front` is `(norm_resource, norm_miou)` pairs sorted ascending.
+    /// Returns `None` when the dynamic front is never beaten.
+    pub fn crossover(&self, front: &[(f64, f64)]) -> Option<f64> {
+        front
+            .iter()
+            .filter(|(r, a)| {
+                self.models
+                    .iter()
+                    .any(|m| m.norm_resource < 0.99 && m.norm_resource <= *r && m.norm_miou >= *a)
+            })
+            .map(|(r, _)| *r)
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+}
+
+/// A simulated input-dependent early-exit engine (BranchyNet / DeeBERT
+/// class): the exit taken depends on the *input's difficulty*, not on any
+/// resource budget — so under a hard deadline it misses whenever a hard
+/// input arrives.
+#[derive(Debug, Clone)]
+pub struct EarlyExitBaseline {
+    /// `(resource_fraction, norm_accuracy)` of each exit, shallow first.
+    exits: Vec<(f64, f64)>,
+    /// Confidence threshold for taking an exit.
+    threshold: f64,
+}
+
+impl EarlyExitBaseline {
+    /// A four-exit configuration typical of the early-exit literature.
+    pub fn typical() -> Self {
+        EarlyExitBaseline {
+            exits: vec![(0.35, 0.80), (0.55, 0.90), (0.80, 0.97), (1.0, 1.0)],
+            threshold: 0.75,
+        }
+    }
+
+    /// Simulates one inference on an input with difficulty `d in [0, 1]`.
+    /// Returns `(resource_fraction_used, norm_accuracy_delivered)`.
+    pub fn run(&self, difficulty: f64) -> (f64, f64) {
+        let d = difficulty.clamp(0.0, 1.0);
+        for (i, &(res, acc)) in self.exits.iter().enumerate() {
+            // Confidence grows with depth and shrinks with difficulty.
+            let depth_frac = (i + 1) as f64 / self.exits.len() as f64;
+            let confidence = (1.0 - d) * 0.5 + depth_frac * 0.5;
+            if confidence >= self.threshold || i == self.exits.len() - 1 {
+                return (res, acc);
+            }
+        }
+        unreachable!("last exit always taken")
+    }
+
+    /// Fraction of inferences exceeding `budget` (a resource fraction) over
+    /// a seeded stream of inputs with uniformly random difficulty.
+    pub fn deadline_miss_rate(&self, budget: f64, samples: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let misses = (0..samples)
+            .filter(|_| {
+                let (res, _) = self.run(rng.gen_range(0.0..1.0));
+                res > budget
+            })
+            .count();
+        misses as f64 / samples.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trained_family_ordering() {
+        let fam = TrainedFamily::for_workload(Workload::SegFormerAde);
+        assert_eq!(fam.models().len(), 3);
+        // B2 is the most expensive and most accurate.
+        let b2 = &fam.models()[0];
+        assert!((b2.norm_resource - 1.0).abs() < 1e-9);
+        assert!((b2.norm_miou - 1.0).abs() < 1e-9);
+        for m in fam.models().iter().skip(1) {
+            assert!(m.norm_resource < 1.0);
+            assert!(m.norm_miou < 1.0);
+        }
+    }
+
+    #[test]
+    fn best_for_budget_picks_largest_that_fits() {
+        let fam = TrainedFamily::for_workload(Workload::SegFormerAde);
+        let full = fam.best_for_budget(1.5).unwrap();
+        assert_eq!(full.name, "segformer-b2");
+        let b0_res = fam
+            .models()
+            .iter()
+            .find(|m| m.name == "segformer-b0")
+            .unwrap()
+            .norm_resource;
+        let tight = fam.best_for_budget(b0_res + 0.01).unwrap();
+        assert_eq!(tight.name, "segformer-b0");
+        assert!(fam.best_for_budget(0.001).is_none());
+    }
+
+    #[test]
+    fn crossover_detects_where_trained_models_win() {
+        let fam = TrainedFamily::for_workload(Workload::SegFormerAde);
+        // A weak dynamic front: at half the resource it only keeps 40% of
+        // accuracy — trained models beat that regime.
+        let weak_front = [(0.4, 0.3), (0.5, 0.4), (0.9, 0.97), (1.0, 1.0)];
+        let c = fam.crossover(&weak_front).unwrap();
+        assert!(c >= 0.5, "crossover {c}");
+        // A dominant front is never beaten.
+        let strong_front = [(0.3, 0.95), (1.0, 1.0)];
+        assert!(fam.crossover(&strong_front).is_none());
+    }
+
+    #[test]
+    fn early_exit_uses_less_resource_on_easy_inputs() {
+        let ee = EarlyExitBaseline::typical();
+        let (easy_res, _) = ee.run(0.0);
+        let (hard_res, hard_acc) = ee.run(1.0);
+        assert!(easy_res < hard_res);
+        assert_eq!(hard_res, 1.0);
+        assert_eq!(hard_acc, 1.0);
+    }
+
+    #[test]
+    fn early_exit_misses_hard_deadlines() {
+        // The paper's argument: an input-dependent mechanism cannot enforce
+        // a budget below the deepest exit that hard inputs require.
+        let ee = EarlyExitBaseline::typical();
+        let miss = ee.deadline_miss_rate(0.6, 2000, 1);
+        assert!(miss > 0.2, "miss rate {miss}");
+        // A DRT engine at the same budget misses never (it picks a path
+        // that fits by construction); with a generous budget neither does
+        // early exit.
+        assert_eq!(ee.deadline_miss_rate(1.0, 2000, 1), 0.0);
+    }
+}

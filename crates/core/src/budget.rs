@@ -1,0 +1,149 @@
+//! Resource-budget traces: the time-varying constraints a real-time system
+//! feeds the engine (autonomous driving load spikes, conferencing
+//! contention, ...).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of a budget trace, expressed as a fraction of the full model's
+/// resource cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TracePattern {
+    /// Constant budget.
+    Constant(f64),
+    /// Smooth sinusoidal load between `min` and `max` with the given period
+    /// (in inferences).
+    Sinusoid {
+        /// Lowest budget fraction.
+        min: f64,
+        /// Highest budget fraction.
+        max: f64,
+        /// Period in steps.
+        period: usize,
+    },
+    /// Mostly `base`, dropping to `spike` with probability `p` per step
+    /// (sudden contention).
+    RandomSpikes {
+        /// Normal budget fraction.
+        base: f64,
+        /// Budget fraction during a spike.
+        spike: f64,
+        /// Spike probability per step.
+        p: f64,
+    },
+    /// Alternates between `high` and `low` every `period` steps.
+    Step {
+        /// First phase budget.
+        high: f64,
+        /// Second phase budget.
+        low: f64,
+        /// Steps per phase.
+        period: usize,
+    },
+}
+
+/// A deterministic budget trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use vit_drt::{BudgetTrace, TracePattern};
+///
+/// let trace = BudgetTrace::new(
+///     TracePattern::Sinusoid { min: 0.6, max: 1.0, period: 8 }, 42);
+/// let budgets: Vec<f64> = trace.take(16).collect();
+/// assert!(budgets.iter().all(|&b| (0.6..=1.0).contains(&b)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetTrace {
+    pattern: TracePattern,
+    rng: StdRng,
+    step: usize,
+}
+
+impl BudgetTrace {
+    /// Creates a trace with a deterministic seed.
+    pub fn new(pattern: TracePattern, seed: u64) -> Self {
+        BudgetTrace {
+            pattern,
+            rng: StdRng::seed_from_u64(seed),
+            step: 0,
+        }
+    }
+}
+
+impl Iterator for BudgetTrace {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let t = self.step;
+        self.step += 1;
+        Some(match self.pattern {
+            TracePattern::Constant(v) => v,
+            TracePattern::Sinusoid { min, max, period } => {
+                let phase = t as f64 / period.max(1) as f64 * std::f64::consts::TAU;
+                min + (max - min) * 0.5 * (1.0 + phase.sin())
+            }
+            TracePattern::RandomSpikes { base, spike, p } => {
+                if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    spike
+                } else {
+                    base
+                }
+            }
+            TracePattern::Step { high, low, period } => {
+                if (t / period.max(1)).is_multiple_of(2) {
+                    high
+                } else {
+                    low
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_is_constant() {
+        let v: Vec<f64> = BudgetTrace::new(TracePattern::Constant(0.8), 0).take(5).collect();
+        assert_eq!(v, vec![0.8; 5]);
+    }
+
+    #[test]
+    fn sinusoid_stays_in_range_and_oscillates() {
+        let v: Vec<f64> = BudgetTrace::new(
+            TracePattern::Sinusoid { min: 0.5, max: 1.0, period: 10 },
+            0,
+        )
+        .take(30)
+        .collect();
+        assert!(v.iter().all(|&b| (0.5 - 1e-9..=1.0 + 1e-9).contains(&b)));
+        let spread = v.iter().cloned().fold(f64::MIN, f64::max)
+            - v.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.4, "spread {spread}");
+    }
+
+    #[test]
+    fn spikes_are_deterministic_per_seed() {
+        let p = TracePattern::RandomSpikes { base: 1.0, spike: 0.5, p: 0.3 };
+        let a: Vec<f64> = BudgetTrace::new(p, 7).take(50).collect();
+        let b: Vec<f64> = BudgetTrace::new(p, 7).take(50).collect();
+        assert_eq!(a, b);
+        assert!(a.contains(&0.5));
+        assert!(a.contains(&1.0));
+    }
+
+    #[test]
+    fn step_alternates() {
+        let v: Vec<f64> = BudgetTrace::new(
+            TracePattern::Step { high: 1.0, low: 0.6, period: 2 },
+            0,
+        )
+        .take(8)
+        .collect();
+        assert_eq!(v, vec![1.0, 1.0, 0.6, 0.6, 1.0, 1.0, 0.6, 0.6]);
+    }
+}

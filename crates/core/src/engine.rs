@@ -1,0 +1,414 @@
+//! The dynamic real-time inference engine (Figure 8).
+//!
+//! Per inference the engine receives an image and a resource-utilization
+//! target, looks up the accuracy-maximizing execution path that fits the
+//! target in its precomputed Pareto LUT, runs that path, and returns the
+//! output together with the accuracy estimate from the LUT — no additional
+//! training, one set of shared model weights.
+
+use crate::lut::{Lut, LutConfig, LutEntry};
+use std::collections::HashMap;
+use std::fmt;
+use vit_graph::{ExecError, Executor, Graph};
+use vit_models::{
+    build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant,
+    SwinConfig, SwinVariant,
+};
+use vit_accel::AccelConfig;
+use vit_resilience::{
+    segformer_sweep_space, sweep_segformer, sweep_segformer_on_accelerator, sweep_swin,
+    AccelResource, ResourceKind, Workload,
+};
+use vit_tensor::Tensor;
+
+/// The model family an engine serves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineFamily {
+    /// SegFormer (the paper's primary case study).
+    SegFormer(SegFormerVariant),
+    /// Swin + UPerNet.
+    Swin(SwinVariant),
+}
+
+/// Error from engine construction or inference.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A graph failed to build for a selected configuration.
+    Model(ModelError),
+    /// Graph execution failed.
+    Exec(ExecError),
+    /// The engine's LUT is empty.
+    EmptyLut,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "engine model error: {e}"),
+            EngineError::Exec(e) => write!(f, "engine execution error: {e}"),
+            EngineError::EmptyLut => write!(f, "engine LUT has no execution paths"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// The result of one dynamic inference.
+#[derive(Debug)]
+pub struct Inference {
+    /// Class-logit map `[batch, classes, h, w]`.
+    pub logits: Tensor,
+    /// Per-pixel label map `[batch, h, w]`.
+    pub label_map: Tensor,
+    /// The execution path that ran.
+    pub config: LutConfig,
+    /// The LUT's normalized-mIoU estimate for that path.
+    pub norm_miou_estimate: f64,
+    /// The LUT's resource estimate for that path.
+    pub resource_estimate: f64,
+    /// Whether the path fit the requested budget (false when the budget was
+    /// below even the cheapest path, which the engine then runs anyway and
+    /// reports the overrun).
+    pub met_budget: bool,
+}
+
+/// The DRT inference engine.
+///
+/// # Examples
+///
+/// ```no_run
+/// use vit_drt::DrtEngine;
+/// use vit_models::SegFormerVariant;
+/// use vit_resilience::{ResourceKind, Workload};
+/// use vit_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut engine = DrtEngine::segformer(
+///     SegFormerVariant::b0(),
+///     Workload::SegFormerAde,
+///     (64, 64),
+///     ResourceKind::GpuTime,
+/// )?;
+/// let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+/// let relaxed = engine.max_resource();
+/// let out = engine.infer(&image, 0.7 * relaxed)?;
+/// println!("ran {:?}, estimated mIoU {:.2}", out.config, out.norm_miou_estimate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DrtEngine {
+    family: EngineFamily,
+    num_classes: usize,
+    image: (usize, usize),
+    lut: Lut,
+    executor: Executor,
+    graph_cache: HashMap<LutConfig, Graph>,
+}
+
+impl DrtEngine {
+    /// Builds a SegFormer engine: sweeps the configuration space at the
+    /// engine's image size, extracts the Pareto front, and stores the LUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the sweep produces no buildable paths.
+    pub fn segformer(
+        variant: SegFormerVariant,
+        workload: Workload,
+        image: (usize, usize),
+        resource: ResourceKind,
+    ) -> Result<Self, EngineError> {
+        let num_classes = match workload {
+            Workload::SegFormerCityscapes => 19,
+            _ => 150,
+        };
+        let space = segformer_sweep_space(&variant, 2, 8);
+        let points = sweep_segformer(&variant, workload, image, num_classes, &space, resource);
+        let lut = Lut::from_points(
+            format!("{} {workload:?} {resource:?}", variant.name),
+            &points,
+        );
+        Self::with_lut(EngineFamily::SegFormer(variant), num_classes, image, lut)
+    }
+
+    /// Builds a SegFormer engine whose resource is *accelerator cycles or
+    /// energy* on the given hardware configuration — the §VI deployment
+    /// where the DRT LUT is keyed by cycles on `accelerator*`
+    /// (Figures 12/13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the sweep produces no buildable paths.
+    pub fn segformer_on_accelerator(
+        variant: SegFormerVariant,
+        workload: Workload,
+        image: (usize, usize),
+        accel: &AccelConfig,
+        resource: AccelResource,
+    ) -> Result<Self, EngineError> {
+        let num_classes = match workload {
+            Workload::SegFormerCityscapes => 19,
+            _ => 150,
+        };
+        let space = segformer_sweep_space(&variant, 2, 8);
+        let points = sweep_segformer_on_accelerator(
+            &variant, workload, image, num_classes, &space, accel, resource,
+        );
+        let lut = Lut::from_points(
+            format!("{} {workload:?} accel-{resource:?}", variant.name),
+            &points,
+        );
+        Self::with_lut(EngineFamily::SegFormer(variant), num_classes, image, lut)
+    }
+
+    /// Builds a Swin engine over an explicit configuration list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the sweep produces no buildable paths.
+    pub fn swin(
+        variant: SwinVariant,
+        workload: Workload,
+        image: (usize, usize),
+        space: &[vit_models::SwinDynamic],
+        resource: ResourceKind,
+    ) -> Result<Self, EngineError> {
+        let points = sweep_swin(&variant, workload, image, 150, space, resource);
+        let lut = Lut::from_points(
+            format!("{} {workload:?} {resource:?}", variant.name),
+            &points,
+        );
+        Self::with_lut(EngineFamily::Swin(variant), 150, image, lut)
+    }
+
+    /// Builds an engine around a precomputed LUT (e.g. deserialized from
+    /// JSON).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::EmptyLut`] for an empty LUT.
+    pub fn with_lut(
+        family: EngineFamily,
+        num_classes: usize,
+        image: (usize, usize),
+        lut: Lut,
+    ) -> Result<Self, EngineError> {
+        if lut.is_empty() {
+            return Err(EngineError::EmptyLut);
+        }
+        Ok(DrtEngine {
+            family,
+            num_classes,
+            image,
+            lut,
+            executor: Executor::new(0),
+            graph_cache: HashMap::new(),
+        })
+    }
+
+    /// The engine's LUT.
+    pub fn lut(&self) -> &Lut {
+        &self.lut
+    }
+
+    /// The resource cost of the most expensive (full) execution path —
+    /// a convenient reference for choosing budgets.
+    pub fn max_resource(&self) -> f64 {
+        self.lut
+            .entries()
+            .last()
+            .map_or(0.0, |e| e.resource)
+    }
+
+    /// The engine's input image size.
+    pub fn image_size(&self) -> (usize, usize) {
+        self.image
+    }
+
+    fn graph_for(&mut self, config: LutConfig) -> Result<&Graph, EngineError> {
+        if !self.graph_cache.contains_key(&config) {
+            let g = match (self.family, config) {
+                (EngineFamily::SegFormer(variant), c) => {
+                    let d = c.as_segformer().expect("segformer engine gets segformer configs");
+                    build_segformer(
+                        &SegFormerConfig {
+                            variant,
+                            num_classes: self.num_classes,
+                            image: self.image,
+                            batch: 1,
+                            dynamic: d,
+                        },
+                    )?
+                }
+                (EngineFamily::Swin(variant), c) => {
+                    let d = c.as_swin().expect("swin engine gets swin configs");
+                    build_swin_upernet(
+                        &SwinConfig {
+                            variant,
+                            num_classes: self.num_classes,
+                            image: self.image,
+                            batch: 1,
+                            dynamic: d,
+                        },
+                    )?
+                }
+            };
+            self.graph_cache.insert(config, g);
+        }
+        Ok(self.graph_cache.get(&config).expect("just inserted"))
+    }
+
+    /// Runs one dynamic inference: picks the best path for `budget`
+    /// (in the LUT's resource units), executes it, and returns the outputs
+    /// with the precomputed accuracy estimate.
+    ///
+    /// When the budget is below every path, the cheapest path runs and
+    /// [`Inference::met_budget`] is false.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    pub fn infer(&mut self, image: &Tensor, budget: f64) -> Result<Inference, EngineError> {
+        let (entry, met): (LutEntry, bool) = match self.lut.lookup(budget) {
+            Ok(e) => (e.clone(), true),
+            Err(_) => (
+                self.lut.entries().first().ok_or(EngineError::EmptyLut)?.clone(),
+                false,
+            ),
+        };
+        self.graph_for(entry.config)?; // populate the cache
+        let graph = self.graph_cache.get(&entry.config).expect("cached");
+        let logits = self.executor.run(graph, std::slice::from_ref(image))?;
+        let label_map = logits
+            .argmax_channels()
+            .expect("segmentation output is NCHW");
+        Ok(Inference {
+            logits,
+            label_map,
+            config: entry.config,
+            norm_miou_estimate: entry.norm_miou,
+            resource_estimate: entry.resource,
+            met_budget: met,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> DrtEngine {
+        DrtEngine::segformer(
+            SegFormerVariant::b0(),
+            Workload::SegFormerAde,
+            (64, 64),
+            ResourceKind::GpuTime,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_builds_nonempty_lut() {
+        let e = small_engine();
+        assert!(e.lut().len() >= 3, "only {} LUT rows", e.lut().len());
+        assert!(e.max_resource() > 0.0);
+    }
+
+    #[test]
+    fn tighter_budgets_select_cheaper_less_accurate_paths() {
+        let mut e = small_engine();
+        let full = e.max_resource();
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+        let relaxed = e.infer(&img, full * 2.0).unwrap();
+        let tight = e.infer(&img, full * 0.7).unwrap();
+        assert!(relaxed.met_budget && tight.met_budget);
+        assert!(tight.resource_estimate < relaxed.resource_estimate);
+        assert!(tight.norm_miou_estimate <= relaxed.norm_miou_estimate);
+        // The relaxed budget runs the full model.
+        assert!((relaxed.norm_miou_estimate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_budget_runs_cheapest_and_reports_overrun() {
+        let mut e = small_engine();
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+        let out = e.infer(&img, 0.0).unwrap();
+        assert!(!out.met_budget);
+        assert_eq!(
+            out.resource_estimate,
+            e.lut().entries().first().unwrap().resource
+        );
+    }
+
+    #[test]
+    fn outputs_have_expected_shapes() {
+        let mut e = small_engine();
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 2);
+        let out = e.infer(&img, e.max_resource()).unwrap();
+        assert_eq!(out.logits.shape(), &[1, 150, 64, 64]);
+        assert_eq!(out.label_map.shape(), &[1, 64, 64]);
+    }
+
+    #[test]
+    fn graph_cache_reused_across_inferences() {
+        let mut e = small_engine();
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 3);
+        let budget = e.max_resource();
+        let a = e.infer(&img, budget).unwrap();
+        let b = e.infer(&img, budget).unwrap();
+        // Deterministic engine: identical outputs for identical inputs.
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(e.graph_cache.len(), 1);
+    }
+
+    #[test]
+    fn accelerator_cycle_budgeted_engine_works() {
+        use vit_accel::AccelConfig;
+        use vit_resilience::AccelResource;
+        let mut e = DrtEngine::segformer_on_accelerator(
+            SegFormerVariant::b0(),
+            Workload::SegFormerAde,
+            (64, 64),
+            &AccelConfig::accelerator_star(),
+            AccelResource::Cycles,
+        )
+        .unwrap();
+        assert!(e.lut().len() >= 3);
+        // Budgets are cycle counts now.
+        assert!(e.max_resource() > 1000.0);
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 6);
+        let out = e.infer(&img, e.max_resource() * 0.8).unwrap();
+        assert!(out.met_budget);
+        assert!(out.norm_miou_estimate <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn lut_round_trips_into_engine() {
+        let e = small_engine();
+        let json = e.lut().to_json();
+        let lut = Lut::from_json(&json).unwrap();
+        let mut e2 = DrtEngine::with_lut(
+            EngineFamily::SegFormer(SegFormerVariant::b0()),
+            150,
+            (64, 64),
+            lut,
+        )
+        .unwrap();
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 4);
+        let out = e2.infer(&img, e2.max_resource()).unwrap();
+        assert!(out.met_budget);
+    }
+}

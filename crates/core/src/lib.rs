@@ -1,0 +1,47 @@
+//! # vit-drt
+//!
+//! The dynamic real-time (DRT) inference engine of the reproduction
+//! (paper §IV, Figure 8): given an image and a per-inference resource
+//! budget, pick the accuracy-maximizing execution path of a pretrained
+//! model that fits the budget — one set of shared weights, no retraining —
+//! run it, and report the output with a precomputed accuracy estimate.
+//!
+//! * [`Lut`] — the Pareto look-up table of execution paths (serializable).
+//! * [`DrtEngine`] — the runtime engine with a graph cache and executor.
+//! * [`BudgetTrace`] — synthetic time-varying budget streams.
+//! * [`baselines`] — trained-model switching and input-dependent early exit.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use vit_drt::{BudgetTrace, DrtEngine, TracePattern};
+//! use vit_models::SegFormerVariant;
+//! use vit_resilience::{ResourceKind, Workload};
+//! use vit_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut engine = DrtEngine::segformer(
+//!     SegFormerVariant::b0(), Workload::SegFormerAde, (64, 64),
+//!     ResourceKind::GpuTime)?;
+//! let full = engine.max_resource();
+//! let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+//! for budget in BudgetTrace::new(
+//!     TracePattern::Sinusoid { min: 0.6, max: 1.0, period: 8 }, 0).take(8) {
+//!     let out = engine.infer(&image, budget * full)?;
+//!     println!("budget {budget:.2} -> est. mIoU {:.3}", out.norm_miou_estimate);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod budget;
+pub mod engine;
+pub mod lut;
+
+pub use baselines::{EarlyExitBaseline, StaticModel, TrainedFamily};
+pub use budget::{BudgetTrace, TracePattern};
+pub use engine::{DrtEngine, EngineError, EngineFamily, Inference};
+pub use lut::{BudgetTooSmall, Lut, LutConfig, LutEntry};

@@ -1,0 +1,309 @@
+//! The Pareto look-up table at the heart of the DRT engine (block 'A' of
+//! Figure 8): Pareto-optimal execution paths keyed by resource budget.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vit_models::{SegFormerDynamic, SwinDynamic};
+use vit_resilience::{pareto_front, DynConfig, TradeoffPoint};
+
+/// A serializable dynamic configuration (mirror of
+/// [`vit_resilience::DynConfig`] with stable field names for the on-disk
+/// LUT format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LutConfig {
+    /// SegFormer execution path.
+    SegFormer {
+        /// Encoder depths.
+        depths: [usize; 4],
+        /// `Conv2DFuse` input channels.
+        fuse_in_channels: usize,
+        /// `Conv2DFuse` output channels.
+        fuse_out_channels: usize,
+        /// `DecodeLinear0` input channels.
+        decode_linear0_in: usize,
+    },
+    /// Swin execution path.
+    Swin {
+        /// Encoder depths.
+        depths: [usize; 4],
+        /// `fpn_bottleneck_Conv2D` input channels.
+        bottleneck_in_channels: usize,
+    },
+}
+
+impl From<DynConfig> for LutConfig {
+    fn from(c: DynConfig) -> Self {
+        match c {
+            DynConfig::SegFormer(d) => LutConfig::SegFormer {
+                depths: d.depths,
+                fuse_in_channels: d.fuse_in_channels,
+                fuse_out_channels: d.fuse_out_channels,
+                decode_linear0_in: d.decode_linear0_in,
+            },
+            DynConfig::Swin(d) => LutConfig::Swin {
+                depths: d.depths,
+                bottleneck_in_channels: d.bottleneck_in_channels,
+            },
+        }
+    }
+}
+
+impl LutConfig {
+    /// The SegFormer configuration, if this is one.
+    pub fn as_segformer(&self) -> Option<SegFormerDynamic> {
+        match self {
+            LutConfig::SegFormer {
+                depths,
+                fuse_in_channels,
+                fuse_out_channels,
+                decode_linear0_in,
+            } => Some(SegFormerDynamic {
+                depths: *depths,
+                fuse_in_channels: *fuse_in_channels,
+                fuse_out_channels: *fuse_out_channels,
+                decode_linear0_in: *decode_linear0_in,
+            }),
+            LutConfig::Swin { .. } => None,
+        }
+    }
+
+    /// The Swin configuration, if this is one.
+    pub fn as_swin(&self) -> Option<SwinDynamic> {
+        match self {
+            LutConfig::Swin {
+                depths,
+                bottleneck_in_channels,
+            } => Some(SwinDynamic {
+                depths: *depths,
+                bottleneck_in_channels: *bottleneck_in_channels,
+            }),
+            LutConfig::SegFormer { .. } => None,
+        }
+    }
+}
+
+/// One LUT row: an execution path with its precomputed cost and accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutEntry {
+    /// The execution path.
+    pub config: LutConfig,
+    /// Absolute resource cost (seconds, joules, or cycles, per the LUT's
+    /// resource kind).
+    pub resource: f64,
+    /// Resource normalized to the full model.
+    pub norm_resource: f64,
+    /// Normalized mIoU estimate.
+    pub norm_miou: f64,
+}
+
+/// Error returned when no execution path fits a budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetTooSmall {
+    /// The requested budget.
+    pub budget: f64,
+    /// The cheapest available path's cost.
+    pub cheapest: f64,
+}
+
+impl fmt::Display for BudgetTooSmall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget {} is below the cheapest execution path ({})",
+            self.budget, self.cheapest
+        )
+    }
+}
+
+impl std::error::Error for BudgetTooSmall {}
+
+/// The Pareto LUT: rows sorted by increasing resource, each strictly more
+/// accurate than the previous (invariant established at construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lut {
+    /// Human-readable description (model + workload + resource kind).
+    pub description: String,
+    entries: Vec<LutEntry>,
+}
+
+impl Lut {
+    /// Builds a LUT from sweep points: extracts the Pareto front and sorts
+    /// it by resource.
+    pub fn from_points(description: impl Into<String>, points: &[TradeoffPoint]) -> Self {
+        let front = pareto_front(points);
+        let entries = front
+            .into_iter()
+            .map(|p| LutEntry {
+                config: p.config.into(),
+                resource: p.resource,
+                norm_resource: p.norm_resource,
+                norm_miou: p.norm_miou,
+            })
+            .collect();
+        Lut {
+            description: description.into(),
+            entries,
+        }
+    }
+
+    /// The LUT rows, cheapest first.
+    pub fn entries(&self) -> &[LutEntry] {
+        &self.entries
+    }
+
+    /// The accuracy-maximizing execution path that fits `budget`
+    /// (the dynamic inference algorithm, block 'D' of Figure 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetTooSmall`] when even the cheapest path exceeds the
+    /// budget (the caller may still choose to run it, accepting a deadline
+    /// miss — the engine surfaces that decision).
+    pub fn lookup(&self, budget: f64) -> Result<&LutEntry, BudgetTooSmall> {
+        let mut best: Option<&LutEntry> = None;
+        for e in &self.entries {
+            if e.resource <= budget {
+                best = Some(e);
+            } else {
+                break;
+            }
+        }
+        best.ok_or_else(|| BudgetTooSmall {
+            budget,
+            cheapest: self.entries.first().map_or(f64::INFINITY, |e| e.resource),
+        })
+    }
+
+    /// Serializes the LUT to JSON (the precomputed artifact the runtime
+    /// engine loads).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lut is serializable")
+    }
+
+    /// Loads a LUT from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Number of Pareto rows retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the LUT has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reduces the LUT to at most `n` rows, keeping the endpoints and the
+    /// most evenly spread interior rows (the granularity ablation).
+    pub fn downsample(&self, n: usize) -> Lut {
+        if n == 0 || self.entries.len() <= n {
+            return self.clone();
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let idx = i * (self.entries.len() - 1) / (n - 1).max(1);
+            entries.push(self.entries[idx].clone());
+        }
+        entries.dedup_by(|a, b| a.resource == b.resource);
+        Lut {
+            description: self.description.clone(),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vit_models::SegFormerVariant;
+
+    fn point(r: f64, a: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            label: String::new(),
+            config: DynConfig::SegFormer(SegFormerDynamic::with_depths_and_fuse(
+                &SegFormerVariant::b2(),
+                [2, 3, 5, 3],
+                ((r * 3072.0) as usize / 4).max(1) * 4,
+            )),
+            resource: r,
+            norm_resource: r,
+            norm_miou: a,
+        }
+    }
+
+    fn lut() -> Lut {
+        Lut::from_points(
+            "test",
+            &[
+                point(1.0, 1.0),
+                point(0.8, 0.95),
+                point(0.9, 0.5), // dominated
+                point(0.6, 0.8),
+                point(0.4, 0.6),
+            ],
+        )
+    }
+
+    #[test]
+    fn lut_keeps_only_pareto_rows_sorted() {
+        let l = lut();
+        assert_eq!(l.len(), 4);
+        for w in l.entries().windows(2) {
+            assert!(w[0].resource < w[1].resource);
+            assert!(w[0].norm_miou < w[1].norm_miou);
+        }
+    }
+
+    #[test]
+    fn lookup_maximizes_accuracy_within_budget() {
+        let l = lut();
+        assert_eq!(l.lookup(1.5).unwrap().norm_miou, 1.0);
+        assert_eq!(l.lookup(0.85).unwrap().norm_miou, 0.95);
+        assert_eq!(l.lookup(0.65).unwrap().norm_miou, 0.8);
+        assert_eq!(l.lookup(0.4).unwrap().norm_miou, 0.6);
+    }
+
+    #[test]
+    fn lookup_rejects_impossible_budget() {
+        let l = lut();
+        let err = l.lookup(0.1).unwrap_err();
+        assert_eq!(err.cheapest, 0.4);
+        assert!(err.to_string().contains("0.1"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let l = lut();
+        let s = l.to_json();
+        let back = Lut::from_json(&s).unwrap();
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let l = lut();
+        let d = l.downsample(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.entries()[0].resource, l.entries()[0].resource);
+        assert_eq!(
+            d.entries()[1].resource,
+            l.entries()[l.len() - 1].resource
+        );
+        // Downsampling more rows than exist is identity.
+        assert_eq!(l.downsample(100), l);
+    }
+
+    #[test]
+    fn config_round_trips_through_lutconfig() {
+        let d = SegFormerDynamic::with_depths_and_fuse(&SegFormerVariant::b2(), [2, 3, 5, 3], 1024);
+        let lc: LutConfig = DynConfig::SegFormer(d).into();
+        assert_eq!(lc.as_segformer().unwrap(), d);
+        assert!(lc.as_swin().is_none());
+    }
+}

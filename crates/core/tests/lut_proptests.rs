@@ -1,0 +1,89 @@
+//! Property-based tests of the Pareto LUT: the lookup must equal a brute
+//! force argmax over feasible points for any point set and budget.
+
+use proptest::prelude::*;
+use vit_drt::Lut;
+use vit_models::{SegFormerDynamic, SegFormerVariant};
+use vit_resilience::{DynConfig, TradeoffPoint};
+
+fn point(r: f64, a: f64) -> TradeoffPoint {
+    TradeoffPoint {
+        label: String::new(),
+        config: DynConfig::SegFormer(SegFormerDynamic::full(&SegFormerVariant::b2())),
+        resource: r,
+        norm_resource: r,
+        norm_miou: a,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lookup_matches_brute_force(
+        raw in prop::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..50),
+        budget in 0.0f64..2.5,
+    ) {
+        let pts: Vec<TradeoffPoint> = raw.iter().map(|&(r, a)| point(r, a)).collect();
+        let lut = Lut::from_points("p", &pts);
+        let brute: Option<f64> = raw
+            .iter()
+            .filter(|(r, _)| *r <= budget)
+            .map(|(_, a)| *a)
+            .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.max(a))));
+        match (lut.lookup(budget), brute) {
+            (Ok(e), Some(best)) => prop_assert!((e.norm_miou - best).abs() < 1e-12),
+            (Err(_), None) => {}
+            (Ok(e), None) => prop_assert!(false, "lut found {e:?} but nothing feasible"),
+            (Err(err), Some(best)) => {
+                prop_assert!(false, "lut failed ({err}) but brute force found {best}")
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_monotone_in_budget(
+        raw in prop::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..50),
+        b1 in 0.0f64..2.5,
+        delta in 0.0f64..1.0,
+    ) {
+        let pts: Vec<TradeoffPoint> = raw.iter().map(|&(r, a)| point(r, a)).collect();
+        let lut = Lut::from_points("p", &pts);
+        let a1 = lut.lookup(b1).map(|e| e.norm_miou).unwrap_or(-1.0);
+        let a2 = lut.lookup(b1 + delta).map(|e| e.norm_miou).unwrap_or(-1.0);
+        prop_assert!(a2 >= a1);
+    }
+
+    #[test]
+    fn json_round_trip_for_any_point_set(
+        raw in prop::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..30),
+    ) {
+        let pts: Vec<TradeoffPoint> = raw.iter().map(|&(r, a)| point(r, a)).collect();
+        let lut = Lut::from_points("roundtrip", &pts);
+        let back = Lut::from_json(&lut.to_json()).unwrap();
+        prop_assert_eq!(lut, back);
+    }
+
+    #[test]
+    fn downsample_never_exceeds_requested_rows(
+        raw in prop::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..60),
+        n in 1usize..20,
+    ) {
+        let pts: Vec<TradeoffPoint> = raw.iter().map(|&(r, a)| point(r, a)).collect();
+        let lut = Lut::from_points("p", &pts);
+        let d = lut.downsample(n);
+        prop_assert!(d.len() <= n.max(1));
+        if !lut.is_empty() {
+            prop_assert!(!d.is_empty());
+            // With at least two rows requested, both endpoints survive
+            // (a single row can only keep one of them).
+            if n >= 2 && lut.len() >= 2 {
+                prop_assert_eq!(d.entries()[0].resource, lut.entries()[0].resource);
+                prop_assert_eq!(
+                    d.entries()[d.len() - 1].resource,
+                    lut.entries()[lut.len() - 1].resource
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # vit-data
+//!
+//! Synthetic dataset generators and accuracy metrics for the DRT-ViT
+//! reproduction.
+//!
+//! Real ADE20K / Cityscapes / COCO images are not available in this
+//! environment; these generators produce seeded synthetic scenes with the
+//! same geometry (image size, class count) and enough spatial structure
+//! (smooth class regions with correlated appearance) that segmentation
+//! outputs vary meaningfully across inputs. The [`metrics`] module
+//! implements mean intersection-over-union exactly as the paper defines it.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod scene;
+
+pub use metrics::{confusion_matrix, mean_iou, pixel_accuracy};
+pub use scene::{Dataset, SceneGenerator, SceneSample};

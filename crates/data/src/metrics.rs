@@ -1,0 +1,156 @@
+//! Segmentation accuracy metrics.
+//!
+//! The paper uses mean intersection-over-union (mIoU): "IoU is defined as
+//! the area of overlap between the prediction and the ground truth divided
+//! by the area for both ... mIoU is the average of the IoU for every class"
+//! (§II). Classes absent from both prediction and ground truth are excluded
+//! from the mean, following the mmsegmentation convention.
+
+use vit_tensor::Tensor;
+
+/// Builds the `classes x classes` confusion matrix between a predicted and
+/// a ground-truth label map (both `[n, h, w]`, labels stored as `f32`).
+///
+/// `matrix[gt * classes + pred]` counts pixels.
+///
+/// # Panics
+///
+/// Panics when shapes differ or a label is out of `0..classes`.
+pub fn confusion_matrix(pred: &Tensor, gt: &Tensor, classes: usize) -> Vec<u64> {
+    assert_eq!(pred.shape(), gt.shape(), "prediction/ground-truth shape mismatch");
+    let mut m = vec![0u64; classes * classes];
+    for (&p, &g) in pred.data().iter().zip(gt.data().iter()) {
+        let (p, g) = (p as usize, g as usize);
+        assert!(p < classes && g < classes, "label out of range: pred {p}, gt {g}");
+        m[g * classes + p] += 1;
+    }
+    m
+}
+
+/// Mean intersection-over-union between two label maps.
+///
+/// Classes with zero union (absent from both maps) are excluded from the
+/// mean. Returns a value in `[0, 1]`; returns 0.0 when no class is present.
+///
+/// # Examples
+///
+/// ```
+/// use vit_data::mean_iou;
+/// use vit_tensor::Tensor;
+///
+/// # fn main() -> Result<(), vit_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[1, 2, 2])?;
+/// assert_eq!(mean_iou(&a, &a, 2), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean_iou(pred: &Tensor, gt: &Tensor, classes: usize) -> f64 {
+    let m = confusion_matrix(pred, gt, classes);
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..classes {
+        let tp = m[c * classes + c];
+        let mut row = 0u64; // all pixels with gt == c
+        let mut col = 0u64; // all pixels with pred == c
+        for k in 0..classes {
+            row += m[c * classes + k];
+            col += m[k * classes + c];
+        }
+        let union = row + col - tp;
+        if union > 0 {
+            sum += tp as f64 / union as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Fraction of pixels whose predicted label matches the ground truth.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn pixel_accuracy(pred: &Tensor, gt: &Tensor) -> f64 {
+    assert_eq!(pred.shape(), gt.shape(), "prediction/ground-truth shape mismatch");
+    if pred.numel() == 0 {
+        return 0.0;
+    }
+    let correct = pred
+        .data()
+        .iter()
+        .zip(gt.data().iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    correct as f64 / pred.numel() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, h: usize, w: usize) -> Tensor {
+        Tensor::from_vec(v, &[1, h, w]).unwrap()
+    }
+
+    #[test]
+    fn identical_maps_have_miou_one() {
+        let a = t(vec![0.0, 1.0, 2.0, 1.0], 2, 2);
+        assert_eq!(mean_iou(&a, &a, 3), 1.0);
+        assert_eq!(pixel_accuracy(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_maps_have_miou_zero() {
+        let a = t(vec![0.0; 4], 2, 2);
+        let b = t(vec![1.0; 4], 2, 2);
+        assert_eq!(mean_iou(&a, &b, 2), 0.0);
+        assert_eq!(pixel_accuracy(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_hand_computed() {
+        // gt:   [0, 0, 1, 1]
+        // pred: [0, 1, 1, 1]
+        // class 0: tp=1, union = 2 (gt) + 1 (pred) - 1 = 2 -> 0.5
+        // class 1: tp=2, union = 2 + 3 - 2 = 3 -> 2/3
+        let gt = t(vec![0.0, 0.0, 1.0, 1.0], 1, 4);
+        let pred = t(vec![0.0, 1.0, 1.0, 1.0], 1, 4);
+        let miou = mean_iou(&pred, &gt, 2);
+        assert!((miou - (0.5 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+        assert!((pixel_accuracy(&pred, &gt) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_classes_excluded_from_mean() {
+        // Only class 0 present anywhere; classes 1..9 must not dilute mIoU.
+        let a = t(vec![0.0; 4], 2, 2);
+        assert_eq!(mean_iou(&a, &a, 10), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let gt = t(vec![0.0, 0.0, 1.0], 1, 3);
+        let pred = t(vec![0.0, 1.0, 1.0], 1, 3);
+        let m = confusion_matrix(&pred, &gt, 2);
+        assert_eq!(m, vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a = t(vec![0.0; 4], 2, 2);
+        let b = t(vec![0.0; 2], 1, 2);
+        pixel_accuracy(&a, &b);
+    }
+
+    #[test]
+    fn miou_is_symmetric_for_binary_maps() {
+        let a = t(vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0], 2, 3);
+        let b = t(vec![0.0, 0.0, 1.0, 1.0, 1.0, 0.0], 2, 3);
+        assert!((mean_iou(&a, &b, 2) - mean_iou(&b, &a, 2)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests: shape inference must agree with execution, and
+//! cost accounting must be internally consistent, for randomized layers.
+
+use proptest::prelude::*;
+use vit_graph::{Executor, Graph, LayerRole, Op};
+use vit_tensor::Tensor;
+
+fn arb_conv() -> impl Strategy<Value = (Op, usize, usize, usize)> {
+    // (op, in_channels, h, w) with valid geometry.
+    (1usize..5, 1usize..9, 1usize..4, 0usize..3, 1usize..3, 4usize..12, 4usize..12).prop_map(
+        |(cin, cout, k, pad, stride, h, w)| {
+            let k = k.min(h + 2 * pad).min(w + 2 * pad);
+            (
+                Op::Conv2d {
+                    out_channels: cout,
+                    kernel: (k, k),
+                    stride: (stride, stride),
+                    pad: (pad, pad),
+                    groups: 1,
+                    bias: true,
+                },
+                cin,
+                h,
+                w,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conv_shape_inference_matches_execution((op, cin, h, w) in arb_conv(), seed in any::<u64>()) {
+        let mut g = Graph::new("p");
+        let x = g.input("in", &[1, cin, h, w]).unwrap();
+        let c = g.add("conv", op, LayerRole::Other, &[x]).unwrap();
+        g.set_output(c);
+        let inferred = g.node(c).shape.clone();
+        let out = Executor::new(seed)
+            .run(&g, &[Tensor::rand_uniform(&[1, cin, h, w], -1.0, 1.0, seed)])
+            .unwrap();
+        prop_assert_eq!(out.shape(), inferred.as_slice());
+    }
+
+    #[test]
+    fn linear_chain_flops_sum_and_execute(
+        dims in prop::collection::vec(1usize..16, 2..5),
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graph::new("p");
+        let mut prev = g.input("in", &[1, 3, dims[0]]).unwrap();
+        let mut expected_flops = 0u64;
+        let mut last_dim = dims[0];
+        for (i, &d) in dims.iter().enumerate().skip(1) {
+            prev = g
+                .add(
+                    &format!("l{i}"),
+                    Op::Linear { out_features: d, bias: false },
+                    LayerRole::Other,
+                    &[prev],
+                )
+                .unwrap();
+            expected_flops += (3 * last_dim * d) as u64;
+            last_dim = d;
+        }
+        g.set_output(prev);
+        prop_assert_eq!(g.total_flops(), expected_flops);
+        let out = Executor::new(seed)
+            .run(&g, &[Tensor::rand_uniform(&[1, 3, dims[0]], -1.0, 1.0, seed)])
+            .unwrap();
+        prop_assert_eq!(out.shape(), &[1, 3, last_dim]);
+        prop_assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn slice_then_wider_slice_is_consistent(
+        (total, keep_small, keep_big) in (3usize..12).prop_flat_map(|t| {
+            (Just(t), 1..t, 1..=t)
+        }).prop_filter("ordered", |(_, s, b)| s < b),
+        seed in any::<u64>(),
+    ) {
+        // Slicing to keep_small directly equals slicing to keep_big then to
+        // keep_small.
+        let input = Tensor::rand_uniform(&[1, total, 2, 2], -1.0, 1.0, seed);
+        let one = {
+            let mut g = Graph::new("a");
+            let x = g.input("in", &[1, total, 2, 2]).unwrap();
+            let s = g.add("s", Op::SliceChannels { keep: keep_small }, LayerRole::Other, &[x]).unwrap();
+            g.set_output(s);
+            Executor::new(0).run(&g, std::slice::from_ref(&input)).unwrap()
+        };
+        let two = {
+            let mut g = Graph::new("b");
+            let x = g.input("in", &[1, total, 2, 2]).unwrap();
+            let s1 = g.add("s1", Op::SliceChannels { keep: keep_big }, LayerRole::Other, &[x]).unwrap();
+            let s2 = g.add("s2", Op::SliceChannels { keep: keep_small }, LayerRole::Other, &[s1]).unwrap();
+            g.set_output(s2);
+            Executor::new(0).run(&g, &[input]).unwrap()
+        };
+        prop_assert_eq!(one, two);
+    }
+
+    #[test]
+    fn memory_ops_are_free_and_lossless(
+        (c, h, w) in (1usize..5, 2usize..7, 2usize..7),
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graph::new("p");
+        let x = g.input("in", &[1, c, h, w]).unwrap();
+        let f = g.add("flat", Op::FlattenHw, LayerRole::Other, &[x]).unwrap();
+        let u = g.add("unflat", Op::UnflattenHw { h, w }, LayerRole::Other, &[f]).unwrap();
+        g.set_output(u);
+        prop_assert_eq!(g.total_flops(), 0);
+        let input = Tensor::rand_uniform(&[1, c, h, w], -1.0, 1.0, seed);
+        let out = Executor::new(0).run(&g, std::slice::from_ref(&input)).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    #[test]
+    fn residual_add_requires_and_preserves_shape(
+        (c, hw) in (1usize..6, 2usize..6),
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graph::new("p");
+        let x = g.input("in", &[1, c, hw, hw]).unwrap();
+        let r = g.add("relu", Op::Relu, LayerRole::Other, &[x]).unwrap();
+        let a = g.add("add", Op::Add, LayerRole::Other, &[x, r]).unwrap();
+        g.set_output(a);
+        let input = Tensor::rand_uniform(&[1, c, hw, hw], 0.0, 1.0, seed);
+        let out = Executor::new(0).run(&g, std::slice::from_ref(&input)).unwrap();
+        // relu(x) + x == 2x for non-negative inputs.
+        for (o, i) in out.data().iter().zip(input.data().iter()) {
+            prop_assert!((o - 2.0 * i).abs() < 1e-6);
+        }
+    }
+}

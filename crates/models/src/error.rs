@@ -1,0 +1,51 @@
+//! Error type shared by the model builders.
+
+use std::fmt;
+use vit_graph::GraphError;
+
+/// Error from constructing a model graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A configuration value was out of its valid range.
+    BadConfig(String),
+    /// Graph construction failed (shape inference or structural error).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            ModelError::Graph(e) => write!(f, "model graph construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Graph(e) => Some(e),
+            ModelError::BadConfig(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for ModelError {
+    fn from(e: GraphError) -> Self {
+        ModelError::Graph(e)
+    }
+}
+
+/// Convenience alias for builder results.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = ModelError::BadConfig("depth 9 out of range".to_string());
+        assert!(e.to_string().contains("depth 9"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # vit-models
+//!
+//! Architecture builders for every model the paper evaluates:
+//!
+//! * [`segformer`] — SegFormer B0-B5 (MiT encoder + all-MLP decoder) with
+//!   dynamic execution-path configuration (Table II),
+//! * [`swin`] — Swin Tiny/Small/Base + UPerNet with dynamic configuration
+//!   (Table III),
+//! * [`resnet`] — ResNet-50 and the Once-For-All subnet space (Figure 16),
+//! * [`detr`] — DETR and Deformable DETR detection pipelines (Figure 1),
+//! * [`vit`] — convolution-free ViT and BERT for the paper's §II contrast.
+//!
+//! Builders emit [`vit_graph::Graph`]s whose node names are stable across
+//! dynamic configurations, so the executor's slice-consistent synthetic
+//! weights are literally shared between the full and pruned models.
+//!
+//! # Examples
+//!
+//! ```
+//! use vit_models::{build_segformer, SegFormerConfig, SegFormerVariant};
+//!
+//! # fn main() -> Result<(), vit_models::ModelError> {
+//! let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2()))?;
+//! println!("SegFormer-B2: {:.1} GFLOPs", g.total_flops() as f64 / 1e9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detr;
+mod error;
+pub mod resnet;
+pub mod segformer;
+pub mod swin;
+pub mod vit;
+
+pub use detr::{backbone_transformer_split, build_deformable_detr, build_detr, DetrConfig};
+pub use error::{ModelError, Result};
+pub use resnet::{build_resnet, ofa_family, OfaSubnet, ResNetConfig, ResNetGraph};
+pub use segformer::{build_segformer, SegFormerConfig, SegFormerDynamic, SegFormerVariant};
+pub use swin::{build_swin_upernet, SwinConfig, SwinDynamic, SwinVariant};
+pub use vit::{bert_base, build_bert, build_vit, EncoderStackConfig, VitConfig};

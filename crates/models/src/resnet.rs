@@ -1,0 +1,416 @@
+//! ResNet-50 and the Once-For-All (OFA) subnet space.
+//!
+//! ResNet-50 is the computationally dominant backbone of DETR and
+//! Deformable DETR (paper §II-A); the OFA parameterizations of it (varying
+//! stage depths, width multiplier, and bottleneck expand ratio) are the
+//! paper's dynamic case study for object detection (§VI-C, Figure 16).
+
+use crate::error::{ModelError, Result};
+use vit_graph::{Graph, LayerRole, NodeId, Op};
+
+/// Configuration of a (possibly OFA-reduced) ResNet-50.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResNetConfig {
+    /// Bottleneck blocks per stage (full ResNet-50: `[3, 4, 6, 3]`).
+    pub depths: [usize; 4],
+    /// Width multiplier on all channel counts (OFA: 0.65 / 0.8 / 1.0).
+    pub width_mult: f64,
+    /// Bottleneck expand ratio: mid channels = `expand * out_channels`
+    /// (base ResNet-50: 0.25; OFA: 0.2 / 0.25 / 0.35).
+    pub expand_ratio: f64,
+    /// Input image `(height, width)`.
+    pub image: (usize, usize),
+    /// Batch size.
+    pub batch: usize,
+    /// Classification classes; `None` omits the classification head
+    /// (backbone mode, as used inside DETR).
+    pub num_classes: Option<usize>,
+}
+
+impl ResNetConfig {
+    /// Full ResNet-50 as an ImageNet classifier at 224x224.
+    pub fn imagenet() -> Self {
+        ResNetConfig {
+            depths: [3, 4, 6, 3],
+            width_mult: 1.0,
+            expand_ratio: 0.25,
+            image: (224, 224),
+            batch: 1,
+            num_classes: Some(1000),
+        }
+    }
+
+    /// Full ResNet-50 as a detection backbone at the COCO size the paper
+    /// uses (640x480).
+    pub fn coco_backbone() -> Self {
+        ResNetConfig {
+            image: (480, 640),
+            num_classes: None,
+            ..Self::imagenet()
+        }
+    }
+
+    /// Same configuration at a different image size.
+    pub fn with_image(mut self, h: usize, w: usize) -> Self {
+        self.image = (h, w);
+        self
+    }
+
+    /// Same configuration with a different batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (i, &d) in self.depths.iter().enumerate() {
+            if d == 0 || d > 8 {
+                return Err(ModelError::BadConfig(format!(
+                    "stage {i} depth {d} out of range 1..=8"
+                )));
+            }
+        }
+        if !(0.25..=1.0).contains(&self.width_mult) {
+            return Err(ModelError::BadConfig(format!(
+                "width_mult {} out of range 0.25..=1.0",
+                self.width_mult
+            )));
+        }
+        if !(0.1..=0.5).contains(&self.expand_ratio) {
+            return Err(ModelError::BadConfig(format!(
+                "expand_ratio {} out of range 0.1..=0.5",
+                self.expand_ratio
+            )));
+        }
+        let (h, w) = self.image;
+        if h % 32 != 0 || w % 32 != 0 || h == 0 || w == 0 {
+            return Err(ModelError::BadConfig(format!(
+                "image {h}x{w} must be a positive multiple of 32"
+            )));
+        }
+        if self.batch == 0 {
+            return Err(ModelError::BadConfig("batch must be nonzero".to_string()));
+        }
+        Ok(())
+    }
+}
+
+fn scaled(base: usize, mult: f64) -> usize {
+    // Round to a multiple of 8, the usual OFA channel granularity.
+    let v = (base as f64 * mult / 8.0).round() as usize * 8;
+    v.max(8)
+}
+
+/// Output of [`build_resnet`]: the graph plus the ids of the four stage
+/// outputs (`C2..C5`), which detection models consume.
+#[derive(Debug)]
+pub struct ResNetGraph {
+    /// The built graph. Its output is the classifier logits when a head was
+    /// requested, otherwise the final stage output.
+    pub graph: Graph,
+    /// Stage outputs C2 (stride 4) through C5 (stride 32).
+    pub stage_outputs: [NodeId; 4],
+}
+
+/// Builds a (possibly OFA-reduced) ResNet-50 graph.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] for out-of-range configurations.
+pub fn build_resnet(cfg: &ResNetConfig) -> Result<ResNetGraph> {
+    cfg.validate()?;
+    let mut g = Graph::new(if cfg.num_classes.is_some() {
+        "resnet50"
+    } else {
+        "resnet50-backbone"
+    });
+    let (ih, iw) = cfg.image;
+    let image = g.input("image", &[cfg.batch, 3, ih, iw])?;
+    let role = LayerRole::Backbone;
+
+    let stem_ch = scaled(64, cfg.width_mult);
+    let conv = g.add(
+        "stem.conv",
+        Op::Conv2d {
+            out_channels: stem_ch,
+            kernel: (7, 7),
+            stride: (2, 2),
+            pad: (3, 3),
+            groups: 1,
+            bias: false,
+        },
+        role,
+        &[image],
+    )?;
+    let bn = g.add("stem.bn", Op::BatchNorm, role, &[conv])?;
+    let relu = g.add("stem.relu", Op::Relu, role, &[bn])?;
+    let mut x = g.add(
+        "stem.maxpool",
+        Op::MaxPool { window: 3, stride: 2, pad: 1 },
+        role,
+        &[relu],
+    )?;
+
+    let base_out = [256usize, 512, 1024, 2048];
+    let mut stage_outputs = Vec::with_capacity(4);
+    for (stage, &blocks) in cfg.depths.iter().enumerate() {
+        let out_ch = scaled(base_out[stage], cfg.width_mult);
+        let mid_ch = scaled(
+            (base_out[stage] as f64 * cfg.expand_ratio) as usize,
+            cfg.width_mult,
+        );
+        for block in 0..blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            x = add_bottleneck(&mut g, x, stage, block, mid_ch, out_ch, stride)?;
+        }
+        stage_outputs.push(x);
+    }
+
+    let output = if let Some(classes) = cfg.num_classes {
+        let pool = g.add("head.avgpool", Op::GlobalAvgPool, LayerRole::Head, &[x])?;
+        g.add(
+            "head.fc",
+            Op::Linear { out_features: classes, bias: true },
+            LayerRole::Head,
+            &[pool],
+        )?
+    } else {
+        x
+    };
+    g.set_output(output);
+    Ok(ResNetGraph {
+        graph: g,
+        stage_outputs: [
+            stage_outputs[0],
+            stage_outputs[1],
+            stage_outputs[2],
+            stage_outputs[3],
+        ],
+    })
+}
+
+/// Appends one bottleneck residual block (1x1 down, 3x3, 1x1 up).
+fn add_bottleneck(
+    g: &mut Graph,
+    input: NodeId,
+    stage: usize,
+    block: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> Result<NodeId> {
+    let p = format!("stage{stage}.block{block}");
+    let role = LayerRole::Backbone;
+    let conv = |out: usize, k: usize, s: usize, pad: usize| Op::Conv2d {
+        out_channels: out,
+        kernel: (k, k),
+        stride: (s, s),
+        pad: (pad, pad),
+        groups: 1,
+        bias: false,
+    };
+    let c1 = g.add(&format!("{p}.conv1"), conv(mid_ch, 1, 1, 0), role, &[input])?;
+    let b1 = g.add(&format!("{p}.bn1"), Op::BatchNorm, role, &[c1])?;
+    let r1 = g.add(&format!("{p}.relu1"), Op::Relu, role, &[b1])?;
+    let c2 = g.add(&format!("{p}.conv2"), conv(mid_ch, 3, stride, 1), role, &[r1])?;
+    let b2 = g.add(&format!("{p}.bn2"), Op::BatchNorm, role, &[c2])?;
+    let r2 = g.add(&format!("{p}.relu2"), Op::Relu, role, &[b2])?;
+    let c3 = g.add(&format!("{p}.conv3"), conv(out_ch, 1, 1, 0), role, &[r2])?;
+    let b3 = g.add(&format!("{p}.bn3"), Op::BatchNorm, role, &[c3])?;
+
+    // Projection shortcut when shape changes, identity otherwise.
+    let in_ch = g.node(input).shape[1];
+    let shortcut = if in_ch != out_ch || stride != 1 {
+        let sc = g.add(
+            &format!("{p}.downsample.conv"),
+            conv(out_ch, 1, stride, 0),
+            role,
+            &[input],
+        )?;
+        g.add(&format!("{p}.downsample.bn"), Op::BatchNorm, role, &[sc])?
+    } else {
+        input
+    };
+    let add = g.add(&format!("{p}.add"), Op::Add, role, &[b3, shortcut])?;
+    Ok(g.add(&format!("{p}.relu_out"), Op::Relu, role, &[add])?)
+}
+
+/// One member of the OFA ResNet-50 trade-off family: a subnet configuration
+/// together with its (anchored) ImageNet top-1 accuracy.
+///
+/// The accuracy anchors follow the published OFA-ResNet50 trade-off curve
+/// shape (76-79% top-1 between roughly 1 and 4 GFLOPs at 224x224); exact
+/// per-subnet values are synthetic anchors, documented in `DESIGN.md`, since
+/// the original numbers live in model checkpoints we do not have.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfaSubnet {
+    /// Short label, e.g. `"ofa-d3-w1.0-e0.35"`.
+    pub label: &'static str,
+    /// Stage depths.
+    pub depths: [usize; 4],
+    /// Width multiplier.
+    pub width_mult: f64,
+    /// Bottleneck expand ratio.
+    pub expand_ratio: f64,
+    /// Anchored ImageNet top-1 accuracy of the retrained subnet.
+    pub top1: f64,
+}
+
+impl OfaSubnet {
+    /// Builds this subnet as a backbone at the given image size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for invalid image sizes.
+    pub fn build_backbone(&self, image: (usize, usize), batch: usize) -> Result<ResNetGraph> {
+        build_resnet(&ResNetConfig {
+            depths: self.depths,
+            width_mult: self.width_mult,
+            expand_ratio: self.expand_ratio,
+            image,
+            batch,
+            num_classes: None,
+        })
+    }
+
+    /// Builds this subnet as a classifier at the given image size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for invalid image sizes.
+    pub fn build_classifier(&self, image: (usize, usize), batch: usize) -> Result<ResNetGraph> {
+        build_resnet(&ResNetConfig {
+            depths: self.depths,
+            width_mult: self.width_mult,
+            expand_ratio: self.expand_ratio,
+            image,
+            batch,
+            num_classes: Some(1000),
+        })
+    }
+}
+
+/// The OFA ResNet-50 trade-off family used for Figure 16: eight subnets
+/// spanning the published accuracy/FLOPs curve, ordered from largest to
+/// smallest.
+pub fn ofa_family() -> Vec<OfaSubnet> {
+    vec![
+        OfaSubnet { label: "ofa-full", depths: [3, 4, 6, 3], width_mult: 1.0, expand_ratio: 0.35, top1: 79.3 },
+        OfaSubnet { label: "ofa-d2343-w1.0-e0.35", depths: [2, 3, 4, 3], width_mult: 1.0, expand_ratio: 0.35, top1: 79.0 },
+        OfaSubnet { label: "ofa-d2343-w1.0-e0.25", depths: [2, 3, 4, 3], width_mult: 1.0, expand_ratio: 0.25, top1: 78.6 },
+        OfaSubnet { label: "ofa-d2242-w0.8-e0.35", depths: [2, 2, 4, 2], width_mult: 0.8, expand_ratio: 0.35, top1: 78.1 },
+        OfaSubnet { label: "ofa-d2242-w0.8-e0.25", depths: [2, 2, 4, 2], width_mult: 0.8, expand_ratio: 0.25, top1: 77.4 },
+        OfaSubnet { label: "ofa-d2232-w0.65-e0.35", depths: [2, 2, 3, 2], width_mult: 0.65, expand_ratio: 0.35, top1: 76.6 },
+        OfaSubnet { label: "ofa-d2232-w0.65-e0.25", depths: [2, 2, 3, 2], width_mult: 0.65, expand_ratio: 0.25, top1: 75.9 },
+        OfaSubnet { label: "ofa-d2222-w0.65-e0.2", depths: [2, 2, 2, 2], width_mult: 0.65, expand_ratio: 0.2, top1: 75.1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_imagenet_flops_and_params() {
+        let r = build_resnet(&ResNetConfig::imagenet()).unwrap();
+        let gflops = r.graph.total_flops() as f64 / 1e9;
+        let m = r.graph.total_params() as f64 / 1e6;
+        // Reference: ResNet-50 is 4.1 GMACs / 25.6 M params at 224x224.
+        assert!((gflops - 4.1).abs() / 4.1 < 0.08, "got {gflops:.2} GMACs");
+        assert!((m - 25.6).abs() / 25.6 < 0.08, "got {m:.1} M params");
+    }
+
+    #[test]
+    fn backbone_output_is_c5() {
+        let r = build_resnet(&ResNetConfig::coco_backbone()).unwrap();
+        let out = r.graph.node(r.graph.output().unwrap());
+        assert_eq!(out.shape, vec![1, 2048, 15, 20]);
+    }
+
+    #[test]
+    fn stage_outputs_have_expected_strides() {
+        let r = build_resnet(&ResNetConfig::imagenet()).unwrap();
+        let shapes: Vec<_> = r
+            .stage_outputs
+            .iter()
+            .map(|&id| r.graph.node(id).shape.clone())
+            .collect();
+        assert_eq!(shapes[0], vec![1, 256, 56, 56]);
+        assert_eq!(shapes[1], vec![1, 512, 28, 28]);
+        assert_eq!(shapes[2], vec![1, 1024, 14, 14]);
+        assert_eq!(shapes[3], vec![1, 2048, 7, 7]);
+    }
+
+    #[test]
+    fn width_mult_shrinks_flops_quadratically() {
+        let full = build_resnet(&ResNetConfig::imagenet()).unwrap();
+        let slim = build_resnet(&ResNetConfig {
+            width_mult: 0.65,
+            ..ResNetConfig::imagenet()
+        })
+        .unwrap();
+        let ratio = slim.graph.total_flops() as f64 / full.graph.total_flops() as f64;
+        // Channel cuts on both sides of each conv: ~0.65^2 = 0.42 (stem and
+        // head scale linearly, so allow slack).
+        assert!(ratio > 0.35 && ratio < 0.55, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn expand_ratio_changes_mid_channels_only() {
+        let base = build_resnet(&ResNetConfig::imagenet()).unwrap();
+        let fat = build_resnet(&ResNetConfig {
+            expand_ratio: 0.35,
+            ..ResNetConfig::imagenet()
+        })
+        .unwrap();
+        assert!(fat.graph.total_flops() > base.graph.total_flops());
+        // Stage output shapes identical (out channels unchanged).
+        for (a, b) in base.stage_outputs.iter().zip(fat.stage_outputs.iter()) {
+            assert_eq!(base.graph.node(*a).shape, fat.graph.node(*b).shape);
+        }
+    }
+
+    #[test]
+    fn ofa_family_is_monotone_in_flops_and_accuracy() {
+        let fam = ofa_family();
+        let flops: Vec<u64> = fam
+            .iter()
+            .map(|s| s.build_backbone((224, 224), 1).unwrap().graph.total_flops())
+            .collect();
+        for i in 1..fam.len() {
+            assert!(flops[i] < flops[i - 1], "flops not decreasing at {i}");
+            assert!(fam[i].top1 < fam[i - 1].top1, "top1 not decreasing at {i}");
+        }
+        // The family spans a meaningful range (paper: 57% time saving on the
+        // accelerator across the family).
+        let span = flops[flops.len() - 1] as f64 / flops[0] as f64;
+        assert!(span < 0.5, "smallest subnet is {span:.2} of the largest");
+    }
+
+    #[test]
+    fn executes_at_small_size() {
+        use vit_graph::Executor;
+        use vit_tensor::Tensor;
+        let r = build_resnet(&ResNetConfig::imagenet().with_image(64, 64)).unwrap();
+        let out = Executor::new(0)
+            .run(&r.graph, &[Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 3)])
+            .unwrap();
+        assert_eq!(out.shape(), &[1, 1000]);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(build_resnet(&ResNetConfig {
+            depths: [0, 4, 6, 3],
+            ..ResNetConfig::imagenet()
+        })
+        .is_err());
+        assert!(build_resnet(&ResNetConfig {
+            width_mult: 0.1,
+            ..ResNetConfig::imagenet()
+        })
+        .is_err());
+        assert!(build_resnet(&ResNetConfig::imagenet().with_image(100, 100)).is_err());
+    }
+}

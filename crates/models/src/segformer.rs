@@ -1,0 +1,676 @@
+//! SegFormer (MiT encoder + all-MLP decoder) graph builder with dynamic
+//! execution-path configuration.
+//!
+//! The builder produces the *already-pruned* graph for a given
+//! [`SegFormerDynamic`] configuration. Channel cuts follow the paper's
+//! backwards-propagation rules (§III-A):
+//!
+//! * cutting `Conv2DFuse` input channels removes the corresponding
+//!   `DecodeLinear` output channels (each stage contributes an equal slice);
+//! * cutting `Conv2DPred` input channels removes `Conv2DFuse` output
+//!   channels (propagating through the BatchNorm and ReLU in between);
+//! * cutting `DecodeLinear0` *input* channels cannot remove any encoder
+//!   computation, because the full stage-0 output still feeds stage 1 —
+//!   the cut is a slice in the decoder only.
+//!
+//! Node names are identical between the full and pruned graphs, so the
+//! executor's slice-consistent weights give both graphs literally shared
+//! weights.
+
+use crate::error::{ModelError, Result};
+use vit_graph::{Graph, LayerRole, NodeId, Op};
+
+/// Static architecture hyper-parameters of a SegFormer variant (MiT-B0..B5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegFormerVariant {
+    /// Variant name, e.g. `"segformer-b2"`.
+    pub name: &'static str,
+    /// Embedding dimension of each encoder stage.
+    pub embed_dims: [usize; 4],
+    /// Transformer blocks per encoder stage.
+    pub depths: [usize; 4],
+    /// Attention heads per stage.
+    pub heads: [usize; 4],
+    /// Spatial-reduction ratios of the efficient self-attention per stage.
+    pub sr_ratios: [usize; 4],
+    /// MixFFN expansion ratio.
+    pub mlp_ratio: usize,
+    /// Decoder embedding dimension (the per-stage slice of `Conv2DFuse`'s
+    /// input).
+    pub decoder_dim: usize,
+}
+
+impl SegFormerVariant {
+    /// MiT-B0: the smallest variant.
+    pub fn b0() -> Self {
+        SegFormerVariant {
+            name: "segformer-b0",
+            embed_dims: [32, 64, 160, 256],
+            depths: [2, 2, 2, 2],
+            heads: [1, 2, 5, 8],
+            sr_ratios: [8, 4, 2, 1],
+            mlp_ratio: 4,
+            decoder_dim: 256,
+        }
+    }
+
+    /// MiT-B1.
+    pub fn b1() -> Self {
+        SegFormerVariant {
+            name: "segformer-b1",
+            embed_dims: [64, 128, 320, 512],
+            depths: [2, 2, 2, 2],
+            heads: [1, 2, 5, 8],
+            sr_ratios: [8, 4, 2, 1],
+            mlp_ratio: 4,
+            decoder_dim: 256,
+        }
+    }
+
+    /// MiT-B2: the paper's main case study (27.6 M parameters).
+    pub fn b2() -> Self {
+        SegFormerVariant {
+            name: "segformer-b2",
+            embed_dims: [64, 128, 320, 512],
+            depths: [3, 4, 6, 3],
+            heads: [1, 2, 5, 8],
+            sr_ratios: [8, 4, 2, 1],
+            mlp_ratio: 4,
+            decoder_dim: 768,
+        }
+    }
+
+    /// MiT-B3.
+    pub fn b3() -> Self {
+        SegFormerVariant {
+            name: "segformer-b3",
+            depths: [3, 4, 18, 3],
+            ..Self::b2()
+        }
+    }
+
+    /// MiT-B4.
+    pub fn b4() -> Self {
+        SegFormerVariant {
+            name: "segformer-b4",
+            depths: [3, 8, 27, 3],
+            ..Self::b2()
+        }
+    }
+
+    /// MiT-B5.
+    pub fn b5() -> Self {
+        SegFormerVariant {
+            name: "segformer-b5",
+            depths: [3, 6, 40, 3],
+            ..Self::b2()
+        }
+    }
+
+    /// Total `Conv2DFuse` input channels of the unpruned model.
+    pub fn full_fuse_in(&self) -> usize {
+        4 * self.decoder_dim
+    }
+}
+
+/// A dynamic execution-path configuration (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegFormerDynamic {
+    /// Encoder blocks actually executed per stage (prefix of the trained
+    /// blocks; the rest are bypassed).
+    pub depths: [usize; 4],
+    /// Total input channels into `Conv2DFuse` (divided equally across the
+    /// four per-stage decoder slices).
+    pub fuse_in_channels: usize,
+    /// Output channels of `Conv2DFuse` == input channels of `Conv2DPred`.
+    pub fuse_out_channels: usize,
+    /// Input channels kept into `DecodeLinear0` (cutting these does *not*
+    /// propagate into the encoder).
+    pub decode_linear0_in: usize,
+}
+
+impl SegFormerDynamic {
+    /// The unpruned execution path of a variant.
+    pub fn full(variant: &SegFormerVariant) -> Self {
+        SegFormerDynamic {
+            depths: variant.depths,
+            fuse_in_channels: variant.full_fuse_in(),
+            fuse_out_channels: variant.decoder_dim,
+            decode_linear0_in: variant.embed_dims[0],
+        }
+    }
+
+    /// Convenience constructor for (depths, fuse-in-channels) points like
+    /// those of Table II, keeping the remaining knobs at their full values.
+    pub fn with_depths_and_fuse(variant: &SegFormerVariant, depths: [usize; 4], fuse_in: usize) -> Self {
+        SegFormerDynamic {
+            depths,
+            fuse_in_channels: fuse_in,
+            ..Self::full(variant)
+        }
+    }
+
+    fn validate(&self, variant: &SegFormerVariant) -> Result<()> {
+        for (i, (&d, &full)) in self.depths.iter().zip(variant.depths.iter()).enumerate() {
+            if d == 0 || d > full {
+                return Err(ModelError::BadConfig(format!(
+                    "stage {i} depth {d} out of range 1..={full}"
+                )));
+            }
+        }
+        if self.fuse_in_channels == 0
+            || !self.fuse_in_channels.is_multiple_of(4)
+            || self.fuse_in_channels > variant.full_fuse_in()
+        {
+            return Err(ModelError::BadConfig(format!(
+                "fuse_in_channels {} must be a positive multiple of 4 and <= {}",
+                self.fuse_in_channels,
+                variant.full_fuse_in()
+            )));
+        }
+        if self.fuse_out_channels == 0 || self.fuse_out_channels > variant.decoder_dim {
+            return Err(ModelError::BadConfig(format!(
+                "fuse_out_channels {} out of range 1..={}",
+                self.fuse_out_channels, variant.decoder_dim
+            )));
+        }
+        if self.decode_linear0_in == 0 || self.decode_linear0_in > variant.embed_dims[0] {
+            return Err(ModelError::BadConfig(format!(
+                "decode_linear0_in {} out of range 1..={}",
+                self.decode_linear0_in, variant.embed_dims[0]
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Full build configuration: variant + task + input geometry + dynamic path.
+#[derive(Debug, Clone)]
+pub struct SegFormerConfig {
+    /// Architecture variant.
+    pub variant: SegFormerVariant,
+    /// Segmentation classes (150 for ADE20K, 19 for Cityscapes).
+    pub num_classes: usize,
+    /// Input image `(height, width)`; both must be multiples of 32.
+    pub image: (usize, usize),
+    /// Batch size.
+    pub batch: usize,
+    /// Dynamic execution path.
+    pub dynamic: SegFormerDynamic,
+}
+
+impl SegFormerConfig {
+    /// Standard ADE20K configuration (512x512, 150 classes) for a variant.
+    pub fn ade20k(variant: SegFormerVariant) -> Self {
+        SegFormerConfig {
+            dynamic: SegFormerDynamic::full(&variant),
+            variant,
+            num_classes: 150,
+            image: (512, 512),
+            batch: 1,
+        }
+    }
+
+    /// Standard Cityscapes configuration (1024x2048, 19 classes).
+    pub fn cityscapes(variant: SegFormerVariant) -> Self {
+        SegFormerConfig {
+            dynamic: SegFormerDynamic::full(&variant),
+            variant,
+            num_classes: 19,
+            image: (1024, 2048),
+            batch: 1,
+        }
+    }
+
+    /// Same configuration at a different image size (e.g. a small size for
+    /// executable tests).
+    pub fn with_image(mut self, h: usize, w: usize) -> Self {
+        self.image = (h, w);
+        self
+    }
+
+    /// Same configuration with a different batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Same configuration with a different dynamic execution path.
+    pub fn with_dynamic(mut self, dynamic: SegFormerDynamic) -> Self {
+        self.dynamic = dynamic;
+        self
+    }
+}
+
+/// Builds the SegFormer execution graph for a configuration.
+///
+/// The graph input is `[batch, 3, H, W]`; the output is the class-logit map
+/// `[batch, num_classes, H, W]`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the dynamic configuration is out of range or
+/// the image size is not a multiple of 32.
+pub fn build_segformer(cfg: &SegFormerConfig) -> Result<Graph> {
+    cfg.dynamic.validate(&cfg.variant)?;
+    let (ih, iw) = cfg.image;
+    if ih % 32 != 0 || iw % 32 != 0 || ih == 0 || iw == 0 {
+        return Err(ModelError::BadConfig(format!(
+            "image {ih}x{iw} must be a positive multiple of 32"
+        )));
+    }
+    if cfg.batch == 0 {
+        return Err(ModelError::BadConfig("batch must be nonzero".to_string()));
+    }
+    let v = &cfg.variant;
+    let mut g = Graph::new(v.name);
+    let image = g.input("image", &[cfg.batch, 3, ih, iw])?;
+
+    // ---- Encoder: four MiT stages ------------------------------------
+    let mut stage_outputs: Vec<NodeId> = Vec::with_capacity(4); // NCHW per stage
+    let mut x_nchw = image;
+    let mut h = ih;
+    let mut w = iw;
+    for stage in 0..4 {
+        let dim = v.embed_dims[stage];
+        let (k, s, p) = if stage == 0 { (7, 4, 3) } else { (3, 2, 1) };
+        h = (h + 2 * p - k) / s + 1;
+        w = (w + 2 * p - k) / s + 1;
+        let pe_role = LayerRole::PatchEmbed { stage };
+        let pe = g.add(
+            &format!("encoder.stage{stage}.patch_embed.conv"),
+            Op::Conv2d {
+                out_channels: dim,
+                kernel: (k, k),
+                stride: (s, s),
+                pad: (p, p),
+                groups: 1,
+                bias: true,
+            },
+            pe_role,
+            &[x_nchw],
+        )?;
+        let mut seq = g.add(
+            &format!("encoder.stage{stage}.patch_embed.flatten"),
+            Op::FlattenHw,
+            pe_role,
+            &[pe],
+        )?;
+        seq = g.add(
+            &format!("encoder.stage{stage}.patch_embed.norm"),
+            Op::LayerNorm,
+            pe_role,
+            &[seq],
+        )?;
+
+        for block in 0..cfg.dynamic.depths[stage] {
+            seq = add_mit_block(
+                &mut g,
+                seq,
+                stage,
+                block,
+                dim,
+                v.heads[stage],
+                v.sr_ratios[stage],
+                v.mlp_ratio,
+                h,
+                w,
+            )?;
+        }
+        let role = LayerRole::EncoderBlock {
+            stage,
+            block: cfg.dynamic.depths[stage] - 1,
+        };
+        let normed = g.add(
+            &format!("encoder.stage{stage}.norm"),
+            Op::LayerNorm,
+            role,
+            &[seq],
+        )?;
+        let nchw = g.add(
+            &format!("encoder.stage{stage}.to_nchw"),
+            Op::UnflattenHw { h, w },
+            role,
+            &[normed],
+        )?;
+        stage_outputs.push(nchw);
+        x_nchw = nchw;
+    }
+
+    // ---- All-MLP decoder ----------------------------------------------
+    let (dh, dw) = (ih / 4, iw / 4); // stage-0 resolution
+    let slice_per_stage = cfg.dynamic.fuse_in_channels / 4;
+    let mut fused_inputs: Vec<NodeId> = Vec::with_capacity(4);
+    // mmseg fuses in reversed stage order (stage 3 first).
+    for stage in (0..4).rev() {
+        let role = LayerRole::DecoderLinear { stage };
+        let mut seq = g.add(
+            &format!("decoder.linear{stage}.flatten"),
+            Op::FlattenHw,
+            role,
+            &[stage_outputs[stage]],
+        )?;
+        if stage == 0 && cfg.dynamic.decode_linear0_in < v.embed_dims[0] {
+            seq = g.add(
+                "decoder.linear0.slice",
+                Op::SliceChannels {
+                    keep: cfg.dynamic.decode_linear0_in,
+                },
+                role,
+                &[seq],
+            )?;
+        }
+        let proj = g.add(
+            &format!("decoder.linear{stage}"),
+            Op::Linear {
+                out_features: slice_per_stage,
+                bias: true,
+            },
+            role,
+            &[seq],
+        )?;
+        let (sh, sw) = (ih >> (2 + stage), iw >> (2 + stage));
+        let nchw = g.add(
+            &format!("decoder.linear{stage}.to_nchw"),
+            Op::UnflattenHw { h: sh, w: sw },
+            role,
+            &[proj],
+        )?;
+        let up = g.add(
+            &format!("decoder.linear{stage}.resize"),
+            Op::Resize { out_h: dh, out_w: dw },
+            role,
+            &[nchw],
+        )?;
+        fused_inputs.push(up);
+    }
+    let cat = g.add(
+        "decoder.concat",
+        Op::Concat,
+        LayerRole::Other,
+        &fused_inputs,
+    )?;
+    let fuse = g.add(
+        "decoder.conv_fuse",
+        Op::Conv2d {
+            out_channels: cfg.dynamic.fuse_out_channels,
+            kernel: (1, 1),
+            stride: (1, 1),
+            pad: (0, 0),
+            groups: 1,
+            bias: false,
+        },
+        LayerRole::FuseConv,
+        &[cat],
+    )?;
+    let bn = g.add("decoder.fuse_bn", Op::BatchNorm, LayerRole::FuseConv, &[fuse])?;
+    let relu = g.add("decoder.fuse_relu", Op::Relu, LayerRole::FuseConv, &[bn])?;
+    let pred = g.add(
+        "decoder.conv_pred",
+        Op::Conv2d {
+            out_channels: cfg.num_classes,
+            kernel: (1, 1),
+            stride: (1, 1),
+            pad: (0, 0),
+            groups: 1,
+            bias: true,
+        },
+        LayerRole::PredConv,
+        &[relu],
+    )?;
+    let up = g.add(
+        "decoder.upsample",
+        Op::Resize { out_h: ih, out_w: iw },
+        LayerRole::Head,
+        &[pred],
+    )?;
+    g.set_output(up);
+    Ok(g)
+}
+
+/// Adds one MiT transformer block (efficient self-attention + MixFFN).
+#[allow(clippy::too_many_arguments)]
+fn add_mit_block(
+    g: &mut Graph,
+    input: NodeId,
+    stage: usize,
+    block: usize,
+    dim: usize,
+    heads: usize,
+    sr_ratio: usize,
+    mlp_ratio: usize,
+    h: usize,
+    w: usize,
+) -> Result<NodeId> {
+    let p = format!("encoder.stage{stage}.block{block}");
+    let role = LayerRole::EncoderBlock { stage, block };
+    let linear = |out| Op::Linear {
+        out_features: out,
+        bias: true,
+    };
+
+    // Efficient self-attention with spatial reduction on k/v.
+    let norm1 = g.add(&format!("{p}.norm1"), Op::LayerNorm, role, &[input])?;
+    let q = g.add(&format!("{p}.attn.q"), linear(dim), role, &[norm1])?;
+    let kv_src = if sr_ratio > 1 {
+        let un = g.add(
+            &format!("{p}.attn.sr_unflatten"),
+            Op::UnflattenHw { h, w },
+            role,
+            &[norm1],
+        )?;
+        let sr = g.add(
+            &format!("{p}.attn.sr_conv"),
+            Op::Conv2d {
+                out_channels: dim,
+                kernel: (sr_ratio, sr_ratio),
+                stride: (sr_ratio, sr_ratio),
+                pad: (0, 0),
+                groups: 1,
+                bias: true,
+            },
+            role,
+            &[un],
+        )?;
+        let fl = g.add(&format!("{p}.attn.sr_flatten"), Op::FlattenHw, role, &[sr])?;
+        g.add(&format!("{p}.attn.sr_norm"), Op::LayerNorm, role, &[fl])?
+    } else {
+        norm1
+    };
+    let k = g.add(&format!("{p}.attn.k"), linear(dim), role, &[kv_src])?;
+    let val = g.add(&format!("{p}.attn.v"), linear(dim), role, &[kv_src])?;
+    let sdpa = g.add(&format!("{p}.attn.sdpa"), Op::Sdpa { heads }, role, &[q, k, val])?;
+    let proj = g.add(&format!("{p}.attn.proj"), linear(dim), role, &[sdpa])?;
+    let res1 = g.add(&format!("{p}.attn.residual"), Op::Add, role, &[input, proj])?;
+
+    // MixFFN: fc1 -> 3x3 depthwise conv -> GELU -> fc2.
+    let hidden = dim * mlp_ratio;
+    let norm2 = g.add(&format!("{p}.norm2"), Op::LayerNorm, role, &[res1])?;
+    let fc1 = g.add(&format!("{p}.ffn.fc1"), linear(hidden), role, &[norm2])?;
+    let un = g.add(
+        &format!("{p}.ffn.unflatten"),
+        Op::UnflattenHw { h, w },
+        role,
+        &[fc1],
+    )?;
+    let dw = g.add(
+        &format!("{p}.ffn.dwconv"),
+        Op::Conv2d {
+            out_channels: hidden,
+            kernel: (3, 3),
+            stride: (1, 1),
+            pad: (1, 1),
+            groups: hidden,
+            bias: true,
+        },
+        role,
+        &[un],
+    )?;
+    let fl = g.add(&format!("{p}.ffn.flatten"), Op::FlattenHw, role, &[dw])?;
+    let gelu = g.add(&format!("{p}.ffn.gelu"), Op::Gelu, role, &[fl])?;
+    let fc2 = g.add(&format!("{p}.ffn.fc2"), linear(dim), role, &[gelu])?;
+    Ok(g.add(&format!("{p}.ffn.residual"), Op::Add, role, &[res1, fc2])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vit_graph::OpClass;
+
+    #[test]
+    fn b2_ade_flops_match_paper_table1() {
+        let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        let gflops = g.total_flops() as f64 / 1e9;
+        // Paper Table I: 62.6 GFLOPs. Allow a few percent of accounting slack.
+        assert!(
+            (gflops - 62.6).abs() / 62.6 < 0.08,
+            "got {gflops:.1} GFLOPs, expected ~62.6"
+        );
+    }
+
+    #[test]
+    fn b2_params_match_paper_table1() {
+        let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // Paper Table I: 27.6 M parameters.
+        assert!((m - 27.6).abs() / 27.6 < 0.08, "got {m:.1} M params");
+    }
+
+    #[test]
+    fn b2_cityscapes_flops_scale_with_image_area() {
+        let ade = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        let city = build_segformer(&SegFormerConfig::cityscapes(SegFormerVariant::b2())).unwrap();
+        let ratio = city.total_flops() as f64 / ade.total_flops() as f64;
+        // 1024x2048 / 512x512 = 8x area; attention grows super-linearly but
+        // the model is conv/linear dominated. Paper: 705 / 62.6 = 11.3x.
+        assert!(ratio > 8.0 && ratio < 14.0, "ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn conv_fuse_dominates_flops() {
+        let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        let fuse = g.find("decoder.conv_fuse").unwrap();
+        let share = g.node(fuse).flops(&g) as f64 / g.total_flops() as f64;
+        // Paper Fig. 3: Conv2DFuse alone is 62% of total FLOPs.
+        assert!((share - 0.62).abs() < 0.05, "fuse share {share:.2}");
+    }
+
+    #[test]
+    fn conv_share_matches_paper_68_percent() {
+        let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        let conv = g.flops_by_class(OpClass::Conv) as f64 / g.total_flops() as f64;
+        // Paper: 68% of FLOPs are in convolution layers.
+        assert!((conv - 0.68).abs() < 0.05, "conv share {conv:.2}");
+    }
+
+    #[test]
+    fn decoder_share_is_about_68_percent() {
+        let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        let share = g.decoder_flops() as f64 / g.total_flops() as f64;
+        assert!(share > 0.6 && share < 0.75, "decoder share {share:.2}");
+    }
+
+    #[test]
+    fn pruning_fuse_channels_reduces_fuse_and_linears_only() {
+        let variant = SegFormerVariant::b2();
+        let full = build_segformer(&SegFormerConfig::ade20k(variant)).unwrap();
+        let pruned_cfg = SegFormerConfig::ade20k(variant).with_dynamic(
+            SegFormerDynamic::with_depths_and_fuse(&variant, variant.depths, 1920),
+        );
+        let pruned = build_segformer(&pruned_cfg).unwrap();
+        // Encoder FLOPs identical: cutting fuse input channels does not
+        // propagate into the encoder (paper §III-A).
+        let enc = |g: &Graph| -> u64 {
+            g.iter()
+                .filter(|(_, n)| {
+                    matches!(
+                        n.role,
+                        LayerRole::EncoderBlock { .. } | LayerRole::PatchEmbed { .. }
+                    )
+                })
+                .map(|(_, n)| n.flops(g))
+                .sum()
+        };
+        assert_eq!(enc(&full), enc(&pruned));
+        // Fuse conv shrinks proportionally to kept channels.
+        let fuse_flops = |g: &Graph| g.node(g.find("decoder.conv_fuse").unwrap()).flops(g);
+        let ratio = fuse_flops(&pruned) as f64 / fuse_flops(&full) as f64;
+        assert!((ratio - 1920.0 / 3072.0).abs() < 0.01, "ratio {ratio:.3}");
+        // Decoder linears shrink too (their outputs are the cut channels).
+        let lin = |g: &Graph| g.node(g.find("decoder.linear3").unwrap()).flops(g);
+        assert!(lin(&pruned) < lin(&full));
+    }
+
+    #[test]
+    fn cutting_decode_linear0_input_does_not_touch_encoder() {
+        let variant = SegFormerVariant::b2();
+        let full = build_segformer(&SegFormerConfig::ade20k(variant)).unwrap();
+        let mut dynamic = SegFormerDynamic::full(&variant);
+        dynamic.decode_linear0_in = 32;
+        let pruned =
+            build_segformer(&SegFormerConfig::ade20k(variant).with_dynamic(dynamic)).unwrap();
+        let enc = |g: &Graph| -> u64 {
+            g.iter()
+                .filter(|(_, n)| !n.role.is_decoder() && n.role != LayerRole::Head)
+                .map(|(_, n)| n.flops(g))
+                .sum()
+        };
+        assert_eq!(enc(&full), enc(&pruned));
+        let lin0 = |g: &Graph| g.node(g.find("decoder.linear0").unwrap()).flops(g);
+        assert!(lin0(&pruned) < lin0(&full));
+    }
+
+    #[test]
+    fn bypassing_encoder_blocks_reduces_encoder_flops_only() {
+        let variant = SegFormerVariant::b2();
+        let full = build_segformer(&SegFormerConfig::ade20k(variant)).unwrap();
+        let pruned_cfg = SegFormerConfig::ade20k(variant).with_dynamic(
+            SegFormerDynamic::with_depths_and_fuse(&variant, [2, 3, 5, 3], 3072),
+        );
+        let pruned = build_segformer(&pruned_cfg).unwrap();
+        assert!(pruned.total_flops() < full.total_flops());
+        let fuse = |g: &Graph| g.node(g.find("decoder.conv_fuse").unwrap()).flops(g);
+        assert_eq!(fuse(&full), fuse(&pruned));
+    }
+
+    #[test]
+    fn invalid_dynamic_configs_rejected() {
+        let variant = SegFormerVariant::b2();
+        let mut bad = SegFormerDynamic::full(&variant);
+        bad.depths[0] = 4; // B2 stage 0 has only 3 blocks.
+        assert!(build_segformer(&SegFormerConfig::ade20k(variant).with_dynamic(bad)).is_err());
+        let mut bad2 = SegFormerDynamic::full(&variant);
+        bad2.fuse_in_channels = 3073;
+        assert!(build_segformer(&SegFormerConfig::ade20k(variant).with_dynamic(bad2)).is_err());
+        let mut bad3 = SegFormerDynamic::full(&variant);
+        bad3.fuse_in_channels = 6; // not a multiple of 4
+        assert!(build_segformer(&SegFormerConfig::ade20k(variant).with_dynamic(bad3)).is_err());
+    }
+
+    #[test]
+    fn bad_image_sizes_rejected() {
+        let cfg = SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(100, 100);
+        assert!(build_segformer(&cfg).is_err());
+    }
+
+    #[test]
+    fn small_graph_executes_end_to_end() {
+        use vit_graph::Executor;
+        use vit_tensor::Tensor;
+        let cfg = SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(64, 64);
+        let g = build_segformer(&cfg).unwrap();
+        let mut ex = Executor::new(0);
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+        let out = ex.run(&g, &[img]).unwrap();
+        assert_eq!(out.shape(), &[1, 150, 64, 64]);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn b0_smaller_than_b2() {
+        let b0 = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0())).unwrap();
+        let b2 = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+        assert!(b0.total_flops() < b2.total_flops());
+        assert!(b0.total_params() < b2.total_params());
+    }
+}

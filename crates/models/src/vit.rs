@@ -1,0 +1,248 @@
+//! ViT and BERT encoder builders — the *convolution-free* early transformers
+//! the paper contrasts modern vision transformers against (§II: "unlike
+//! early transformer-based models which are convolution-free and dominated
+//! by self-attention").
+//!
+//! ViT's patch embedding is realized as space-to-depth + linear (exactly
+//! equivalent to the strided convolution formulation, and convolution-free
+//! like the original description).
+
+use crate::error::{ModelError, Result};
+use vit_graph::{Graph, LayerRole, NodeId, Op};
+
+/// Configuration of a plain transformer encoder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderStackConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN hidden dimension.
+    pub ffn_dim: usize,
+}
+
+fn linear(out: usize) -> Op {
+    Op::Linear {
+        out_features: out,
+        bias: true,
+    }
+}
+
+/// Appends `cfg.layers` pre-norm transformer blocks to `seq`.
+fn add_encoder_stack(
+    g: &mut Graph,
+    mut seq: NodeId,
+    cfg: &EncoderStackConfig,
+    role: LayerRole,
+) -> Result<NodeId> {
+    for layer in 0..cfg.layers {
+        let p = format!("encoder.block{layer}");
+        let norm1 = g.add(&format!("{p}.norm1"), Op::LayerNorm, role, &[seq])?;
+        let q = g.add(&format!("{p}.attn.q"), linear(cfg.dim), role, &[norm1])?;
+        let k = g.add(&format!("{p}.attn.k"), linear(cfg.dim), role, &[norm1])?;
+        let v = g.add(&format!("{p}.attn.v"), linear(cfg.dim), role, &[norm1])?;
+        let sdpa = g.add(
+            &format!("{p}.attn.sdpa"),
+            Op::Sdpa { heads: cfg.heads },
+            role,
+            &[q, k, v],
+        )?;
+        let proj = g.add(&format!("{p}.attn.proj"), linear(cfg.dim), role, &[sdpa])?;
+        let res1 = g.add(&format!("{p}.attn.residual"), Op::Add, role, &[seq, proj])?;
+        let norm2 = g.add(&format!("{p}.norm2"), Op::LayerNorm, role, &[res1])?;
+        let fc1 = g.add(&format!("{p}.mlp.fc1"), linear(cfg.ffn_dim), role, &[norm2])?;
+        let gelu = g.add(&format!("{p}.mlp.gelu"), Op::Gelu, role, &[fc1])?;
+        let fc2 = g.add(&format!("{p}.mlp.fc2"), linear(cfg.dim), role, &[gelu])?;
+        seq = g.add(&format!("{p}.mlp.residual"), Op::Add, role, &[res1, fc2])?;
+    }
+    Ok(seq)
+}
+
+/// Configuration of a ViT image classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VitConfig {
+    /// Patch side length.
+    pub patch: usize,
+    /// Transformer stack.
+    pub stack: EncoderStackConfig,
+    /// Input image `(height, width)`; multiples of `patch`.
+    pub image: (usize, usize),
+    /// Batch size.
+    pub batch: usize,
+    /// Classification classes.
+    pub num_classes: usize,
+}
+
+impl VitConfig {
+    /// ViT-Base/16 at 224x224 on ImageNet.
+    pub fn base16() -> Self {
+        VitConfig {
+            patch: 16,
+            stack: EncoderStackConfig {
+                dim: 768,
+                layers: 12,
+                heads: 12,
+                ffn_dim: 3072,
+            },
+            image: (224, 224),
+            batch: 1,
+            num_classes: 1000,
+        }
+    }
+}
+
+/// Builds a ViT classifier graph (convolution-free).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the image is not divisible by the patch size.
+pub fn build_vit(cfg: &VitConfig) -> Result<Graph> {
+    let (ih, iw) = cfg.image;
+    if cfg.patch == 0 || ih % cfg.patch != 0 || iw % cfg.patch != 0 || ih == 0 {
+        return Err(ModelError::BadConfig(format!(
+            "image {ih}x{iw} must be a positive multiple of patch {}",
+            cfg.patch
+        )));
+    }
+    if cfg.batch == 0 {
+        return Err(ModelError::BadConfig("batch must be nonzero".to_string()));
+    }
+    let mut g = Graph::new("vit-b16");
+    let image = g.input("image", &[cfg.batch, 3, ih, iw])?;
+    let role = LayerRole::PatchEmbed { stage: 0 };
+    let s2d = g.add(
+        "patch_embed.space_to_depth",
+        Op::SpaceToDepth { block: cfg.patch },
+        role,
+        &[image],
+    )?;
+    let flat = g.add("patch_embed.flatten", Op::FlattenHw, role, &[s2d])?;
+    let seq = g.add("patch_embed.proj", linear(cfg.stack.dim), role, &[flat])?;
+    let out = add_encoder_stack(&mut g, seq, &cfg.stack, LayerRole::EncoderBlock { stage: 0, block: 0 })?;
+    let norm = g.add("final_norm", Op::LayerNorm, LayerRole::Head, &[out])?;
+    // Mean-pool tokens (stand-in for the class token) then classify.
+    let (ph, pw) = (ih / cfg.patch, iw / cfg.patch);
+    let nchw = g.add(
+        "pool.to_nchw",
+        Op::UnflattenHw { h: ph, w: pw },
+        LayerRole::Head,
+        &[norm],
+    )?;
+    let pooled = g.add("pool.gap", Op::GlobalAvgPool, LayerRole::Head, &[nchw])?;
+    let logits = g.add("head.fc", linear(cfg.num_classes), LayerRole::Head, &[pooled])?;
+    g.set_output(logits);
+    Ok(g)
+}
+
+/// Builds a BERT-style text encoder graph operating on pre-embedded tokens.
+///
+/// The graph input is `[batch, seq_len, dim]` (embedding lookup is a table
+/// read, not computation). The output is the final hidden states.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] for zero-sized configurations.
+pub fn build_bert(stack: &EncoderStackConfig, seq_len: usize, batch: usize) -> Result<Graph> {
+    if seq_len == 0 || batch == 0 || stack.layers == 0 {
+        return Err(ModelError::BadConfig(
+            "sequence length, batch and layers must be nonzero".to_string(),
+        ));
+    }
+    if stack.dim == 0 || stack.heads == 0 || !stack.dim.is_multiple_of(stack.heads) {
+        return Err(ModelError::BadConfig(format!(
+            "dim {} must be divisible by heads {}",
+            stack.dim, stack.heads
+        )));
+    }
+    let mut g = Graph::new("bert-base");
+    let tokens = g.input("tokens", &[batch, seq_len, stack.dim])?;
+    let role = LayerRole::EncoderBlock { stage: 0, block: 0 };
+    let out = add_encoder_stack(&mut g, tokens, stack, role)?;
+    let norm = g.add("final_norm", Op::LayerNorm, LayerRole::Head, &[out])?;
+    g.set_output(norm);
+    Ok(g)
+}
+
+/// BERT-Base stack parameters.
+pub fn bert_base() -> EncoderStackConfig {
+    EncoderStackConfig {
+        dim: 768,
+        layers: 12,
+        heads: 12,
+        ffn_dim: 3072,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vit_graph::OpClass;
+
+    #[test]
+    fn vit_has_zero_convolutions() {
+        let g = build_vit(&VitConfig::base16()).unwrap();
+        assert_eq!(g.flops_by_class(OpClass::Conv), 0);
+        // Attention + matmul dominate.
+        let attn_mm = g.flops_by_class(OpClass::Attention) + g.flops_by_class(OpClass::Matmul);
+        assert!(attn_mm as f64 / g.total_flops() as f64 > 0.95);
+    }
+
+    #[test]
+    fn vit_b16_flops_and_params() {
+        let g = build_vit(&VitConfig::base16()).unwrap();
+        let gflops = g.total_flops() as f64 / 1e9;
+        let m = g.total_params() as f64 / 1e6;
+        // Reference: ViT-B/16 = ~17.6 GMACs, ~86 M params at 224x224.
+        assert!((gflops - 17.6).abs() / 17.6 < 0.1, "got {gflops:.1} GMACs");
+        assert!((m - 86.0).abs() / 86.0 < 0.1, "got {m:.1} M params");
+    }
+
+    #[test]
+    fn bert_base_has_zero_convolutions_and_right_size() {
+        let g = build_bert(&bert_base(), 128, 1).unwrap();
+        assert_eq!(g.flops_by_class(OpClass::Conv), 0);
+        let m = g.total_params() as f64 / 1e6;
+        // BERT-Base encoder stack is ~85 M parameters (without embeddings).
+        assert!((m - 85.0).abs() / 85.0 < 0.1, "got {m:.1} M params");
+    }
+
+    #[test]
+    fn vit_executes_at_small_size() {
+        use vit_graph::Executor;
+        use vit_tensor::Tensor;
+        let mut cfg = VitConfig::base16();
+        cfg.image = (32, 32);
+        cfg.stack.layers = 2;
+        let g = build_vit(&cfg).unwrap();
+        let out = Executor::new(0)
+            .run(&g, &[Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 1)])
+            .unwrap();
+        assert_eq!(out.shape(), &[1, 1000]);
+    }
+
+    #[test]
+    fn bert_executes() {
+        use vit_graph::Executor;
+        use vit_tensor::Tensor;
+        let mut stack = bert_base();
+        stack.layers = 2;
+        let g = build_bert(&stack, 16, 1).unwrap();
+        let out = Executor::new(0)
+            .run(&g, &[Tensor::rand_uniform(&[1, 16, 768], -1.0, 1.0, 1)])
+            .unwrap();
+        assert_eq!(out.shape(), &[1, 16, 768]);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = VitConfig::base16();
+        cfg.image = (100, 100);
+        assert!(build_vit(&cfg).is_err());
+        assert!(build_bert(&bert_base(), 0, 1).is_err());
+        let mut stack = bert_base();
+        stack.heads = 7;
+        assert!(build_bert(&stack, 16, 1).is_err());
+    }
+}

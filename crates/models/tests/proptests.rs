@@ -1,0 +1,112 @@
+//! Property-based tests of the model builders: any valid dynamic
+//! configuration must build, cost no more than the full model, and keep the
+//! shared-weights node-naming invariant.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vit_models::{
+    build_resnet, build_segformer, build_swin_upernet, ResNetConfig, SegFormerConfig,
+    SegFormerDynamic, SegFormerVariant, SwinConfig, SwinDynamic, SwinVariant,
+};
+
+fn arb_segformer_dynamic() -> impl Strategy<Value = SegFormerDynamic> {
+    let v = SegFormerVariant::b2();
+    (
+        1usize..=v.depths[0],
+        1usize..=v.depths[1],
+        1usize..=v.depths[2],
+        1usize..=v.depths[3],
+        1usize..=(v.full_fuse_in() / 4),
+        1usize..=v.decoder_dim,
+        1usize..=v.embed_dims[0],
+    )
+        .prop_map(move |(d0, d1, d2, d3, q, fo, dl0)| SegFormerDynamic {
+            depths: [d0, d1, d2, d3],
+            fuse_in_channels: q * 4,
+            fuse_out_channels: fo,
+            decode_linear0_in: dl0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_valid_segformer_config_builds_cheaper_than_full(d in arb_segformer_dynamic()) {
+        let v = SegFormerVariant::b2();
+        let base = SegFormerConfig::ade20k(v).with_image(128, 128);
+        let full = build_segformer(&base.clone()).unwrap();
+        let pruned = build_segformer(&base.with_dynamic(d)).unwrap();
+        prop_assert!(pruned.total_flops() <= full.total_flops());
+        prop_assert!(pruned.total_params() <= full.total_params());
+    }
+
+    #[test]
+    fn pruned_node_names_are_a_subset_of_full(d in arb_segformer_dynamic()) {
+        // The shared-weights property requires every pruned node name to
+        // exist in the full graph (except explicit slice nodes).
+        let v = SegFormerVariant::b2();
+        let base = SegFormerConfig::ade20k(v).with_image(128, 128);
+        let full = build_segformer(&base.clone()).unwrap();
+        let pruned = build_segformer(&base.with_dynamic(d)).unwrap();
+        let full_names: HashSet<&str> = full.nodes().iter().map(|n| n.name.as_str()).collect();
+        for n in pruned.nodes() {
+            if n.name.ends_with(".slice") {
+                continue;
+            }
+            prop_assert!(full_names.contains(n.name.as_str()), "extra node {}", n.name);
+        }
+    }
+
+    #[test]
+    fn swin_depth_cuts_monotone_in_flops(
+        d2a in 1usize..=18,
+        d2b in 1usize..=18,
+    ) {
+        let v = SwinVariant::base();
+        let build = |d2: usize| {
+            build_swin_upernet(
+                &SwinConfig::ade20k(v)
+                    .with_image(128, 128)
+                    .with_dynamic(SwinDynamic { depths: [2, 2, d2, 2], bottleneck_in_channels: 2048 }),
+            )
+            .unwrap()
+            .total_flops()
+        };
+        let (fa, fb) = (build(d2a), build(d2b));
+        if d2a < d2b {
+            prop_assert!(fa < fb);
+        } else if d2a > d2b {
+            prop_assert!(fa > fb);
+        } else {
+            prop_assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn resnet_flops_scale_with_image_area(
+        scale in 1usize..5,
+    ) {
+        let base = build_resnet(&ResNetConfig::imagenet().with_image(64, 64)).unwrap();
+        let big = build_resnet(&ResNetConfig::imagenet().with_image(64 * scale.max(1), 64)).unwrap();
+        let ratio = big.graph.total_flops() as f64 / base.graph.total_flops() as f64;
+        // Convolution FLOPs scale linearly in area; the fixed-size head
+        // dilutes it slightly.
+        prop_assert!(ratio >= 0.9 * scale as f64 && ratio <= 1.1 * scale as f64,
+                     "scale {scale}: ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_scales_flops_exactly(batch in 1usize..5) {
+        let cfg = SegFormerConfig::ade20k(SegFormerVariant::b0())
+            .with_image(64, 64)
+            .with_batch(batch);
+        let g = build_segformer(&cfg).unwrap();
+        let single = build_segformer(
+            &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(64, 64),
+        )
+        .unwrap();
+        prop_assert_eq!(g.total_flops(), single.total_flops() * batch as u64);
+        prop_assert_eq!(g.total_params(), single.total_params());
+    }
+}

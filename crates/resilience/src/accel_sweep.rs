@@ -1,0 +1,201 @@
+//! Accelerator-backed sweeps: evaluate execution-path configurations in
+//! accelerator cycles or accelerator energy instead of GPU time
+//! (Figures 12/13 use exactly these resources as dynamic constraints).
+
+use crate::accuracy::AccuracyModel;
+use crate::config::Workload;
+use crate::sweep::{DynConfig, TradeoffPoint};
+use vit_accel::{simulate, AccelConfig, SimOptions};
+use vit_models::{
+    build_segformer, build_swin_upernet, SegFormerConfig, SegFormerDynamic, SegFormerVariant,
+    SwinConfig, SwinDynamic, SwinVariant,
+};
+
+/// Which accelerator resource a sweep measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelResource {
+    /// End-to-end cycles (Figure 12's x-axis).
+    Cycles,
+    /// Total energy (Figure 13's x-axis).
+    Energy,
+}
+
+/// Sweeps SegFormer configurations on an accelerator.
+///
+/// Like [`crate::sweep_segformer`], but the resource is measured by
+/// simulating each pruned graph on `accel`.
+pub fn sweep_segformer_on_accelerator(
+    variant: &SegFormerVariant,
+    workload: Workload,
+    image: (usize, usize),
+    num_classes: usize,
+    space: &[SegFormerDynamic],
+    accel: &AccelConfig,
+    resource: AccelResource,
+) -> Vec<TradeoffPoint> {
+    let accuracy = AccuracyModel::for_workload(workload);
+    let opts = SimOptions::default();
+    let measure = |d: &SegFormerDynamic| -> Option<f64> {
+        let cfg = SegFormerConfig {
+            variant: *variant,
+            num_classes,
+            image,
+            batch: 1,
+            dynamic: *d,
+        };
+        let g = build_segformer(&cfg).ok()?;
+        let r = simulate(&g, accel, &opts);
+        Some(match resource {
+            AccelResource::Cycles => r.total_cycles() as f64,
+            AccelResource::Energy => r.total_energy_j(),
+        })
+    };
+    let full = measure(&SegFormerDynamic::full(variant)).expect("full model must build");
+    space
+        .iter()
+        .filter_map(|d| {
+            let r = measure(d)?;
+            Some(TradeoffPoint {
+                label: String::new(),
+                config: DynConfig::SegFormer(*d),
+                resource: r,
+                norm_resource: r / full,
+                norm_miou: accuracy.norm_miou_segformer(d, variant),
+            })
+        })
+        .collect()
+}
+
+/// Sweeps Swin configurations on an accelerator.
+pub fn sweep_swin_on_accelerator(
+    variant: &SwinVariant,
+    workload: Workload,
+    image: (usize, usize),
+    num_classes: usize,
+    space: &[SwinDynamic],
+    accel: &AccelConfig,
+    resource: AccelResource,
+) -> Vec<TradeoffPoint> {
+    let accuracy = AccuracyModel::for_workload(workload);
+    let opts = SimOptions::default();
+    let measure = |d: &SwinDynamic| -> Option<f64> {
+        let cfg = SwinConfig {
+            variant: *variant,
+            num_classes,
+            image,
+            batch: 1,
+            dynamic: *d,
+        };
+        let g = build_swin_upernet(&cfg).ok()?;
+        let r = simulate(&g, accel, &opts);
+        Some(match resource {
+            AccelResource::Cycles => r.total_cycles() as f64,
+            AccelResource::Energy => r.total_energy_j(),
+        })
+    };
+    let full = measure(&SwinDynamic::full(variant)).expect("full model must build");
+    space
+        .iter()
+        .filter_map(|d| {
+            let r = measure(d)?;
+            Some(TradeoffPoint {
+                label: String::new(),
+                config: DynConfig::Swin(*d),
+                resource: r,
+                norm_resource: r / full,
+                norm_miou: accuracy.norm_miou_swin(d, variant),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::table2_ade;
+    use crate::pareto::pareto_front;
+
+    #[test]
+    fn accelerator_sweep_improves_on_gpu_tradeoff_for_point_b() {
+        // Paper §VI-A: "with a 2% drop in accuracy, accelerator_A enables
+        // saving 20% instead of 11% of execution time" — the accelerator's
+        // time tracks FLOPs more closely than the GPU's.
+        let v = SegFormerVariant::b2();
+        let space: Vec<SegFormerDynamic> = table2_ade()
+            .iter()
+            .map(|p| p.to_segformer_dynamic(&v))
+            .collect();
+        let accel_points = sweep_segformer_on_accelerator(
+            &v,
+            Workload::SegFormerAde,
+            (512, 512),
+            150,
+            &space,
+            &AccelConfig::accelerator_a(),
+            AccelResource::Cycles,
+        );
+        let gpu_points = crate::sweep::sweep_segformer(
+            &v,
+            Workload::SegFormerAde,
+            (512, 512),
+            150,
+            &space,
+            crate::sweep::ResourceKind::GpuTime,
+        );
+        // Point B (index 1): accelerator saving must exceed GPU saving.
+        let accel_saving = 1.0 - accel_points[1].norm_resource;
+        let gpu_saving = 1.0 - gpu_points[1].norm_resource;
+        assert!(
+            accel_saving > gpu_saving,
+            "accel {accel_saving:.2} vs gpu {gpu_saving:.2}"
+        );
+        assert!(accel_saving > 0.15, "accel saving {accel_saving:.2}");
+    }
+
+    #[test]
+    fn cycles_and_energy_sweeps_are_both_monotone_for_channel_cuts() {
+        let v = SegFormerVariant::b2();
+        let space: Vec<SegFormerDynamic> = [3072usize, 2048, 1024, 512]
+            .iter()
+            .map(|&ch| SegFormerDynamic::with_depths_and_fuse(&v, v.depths, ch))
+            .collect();
+        for resource in [AccelResource::Cycles, AccelResource::Energy] {
+            let pts = sweep_segformer_on_accelerator(
+                &v,
+                Workload::SegFormerAde,
+                (512, 512),
+                150,
+                &space,
+                &AccelConfig::accelerator_star(),
+                resource,
+            );
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].norm_resource < w[0].norm_resource,
+                    "{resource:?} not monotone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accelerator_front_is_nonempty_and_normalized() {
+        let v = SwinVariant::tiny();
+        let space = vec![
+            SwinDynamic::full(&v),
+            SwinDynamic { depths: v.depths, bottleneck_in_channels: 1024 },
+        ];
+        let pts = sweep_swin_on_accelerator(
+            &v,
+            Workload::SwinTinyAde,
+            (128, 128),
+            150,
+            &space,
+            &AccelConfig::accelerator_star(),
+            AccelResource::Cycles,
+        );
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        assert!((pts[0].norm_resource - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! # vit-resilience
+//!
+//! The paper's §III resilience study, reproduced: execution-path
+//! configuration spaces and the published Table II/III anchor points
+//! ([`config`]), the anchored accuracy model ([`accuracy`]), a *measured*
+//! pruned-vs-full output-fidelity signal ([`fidelity`]), parallel sweep
+//! evaluation ([`sweep`]), and Pareto-front extraction ([`pareto`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use vit_models::SegFormerVariant;
+//! use vit_resilience::{pareto_front, sweep_segformer, ResourceKind, Workload};
+//!
+//! let v = SegFormerVariant::b2();
+//! let space = vit_resilience::segformer_sweep_space(&v, 1, 3);
+//! let points = sweep_segformer(&v, Workload::SegFormerAde, (128, 128), 150,
+//!                              &space, ResourceKind::GpuTime);
+//! let front = pareto_front(&points);
+//! assert!(!front.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accel_sweep;
+pub mod accuracy;
+pub mod config;
+pub mod fidelity;
+pub mod pareto;
+pub mod sweep;
+
+pub use accel_sweep::{sweep_segformer_on_accelerator, sweep_swin_on_accelerator, AccelResource};
+pub use accuracy::{AccuracyModel, ConfigFeatures};
+pub use config::{
+    fig7_swin_tiny, segformer_extended_sweep_space, segformer_sweep_space, swin_sweep_space, table2_ade, table2_cityscapes, table3_swin_base,
+    trained_segformer_ade, trained_segformer_cityscapes, trained_swin_ade, PaperPoint,
+    TrainedModelPoint, Workload,
+};
+pub use fidelity::{segformer_fidelity, swin_fidelity, FidelityError, FidelitySettings};
+pub use pareto::{dominates, pareto_front};
+pub use sweep::{sweep_segformer, sweep_swin, DynConfig, ResourceKind, TradeoffPoint};

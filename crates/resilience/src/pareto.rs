@@ -1,0 +1,107 @@
+//! Pareto-front extraction over (resource, accuracy) trade-off points.
+
+use crate::sweep::TradeoffPoint;
+
+/// Returns the Pareto-optimal subset of `points` — the execution paths for
+/// which no other path has both lower resource use and higher accuracy —
+/// sorted by increasing resource.
+///
+/// Ties are resolved in favor of lower resource; duplicate dominated points
+/// are dropped.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut sorted: Vec<&TradeoffPoint> = points.iter().collect();
+    // Sort by resource ascending, accuracy descending for equal resources.
+    sorted.sort_by(|a, b| {
+        a.norm_resource
+            .partial_cmp(&b.norm_resource)
+            .expect("finite resources")
+            .then(
+                b.norm_miou
+                    .partial_cmp(&a.norm_miou)
+                    .expect("finite accuracies"),
+            )
+    });
+    let mut front: Vec<TradeoffPoint> = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.norm_miou > best {
+            best = p.norm_miou;
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+/// True when `a` dominates `b` (no worse in both dimensions, strictly
+/// better in at least one).
+pub fn dominates(a: &TradeoffPoint, b: &TradeoffPoint) -> bool {
+    (a.norm_resource <= b.norm_resource && a.norm_miou >= b.norm_miou)
+        && (a.norm_resource < b.norm_resource || a.norm_miou > b.norm_miou)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::DynConfig;
+    use vit_models::{SegFormerDynamic, SegFormerVariant};
+
+    fn pt(r: f64, a: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            label: String::new(),
+            config: DynConfig::SegFormer(SegFormerDynamic::full(&SegFormerVariant::b2())),
+            resource: r,
+            norm_resource: r,
+            norm_miou: a,
+        }
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let pts = vec![pt(1.0, 1.0), pt(0.8, 0.9), pt(0.9, 0.85), pt(0.7, 0.7)];
+        let front = pareto_front(&pts);
+        let coords: Vec<(f64, f64)> =
+            front.iter().map(|p| (p.norm_resource, p.norm_miou)).collect();
+        // (0.9, 0.85) is dominated by (0.8, 0.9).
+        assert_eq!(coords, vec![(0.7, 0.7), (0.8, 0.9), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn front_is_sorted_and_monotone() {
+        let pts: Vec<TradeoffPoint> = (0..50)
+            .map(|i| {
+                let r = (i % 10) as f64 / 10.0 + 0.05;
+                let a = ((i * 7) % 13) as f64 / 13.0;
+                pt(r, a)
+            })
+            .collect();
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            assert!(w[0].norm_resource < w[1].norm_resource);
+            assert!(w[0].norm_miou < w[1].norm_miou);
+        }
+        // No front point dominated by any input point.
+        for f in &front {
+            for p in &pts {
+                assert!(!dominates(p, f) || (p.norm_resource == f.norm_resource && p.norm_miou == f.norm_miou));
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let pts = vec![pt(0.5, 0.5)];
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn dominates_is_strict() {
+        assert!(dominates(&pt(0.5, 0.9), &pt(0.6, 0.8)));
+        assert!(!dominates(&pt(0.5, 0.9), &pt(0.5, 0.9)));
+        assert!(!dominates(&pt(0.5, 0.7), &pt(0.6, 0.8)));
+    }
+}

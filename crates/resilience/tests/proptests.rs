@@ -1,0 +1,116 @@
+//! Property-based tests of Pareto extraction and the accuracy model.
+
+use proptest::prelude::*;
+use vit_models::{SegFormerDynamic, SegFormerVariant, SwinDynamic, SwinVariant};
+use vit_resilience::{dominates, pareto_front, AccuracyModel, DynConfig, TradeoffPoint, Workload};
+
+fn point(r: f64, a: f64) -> TradeoffPoint {
+    TradeoffPoint {
+        label: String::new(),
+        config: DynConfig::SegFormer(SegFormerDynamic::full(&SegFormerVariant::b2())),
+        resource: r,
+        norm_resource: r,
+        norm_miou: a,
+    }
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<TradeoffPoint>> {
+    prop::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..60)
+        .prop_map(|v| v.into_iter().map(|(r, a)| point(r, a)).collect())
+}
+
+fn arb_segformer_dynamic() -> impl Strategy<Value = SegFormerDynamic> {
+    let v = SegFormerVariant::b2();
+    (
+        1usize..=v.depths[0],
+        1usize..=v.depths[1],
+        1usize..=v.depths[2],
+        1usize..=v.depths[3],
+        1usize..=(v.full_fuse_in() / 4),
+        1usize..=v.decoder_dim,
+        1usize..=v.embed_dims[0],
+    )
+        .prop_map(move |(d0, d1, d2, d3, q, fo, dl0)| SegFormerDynamic {
+            depths: [d0, d1, d2, d3],
+            fuse_in_channels: q * 4,
+            fuse_out_channels: fo,
+            decode_linear0_in: dl0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn front_points_are_mutually_nondominated(pts in arb_points()) {
+        let front = pareto_front(&pts);
+        for a in &front {
+            for b in &front {
+                prop_assert!(!dominates(a, b) || (a.norm_resource == b.norm_resource && a.norm_miou == b.norm_miou));
+            }
+        }
+    }
+
+    #[test]
+    fn every_input_point_is_dominated_by_or_on_the_front(pts in arb_points()) {
+        let front = pareto_front(&pts);
+        for p in &pts {
+            let covered = front.iter().any(|f| {
+                f.norm_resource <= p.norm_resource && f.norm_miou >= p.norm_miou
+            });
+            prop_assert!(covered, "point ({}, {}) not covered", p.norm_resource, p.norm_miou);
+        }
+    }
+
+    #[test]
+    fn front_is_sorted_and_strictly_improving(pts in arb_points()) {
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            prop_assert!(w[0].norm_resource < w[1].norm_resource);
+            prop_assert!(w[0].norm_miou < w[1].norm_miou);
+        }
+    }
+
+    #[test]
+    fn front_is_idempotent(pts in arb_points()) {
+        let once = pareto_front(&pts);
+        let twice = pareto_front(&once);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn accuracy_model_bounded_for_any_config(d in arb_segformer_dynamic()) {
+        for workload in [Workload::SegFormerAde, Workload::SegFormerCityscapes] {
+            let m = AccuracyModel::for_workload(workload);
+            let v = SegFormerVariant::b2();
+            let miou = m.norm_miou_segformer(&d, &v);
+            prop_assert!((0.0..=1.02).contains(&miou), "{workload:?}: {miou}");
+            let abs = m.absolute_miou(miou);
+            prop_assert!((0.0..=1.0).contains(&abs));
+        }
+    }
+
+    #[test]
+    fn accuracy_model_full_config_dominates_any_pruned(d in arb_segformer_dynamic()) {
+        let v = SegFormerVariant::b2();
+        let m = AccuracyModel::for_workload(Workload::SegFormerAde);
+        let full = m.norm_miou_segformer(&SegFormerDynamic::full(&v), &v);
+        // Exception: the anchored 736-channel bonus region can exceed 1.0;
+        // everything else must not beat the full model by more than that
+        // anchored bonus.
+        let miou = m.norm_miou_segformer(&d, &v);
+        prop_assert!(miou <= full + 0.02, "pruned {miou} vs full {full}");
+    }
+
+    #[test]
+    fn swin_accuracy_bounded(
+        d2 in 1usize..=18,
+        q in 1usize..=512,
+    ) {
+        let v = SwinVariant::base();
+        let m = AccuracyModel::for_workload(Workload::SwinBaseAde);
+        let d = SwinDynamic { depths: [2, 2, d2, 2], bottleneck_in_channels: q * 4 };
+        let miou = m.norm_miou_swin(&d, &v);
+        prop_assert!((0.0..=1.02).contains(&miou));
+    }
+}

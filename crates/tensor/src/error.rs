@@ -1,0 +1,98 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// Every public kernel in this crate validates its arguments and returns
+/// `Result<_, TensorError>` rather than panicking, so that the graph
+/// interpreter in `vit-graph` can surface shape bugs with full context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// Human-readable description of the expectation that failed.
+        expected: String,
+        /// The shape (or shapes) actually provided.
+        got: String,
+    },
+    /// A shape argument was structurally invalid (e.g. wrong rank, zero dim).
+    InvalidShape {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A numeric argument was out of its valid range.
+    InvalidArgument {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, got } => {
+                write!(f, "{op}: shape mismatch: expected {expected}, got {got}")
+            }
+            TensorError::InvalidShape { op, msg } => write!(f, "{op}: invalid shape: {msg}"),
+            TensorError::InvalidArgument { op, msg } => write!(f, "{op}: invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+pub(crate) fn shape_mismatch(
+    op: &'static str,
+    expected: impl Into<String>,
+    got: impl Into<String>,
+) -> TensorError {
+    TensorError::ShapeMismatch {
+        op,
+        expected: expected.into(),
+        got: got.into(),
+    }
+}
+
+pub(crate) fn invalid_shape(op: &'static str, msg: impl Into<String>) -> TensorError {
+    TensorError::InvalidShape {
+        op,
+        msg: msg.into(),
+    }
+}
+
+pub(crate) fn invalid_argument(op: &'static str, msg: impl Into<String>) -> TensorError {
+    TensorError::InvalidArgument {
+        op,
+        msg: msg.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = shape_mismatch("matmul", "[2, 3]", "[4, 5]");
+        let s = err.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,36 @@
+//! # vit-tensor
+//!
+//! Dense tensor kernels for the DRT-ViT reproduction: a row-major `f32`
+//! [`Tensor`] plus the small set of operations vision transformers need —
+//! convolution (standard, grouped, depthwise), matrix multiplication,
+//! multi-head attention, LayerNorm/BatchNorm, pooling, bilinear resizing,
+//! channel concatenation, and symmetric INT8 quantization.
+//!
+//! Everything is written from scratch against the standard library; `rand`
+//! is used only for seeded synthetic weights so that experiments are
+//! bit-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use vit_tensor::{ops, Tensor};
+//!
+//! # fn main() -> Result<(), vit_tensor::TensorError> {
+//! // A 3x3 blur over a synthetic image.
+//! let image = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 42);
+//! let kernel = Tensor::full(&[3, 3, 3, 3], 1.0 / 27.0);
+//! let blurred = ops::conv2d(&image, &kernel, None, ops::Conv2dParams::new().pad(1))?;
+//! assert_eq!(blurred.shape(), &[1, 3, 16, 16]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod ops;
+pub mod quant;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use tensor::Tensor;

@@ -1,0 +1,123 @@
+//! Element-wise activations and the softmax used inside attention.
+
+use crate::error::{invalid_argument, Result};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, applied element-wise.
+///
+/// # Examples
+///
+/// ```
+/// use vit_tensor::{Tensor, ops::relu};
+/// let t = Tensor::from_vec(vec![-1.0, 0.5], &[2]).unwrap();
+/// assert_eq!(relu(&t).data(), &[0.0, 0.5]);
+/// ```
+pub fn relu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    for v in out.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Gaussian error linear unit (tanh approximation), applied element-wise.
+///
+/// This is the activation used in transformer feed-forward networks.
+pub fn gelu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    for v in out.data_mut() {
+        let x = *v;
+        let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+        *v = 0.5 * x * (1.0 + inner.tanh());
+    }
+    out
+}
+
+/// Numerically-stable softmax over the last dimension.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::InvalidArgument`] when the tensor has no
+/// dimensions or the last dimension is zero.
+pub fn softmax_last_dim(input: &Tensor) -> Result<Tensor> {
+    let last = *input
+        .shape()
+        .last()
+        .ok_or_else(|| invalid_argument("softmax", "tensor has no dimensions".to_string()))?;
+    if last == 0 {
+        return Err(invalid_argument("softmax", "last dimension is zero".to_string()));
+    }
+    let mut out = input.clone();
+    let rows = out.numel() / last;
+    let data = out.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * last..(r + 1) * last];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let t = Tensor::from_vec(vec![-3.0, -0.0, 0.0, 2.5], &[4]).unwrap();
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, -1.0, 3.0], &[4]).unwrap();
+        let g = gelu(&t);
+        assert!((g.data()[0] - 0.0).abs() < 1e-6);
+        assert!((g.data()[1] - 0.8412).abs() < 1e-3);
+        assert!((g.data()[2] - (-0.1588)).abs() < 1e-3);
+        // Far in the positive tail, gelu(x) ~= x.
+        assert!((g.data()[3] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::rand_uniform(&[3, 7], -5.0, 5.0, 9);
+        let s = softmax_last_dim(&t).unwrap();
+        for r in 0..3 {
+            let sum: f32 = s.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1000.0, 999.0], &[3]).unwrap();
+        let s = softmax_last_dim(&t).unwrap();
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        assert!(s.data()[0] > s.data()[2]);
+    }
+
+    #[test]
+    fn softmax_preserves_order() {
+        let t = Tensor::from_vec(vec![0.1, 2.0, -1.0, 0.5], &[1, 4]).unwrap();
+        let s = softmax_last_dim(&t).unwrap();
+        let d = s.data();
+        assert!(d[1] > d[3] && d[3] > d[0] && d[0] > d[2]);
+    }
+
+    #[test]
+    fn softmax_rejects_zero_dim() {
+        let t = Tensor::zeros(&[3, 0]);
+        assert!(softmax_last_dim(&t).is_err());
+    }
+}

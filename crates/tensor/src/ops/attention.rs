@@ -1,0 +1,231 @@
+//! Multi-head self-attention.
+//!
+//! The kernel takes separate query and key/value sequences so that it also
+//! covers SegFormer's spatial-reduction attention (queries at full resolution,
+//! keys/values at reduced resolution) and Swin's window attention (callers
+//! partition windows into the batch dimension).
+
+use crate::error::{invalid_argument, invalid_shape, shape_mismatch, Result};
+use crate::ops::activation::softmax_last_dim;
+use crate::ops::matmul::{bmm, linear};
+use crate::tensor::Tensor;
+
+/// Weights of one multi-head attention block.
+///
+/// All four projection weights follow the `[out_features, in_features]`
+/// convention of [`linear`].
+#[derive(Debug, Clone)]
+pub struct AttentionWeights {
+    /// Query projection, `[dim, dim]`.
+    pub wq: Tensor,
+    /// Key projection, `[dim, dim]`.
+    pub wk: Tensor,
+    /// Value projection, `[dim, dim]`.
+    pub wv: Tensor,
+    /// Output projection, `[dim, dim]`.
+    pub wo: Tensor,
+}
+
+impl AttentionWeights {
+    /// Seeded synthetic weights for a block of embedding size `dim`.
+    pub fn synthetic(dim: usize, seed: u64) -> Self {
+        AttentionWeights {
+            wq: Tensor::rand_kaiming(&[dim, dim], dim, seed),
+            wk: Tensor::rand_kaiming(&[dim, dim], dim, seed.wrapping_add(1)),
+            wv: Tensor::rand_kaiming(&[dim, dim], dim, seed.wrapping_add(2)),
+            wo: Tensor::rand_kaiming(&[dim, dim], dim, seed.wrapping_add(3)),
+        }
+    }
+}
+
+/// Splits `[b, n, dim]` into `[b * heads, n, dim / heads]`.
+fn split_heads(x: &Tensor, heads: usize) -> Result<Tensor> {
+    let (b, n, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let hd = d / heads;
+    // [b, n, heads, hd] -> [b, heads, n, hd] -> [b*heads, n, hd]
+    let x = x.reshape(&[b, n, heads, hd])?;
+    let x = x.permute(&[0, 2, 1, 3])?;
+    x.reshape(&[b * heads, n, hd])
+}
+
+/// Inverse of [`split_heads`].
+fn merge_heads(x: &Tensor, heads: usize) -> Result<Tensor> {
+    let (bh, n, hd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let b = bh / heads;
+    let x = x.reshape(&[b, heads, n, hd])?;
+    let x = x.permute(&[0, 2, 1, 3])?;
+    x.reshape(&[b, n, heads * hd])
+}
+
+/// Multi-head scaled-dot-product attention.
+///
+/// `query` is `[b, n, dim]` and `kv` is `[b, m, dim]`; the result is
+/// `[b, n, dim]`. Standard self-attention passes the same tensor for both;
+/// spatial-reduction attention passes a shorter `kv`.
+///
+/// # Errors
+///
+/// Returns an error when ranks are not 3, batch or embedding dimensions
+/// disagree, or `dim` is not divisible by `heads`.
+///
+/// # Examples
+///
+/// ```
+/// use vit_tensor::{Tensor, ops::{AttentionWeights, multi_head_attention}};
+/// # fn main() -> Result<(), vit_tensor::TensorError> {
+/// let x = Tensor::rand_uniform(&[1, 16, 32], -1.0, 1.0, 0);
+/// let w = AttentionWeights::synthetic(32, 1);
+/// let y = multi_head_attention(&x, &x, &w, 4)?;
+/// assert_eq!(y.shape(), &[1, 16, 32]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multi_head_attention(
+    query: &Tensor,
+    kv: &Tensor,
+    weights: &AttentionWeights,
+    heads: usize,
+) -> Result<Tensor> {
+    if query.rank() != 3 || kv.rank() != 3 {
+        return Err(invalid_shape(
+            "attention",
+            format!(
+                "expected rank-3 [b, n, dim] tensors, got {:?} and {:?}",
+                query.shape(),
+                kv.shape()
+            ),
+        ));
+    }
+    let (b, _n, d) = (query.shape()[0], query.shape()[1], query.shape()[2]);
+    if kv.shape()[0] != b || kv.shape()[2] != d {
+        return Err(shape_mismatch(
+            "attention",
+            format!("kv of shape [{b}, m, {d}]"),
+            format!("{:?}", kv.shape()),
+        ));
+    }
+    if heads == 0 || d % heads != 0 {
+        return Err(invalid_argument(
+            "attention",
+            format!("dim {d} not divisible by heads {heads}"),
+        ));
+    }
+    let q = linear(query, &weights.wq, None)?;
+    let k = linear(kv, &weights.wk, None)?;
+    let v = linear(kv, &weights.wv, None)?;
+    let qh = split_heads(&q, heads)?;
+    let kh = split_heads(&k, heads)?;
+    let vh = split_heads(&v, heads)?;
+    // scores = q @ k^T / sqrt(head_dim)
+    let kt = {
+        let (bh, m, hd) = (kh.shape()[0], kh.shape()[1], kh.shape()[2]);
+        kh.permute(&[0, 2, 1])?.reshape(&[bh, hd, m])?
+    };
+    let scale = 1.0 / ((d / heads) as f32).sqrt();
+    let scores = bmm(&qh, &kt)?.scale(scale);
+    let probs = softmax_last_dim(&scores)?;
+    let ctx = bmm(&probs, &vh)?;
+    let merged = merge_heads(&ctx, heads)?;
+    linear(&merged, &weights.wo, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(dim: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[dim, dim]);
+        for i in 0..dim {
+            t.set(&[i, i], 1.0);
+        }
+        t
+    }
+
+    #[test]
+    fn attention_output_shape_matches_query() {
+        let q = Tensor::rand_uniform(&[2, 10, 16], -1.0, 1.0, 1);
+        let kv = Tensor::rand_uniform(&[2, 4, 16], -1.0, 1.0, 2);
+        let w = AttentionWeights::synthetic(16, 3);
+        let y = multi_head_attention(&q, &kv, &w, 4).unwrap();
+        assert_eq!(y.shape(), &[2, 10, 16]);
+    }
+
+    #[test]
+    fn attention_with_identity_weights_averages_values() {
+        // With identity projections and identical tokens, the output of
+        // attention equals the (single) token value itself.
+        let dim = 8;
+        let token: Vec<f32> = (0..dim).map(|v| v as f32 * 0.1).collect();
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            data.extend_from_slice(&token);
+        }
+        let x = Tensor::from_vec(data, &[1, 5, dim]).unwrap();
+        let w = AttentionWeights {
+            wq: identity(dim),
+            wk: identity(dim),
+            wv: identity(dim),
+            wo: identity(dim),
+        };
+        let y = multi_head_attention(&x, &x, &w, 2).unwrap();
+        for t in 0..5 {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..dim {
+                let v = y.data()[t * dim + i];
+                assert!((v - token[i]).abs() < 1e-5, "token {t} dim {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_attends_to_matching_key() {
+        // Two orthogonal kv tokens; a query aligned with token 0's key should
+        // produce (approximately) token 0's value when logits are large.
+        let dim = 4;
+        let big = 50.0f32;
+        let kv = Tensor::from_vec(
+            vec![
+                big, 0.0, 0.0, 0.0, // token 0
+                0.0, big, 0.0, 0.0, // token 1
+            ],
+            &[1, 2, dim],
+        )
+        .unwrap();
+        let q = Tensor::from_vec(vec![big, 0.0, 0.0, 0.0], &[1, 1, dim]).unwrap();
+        let w = AttentionWeights {
+            wq: identity(dim),
+            wk: identity(dim),
+            wv: identity(dim),
+            wo: identity(dim),
+        };
+        let y = multi_head_attention(&q, &kv, &w, 1).unwrap();
+        // Output should be very close to kv token 0's value.
+        assert!((y.data()[0] - big).abs() < 1.0, "{:?}", y.data());
+        assert!(y.data()[1].abs() < 1.0);
+    }
+
+    #[test]
+    fn split_merge_heads_round_trip() {
+        let x = Tensor::rand_uniform(&[2, 6, 12], -1.0, 1.0, 7);
+        let s = split_heads(&x, 3).unwrap();
+        assert_eq!(s.shape(), &[6, 6, 4]);
+        let m = merge_heads(&s, 3).unwrap();
+        assert_eq!(m, x);
+    }
+
+    #[test]
+    fn attention_rejects_bad_heads() {
+        let x = Tensor::zeros(&[1, 4, 10]);
+        let w = AttentionWeights::synthetic(10, 0);
+        assert!(multi_head_attention(&x, &x, &w, 3).is_err());
+        assert!(multi_head_attention(&x, &x, &w, 0).is_err());
+    }
+
+    #[test]
+    fn attention_rejects_mismatched_kv() {
+        let q = Tensor::zeros(&[1, 4, 8]);
+        let kv = Tensor::zeros(&[2, 4, 8]);
+        let w = AttentionWeights::synthetic(8, 0);
+        assert!(multi_head_attention(&q, &kv, &w, 2).is_err());
+    }
+}

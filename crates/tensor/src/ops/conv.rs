@@ -1,0 +1,350 @@
+//! 2-D convolution kernels (standard, grouped, and depthwise).
+
+use crate::error::{invalid_argument, invalid_shape, shape_mismatch, Result};
+use crate::tensor::Tensor;
+
+/// Convolution hyper-parameters.
+///
+/// Kernel size is carried by the weight tensor; this struct holds stride,
+/// padding, and group count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Rows of implicit zero padding on the top and bottom.
+    pub pad_h: usize,
+    /// Columns of implicit zero padding on the left and right.
+    pub pad_w: usize,
+    /// Number of groups; `groups == in_channels == out_channels` gives a
+    /// depthwise convolution.
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Unit-stride, unpadded, ungrouped parameters.
+    pub fn new() -> Self {
+        Conv2dParams {
+            stride_h: 1,
+            stride_w: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+        }
+    }
+
+    /// Sets an identical stride in both directions.
+    pub fn stride(mut self, s: usize) -> Self {
+        self.stride_h = s;
+        self.stride_w = s;
+        self
+    }
+
+    /// Sets identical padding in both directions.
+    pub fn pad(mut self, p: usize) -> Self {
+        self.pad_h = p;
+        self.pad_w = p;
+        self
+    }
+
+    /// Sets the group count.
+    pub fn groups(mut self, g: usize) -> Self {
+        self.groups = g;
+        self
+    }
+
+    /// Output spatial size for an input of `(h, w)` with kernel `(r, s)`.
+    ///
+    /// Follows the usual floor convention:
+    /// `out = (in + 2*pad - kernel) / stride + 1`.
+    pub fn out_size(&self, h: usize, w: usize, r: usize, s: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad_h).saturating_sub(r) / self.stride_h + 1;
+        let ow = (w + 2 * self.pad_w).saturating_sub(s) / self.stride_w + 1;
+        (oh, ow)
+    }
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// 2-D convolution.
+///
+/// `input` is NCHW `[n, c, h, w]`; `weight` is `[k, c/groups, r, s]`;
+/// `bias` is `[k]` or `None`. Returns `[n, k, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns an error when channel counts are inconsistent with `groups`, when
+/// the kernel is larger than the padded input, or when the bias length is
+/// wrong.
+///
+/// # Examples
+///
+/// ```
+/// use vit_tensor::{Tensor, ops::{conv2d, Conv2dParams}};
+/// # fn main() -> Result<(), vit_tensor::TensorError> {
+/// // 1x1 convolution acting as a per-pixel channel mix.
+/// let x = Tensor::ones(&[1, 3, 2, 2]);
+/// let w = Tensor::ones(&[4, 3, 1, 1]);
+/// let y = conv2d(&x, &w, None, Conv2dParams::new())?;
+/// assert_eq!(y.shape(), &[1, 4, 2, 2]);
+/// assert_eq!(y.data()[0], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    if input.rank() != 4 || weight.rank() != 4 {
+        return Err(invalid_shape(
+            "conv2d",
+            format!(
+                "input and weight must be rank 4, got {:?} and {:?}",
+                input.shape(),
+                weight.shape()
+            ),
+        ));
+    }
+    if p.stride_h == 0 || p.stride_w == 0 {
+        return Err(invalid_argument("conv2d", "stride must be nonzero".to_string()));
+    }
+    if p.groups == 0 {
+        return Err(invalid_argument("conv2d", "groups must be nonzero".to_string()));
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (k, c_per_g, r, s) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if c % p.groups != 0 || k % p.groups != 0 {
+        return Err(invalid_argument(
+            "conv2d",
+            format!("channels ({c} in, {k} out) not divisible by groups {}", p.groups),
+        ));
+    }
+    if c / p.groups != c_per_g {
+        return Err(shape_mismatch(
+            "conv2d",
+            format!("weight in-channels {} (= {c} / groups {})", c / p.groups, p.groups),
+            format!("{c_per_g}"),
+        ));
+    }
+    if h + 2 * p.pad_h < r || w + 2 * p.pad_w < s {
+        return Err(invalid_shape(
+            "conv2d",
+            format!("kernel {r}x{s} larger than padded input {}x{}", h + 2 * p.pad_h, w + 2 * p.pad_w),
+        ));
+    }
+    if let Some(b) = bias {
+        if b.numel() != k {
+            return Err(shape_mismatch(
+                "conv2d",
+                format!("bias of {k} elements"),
+                format!("{:?}", b.shape()),
+            ));
+        }
+    }
+    let (oh, ow) = p.out_size(h, w, r, s);
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let xd = input.data();
+    let wd = weight.data();
+    let od = out.data_mut();
+    let k_per_g = k / p.groups;
+    for b in 0..n {
+        for ko in 0..k {
+            let g = ko / k_per_g;
+            let c_start = g * c_per_g;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c_per_g {
+                        let cin = c_start + ci;
+                        for ry in 0..r {
+                            let iy = oy * p.stride_h + ry;
+                            if iy < p.pad_h || iy >= h + p.pad_h {
+                                continue;
+                            }
+                            let iy = iy - p.pad_h;
+                            let wrow = (ko * c_per_g + ci) * r + ry;
+                            for sx in 0..s {
+                                let ix = ox * p.stride_w + sx;
+                                if ix < p.pad_w || ix >= w + p.pad_w {
+                                    continue;
+                                }
+                                let ix = ix - p.pad_w;
+                                acc += xd[((b * c + cin) * h + iy) * w + ix]
+                                    * wd[wrow * s + sx];
+                            }
+                        }
+                    }
+                    od[((b * k + ko) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    if let Some(bias) = bias {
+        let bd = bias.data();
+        for b in 0..n {
+            for (ko, &bias_k) in bd.iter().enumerate() {
+                let base = (b * k + ko) * oh * ow;
+                for i in 0..oh * ow {
+                    od[base + i] += bias_k;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Depthwise 2-D convolution: one filter per channel
+/// (`groups == in_channels == out_channels`).
+///
+/// `weight` is `[c, 1, r, s]`.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`conv2d`].
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    mut p: Conv2dParams,
+) -> Result<Tensor> {
+    let c = input
+        .shape()
+        .get(1)
+        .copied()
+        .ok_or_else(|| invalid_shape("depthwise_conv2d", "input must be rank 4".to_string()))?;
+    p.groups = c;
+    conv2d(input, weight, bias, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_1x1_is_channel_mix() {
+        // 2 input channels, 1 output channel, weights [1, 2]:
+        // out = 1*x0 + 2*x1 per pixel.
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, // channel 0
+                10.0, 20.0, 30.0, 40.0, // channel 1
+            ],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let w = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]).unwrap();
+        let y = conv2d(&x, &w, None, Conv2dParams::new()).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[21.0, 42.0, 63.0, 84.0]);
+    }
+
+    #[test]
+    fn conv_3x3_hand_example() {
+        // 3x3 mean filter over a 3x3 image with padding 1.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv2d(&x, &w, None, Conv2dParams::new().pad(1)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        // Center output = sum of all 9 inputs = 45.
+        assert_eq!(y.at(&[0, 0, 1, 1]), 45.0);
+        // Top-left output = sum of the 2x2 top-left block = 1+2+4+5 = 12.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn conv_stride_downsamples() {
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv2d(&x, &w, None, Conv2dParams::new().stride(2)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert!(y.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn conv_overlapping_patch_embed_shape() {
+        // SegFormer stage-0 patch embedding: 7x7 kernel, stride 4, pad 3.
+        let x = Tensor::zeros(&[1, 3, 64, 64]);
+        let w = Tensor::zeros(&[32, 3, 7, 7]);
+        let p = Conv2dParams::new().stride(4).pad(3);
+        let y = conv2d(&x, &w, None, p).unwrap();
+        assert_eq!(y.shape(), &[1, 32, 16, 16]);
+    }
+
+    #[test]
+    fn conv_bias_added_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![3.0, -1.0], &[2]).unwrap();
+        let y = conv2d(&x, &w, Some(&b), Conv2dParams::new()).unwrap();
+        assert_eq!(y.at(&[0, 0, 0, 0]), 3.0);
+        assert_eq!(y.at(&[0, 1, 1, 1]), -1.0);
+    }
+
+    #[test]
+    fn depthwise_applies_per_channel_filter() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]).unwrap();
+        // Channel 0 doubled, channel 1 negated.
+        let w = Tensor::from_vec(vec![2.0, -1.0], &[2, 1, 1, 1]).unwrap();
+        let y = depthwise_conv2d(&x, &w, None, Conv2dParams::new()).unwrap();
+        assert_eq!(y.data(), &[2.0, 4.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn grouped_conv_partitions_channels() {
+        // 4 in channels, 2 groups, 2 out channels: each output sees only its
+        // half of the input channels.
+        let x = Tensor::from_vec(
+            vec![1.0, 10.0, 100.0, 1000.0],
+            &[1, 4, 1, 1],
+        )
+        .unwrap();
+        let w = Tensor::ones(&[2, 2, 1, 1]);
+        let y = conv2d(&x, &w, None, Conv2dParams::new().groups(2)).unwrap();
+        assert_eq!(y.data(), &[11.0, 1100.0]);
+    }
+
+    #[test]
+    fn conv_rejects_bad_groups_and_channels() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 3, 1, 1]);
+        assert!(conv2d(&x, &w, None, Conv2dParams::new().groups(2)).is_err());
+        let w_bad = Tensor::zeros(&[2, 4, 1, 1]);
+        assert!(conv2d(&x, &w_bad, None, Conv2dParams::new()).is_err());
+    }
+
+    #[test]
+    fn conv_matches_linear_for_1x1_on_flattened_pixels() {
+        // A 1x1 conv is exactly a linear layer over channels at each pixel.
+        let x = Tensor::rand_uniform(&[1, 6, 3, 3], -1.0, 1.0, 5);
+        let w = Tensor::rand_uniform(&[4, 6, 1, 1], -1.0, 1.0, 6);
+        let y = conv2d(&x, &w, None, Conv2dParams::new()).unwrap();
+        let w2 = w.reshape(&[4, 6]).unwrap();
+        // NCHW -> (HW, C)
+        let xs = x.reshape(&[6, 9]).unwrap().transpose2().unwrap();
+        let ys = crate::ops::linear(&xs, &w2, None).unwrap();
+        for pix in 0..9 {
+            for ch in 0..4 {
+                let a = y.data()[ch * 9 + pix];
+                let b = ys.data()[pix * 4 + ch];
+                assert!((a - b).abs() < 1e-5, "pixel {pix} channel {ch}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Matrix multiplication and linear (fully-connected) kernels.
+
+use crate::error::{invalid_shape, shape_mismatch, Result};
+use crate::tensor::Tensor;
+
+/// Multiplies two 2-D matrices: `a` is `[m, k]`, `b` is `[k, n]`, the result
+/// is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::ShapeMismatch`] when the inner dimensions
+/// disagree or either input is not rank 2.
+///
+/// # Examples
+///
+/// ```
+/// use vit_tensor::{Tensor, ops};
+/// # fn main() -> Result<(), vit_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(ops::matmul(&a, &id)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(invalid_shape(
+            "matmul",
+            format!("expected two rank-2 tensors, got {:?} x {:?}", a.shape(), b.shape()),
+        ));
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(shape_mismatch(
+            "matmul",
+            "[m, k] x [k, n] with shared k".to_string(),
+            format!("{:?} x {:?}", a.shape(), b.shape()),
+        ));
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    // i-k-j loop order for stride-1 inner access on both b and out.
+    for i in 0..m {
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Batched matrix multiplication over the leading dimension:
+/// `a` is `[b, m, k]`, `b` is `[b, k, n]`, the result is `[b, m, n]`.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::ShapeMismatch`] when batch or inner
+/// dimensions disagree.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 3 || b.rank() != 3 || a.shape()[0] != b.shape()[0] {
+        return Err(shape_mismatch(
+            "bmm",
+            "[b, m, k] x [b, k, n] with shared b".to_string(),
+            format!("{:?} x {:?}", a.shape(), b.shape()),
+        ));
+    }
+    let (batch, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (k2, n) = (b.shape()[1], b.shape()[2]);
+    if k != k2 {
+        return Err(shape_mismatch(
+            "bmm",
+            "[b, m, k] x [b, k, n] with shared k".to_string(),
+            format!("{:?} x {:?}", a.shape(), b.shape()),
+        ));
+    }
+    let mut out = Tensor::zeros(&[batch, m, n]);
+    for bi in 0..batch {
+        let a2 = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k])?;
+        let b2 = Tensor::from_vec(b.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n])?;
+        let o2 = matmul(&a2, &b2)?;
+        out.data_mut()[bi * m * n..(bi + 1) * m * n].copy_from_slice(o2.data());
+    }
+    Ok(out)
+}
+
+/// Applies a linear (fully-connected) layer to the last dimension.
+///
+/// `input` is `[..., in_features]`, `weight` is
+/// `[out_features, in_features]` (PyTorch convention), `bias` is
+/// `[out_features]` or `None`. The result replaces the last dimension with
+/// `out_features`.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::ShapeMismatch`] when `in_features` or the
+/// bias length disagree.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    if weight.rank() != 2 {
+        return Err(invalid_shape(
+            "linear",
+            format!("weight must be rank 2, got {:?}", weight.shape()),
+        ));
+    }
+    let in_features = *input.shape().last().ok_or_else(|| {
+        invalid_shape("linear", "input must have at least one dimension".to_string())
+    })?;
+    let (out_features, w_in) = (weight.shape()[0], weight.shape()[1]);
+    if w_in != in_features {
+        return Err(shape_mismatch(
+            "linear",
+            format!("input last dim {in_features}"),
+            format!("weight shape {:?}", weight.shape()),
+        ));
+    }
+    if let Some(b) = bias {
+        if b.numel() != out_features {
+            return Err(shape_mismatch(
+                "linear",
+                format!("bias of {out_features} elements"),
+                format!("{:?}", b.shape()),
+            ));
+        }
+    }
+    let rows = input.numel() / in_features;
+    let mut out_shape = input.shape().to_vec();
+    *out_shape.last_mut().expect("non-empty shape") = out_features;
+    let mut out = Tensor::zeros(&out_shape);
+    let xd = input.data();
+    let wd = weight.data();
+    let od = out.data_mut();
+    for r in 0..rows {
+        let xrow = &xd[r * in_features..(r + 1) * in_features];
+        let orow = &mut od[r * out_features..(r + 1) * out_features];
+        for (o, orow_o) in orow.iter_mut().enumerate() {
+            let wrow = &wd[o * in_features..(o + 1) * in_features];
+            let mut acc = 0.0;
+            for (xi, wi) in xrow.iter().zip(wrow.iter()) {
+                acc += xi * wi;
+            }
+            *orow_o = acc;
+        }
+    }
+    if let Some(b) = bias {
+        let bd = b.data();
+        for r in 0..rows {
+            for o in 0..out_features {
+                od[r * out_features + o] += bd[o];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::rand_uniform(&[5, 5], -1.0, 1.0, 7);
+        let mut id = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            id.set(&[i, i], 1.0);
+        }
+        let c = matmul(&a, &id).unwrap();
+        for (x, y) in a.data().iter().zip(c.data().iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::rand_uniform(&[3, 2, 4], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[3, 4, 5], -1.0, 1.0, 2);
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[3, 2, 5]);
+        for bi in 0..3 {
+            let a2 =
+                Tensor::from_vec(a.data()[bi * 8..(bi + 1) * 8].to_vec(), &[2, 4]).unwrap();
+            let b2 =
+                Tensor::from_vec(b.data()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]).unwrap();
+            let expect = matmul(&a2, &b2).unwrap();
+            assert_eq!(&c.data()[bi * 10..(bi + 1) * 10], expect.data());
+        }
+    }
+
+    #[test]
+    fn linear_matches_matmul_transpose() {
+        let x = Tensor::rand_uniform(&[4, 6], -1.0, 1.0, 3);
+        let w = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, 4);
+        let y = linear(&x, &w, None).unwrap();
+        let wt = w.transpose2().unwrap();
+        let expect = matmul(&x, &wt).unwrap();
+        for (a, b) in y.data().iter().zip(expect.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_applies_bias_and_keeps_leading_dims() {
+        let x = Tensor::ones(&[2, 3, 4]);
+        let w = Tensor::zeros(&[2, 4]);
+        let b = Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap();
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 2]);
+        for row in 0..6 {
+            assert_eq!(y.data()[row * 2], 1.5);
+            assert_eq!(y.data()[row * 2 + 1], -2.5);
+        }
+    }
+
+    #[test]
+    fn linear_rejects_bad_bias() {
+        let x = Tensor::ones(&[1, 4]);
+        let w = Tensor::zeros(&[2, 4]);
+        let b = Tensor::zeros(&[3]);
+        assert!(linear(&x, &w, Some(&b)).is_err());
+    }
+}

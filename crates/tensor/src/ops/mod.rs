@@ -1,0 +1,17 @@
+//! Numeric kernels operating on [`crate::Tensor`].
+
+mod activation;
+mod attention;
+mod conv;
+mod matmul;
+mod norm;
+mod pool;
+mod resize;
+
+pub use activation::{gelu, relu, softmax_last_dim};
+pub use attention::{multi_head_attention, AttentionWeights};
+pub use conv::{conv2d, depthwise_conv2d, Conv2dParams};
+pub use matmul::{bmm, linear, matmul};
+pub use norm::{batch_norm_inference, layer_norm};
+pub use pool::{adaptive_avg_pool2d, global_avg_pool, max_pool2d};
+pub use resize::{bilinear_resize, concat_channels};

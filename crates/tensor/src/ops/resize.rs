@@ -1,0 +1,187 @@
+//! Spatial resizing: bilinear interpolation and channel concatenation, the
+//! two glue operations of segmentation decoders.
+
+use crate::error::{invalid_argument, invalid_shape, shape_mismatch, Result};
+use crate::tensor::Tensor;
+
+/// Bilinear interpolation of an NCHW tensor to an exact output size, using
+/// `align_corners = false` semantics (the convention used by SegFormer and
+/// UPerNet decoders).
+///
+/// # Errors
+///
+/// Returns an error for non-NCHW input or a zero target size.
+pub fn bilinear_resize(input: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(invalid_shape(
+            "bilinear_resize",
+            format!("expected NCHW rank-4 tensor, got {:?}", input.shape()),
+        ));
+    }
+    if out_h == 0 || out_w == 0 {
+        return Err(invalid_argument(
+            "bilinear_resize",
+            "output size must be nonzero".to_string(),
+        ));
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if h == out_h && w == out_w {
+        return Ok(input.clone());
+    }
+    let mut out = Tensor::zeros(&[n, c, out_h, out_w]);
+    let xd = input.data();
+    let od = out.data_mut();
+    let scale_y = h as f32 / out_h as f32;
+    let scale_x = w as f32 / out_w as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let base_in = (b * c + ch) * h * w;
+            let base_out = (b * c + ch) * out_h * out_w;
+            for oy in 0..out_h {
+                // align_corners = false source coordinate.
+                let sy = ((oy as f32 + 0.5) * scale_y - 0.5).max(0.0);
+                let y0 = (sy.floor() as usize).min(h - 1);
+                let y1 = (y0 + 1).min(h - 1);
+                let fy = sy - y0 as f32;
+                for ox in 0..out_w {
+                    let sx = ((ox as f32 + 0.5) * scale_x - 0.5).max(0.0);
+                    let x0 = (sx.floor() as usize).min(w - 1);
+                    let x1 = (x0 + 1).min(w - 1);
+                    let fx = sx - x0 as f32;
+                    let v00 = xd[base_in + y0 * w + x0];
+                    let v01 = xd[base_in + y0 * w + x1];
+                    let v10 = xd[base_in + y1 * w + x0];
+                    let v11 = xd[base_in + y1 * w + x1];
+                    let top = v00 + (v01 - v00) * fx;
+                    let bot = v10 + (v11 - v10) * fx;
+                    od[base_out + oy * out_w + ox] = top + (bot - top) * fy;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Concatenates NCHW tensors along the channel dimension.
+///
+/// All inputs must agree in batch and spatial dimensions.
+///
+/// # Errors
+///
+/// Returns an error when the list is empty or shapes disagree outside the
+/// channel dimension.
+pub fn concat_channels(inputs: &[&Tensor]) -> Result<Tensor> {
+    let first = inputs.first().ok_or_else(|| {
+        invalid_argument("concat_channels", "need at least one input".to_string())
+    })?;
+    if first.rank() != 4 {
+        return Err(invalid_shape(
+            "concat_channels",
+            format!("expected NCHW rank-4 tensors, got {:?}", first.shape()),
+        ));
+    }
+    let (n, h, w) = (first.shape()[0], first.shape()[2], first.shape()[3]);
+    let mut total_c = 0;
+    for t in inputs {
+        if t.rank() != 4 || t.shape()[0] != n || t.shape()[2] != h || t.shape()[3] != w {
+            return Err(shape_mismatch(
+                "concat_channels",
+                format!("[{n}, *, {h}, {w}]"),
+                format!("{:?}", t.shape()),
+            ));
+        }
+        total_c += t.shape()[1];
+    }
+    let mut out = Tensor::zeros(&[n, total_c, h, w]);
+    let od = out.data_mut();
+    let plane = h * w;
+    for b in 0..n {
+        let mut c_off = 0;
+        for t in inputs {
+            let tc = t.shape()[1];
+            let src = &t.data()[b * tc * plane..(b + 1) * tc * plane];
+            let dst = &mut od[(b * total_c + c_off) * plane..(b * total_c + c_off + tc) * plane];
+            dst.copy_from_slice(src);
+            c_off += tc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let x = Tensor::rand_uniform(&[1, 3, 5, 5], -1.0, 1.0, 2);
+        let y = bilinear_resize(&x, 5, 5).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn resize_constant_stays_constant() {
+        let x = Tensor::full(&[1, 1, 4, 4], 3.25);
+        let y = bilinear_resize(&x, 9, 7).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 9, 7]);
+        for &v in y.data() {
+            assert!((v - 3.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_2x_linear_gradient_preserved() {
+        // Horizontal gradient: values grow linearly with x; after upsampling
+        // the interior should still be monotone in x.
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 1, 1, 4]).unwrap();
+        let y = bilinear_resize(&x, 1, 8).unwrap();
+        let d = y.data();
+        for i in 1..8 {
+            assert!(d[i] >= d[i - 1], "not monotone at {i}: {:?}", d);
+        }
+        assert!((d[0] - 0.0).abs() < 0.5);
+        assert!((d[7] - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn resize_bounds_respected() {
+        let x = Tensor::rand_uniform(&[1, 2, 3, 3], 0.0, 1.0, 4);
+        let y = bilinear_resize(&x, 12, 12).unwrap();
+        // Bilinear interpolation can never exceed the input range.
+        for &v in y.data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let b = Tensor::full(&[1, 2, 2, 2], 2.0);
+        let c = concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[1, 3, 2, 2]);
+        assert_eq!(&c.data()[0..4], &[1.0; 4]);
+        assert_eq!(&c.data()[4..12], &[2.0; 8]);
+    }
+
+    #[test]
+    fn concat_respects_batch() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1, 1, 1]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2, 1, 1, 1]).unwrap();
+        let c = concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 1, 1]);
+        assert_eq!(c.data(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(concat_channels(&[&a, &b]).is_err());
+        assert!(concat_channels(&[]).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Symmetric INT8 quantization, matching the number format of the paper's
+//! accelerator (Figure 9 uses INT8 MACs with wider accumulators).
+
+use crate::error::{invalid_argument, Result};
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// A tensor quantized to INT8 with a single symmetric scale.
+///
+/// `real_value ≈ scale * q` with `q ∈ [-127, 127]`. Accumulation happens in
+/// `i32`, as it would in the accelerator's vector MACs.
+#[derive(Clone, PartialEq)]
+pub struct QuantTensor {
+    shape: Vec<usize>,
+    data: Vec<i8>,
+    scale: f32,
+}
+
+impl fmt::Debug for QuantTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantTensor")
+            .field("shape", &self.shape)
+            .field("len", &self.data.len())
+            .field("scale", &self.scale)
+            .finish()
+    }
+}
+
+impl QuantTensor {
+    /// Quantizes a float tensor symmetrically so that its maximum absolute
+    /// value maps to ±127.
+    ///
+    /// An all-zero tensor quantizes with scale 1.0.
+    pub fn quantize(t: &Tensor) -> QuantTensor {
+        let max = t.abs_max();
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        let data = t
+            .data()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantTensor {
+            shape: t.shape().to_vec(),
+            data,
+            scale,
+        }
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The raw INT8 values.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Reconstructs the float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.shape).expect("shape invariant held by construction")
+    }
+}
+
+/// INT8 matrix multiplication with `i32` accumulation:
+/// `a` is `[m, k]`, `b` is `[k, n]`; returns a float tensor scaled by both
+/// input scales, i.e. the dequantized product.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::InvalidArgument`] when shapes are not
+/// compatible rank-2 matrices.
+pub fn quant_matmul(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
+    if a.shape.len() != 2 || b.shape.len() != 2 || a.shape[1] != b.shape[0] {
+        return Err(invalid_argument(
+            "quant_matmul",
+            format!("incompatible shapes {:?} x {:?}", a.shape, b.shape),
+        ));
+    }
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let n = b.shape[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    let combined_scale = a.scale * b.scale;
+    let od = out.data_mut();
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.data[i * k + kk] as i32;
+            if av == 0 {
+                continue;
+            }
+            for j in 0..n {
+                // i32 accumulation, converted at the end of each partial sum.
+                od[i * n + j] += (av * b.data[kk * n + j] as i32) as f32 * combined_scale;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+
+    #[test]
+    fn quantize_dequantize_small_error() {
+        let t = Tensor::rand_uniform(&[64], -2.0, 2.0, 17);
+        let q = QuantTensor::quantize(&t);
+        let d = q.dequantize();
+        for (a, b) in t.data().iter().zip(d.data().iter()) {
+            // Max quantization error is scale/2 = max/254.
+            assert!((a - b).abs() <= q.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_zero_tensor() {
+        let t = Tensor::zeros(&[8]);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.dequantize().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let t = Tensor::from_vec(vec![-4.0, 4.0, 2.0], &[3]).unwrap();
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.data()[0], -127);
+        assert_eq!(q.data()[1], 127);
+        assert_eq!(q.data()[2], 64); // 2.0 / (4/127) = 63.5 -> 64
+    }
+
+    #[test]
+    fn quant_matmul_approximates_float_matmul() {
+        let a = Tensor::rand_uniform(&[8, 16], -1.0, 1.0, 3);
+        let b = Tensor::rand_uniform(&[16, 8], -1.0, 1.0, 4);
+        let exact = matmul(&a, &b).unwrap();
+        let approx = quant_matmul(&QuantTensor::quantize(&a), &QuantTensor::quantize(&b)).unwrap();
+        let mut max_err = 0.0f32;
+        for (x, y) in exact.data().iter().zip(approx.data().iter()) {
+            max_err = max_err.max((x - y).abs());
+        }
+        // INT8 with 16-element dot products stays well within a few percent
+        // of the float result for unit-scale data.
+        assert!(max_err < 0.15, "max_err = {max_err}");
+    }
+
+    #[test]
+    fn quant_matmul_rejects_bad_shapes() {
+        let a = QuantTensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = QuantTensor::quantize(&Tensor::zeros(&[4, 2]));
+        assert!(quant_matmul(&a, &b).is_err());
+    }
+}

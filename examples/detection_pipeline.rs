@@ -1,0 +1,77 @@
+//! Object-detection pipeline study: DETR / Deformable DETR profiling and
+//! the OFA ResNet-50 dynamic backbone on the accelerator.
+//!
+//! ```text
+//! cargo run --release --example detection_pipeline
+//! ```
+
+use vit_accel::{simulate, AccelConfig, SimOptions};
+use vit_graph::Executor;
+use vit_models::{
+    backbone_transformer_split, build_deformable_detr, build_detr, ofa_family, DetrConfig,
+};
+use vit_profiler::GpuModel;
+use vit_tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuModel::titan_v();
+
+    // 1. Where does detection compute go? (paper §II-A)
+    for (name, g) in [
+        ("DETR", build_detr(&DetrConfig::detr_coco())?),
+        ("Deformable DETR", build_deformable_detr(&DetrConfig::deformable_coco())?),
+    ] {
+        let (backbone, transformer) = backbone_transformer_split(&g);
+        println!(
+            "{name}: {:.1} GFLOPs total; backbone {:.1}% of FLOPs; modeled latency {:.1} ms",
+            g.total_flops() as f64 / 1e9,
+            100.0 * backbone as f64 / (backbone + transformer) as f64,
+            gpu.total_time(&g) * 1e3
+        );
+    }
+    println!();
+
+    // 2. Execute DETR end-to-end at a small size: image + learned object
+    //    queries in, box predictions out.
+    let small = DetrConfig::detr_coco().with_image(64, 64);
+    let g = build_detr(&small)?;
+    let mut exec = Executor::new(0);
+    let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+    let queries = Tensor::rand_uniform(&[1, 100, 256], -0.5, 0.5, 2);
+    let boxes = exec.run(&g, &[image, queries])?;
+    println!(
+        "DETR @ 64x64 executed: {} predicted boxes, first box (cx, cy, w, h) = \
+         ({:.2}, {:.2}, {:.2}, {:.2})",
+        boxes.shape()[1],
+        boxes.at(&[0, 0, 0]),
+        boxes.at(&[0, 0, 1]),
+        boxes.at(&[0, 0, 2]),
+        boxes.at(&[0, 0, 3])
+    );
+    println!();
+
+    // 3. The dynamic backbone: the OFA ResNet-50 family on accelerator_OFA2
+    //    (the paper's Figure 16 experiment).
+    let opts = SimOptions::default();
+    println!("OFA ResNet-50 family @ 640x480 on accelerator_OFA2:");
+    let mut first_cycles = None;
+    for subnet in ofa_family() {
+        let backbone = subnet.build_backbone((480, 640), 1)?;
+        let r = simulate(&backbone.graph, &AccelConfig::ofa2(), &opts);
+        let cycles = r.total_cycles();
+        let base = *first_cycles.get_or_insert(cycles);
+        println!(
+            "  {:<24} top-1 {:>5.1}  {:>9} cycles ({:>3.0}% of largest)",
+            subnet.label,
+            subnet.top1,
+            cycles,
+            100.0 * cycles as f64 / base as f64
+        );
+    }
+    println!();
+    println!(
+        "the family spans a >2x cycle range with a few points of accuracy — \
+         the dynamic real-time knob for detection (paper: 57% time saving, <5% drop)."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a SegFormer, profile it, prune it dynamically, run it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vit_data::{mean_iou, Dataset, SceneGenerator};
+use vit_graph::Executor;
+use vit_models::{build_segformer, SegFormerConfig, SegFormerDynamic, SegFormerVariant};
+use vit_profiler::{GpuModel, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the full SegFormer-B2 at the paper's ADE20K geometry and
+    //    profile it: FLOPs, parameters, and modeled TITAN V latency.
+    let variant = SegFormerVariant::b2();
+    let full_cfg = SegFormerConfig::ade20k(variant);
+    let full = build_segformer(&full_cfg)?;
+    let gpu = GpuModel::titan_v();
+    println!(
+        "SegFormer-B2 @ 512x512: {:.1} GFLOPs, {:.1} M params, {:.1} ms modeled GPU latency",
+        full.total_flops() as f64 / 1e9,
+        full.total_params() as f64 / 1e6,
+        gpu.total_time(&full) * 1e3
+    );
+    let profile = Profile::with_gpu(&full, &gpu);
+    println!("largest layer by FLOPs: {}", profile.top_flops(1)[0].name);
+
+    // 2. Prune it dynamically — Table II's point E — with the same weights.
+    let point_e = SegFormerDynamic::with_depths_and_fuse(&variant, [2, 3, 5, 3], 1024);
+    let pruned = build_segformer(&full_cfg.clone().with_dynamic(point_e))?;
+    println!(
+        "point E: {:.1} GFLOPs ({:.0}% of full), {:.1} ms ({:.0}% of full)",
+        pruned.total_flops() as f64 / 1e9,
+        100.0 * pruned.total_flops() as f64 / full.total_flops() as f64,
+        gpu.total_time(&pruned) * 1e3,
+        100.0 * gpu.total_time(&pruned) / gpu.total_time(&full)
+    );
+
+    // 3. Actually execute both paths on a synthetic scene (small size so
+    //    this runs in seconds) and measure how much they agree.
+    let small = SegFormerConfig::ade20k(variant).with_image(64, 64);
+    let full_small = build_segformer(&small.clone())?;
+    let pruned_small = build_segformer(&small.with_dynamic(point_e))?;
+    let scene = SceneGenerator::new(Dataset::Ade20k, 42).sample_sized(0, 64, 64);
+    let mut exec = Executor::new(0);
+    let full_out = exec
+        .run(&full_small, std::slice::from_ref(&scene.image))?
+        .argmax_channels()?;
+    let pruned_out = exec.run(&pruned_small, &[scene.image])?.argmax_channels()?;
+    println!(
+        "pruned vs full output agreement on a real execution: mIoU {:.3}",
+        mean_iou(&pruned_out, &full_out, 150)
+    );
+    Ok(())
+}

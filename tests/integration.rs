@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: models -> profiler -> resilience ->
+//! accelerator, exercised together.
+
+use vit_accel::{simulate, AccelConfig, SimOptions};
+use vit_graph::{Executor, OpClass};
+use vit_models::{
+    build_segformer, build_swin_upernet, ofa_family, SegFormerConfig, SegFormerDynamic,
+    SegFormerVariant, SwinConfig, SwinVariant,
+};
+use vit_profiler::{GpuModel, Profile};
+use vit_resilience::{
+    pareto_front, segformer_sweep_space, sweep_segformer, ResourceKind, Workload,
+};
+use vit_tensor::Tensor;
+
+#[test]
+fn profiler_and_accelerator_agree_on_flops() {
+    let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0())).unwrap();
+    let profile = Profile::flops_only(&g);
+    let report = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default());
+    let accel_macs: u64 = report.layers.iter().map(|l| l.macs).sum();
+    // The accelerator maps every MAC-bearing layer; its MAC total must be
+    // close to the analytical FLOPs count (the profiler additionally counts
+    // bias adds, normalization, activations and resizing, which run on the
+    // PPU rather than the MAC array).
+    let ratio = accel_macs as f64 / profile.total_flops() as f64;
+    assert!((0.85..=1.01).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn pruning_reduces_all_three_cost_models_together() {
+    let v = SegFormerVariant::b2();
+    let gpu = GpuModel::titan_v();
+    let opts = SimOptions::default();
+    let full = build_segformer(&SegFormerConfig::ade20k(v)).unwrap();
+    let pruned = build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(
+        SegFormerDynamic::with_depths_and_fuse(&v, [2, 3, 4, 3], 512),
+    ))
+    .unwrap();
+    assert!(pruned.total_flops() < full.total_flops());
+    assert!(gpu.total_time(&pruned) < gpu.total_time(&full));
+    assert!(gpu.total_energy(&pruned) < gpu.total_energy(&full));
+    let c_full = simulate(&full, &AccelConfig::accelerator_star(), &opts).total_cycles();
+    let c_pruned = simulate(&pruned, &AccelConfig::accelerator_star(), &opts).total_cycles();
+    assert!(c_pruned < c_full);
+}
+
+#[test]
+fn pareto_front_spans_a_useful_range() {
+    let v = SegFormerVariant::b2();
+    let space = segformer_sweep_space(&v, 2, 8);
+    let points = sweep_segformer(
+        &v,
+        Workload::SegFormerAde,
+        (512, 512),
+        150,
+        &space,
+        ResourceKind::GpuTime,
+    );
+    let front = pareto_front(&points);
+    assert!(front.len() >= 10, "front has only {} points", front.len());
+    let cheapest = front.first().unwrap();
+    let fullest = front.last().unwrap();
+    assert!((fullest.norm_resource - 1.0).abs() < 1e-9);
+    assert!((fullest.norm_miou - 1.0).abs() < 1e-9);
+    // The front reaches at least 35% resource savings.
+    assert!(cheapest.norm_resource < 0.65, "cheapest {}", cheapest.norm_resource);
+}
+
+#[test]
+fn swin_and_segformer_share_the_fuse_bottleneck_structure() {
+    // The paper's central structural observation, across both families.
+    let seg = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
+    let swin = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
+    for (g, fuse) in [(&seg, "decoder.conv_fuse"), (&swin, "decoder.fpn_bottleneck")] {
+        let node = g.find(fuse).unwrap();
+        let share = g.node(node).flops(g) as f64 / g.total_flops() as f64;
+        assert!(share > 0.5, "{fuse} share {share}");
+        assert!(g.flops_by_class(OpClass::Conv) > g.flops_by_class(OpClass::Attention));
+    }
+}
+
+#[test]
+fn executable_graphs_are_deterministic_across_executors() {
+    let cfg = SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(64, 64);
+    let g = build_segformer(&cfg).unwrap();
+    let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 9);
+    let a = Executor::new(5).run(&g, std::slice::from_ref(&img)).unwrap();
+    let b = Executor::new(5).run(&g, std::slice::from_ref(&img)).unwrap();
+    assert_eq!(a, b);
+    // Different weight seeds give different outputs.
+    let c = Executor::new(6).run(&g, &[img]).unwrap();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn ofa_family_monotone_on_the_accelerator() {
+    let opts = SimOptions::default();
+    let mut prev = u64::MAX;
+    for subnet in ofa_family() {
+        let g = subnet.build_backbone((224, 224), 1).unwrap().graph;
+        let cycles = simulate(&g, &AccelConfig::ofa2(), &opts).total_cycles();
+        assert!(cycles < prev, "{}: {cycles} !< {prev}", subnet.label);
+        prev = cycles;
+    }
+}
+
+#[test]
+fn one_accelerator_serves_all_three_model_families() {
+    // accelerator* executes SegFormer, Swin and OFA ResNet-50 (§VI-C).
+    let opts = SimOptions::default();
+    let star = AccelConfig::accelerator_star();
+    let seg = build_segformer(
+        &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128),
+    )
+    .unwrap();
+    let swin = build_swin_upernet(
+        &SwinConfig::ade20k(SwinVariant::tiny()).with_image(128, 128),
+    )
+    .unwrap();
+    let ofa = ofa_family()[3].build_backbone((128, 128), 1).unwrap().graph;
+    for g in [&seg, &swin, &ofa] {
+        let r = simulate(g, &star, &opts);
+        assert!(r.total_cycles() > 0);
+        assert!(r.total_energy_j() > 0.0);
+        for l in &r.layers {
+            assert!(l.utilization <= 1.0 + 1e-9, "{}", l.name);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Regression tests pinning every reproduced headline claim of the paper.
+//! Each test names the claim and the tolerance at which this reproduction
+//! holds it (see EXPERIMENTS.md for the narrative record).
+
+use vit_accel::{simulate, AccelConfig, SimOptions};
+use vit_graph::OpClass;
+use vit_models::{
+    build_detr, build_segformer, build_swin_upernet, ofa_family, DetrConfig, SegFormerConfig,
+    SegFormerDynamic, SegFormerVariant, SwinConfig, SwinVariant,
+};
+use vit_profiler::GpuModel;
+use vit_resilience::{table2_ade, table2_cityscapes, AccuracyModel, Workload};
+
+fn segformer_b2() -> vit_graph::Graph {
+    build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap()
+}
+
+#[test]
+fn claim_convolutions_dominate_segmentation_flops() {
+    // "68% and 89% of the total FLOPs are in convolution layers in
+    //  SegFormer and Swin-Tiny."
+    let seg = segformer_b2();
+    let swin = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
+    let seg_share = seg.flops_by_class(OpClass::Conv) as f64 / seg.total_flops() as f64;
+    let swin_share = swin.flops_by_class(OpClass::Conv) as f64 / swin.total_flops() as f64;
+    assert!((seg_share - 0.68).abs() < 0.05, "SegFormer conv share {seg_share:.2}");
+    assert!((swin_share - 0.89).abs() < 0.05, "Swin conv share {swin_share:.2}");
+}
+
+#[test]
+fn claim_backbone_dominates_detection_and_grows_with_batch() {
+    // Figure 1's shape: the ResNet-50 backbone dominates DETR time and its
+    // share grows with batch size.
+    let gpu = GpuModel::titan_v();
+    let share = |batch: usize| {
+        let g = build_detr(&DetrConfig::detr_coco().with_batch(batch)).unwrap();
+        let mut backbone = 0.0;
+        let mut rest = 0.0;
+        for (_, n) in g.iter() {
+            if matches!(n.role, vit_graph::LayerRole::Backbone) {
+                backbone += gpu.node_time(&g, n);
+            } else {
+                rest += gpu.node_time(&g, n);
+            }
+        }
+        backbone / (backbone + rest)
+    };
+    let s1 = share(1);
+    let s16 = share(16);
+    assert!(s1 > 0.6, "batch-1 share {s1:.2}");
+    assert!(s16 > s1 && s16 > 0.8, "batch-16 share {s16:.2}");
+}
+
+#[test]
+fn claim_ade_17pct_time_28pct_energy_at_small_drop() {
+    // "we can save 17% of execution time (which drops energy consumption by
+    //  28%) with less than a 6% drop in accuracy" (ADE, no retraining).
+    let v = SegFormerVariant::b2();
+    let gpu = GpuModel::titan_v();
+    let model = AccuracyModel::for_workload(Workload::SegFormerAde);
+    let full = segformer_b2();
+    let mut best_time_saving = 0.0f64;
+    let mut energy_at_best = 0.0f64;
+    for p in table2_ade() {
+        let d = p.to_segformer_dynamic(&v);
+        if model.norm_miou_segformer(&d, &v) <= 0.94 {
+            continue;
+        }
+        let g = build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(d)).unwrap();
+        let ts = 1.0 - gpu.total_time(&g) / gpu.total_time(&full);
+        if ts > best_time_saving {
+            best_time_saving = ts;
+            energy_at_best = 1.0 - gpu.total_energy(&g) / gpu.total_energy(&full);
+        }
+    }
+    assert!(best_time_saving >= 0.15, "time saving {best_time_saving:.2}");
+    assert!(energy_at_best > best_time_saving, "energy {energy_at_best:.2}");
+}
+
+#[test]
+fn claim_cityscapes_more_resilient_than_ade() {
+    // The Cityscapes-trained model degrades more gracefully (§III-A).
+    let v = SegFormerVariant::b2();
+    let ade = AccuracyModel::for_workload(Workload::SegFormerAde);
+    let city = AccuracyModel::for_workload(Workload::SegFormerCityscapes);
+    // Compare in the mild-to-moderate pruning regime where the paper makes
+    // the claim (deep-cut extrapolations of the ADE model are not anchored).
+    for p in table2_cityscapes().iter().filter(|p| p.norm_miou >= 0.90) {
+        let d = p.to_segformer_dynamic(&v);
+        assert!(
+            city.norm_miou_segformer(&d, &v) >= ade.norm_miou_segformer(&d, &v) - 0.03,
+            "point {} breaks the resilience ordering",
+            p.label
+        );
+    }
+}
+
+#[test]
+fn claim_accelerator_speedup_over_gpu_is_an_order_of_magnitude() {
+    // "The PE array ... is 17 times faster than a NVIDIA TITAN V GPU"
+    // (we hold the claim at >= 12x under our calibrations).
+    let gpu = GpuModel::titan_v();
+    let opts = SimOptions::default();
+    for (g, min_speedup) in [
+        (segformer_b2(), 12.0),
+        (build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap(), 12.0),
+    ] {
+        let r = simulate(&g, &AccelConfig::accelerator_star(), &opts);
+        let speedup = gpu.total_time(&g) / r.total_time_s();
+        assert!(speedup >= min_speedup, "speedup {speedup:.1}");
+        assert!(speedup <= 25.0, "speedup {speedup:.1} implausibly high");
+    }
+}
+
+#[test]
+fn claim_segformer_cycles_within_25pct_of_published() {
+    // 4,415,208 cycles on accelerator_A; 4,540,195 on accelerator*.
+    let opts = SimOptions::default();
+    let g = segformer_b2();
+    let a = simulate(&g, &AccelConfig::accelerator_a(), &opts).total_cycles() as f64;
+    assert!((a - 4_415_208.0).abs() / 4_415_208.0 < 0.25, "A: {a}");
+    let star = simulate(&g, &AccelConfig::accelerator_star(), &opts).total_cycles() as f64;
+    assert!((star - 4_540_195.0).abs() / 4_540_195.0 < 0.25, "star: {star}");
+}
+
+#[test]
+fn claim_swin_cycles_within_10pct_of_published() {
+    // 15,482,594 cycles for Swin-Tiny on accelerator*.
+    let g = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
+    let c = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default())
+        .total_cycles() as f64;
+    assert!((c - 15_482_594.0).abs() / 15_482_594.0 < 0.10, "got {c}");
+}
+
+#[test]
+fn claim_small_accelerator_trades_area_not_speed() {
+    // accelerator* is ~4x smaller, < 3% slower, ~equal energy.
+    let g = segformer_b2();
+    let opts = SimOptions::default();
+    let a = simulate(&g, &AccelConfig::accelerator_a(), &opts);
+    let star = simulate(&g, &AccelConfig::accelerator_star(), &opts);
+    let area_ratio = AccelConfig::accelerator_a().pe_array_area_mm2()
+        / AccelConfig::accelerator_star().pe_array_area_mm2();
+    assert!(area_ratio > 3.3, "area ratio {area_ratio:.1}");
+    let slowdown = star.total_cycles() as f64 / a.total_cycles() as f64;
+    assert!((1.0..1.03).contains(&slowdown), "slowdown {slowdown:.3}");
+    let energy = star.total_energy_j() / a.total_energy_j();
+    assert!(energy < 1.05, "energy ratio {energy:.2}");
+}
+
+#[test]
+fn claim_optimal_architecture_independent_of_model_complexity() {
+    // §VI: the accelerator ranking does not change between the full model
+    // (point A) and a heavily pruned one (point G).
+    let v = SegFormerVariant::b2();
+    let opts = SimOptions::default();
+    let designs = [
+        AccelConfig::with_vectorization(32, 32, 128, 64).unwrap(),
+        AccelConfig::with_vectorization(16, 16, 128, 64).unwrap(),
+        AccelConfig::with_vectorization(8, 8, 128, 64).unwrap(),
+    ];
+    let rank = |g: &vit_graph::Graph| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..designs.len()).collect();
+        let energies: Vec<f64> = designs
+            .iter()
+            .map(|c| simulate(g, c, &opts).total_energy_j())
+            .collect();
+        idx.sort_by(|&a, &b| energies[a].partial_cmp(&energies[b]).unwrap());
+        idx
+    };
+    let full = segformer_b2();
+    let pruned = build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(
+        SegFormerDynamic::with_depths_and_fuse(&v, [2, 3, 4, 3], 512),
+    ))
+    .unwrap();
+    assert_eq!(rank(&full), rank(&pruned));
+}
+
+#[test]
+fn claim_ofa_57pct_saving_on_accelerator() {
+    // "this approach saves 57% of the execution time with less than a 5%
+    //  drop in accuracy" (OFA ResNet-50 on accelerator_OFA2).
+    let fam = ofa_family();
+    let opts = SimOptions::default();
+    let cycles = |i: usize| {
+        simulate(
+            &fam[i].build_backbone((480, 640), 1).unwrap().graph,
+            &AccelConfig::ofa2(),
+            &opts,
+        )
+        .total_cycles() as f64
+    };
+    let saving = 1.0 - cycles(fam.len() - 1) / cycles(0);
+    let drop = fam[0].top1 - fam[fam.len() - 1].top1;
+    assert!(saving > 0.45, "saving {saving:.2}");
+    assert!(drop < 5.0, "drop {drop:.1}");
+}
+
+#[test]
+fn claim_ofa_areas_match_table4() {
+    let areas = [
+        AccelConfig::ofa1().pe_array_area_mm2(),
+        AccelConfig::ofa2().pe_array_area_mm2(),
+        AccelConfig::ofa3().pe_array_area_mm2(),
+    ];
+    let paper = [8.33, 2.26, 1.66];
+    for (a, p) in areas.iter().zip(paper.iter()) {
+        assert!((a - p).abs() / p < 0.05, "got {a:.2}, paper {p}");
+    }
+}
+
+#[test]
+fn claim_ofa1_energy_exceeds_ofa2() {
+    // Table IV: OFA1 16.5 > OFA2 14.3 normalized energy (bigger memories
+    // cost access energy).
+    let g = ofa_family()[0].build_backbone((480, 640), 1).unwrap().graph;
+    let opts = SimOptions::default();
+    let e1 = simulate(&g, &AccelConfig::ofa1(), &opts).total_energy_j();
+    let e2 = simulate(&g, &AccelConfig::ofa2(), &opts).total_energy_j();
+    assert!(e1 > e2, "OFA1 {e1:.4} <= OFA2 {e2:.4}");
+}
+
+#[test]
+fn claim_batching_pushes_swin_curve_left() {
+    // §III-B: "increasing the batch size pushes this curve to the left" —
+    // at batch 16 the same channel cut saves a larger fraction of time.
+    use vit_models::SwinDynamic;
+    let v = SwinVariant::tiny();
+    let gpu = GpuModel::titan_v();
+    let time_at = |ch: usize, batch: usize| -> f64 {
+        let cfg = SwinConfig::ade20k(v)
+            .with_batch(batch)
+            .with_dynamic(SwinDynamic { depths: v.depths, bottleneck_in_channels: ch });
+        gpu.total_time(&build_swin_upernet(&cfg).unwrap())
+    };
+    let saving_b1 = 1.0 - time_at(1024, 1) / time_at(2048, 1);
+    let saving_b16 = 1.0 - time_at(1024, 16) / time_at(2048, 16);
+    assert!(
+        saving_b16 > saving_b1,
+        "batch 16 saving {saving_b16:.3} should exceed batch 1 saving {saving_b1:.3}"
+    );
+    assert!(saving_b16 > 0.20, "batch-16 saving {saving_b16:.3}");
+}
+
+#[test]
+fn claim_736_channel_config_beats_full_model() {
+    // The paper's surprising no-retraining improvement.
+    let v = SegFormerVariant::b2();
+    let model = AccuracyModel::for_workload(Workload::SegFormerAde);
+    let mut d = SegFormerDynamic::full(&v);
+    d.fuse_out_channels = 736;
+    assert!(model.norm_miou_segformer(&d, &v) > 1.0);
+    let gpu = GpuModel::titan_v();
+    let faster = build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(d)).unwrap();
+    assert!(gpu.total_time(&faster) < gpu.total_time(&segformer_b2()));
+}
