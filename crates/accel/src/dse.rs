@@ -55,10 +55,9 @@ mod tests {
 
     #[test]
     fn design_space_enumerates_valid_points() {
-        let g = build_segformer(
-            &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128),
-        )
-        .unwrap();
+        let g =
+            build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128))
+                .unwrap();
         let points = design_space(
             &g,
             &[(32, 32), (16, 16), (47, 13)],
@@ -77,10 +76,9 @@ mod tests {
 
     #[test]
     fn bigger_memories_cost_area_not_cycles_much() {
-        let g = build_segformer(
-            &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128),
-        )
-        .unwrap();
+        let g =
+            build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128))
+                .unwrap();
         let points = design_space(&g, &[(32, 32)], &[128, 1024], &[64], &SimOptions::default());
         let small = &points[0];
         let big = &points[1];

@@ -251,11 +251,41 @@ fn mapped_work(graph: &Graph, node: &Node) -> Vec<MappedWork> {
             let hlp = (*heads * *levels * *points) as u64;
             vec![
                 // value projection
-                MappedWork { pq: b * m, rs: 1, c: d, k: d, input_bytes: numel(v), weight_bytes: d * d, output_bytes: b * m * d, input_offchip: true, output_offchip: false },
+                MappedWork {
+                    pq: b * m,
+                    rs: 1,
+                    c: d,
+                    k: d,
+                    input_bytes: numel(v),
+                    weight_bytes: d * d,
+                    output_bytes: b * m * d,
+                    input_offchip: true,
+                    output_offchip: false,
+                },
                 // offsets + attention weights
-                MappedWork { pq: b * n, rs: 1, c: d, k: hlp * 3, input_bytes: numel(q), weight_bytes: d * hlp * 3, output_bytes: b * n * hlp * 3, input_offchip: true, output_offchip: false },
+                MappedWork {
+                    pq: b * n,
+                    rs: 1,
+                    c: d,
+                    k: hlp * 3,
+                    input_bytes: numel(q),
+                    weight_bytes: d * hlp * 3,
+                    output_bytes: b * n * hlp * 3,
+                    input_offchip: true,
+                    output_offchip: false,
+                },
                 // output projection
-                MappedWork { pq: b * n, rs: 1, c: d, k: d, input_bytes: b * n * d, weight_bytes: d * d, output_bytes: numel(&node.shape), input_offchip: false, output_offchip: true },
+                MappedWork {
+                    pq: b * n,
+                    rs: 1,
+                    c: d,
+                    k: d,
+                    input_bytes: b * n * d,
+                    weight_bytes: d * d,
+                    output_bytes: numel(&node.shape),
+                    input_offchip: false,
+                    output_offchip: true,
+                },
             ]
         }
         _ => Vec::new(),
@@ -279,7 +309,12 @@ fn ppu_elements(graph: &Graph, node: &Node) -> u64 {
             let k = &graph.node(node.inputs[1]).shape;
             3 * (q[0] * q[1] * k[1]) as u64
         }
-        Op::DeformAttn { heads, levels, points, .. } => {
+        Op::DeformAttn {
+            heads,
+            levels,
+            points,
+            ..
+        } => {
             let q = &graph.node(node.inputs[0]).shape;
             ((q[0] * q[1]) as u64) * (*heads * *levels * *points) as u64
         }
@@ -334,7 +369,11 @@ fn map_contraction(
     // DRAM traffic: weights once, off-chip inputs once per weight pass,
     // off-chip outputs once; global-buffer-resident intermediates skip DRAM.
     let dram = w.weight_bytes
-        + if w.input_offchip { w.input_bytes * passes } else { 0 }
+        + if w.input_offchip {
+            w.input_bytes * passes
+        } else {
+            0
+        }
         + if w.output_offchip { w.output_bytes } else { 0 };
     let stall = (dram as f64 / DRAM_BYTES_PER_CYCLE).ceil() as u64;
     let final_cycles = cycles.max(stall);
@@ -511,12 +550,24 @@ mod tests {
         // Fig. 14: K0=C0=32 accelerators have the lowest total energy.
         let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
         let opts = SimOptions::default();
-        let e32 = simulate(&g, &AccelConfig::with_vectorization(32, 32, 128, 64).unwrap(), &opts)
-            .total_energy_j();
-        let e16 = simulate(&g, &AccelConfig::with_vectorization(16, 16, 128, 64).unwrap(), &opts)
-            .total_energy_j();
-        let e8 = simulate(&g, &AccelConfig::with_vectorization(8, 8, 128, 64).unwrap(), &opts)
-            .total_energy_j();
+        let e32 = simulate(
+            &g,
+            &AccelConfig::with_vectorization(32, 32, 128, 64).unwrap(),
+            &opts,
+        )
+        .total_energy_j();
+        let e16 = simulate(
+            &g,
+            &AccelConfig::with_vectorization(16, 16, 128, 64).unwrap(),
+            &opts,
+        )
+        .total_energy_j();
+        let e8 = simulate(
+            &g,
+            &AccelConfig::with_vectorization(8, 8, 128, 64).unwrap(),
+            &opts,
+        )
+        .total_energy_j();
         assert!(e32 < e16, "{e32} vs {e16}");
         assert!(e16 < e8, "{e16} vs {e8}");
     }
@@ -525,10 +576,23 @@ mod tests {
     fn utilization_bounded_and_meaningful() {
         let r = b2_report(&AccelConfig::accelerator_a());
         for l in &r.layers {
-            assert!((0.0..=1.0 + 1e-9).contains(&l.utilization), "{}: {}", l.name, l.utilization);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&l.utilization),
+                "{}: {}",
+                l.name,
+                l.utilization
+            );
         }
-        let fuse = r.layers.iter().find(|l| l.name == "decoder.conv_fuse").unwrap();
-        assert!(fuse.utilization > 0.9, "fuse utilization {}", fuse.utilization);
+        let fuse = r
+            .layers
+            .iter()
+            .find(|l| l.name == "decoder.conv_fuse")
+            .unwrap();
+        assert!(
+            fuse.utilization > 0.9,
+            "fuse utilization {}",
+            fuse.utilization
+        );
     }
 
     #[test]
@@ -548,10 +612,9 @@ mod tests {
 
     #[test]
     fn cross_pe_reduction_off_still_maps() {
-        let g = build_segformer(
-            &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128),
-        )
-        .unwrap();
+        let g =
+            build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128))
+                .unwrap();
         let r = simulate(
             &g,
             &AccelConfig::accelerator_star(),

@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vit_accel::{design_space, simulate, AccelConfig, SimOptions};
 use vit_models::{
-    build_segformer, build_swin_upernet, SegFormerConfig, SegFormerVariant, SwinConfig,
-    SwinVariant,
+    build_segformer, build_swin_upernet, SegFormerConfig, SegFormerVariant, SwinConfig, SwinVariant,
 };
 
 fn bench_accelerator(c: &mut Criterion) {
@@ -22,7 +21,9 @@ fn bench_accelerator(c: &mut Criterion) {
         bench.iter(|| simulate(black_box(&swin), &AccelConfig::accelerator_star(), &opts))
     });
     g.bench_function("graph_build_segformer_b2", |bench| {
-        bench.iter(|| build_segformer(black_box(&SegFormerConfig::ade20k(SegFormerVariant::b2()))).unwrap())
+        bench.iter(|| {
+            build_segformer(black_box(&SegFormerConfig::ade20k(SegFormerVariant::b2()))).unwrap()
+        })
     });
     g.bench_function("design_space_10pt", |bench| {
         bench.iter(|| {

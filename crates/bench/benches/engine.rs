@@ -30,7 +30,14 @@ fn bench_engine(c: &mut Criterion) {
     });
 
     let space = segformer_sweep_space(&v, 2, 8);
-    let pts = sweep_segformer(&v, Workload::SegFormerAde, (128, 128), 150, &space, ResourceKind::GpuTime);
+    let pts = sweep_segformer(
+        &v,
+        Workload::SegFormerAde,
+        (128, 128),
+        150,
+        &space,
+        ResourceKind::GpuTime,
+    );
     let lut = Lut::from_points("bench", &pts);
     let max = lut.entries().last().unwrap().resource;
     g.bench_function("lut_lookup", |bench| {
@@ -40,8 +47,9 @@ fn bench_engine(c: &mut Criterion) {
     // Full dynamic inference at a small executable size. The graph cache is
     // warm after the first iteration, so this measures selection + real
     // model execution.
-    let mut engine = DrtEngine::segformer(v, Workload::SegFormerAde, (64, 64), ResourceKind::GpuTime)
-        .expect("engine builds");
+    let mut engine =
+        DrtEngine::segformer(v, Workload::SegFormerAde, (64, 64), ResourceKind::GpuTime)
+            .expect("engine builds");
     let budget = engine.max_resource() * 0.8;
     let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
     g.sample_size(10);

@@ -17,12 +17,28 @@ fn bench_kernels(c: &mut Criterion) {
     let x = Tensor::rand_uniform(&[1, 32, 32, 32], -1.0, 1.0, 3);
     let k = Tensor::rand_uniform(&[32, 32, 3, 3], -1.0, 1.0, 4);
     g.bench_function("conv3x3_32ch_32px", |bench| {
-        bench.iter(|| ops::conv2d(black_box(&x), black_box(&k), None, ops::Conv2dParams::new().pad(1)).unwrap())
+        bench.iter(|| {
+            ops::conv2d(
+                black_box(&x),
+                black_box(&k),
+                None,
+                ops::Conv2dParams::new().pad(1),
+            )
+            .unwrap()
+        })
     });
 
     let k1 = Tensor::rand_uniform(&[64, 32, 1, 1], -1.0, 1.0, 5);
     g.bench_function("conv1x1_32to64_32px", |bench| {
-        bench.iter(|| ops::conv2d(black_box(&x), black_box(&k1), None, ops::Conv2dParams::new()).unwrap())
+        bench.iter(|| {
+            ops::conv2d(
+                black_box(&x),
+                black_box(&k1),
+                None,
+                ops::Conv2dParams::new(),
+            )
+            .unwrap()
+        })
     });
 
     let seq = Tensor::rand_uniform(&[1, 256, 64], -1.0, 1.0, 6);

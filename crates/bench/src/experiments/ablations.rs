@@ -108,8 +108,16 @@ pub fn cross_pe() {
         "weight passes on Conv2DFuse: {} (on) vs {} (off) — splitting input \
          channels across PEs shrinks per-PE weights so large layers fit \
          small weight memories (§V, optimization 2)",
-        on.layers.iter().find(|l| l.name == "decoder.conv_fuse").expect("exists").weight_passes,
-        off.layers.iter().find(|l| l.name == "decoder.conv_fuse").expect("exists").weight_passes,
+        on.layers
+            .iter()
+            .find(|l| l.name == "decoder.conv_fuse")
+            .expect("exists")
+            .weight_passes,
+        off.layers
+            .iter()
+            .find(|l| l.name == "decoder.conv_fuse")
+            .expect("exists")
+            .weight_passes,
     );
 }
 

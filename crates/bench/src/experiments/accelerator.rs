@@ -4,8 +4,8 @@ use crate::{banner, f, pct, Table};
 use vit_accel::{design_space, simulate, AccelConfig, SimOptions};
 use vit_graph::Graph;
 use vit_models::{
-    build_segformer, build_swin_upernet, ofa_family, SegFormerConfig, SegFormerVariant,
-    SwinConfig, SwinVariant,
+    build_segformer, build_swin_upernet, ofa_family, SegFormerConfig, SegFormerVariant, SwinConfig,
+    SwinVariant,
 };
 use vit_profiler::GpuModel;
 use vit_resilience::{table2_ade, AccuracyModel, Workload};
@@ -79,7 +79,11 @@ pub fn fig10() {
         "decoder.upsample",
     ] {
         let (c, e) = r.by_prefix(prefix);
-        t.row(&[prefix.to_string(), pct(c as f64 / total_c), pct(e / total_e)]);
+        t.row(&[
+            prefix.to_string(),
+            pct(c as f64 / total_c),
+            pct(e / total_e),
+        ]);
     }
     t.print();
     println!();
@@ -98,7 +102,11 @@ pub fn fig11() {
     let g = segformer_b2();
     let r = simulate(&g, &AccelConfig::accelerator_a(), &SimOptions::default());
     let mut with_macs: Vec<_> = r.layers.iter().filter(|l| l.macs > 0).collect();
-    with_macs.sort_by(|a, b| b.energy_per_mac().partial_cmp(&a.energy_per_mac()).expect("finite"));
+    with_macs.sort_by(|a, b| {
+        b.energy_per_mac()
+            .partial_cmp(&a.energy_per_mac())
+            .expect("finite")
+    });
     let median = with_macs[with_macs.len() / 2].energy_per_mac();
     let mut t = Table::new(&["layer", "energy/MAC (x median)", "utilization"]);
     for l in with_macs.iter().take(8) {
@@ -125,7 +133,9 @@ pub fn fig11() {
 /// Figures 12/13: accuracy vs cycles / energy for dynamic configs on
 /// accelerators with different weight-memory sizes.
 pub fn fig12_13() {
-    banner("Figures 12/13 — dynamic configs A-G on accelerators with WM in {1024, 512, 256, 128} kB");
+    banner(
+        "Figures 12/13 — dynamic configs A-G on accelerators with WM in {1024, 512, 256, 128} kB",
+    );
     let v = SegFormerVariant::b2();
     let model = AccuracyModel::for_workload(Workload::SegFormerAde);
     let opts = SimOptions::default();
@@ -194,7 +204,16 @@ pub fn fig14() {
         .iter()
         .map(|p| p.energy_j)
         .fold(f64::INFINITY, f64::min);
-    let mut t = Table::new(&["K0", "C0", "PEs", "WM kB", "AM kB", "norm energy", "cycles", "area mm^2"]);
+    let mut t = Table::new(&[
+        "K0",
+        "C0",
+        "PEs",
+        "WM kB",
+        "AM kB",
+        "norm energy",
+        "cycles",
+        "area mm^2",
+    ]);
     for p in &points {
         t.row(&[
             p.config.k0.to_string(),
@@ -269,10 +288,14 @@ pub fn table4_fig16() {
         .build_backbone((480, 640), 1)
         .expect("builds");
     let opts = SimOptions::default();
-    let energies: Vec<f64> = [AccelConfig::ofa1(), AccelConfig::ofa2(), AccelConfig::ofa3()]
-        .iter()
-        .map(|c| simulate(&full.graph, c, &opts).total_energy_j())
-        .collect();
+    let energies: Vec<f64> = [
+        AccelConfig::ofa1(),
+        AccelConfig::ofa2(),
+        AccelConfig::ofa3(),
+    ]
+    .iter()
+    .map(|c| simulate(&full.graph, c, &opts).total_energy_j())
+    .collect();
     let min_e = energies.iter().cloned().fold(f64::INFINITY, f64::min);
     // Paper Table IV normalizes to an unstated base; compare shapes via
     // ratios to the minimum (paper: 16.5 / 14.3 / 14.6).
@@ -308,10 +331,14 @@ pub fn table4_fig16() {
     ]);
     for subnet in ofa_family() {
         let g = subnet.build_backbone((480, 640), 1).expect("builds").graph;
-        let cycles: Vec<u64> = [AccelConfig::ofa1(), AccelConfig::ofa2(), AccelConfig::ofa3()]
-            .iter()
-            .map(|c| simulate(&g, c, &opts).total_cycles())
-            .collect();
+        let cycles: Vec<u64> = [
+            AccelConfig::ofa1(),
+            AccelConfig::ofa2(),
+            AccelConfig::ofa3(),
+        ]
+        .iter()
+        .map(|c| simulate(&g, c, &opts).total_cycles())
+        .collect();
         t2.row(&[
             subnet.label.to_string(),
             f(subnet.top1, 1),
@@ -329,7 +356,10 @@ pub fn table4_fig16() {
     )
     .total_cycles();
     let smallest = simulate(
-        &fam[fam.len() - 1].build_backbone((480, 640), 1).expect("builds").graph,
+        &fam[fam.len() - 1]
+            .build_backbone((480, 640), 1)
+            .expect("builds")
+            .graph,
         &AccelConfig::ofa2(),
         &opts,
     )

@@ -3,9 +3,8 @@
 use crate::{banner, f, pct, Table};
 use vit_graph::{Graph, LayerRole, OpClass};
 use vit_models::{
-    build_deformable_detr, build_detr, build_segformer,
-    build_swin_upernet, build_vit, DetrConfig, SegFormerConfig, SegFormerVariant, SwinConfig,
-    SwinVariant, VitConfig,
+    build_deformable_detr, build_detr, build_segformer, build_swin_upernet, build_vit, DetrConfig,
+    SegFormerConfig, SegFormerVariant, SwinConfig, SwinVariant, VitConfig,
 };
 use vit_profiler::{GpuModel, Profile};
 
@@ -151,8 +150,12 @@ pub fn fig2() {
             build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).expect("builds"),
         ),
     ] {
-        println!("{name}: {} nodes, {:.1} GFLOPs, {:.1} M params", g.len(),
-                 g.total_flops() as f64 / 1e9, g.total_params() as f64 / 1e6);
+        println!(
+            "{name}: {} nodes, {:.1} GFLOPs, {:.1} M params",
+            g.len(),
+            g.total_flops() as f64 / 1e9,
+            g.total_params() as f64 / 1e6
+        );
         let mut t = Table::new(&["stage / component", "GFLOPs", "share"]);
         let total = g.total_flops() as f64;
         let prefixes = [
@@ -261,7 +264,14 @@ pub fn fig5() {
     banner("Figure 5 — image size vs fuse-convolution share (Swin-T)");
     let gpu = GpuModel::titan_v();
     let mut t = Table::new(&["image", "FLOPs share", "latency share (b=1)"]);
-    for (h, w) in [(128, 128), (256, 256), (512, 512), (768, 768), (1024, 1024), (1024, 2048)] {
+    for (h, w) in [
+        (128, 128),
+        (256, 256),
+        (512, 512),
+        (768, 768),
+        (1024, 1024),
+        (1024, 2048),
+    ] {
         let g = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny()).with_image(h, w))
             .expect("builds");
         let profile = Profile::with_gpu(&g, &gpu);
@@ -274,5 +284,7 @@ pub fn fig5() {
     }
     t.print();
     println!();
-    println!("paper: this single convolution is the majority of FLOPs at the ADE and Cityscapes sizes.");
+    println!(
+        "paper: this single convolution is the majority of FLOPs at the ADE and Cityscapes sizes."
+    );
 }

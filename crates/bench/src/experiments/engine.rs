@@ -49,7 +49,10 @@ pub fn fig8() {
                 fuse_in_channels,
                 ..
             } => format!("{depths:?} / {fuse_in_channels}"),
-            vit_drt::LutConfig::Swin { depths, bottleneck_in_channels } => {
+            vit_drt::LutConfig::Swin {
+                depths,
+                bottleneck_in_channels,
+            } => {
                 format!("{depths:?} / {bottleneck_in_channels}")
             }
         };
@@ -75,11 +78,7 @@ pub fn fig8() {
 pub fn early_exit() {
     banner("Early-exit baseline — deadline misses under hard budgets");
     let ee = EarlyExitBaseline::typical();
-    let mut t = Table::new(&[
-        "budget (x full)",
-        "early-exit miss rate",
-        "DRT miss rate",
-    ]);
+    let mut t = Table::new(&["budget (x full)", "early-exit miss rate", "DRT miss rate"]);
     for budget in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
         // DRT misses only when the budget is below its cheapest path
         // (0.35x here, matching the early-exit model's shallowest exit).
@@ -122,7 +121,11 @@ pub fn accel_lut() {
         full
     );
     let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 5);
-    let mut t = Table::new(&["cycle budget (x full)", "est. norm mIoU", "est. cycles (x full)"]);
+    let mut t = Table::new(&[
+        "cycle budget (x full)",
+        "est. norm mIoU",
+        "est. cycles (x full)",
+    ]);
     for frac in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
         let out = engine.infer(&image, frac * full).expect("inference runs");
         t.row(&[
@@ -133,7 +136,9 @@ pub fn accel_lut() {
     }
     t.print();
     println!();
-    println!("the same engine machinery serves GPU-time, GPU-energy, and accelerator-cycle budgets.");
+    println!(
+        "the same engine machinery serves GPU-time, GPU-energy, and accelerator-cycle budgets."
+    );
 }
 
 /// The trained-model crossover analysis (§III / §VII-A).

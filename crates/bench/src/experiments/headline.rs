@@ -101,13 +101,19 @@ pub fn headline() {
         pct(best_ade),
     ]);
     let energy_of = |d: &SegFormerDynamic| {
-        gpu.total_energy(&build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(*d)).expect("builds"))
+        gpu.total_energy(
+            &build_segformer(&SegFormerConfig::ade20k(v).with_dynamic(*d)).expect("builds"),
+        )
     };
     let best_ade_cfg = table2_ade()
         .iter()
         .map(|p| p.to_segformer_dynamic(&v))
         .filter(|d| ade_model.norm_miou_segformer(d, &v) > 0.94)
-        .min_by(|a, b| time_of(a, false).partial_cmp(&time_of(b, false)).expect("finite"))
+        .min_by(|a, b| {
+            time_of(a, false)
+                .partial_cmp(&time_of(b, false))
+                .expect("finite")
+        })
         .expect("points exist");
     t.row(&[
         "energy saving at that point".to_string(),

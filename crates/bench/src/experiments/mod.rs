@@ -6,3 +6,4 @@ pub mod characterization;
 pub mod engine;
 pub mod headline;
 pub mod resilience;
+pub mod serve;

@@ -2,9 +2,7 @@
 //! measured-fidelity companion study.
 
 use crate::{banner, f, Table};
-use vit_models::{
-    build_segformer, SegFormerConfig, SegFormerVariant, SwinDynamic, SwinVariant,
-};
+use vit_models::{build_segformer, SegFormerConfig, SegFormerVariant, SwinDynamic, SwinVariant};
 use vit_profiler::GpuModel;
 use vit_resilience::{
     fig7_swin_tiny, pareto_front, segformer_fidelity, segformer_sweep_space, sweep_segformer,
@@ -68,7 +66,11 @@ pub fn fig6() {
     banner("Figure 6 — SegFormer accuracy/time trade-off (dynamic pruning, no retraining)");
     let v = SegFormerVariant::b2();
     for (workload, name, trained) in [
-        (Workload::SegFormerAde, "ADE20K (512x512)", trained_segformer_ade()),
+        (
+            Workload::SegFormerAde,
+            "ADE20K (512x512)",
+            trained_segformer_ade(),
+        ),
         (
             Workload::SegFormerCityscapes,
             "Cityscapes (1024x2048)",
@@ -81,7 +83,11 @@ pub fn fig6() {
         } else {
             (512, 512)
         };
-        let classes = if workload == Workload::SegFormerCityscapes { 19 } else { 150 };
+        let classes = if workload == Workload::SegFormerCityscapes {
+            19
+        } else {
+            150
+        };
         let space = segformer_sweep_space(&v, 2, 8);
         let points = sweep_segformer(&v, workload, image, classes, &space, ResourceKind::GpuTime);
         let front = pareto_front(&points);
@@ -102,7 +108,11 @@ pub fn fig6() {
         let mut t2 = Table::new(&["model", "norm resource (GFLOPs)", "norm mIoU"]);
         let full_gf = trained[0].gflops;
         for m in &trained {
-            t2.row(&[m.name.to_string(), f(m.gflops / full_gf, 3), f(m.norm_miou, 3)]);
+            t2.row(&[
+                m.name.to_string(),
+                f(m.gflops / full_gf, 3),
+                f(m.norm_miou, 3),
+            ]);
         }
         t2.print();
         println!();
@@ -123,7 +133,14 @@ pub fn table3() {
         .iter()
         .map(|p| p.to_swin_dynamic(&vb))
         .collect();
-    let pts = sweep_swin(&vb, Workload::SwinBaseAde, (512, 512), 150, &space, ResourceKind::GpuTime);
+    let pts = sweep_swin(
+        &vb,
+        Workload::SwinBaseAde,
+        (512, 512),
+        150,
+        &space,
+        ResourceKind::GpuTime,
+    );
     let mut t = Table::new(&[
         "depths",
         "bottleneck in-ch",
@@ -161,7 +178,14 @@ pub fn fig7() {
         .iter()
         .map(|p| p.to_swin_dynamic(&vt))
         .collect();
-    let pts = sweep_swin(&vt, Workload::SwinTinyAde, (512, 512), 150, &space, ResourceKind::GpuTime);
+    let pts = sweep_swin(
+        &vt,
+        Workload::SwinTinyAde,
+        (512, 512),
+        150,
+        &space,
+        ResourceKind::GpuTime,
+    );
     let mut t = Table::new(&["channels", "norm time (ours)", "norm mIoU (model)"]);
     for (p, ours) in fig7_swin_tiny().iter().zip(pts.iter()) {
         t.row(&[
@@ -182,8 +206,18 @@ pub fn fig7() {
     );
     println!();
     println!("Swin-Tiny encoder skips are not Pareto-competitive (paper §III-B):");
-    let skip = SwinDynamic { depths: [2, 2, 5, 2], bottleneck_in_channels: 2048 };
-    let skip_pts = sweep_swin(&vt, Workload::SwinTinyAde, (512, 512), 150, &[skip], ResourceKind::GpuTime);
+    let skip = SwinDynamic {
+        depths: [2, 2, 5, 2],
+        bottleneck_in_channels: 2048,
+    };
+    let skip_pts = sweep_swin(
+        &vt,
+        Workload::SwinTinyAde,
+        (512, 512),
+        150,
+        &[skip],
+        ResourceKind::GpuTime,
+    );
     println!(
         "  skipping 1 stage-2 block: norm time {:.3}, norm mIoU {:.2} \
          (large accuracy cost for little time)",
@@ -200,7 +234,10 @@ pub fn fig7() {
         let time_at = |ch: usize, batch: usize| -> f64 {
             let cfg = SwinConfig::ade20k(vt)
                 .with_batch(batch)
-                .with_dynamic(SwinDynamic { depths: vt.depths, bottleneck_in_channels: ch });
+                .with_dynamic(SwinDynamic {
+                    depths: vt.depths,
+                    bottleneck_in_channels: ch,
+                });
             gpu.total_time(&build_swin_upernet(&cfg).expect("builds"))
         };
         let full1 = time_at(2048, 1);

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod loadgen;
 
 use std::fmt::Display;
 
@@ -34,7 +35,8 @@ impl Table {
 
     /// Appends a row (stringifying each cell).
     pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

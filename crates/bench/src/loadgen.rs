@@ -1,0 +1,92 @@
+//! Seeded open-loop load generation for the serving experiments.
+//!
+//! Open-loop means arrivals are generated independently of how fast the
+//! server drains them — the realistic overload regime, where a slow server
+//! faces a growing queue instead of a politely waiting client.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vit_serve::SimArrival;
+
+/// A seeded Poisson process: exponential inter-arrival gaps at `rate_hz`
+/// mean arrivals per (virtual) second, until `duration` seconds. Every
+/// request carries the same relative deadline `slack`.
+pub fn poisson(rate_hz: f64, duration: f64, slack: f64, seed: u64) -> Vec<SimArrival> {
+    assert!(
+        rate_hz > 0.0 && duration > 0.0,
+        "need positive rate and duration"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::new();
+    let mut t = 0.0;
+    loop {
+        // Inverse-CDF exponential sample; 1 - u in (0, 1] avoids ln(0).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        t += -(1.0 - u).ln() / rate_hz;
+        if t >= duration {
+            return arrivals;
+        }
+        arrivals.push(SimArrival { time: t, slack });
+    }
+}
+
+/// A Poisson base load plus periodic bursts: every `burst_every` seconds,
+/// `burst_size` extra requests arrive back-to-back — the flash-crowd shape
+/// that stresses admission control and the bounded queue.
+pub fn poisson_with_bursts(
+    rate_hz: f64,
+    duration: f64,
+    slack: f64,
+    burst_every: f64,
+    burst_size: usize,
+    seed: u64,
+) -> Vec<SimArrival> {
+    assert!(burst_every > 0.0, "need a positive burst period");
+    let mut arrivals = poisson(rate_hz, duration, slack, seed);
+    let mut t = burst_every;
+    while t < duration {
+        for _ in 0..burst_size {
+            arrivals.push(SimArrival { time: t, slack });
+        }
+        t += burst_every;
+    }
+    arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_roughly_at_rate() {
+        let a = poisson(100.0, 10.0, 0.1, 42);
+        let b = poisson(100.0, 10.0, 0.1, 42);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.time == y.time && x.slack == y.slack));
+        // ~1000 expected; a 3-sigma band is ±~95.
+        assert!((800..1200).contains(&a.len()), "got {}", a.len());
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(a.iter().all(|x| x.time < 10.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = poisson(50.0, 5.0, 0.1, 1);
+        let b = poisson(50.0, 5.0, 0.1, 2);
+        assert!(a.first().map(|x| x.time) != b.first().map(|x| x.time));
+    }
+
+    #[test]
+    fn bursts_add_sorted_extra_arrivals() {
+        let base = poisson(10.0, 10.0, 0.2, 7);
+        let bursty = poisson_with_bursts(10.0, 10.0, 0.2, 2.5, 8, 7);
+        // Bursts at t = 2.5, 5.0, 7.5 add 3 * 8 arrivals.
+        assert_eq!(bursty.len(), base.len() + 24);
+        assert!(bursty.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(bursty.iter().filter(|a| a.time == 2.5).count(), 8);
+    }
+}

@@ -25,6 +25,7 @@ engine (§IV):
   earlyexit   deadline misses of input-dependent early exit
   accel-lut   the engine keyed by accelerator cycles
   crossover   when to switch to retrained models
+  serve       deadline-aware DRT serving vs static baseline (load sweep)
 
 accelerator (§V/§VI):
   fig9        accelerator organization + sample mapping
@@ -62,6 +63,7 @@ fn main() {
         "earlyexit" => engine::early_exit(),
         "accel-lut" => engine::accel_lut(),
         "crossover" => engine::crossover(),
+        "serve" => serve::serve(),
         "fig9" => accelerator::fig9(),
         "fig10" => accelerator::fig10(),
         "fig11" => accelerator::fig11(),
@@ -87,6 +89,7 @@ fn main() {
             engine::early_exit();
             engine::accel_lut();
             engine::crossover();
+            serve::serve();
             accelerator::fig9();
             accelerator::fig10();
             accelerator::fig11();

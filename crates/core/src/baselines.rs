@@ -42,7 +42,10 @@ impl TrainedFamily {
                     if workload == Workload::SegFormerAde {
                         (trained_segformer_ade(), Box::new(SegFormerConfig::ade20k))
                     } else {
-                        (trained_segformer_cityscapes(), Box::new(SegFormerConfig::cityscapes))
+                        (
+                            trained_segformer_cityscapes(),
+                            Box::new(SegFormerConfig::cityscapes),
+                        )
                     };
                 let time_of = |v: SegFormerVariant| {
                     gpu.total_time(&build_segformer(&mk_cfg(v)).expect("published variants build"))

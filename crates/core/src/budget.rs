@@ -108,27 +108,37 @@ mod tests {
 
     #[test]
     fn constant_trace_is_constant() {
-        let v: Vec<f64> = BudgetTrace::new(TracePattern::Constant(0.8), 0).take(5).collect();
+        let v: Vec<f64> = BudgetTrace::new(TracePattern::Constant(0.8), 0)
+            .take(5)
+            .collect();
         assert_eq!(v, vec![0.8; 5]);
     }
 
     #[test]
     fn sinusoid_stays_in_range_and_oscillates() {
         let v: Vec<f64> = BudgetTrace::new(
-            TracePattern::Sinusoid { min: 0.5, max: 1.0, period: 10 },
+            TracePattern::Sinusoid {
+                min: 0.5,
+                max: 1.0,
+                period: 10,
+            },
             0,
         )
         .take(30)
         .collect();
         assert!(v.iter().all(|&b| (0.5 - 1e-9..=1.0 + 1e-9).contains(&b)));
-        let spread = v.iter().cloned().fold(f64::MIN, f64::max)
-            - v.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 0.4, "spread {spread}");
     }
 
     #[test]
     fn spikes_are_deterministic_per_seed() {
-        let p = TracePattern::RandomSpikes { base: 1.0, spike: 0.5, p: 0.3 };
+        let p = TracePattern::RandomSpikes {
+            base: 1.0,
+            spike: 0.5,
+            p: 0.3,
+        };
         let a: Vec<f64> = BudgetTrace::new(p, 7).take(50).collect();
         let b: Vec<f64> = BudgetTrace::new(p, 7).take(50).collect();
         assert_eq!(a, b);
@@ -139,7 +149,11 @@ mod tests {
     #[test]
     fn step_alternates() {
         let v: Vec<f64> = BudgetTrace::new(
-            TracePattern::Step { high: 1.0, low: 0.6, period: 2 },
+            TracePattern::Step {
+                high: 1.0,
+                low: 0.6,
+                period: 2,
+            },
             0,
         )
         .take(8)

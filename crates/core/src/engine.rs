@@ -7,14 +7,16 @@
 //! training, one set of shared model weights.
 
 use crate::lut::{Lut, LutConfig, LutEntry};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use vit_graph::{ExecError, Executor, Graph};
-use vit_models::{
-    build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant,
-    SwinConfig, SwinVariant,
-};
+use std::sync::Arc;
 use vit_accel::AccelConfig;
+use vit_graph::{ExecError, ExecScratch, Graph, WeightGen};
+use vit_models::{
+    build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant, SwinConfig,
+    SwinVariant,
+};
 use vit_resilience::{
     segformer_sweep_space, sweep_segformer, sweep_segformer_on_accelerator, sweep_swin,
     AccelResource, ResourceKind, Workload,
@@ -110,12 +112,186 @@ pub struct Inference {
 /// ```
 #[derive(Debug)]
 pub struct DrtEngine {
+    core: Arc<EngineCore>,
+    scratch: ExecScratch,
+}
+
+/// The shareable heart of the engine: the LUT, the model family, and a
+/// concurrent graph cache — everything *except* per-worker mutable
+/// execution state.
+///
+/// `EngineCore` is `Send + Sync`; a serving worker pool holds one
+/// `Arc<EngineCore>` and gives each worker its own [`ExecScratch`].
+/// [`EngineCore::select`] (pure LUT lookup, cheap, lock-free) is split
+/// from [`EngineCore::infer_with`] (graph execution) so schedulers can
+/// decide admission/configuration without running anything.
+#[derive(Debug)]
+pub struct EngineCore {
     family: EngineFamily,
     num_classes: usize,
     image: (usize, usize),
     lut: Lut,
-    executor: Executor,
-    graph_cache: HashMap<LutConfig, Graph>,
+    weight_gen: WeightGen,
+    graph_cache: RwLock<HashMap<LutConfig, Arc<Graph>>>,
+}
+
+impl EngineCore {
+    /// Builds a core around a precomputed LUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::EmptyLut`] for an empty LUT.
+    pub fn new(
+        family: EngineFamily,
+        num_classes: usize,
+        image: (usize, usize),
+        lut: Lut,
+    ) -> Result<Self, EngineError> {
+        if lut.is_empty() {
+            return Err(EngineError::EmptyLut);
+        }
+        Ok(EngineCore {
+            family,
+            num_classes,
+            image,
+            lut,
+            weight_gen: WeightGen::new(0),
+            graph_cache: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The engine's LUT.
+    pub fn lut(&self) -> &Lut {
+        &self.lut
+    }
+
+    /// The model family this core serves.
+    pub fn family(&self) -> EngineFamily {
+        self.family
+    }
+
+    /// The resource cost of the most expensive (full) execution path.
+    pub fn max_resource(&self) -> f64 {
+        self.lut.entries().last().map_or(0.0, |e| e.resource)
+    }
+
+    /// The resource cost of the cheapest execution path — the admission
+    /// threshold for a deadline-aware scheduler.
+    pub fn min_resource(&self) -> f64 {
+        self.lut.entries().first().map_or(0.0, |e| e.resource)
+    }
+
+    /// The engine's input image size.
+    pub fn image_size(&self) -> (usize, usize) {
+        self.image
+    }
+
+    /// Number of distinct execution paths built so far.
+    pub fn cached_graphs(&self) -> usize {
+        self.graph_cache.read().len()
+    }
+
+    /// The configuration the engine would run for `budget`, without
+    /// executing it: the accuracy-maximizing entry that fits, or the
+    /// cheapest entry with `met_budget = false` when none fits.
+    pub fn select(&self, budget: f64) -> (LutEntry, bool) {
+        match self.lut.lookup(budget) {
+            Ok(e) => (e.clone(), true),
+            Err(_) => (
+                self.lut
+                    .entries()
+                    .first()
+                    .expect("EngineCore guarantees a non-empty LUT")
+                    .clone(),
+                false,
+            ),
+        }
+    }
+
+    /// The built graph for `config`, from the concurrent cache.
+    fn graph_for(&self, config: LutConfig) -> Result<Arc<Graph>, EngineError> {
+        if let Some(g) = self.graph_cache.read().get(&config) {
+            return Ok(g.clone());
+        }
+        // Build outside any lock: graph construction is the expensive part
+        // and must not serialize other workers' cache hits. Two workers may
+        // race to build the same config; the insert below keeps the first.
+        let g = Arc::new(match (self.family, config) {
+            (EngineFamily::SegFormer(variant), c) => {
+                let d = c
+                    .as_segformer()
+                    .expect("segformer engine gets segformer configs");
+                build_segformer(&SegFormerConfig {
+                    variant,
+                    num_classes: self.num_classes,
+                    image: self.image,
+                    batch: 1,
+                    dynamic: d,
+                })?
+            }
+            (EngineFamily::Swin(variant), c) => {
+                let d = c.as_swin().expect("swin engine gets swin configs");
+                build_swin_upernet(&SwinConfig {
+                    variant,
+                    num_classes: self.num_classes,
+                    image: self.image,
+                    batch: 1,
+                    dynamic: d,
+                })?
+            }
+        });
+        let mut cache = self.graph_cache.write();
+        Ok(cache.entry(config).or_insert(g).clone())
+    }
+
+    /// Runs one dynamic inference using the caller's scratch: picks the
+    /// best path for `budget` (in the LUT's resource units), executes it,
+    /// and returns the outputs with the precomputed accuracy estimate.
+    ///
+    /// When the budget is below every path, the cheapest path runs and
+    /// [`Inference::met_budget`] is false.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    pub fn infer_with(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        budget: f64,
+    ) -> Result<Inference, EngineError> {
+        let (entry, met) = self.select(budget);
+        self.run_entry(scratch, image, entry, met)
+    }
+
+    /// Runs a specific LUT entry (as returned by [`EngineCore::select`])
+    /// — the execution half of `infer_with`, for callers that already
+    /// committed to a configuration at scheduling time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    pub fn run_entry(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        entry: LutEntry,
+        met_budget: bool,
+    ) -> Result<Inference, EngineError> {
+        let graph = self.graph_for(entry.config)?;
+        let logits = scratch.run(self.weight_gen, &graph, std::slice::from_ref(image))?;
+        let label_map = logits
+            .argmax_channels()
+            .expect("segmentation output is NCHW");
+        Ok(Inference {
+            logits,
+            label_map,
+            config: entry.config,
+            norm_miou_estimate: entry.norm_miou,
+            resource_estimate: entry.resource,
+            met_budget,
+        })
+    }
 }
 
 impl DrtEngine {
@@ -165,7 +341,13 @@ impl DrtEngine {
         };
         let space = segformer_sweep_space(&variant, 2, 8);
         let points = sweep_segformer_on_accelerator(
-            &variant, workload, image, num_classes, &space, accel, resource,
+            &variant,
+            workload,
+            image,
+            num_classes,
+            &space,
+            accel,
+            resource,
         );
         let lut = Lut::from_points(
             format!("{} {workload:?} accel-{resource:?}", variant.name),
@@ -206,69 +388,42 @@ impl DrtEngine {
         image: (usize, usize),
         lut: Lut,
     ) -> Result<Self, EngineError> {
-        if lut.is_empty() {
-            return Err(EngineError::EmptyLut);
-        }
-        Ok(DrtEngine {
+        Ok(Self::from_core(Arc::new(EngineCore::new(
             family,
             num_classes,
             image,
             lut,
-            executor: Executor::new(0),
-            graph_cache: HashMap::new(),
-        })
+        )?)))
+    }
+
+    /// Wraps a shared core with a fresh private scratch — how serving
+    /// workers mint per-thread engine handles over one LUT + graph cache.
+    pub fn from_core(core: Arc<EngineCore>) -> Self {
+        DrtEngine {
+            core,
+            scratch: ExecScratch::new(),
+        }
+    }
+
+    /// The shared, `Send + Sync` part of this engine.
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
     }
 
     /// The engine's LUT.
     pub fn lut(&self) -> &Lut {
-        &self.lut
+        self.core.lut()
     }
 
     /// The resource cost of the most expensive (full) execution path —
     /// a convenient reference for choosing budgets.
     pub fn max_resource(&self) -> f64 {
-        self.lut
-            .entries()
-            .last()
-            .map_or(0.0, |e| e.resource)
+        self.core.max_resource()
     }
 
     /// The engine's input image size.
     pub fn image_size(&self) -> (usize, usize) {
-        self.image
-    }
-
-    fn graph_for(&mut self, config: LutConfig) -> Result<&Graph, EngineError> {
-        if !self.graph_cache.contains_key(&config) {
-            let g = match (self.family, config) {
-                (EngineFamily::SegFormer(variant), c) => {
-                    let d = c.as_segformer().expect("segformer engine gets segformer configs");
-                    build_segformer(
-                        &SegFormerConfig {
-                            variant,
-                            num_classes: self.num_classes,
-                            image: self.image,
-                            batch: 1,
-                            dynamic: d,
-                        },
-                    )?
-                }
-                (EngineFamily::Swin(variant), c) => {
-                    let d = c.as_swin().expect("swin engine gets swin configs");
-                    build_swin_upernet(
-                        &SwinConfig {
-                            variant,
-                            num_classes: self.num_classes,
-                            image: self.image,
-                            batch: 1,
-                            dynamic: d,
-                        },
-                    )?
-                }
-            };
-            self.graph_cache.insert(config, g);
-        }
-        Ok(self.graph_cache.get(&config).expect("just inserted"))
+        self.core.image_size()
     }
 
     /// Runs one dynamic inference: picks the best path for `budget`
@@ -282,27 +437,7 @@ impl DrtEngine {
     ///
     /// Returns [`EngineError`] when graph construction or execution fails.
     pub fn infer(&mut self, image: &Tensor, budget: f64) -> Result<Inference, EngineError> {
-        let (entry, met): (LutEntry, bool) = match self.lut.lookup(budget) {
-            Ok(e) => (e.clone(), true),
-            Err(_) => (
-                self.lut.entries().first().ok_or(EngineError::EmptyLut)?.clone(),
-                false,
-            ),
-        };
-        self.graph_for(entry.config)?; // populate the cache
-        let graph = self.graph_cache.get(&entry.config).expect("cached");
-        let logits = self.executor.run(graph, std::slice::from_ref(image))?;
-        let label_map = logits
-            .argmax_channels()
-            .expect("segmentation output is NCHW");
-        Ok(Inference {
-            logits,
-            label_map,
-            config: entry.config,
-            norm_miou_estimate: entry.norm_miou,
-            resource_estimate: entry.resource,
-            met_budget: met,
-        })
+        self.core.infer_with(&mut self.scratch, image, budget)
     }
 }
 
@@ -371,7 +506,54 @@ mod tests {
         let b = e.infer(&img, budget).unwrap();
         // Deterministic engine: identical outputs for identical inputs.
         assert_eq!(a.logits, b.logits);
-        assert_eq!(e.graph_cache.len(), 1);
+        assert_eq!(e.core().cached_graphs(), 1);
+    }
+
+    #[test]
+    fn engine_core_and_lut_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineCore>();
+        assert_send_sync::<Lut>();
+        assert_send_sync::<Arc<EngineCore>>();
+    }
+
+    #[test]
+    fn select_is_consistent_with_infer() {
+        let mut e = small_engine();
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 9);
+        for frac in [0.0, 0.4, 0.8, 1.0, 2.0] {
+            let budget = e.max_resource() * frac;
+            let (entry, met) = e.core().select(budget);
+            let out = e.infer(&img, budget).unwrap();
+            assert_eq!(out.config, entry.config);
+            assert_eq!(out.met_budget, met);
+        }
+    }
+
+    #[test]
+    fn workers_share_one_core_and_agree() {
+        // Two handles over the same Arc<EngineCore> (separate scratches)
+        // produce identical outputs and share the graph cache.
+        let e = small_engine();
+        let core = e.core().clone();
+        drop(e);
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 12);
+        let budget = core.max_resource();
+        let outs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let core = core.clone();
+                    let img = img.clone();
+                    s.spawn(move || {
+                        let mut scratch = ExecScratch::new();
+                        core.infer_with(&mut scratch, &img, budget).unwrap().logits
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(core.cached_graphs(), 1);
     }
 
     #[test]

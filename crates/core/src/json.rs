@@ -1,0 +1,443 @@
+//! Minimal JSON reader/writer for the on-disk LUT artifact.
+//!
+//! The LUT is the only serialized artifact in the workspace, so instead of
+//! a general serialization framework the engine carries a small,
+//! dependency-free JSON module: a recursive-descent parser producing a
+//! [`Json`] tree (with byte offsets on errors) and a pretty writer that
+//! matches the established artifact layout (2-space indent, one scalar per
+//! line, integers and floats distinguished).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without fraction or exponent.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value under `key`, if this is an object containing it.
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a float (integers widen).
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a non-negative integer.
+    pub(crate) fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as usize),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value's array elements.
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A syntax error with the byte offset where parsing stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub(crate) fn parse(input: &str) -> Result<Json, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            out.push(ch);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+/// Pretty-prints a value with 2-space indentation.
+pub(crate) fn write_pretty(value: &Json) -> String {
+    let mut out = String::new();
+    fmt_value(value, 0, &mut out);
+    out
+}
+
+fn fmt_value(value: &Json, indent: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Num(n) => {
+            if n.is_finite() {
+                // `{:?}` prints the shortest representation that parses
+                // back to the same f64 and always keeps a `.0` on whole
+                // numbers, so round-trips are exact.
+                out.push_str(&format!("{n:?}"));
+            } else {
+                out.push_str("null"); // JSON has no Inf/NaN
+            }
+        }
+        Json::Str(s) => fmt_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push('\n');
+                push_indent(indent + 1, out);
+                fmt_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                out.push('\n');
+                push_indent(indent + 1, out);
+                fmt_string(key, out);
+                out.push_str(": ");
+                fmt_value(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn fmt_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = r#"{"a": [1, -2.5, 1e3, "x\ny", true, null], "b": {}}"#;
+        let v = parse(doc).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0], Json::Int(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+        assert_eq!(a[3].as_str(), Some("x\ny"));
+        assert_eq!(a[4], Json::Bool(true));
+        assert_eq!(a[5], Json::Null);
+        assert_eq!(v.get("b"), Some(&Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn rejects_malformed_with_offset() {
+        for doc in ["{", "[1,]", "{\"a\" 1}", "tru", "\"abc", "1 2"] {
+            let err = parse(doc).unwrap_err();
+            assert!(err.offset <= doc.len(), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("a \"quoted\" str".into())),
+            (
+                "rows".into(),
+                Json::Arr(vec![Json::Int(42), Json::Num(0.125), Json::Num(1.0)]),
+            ),
+        ]);
+        let text = write_pretty(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+        // Whole floats keep their `.0`, integers stay integers.
+        assert!(text.contains("1.0") && text.contains("42"));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let escaped = "\"A\\u00e9 \\u00e9\"";
+        assert_eq!(parse(escaped).unwrap().as_str(), Some("Aé é"));
+        let v = parse(r#""Aé é""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé é"));
+    }
+}

@@ -39,9 +39,11 @@
 pub mod baselines;
 pub mod budget;
 pub mod engine;
+mod json;
 pub mod lut;
 
 pub use baselines::{EarlyExitBaseline, StaticModel, TrainedFamily};
 pub use budget::{BudgetTrace, TracePattern};
-pub use engine::{DrtEngine, EngineError, EngineFamily, Inference};
-pub use lut::{BudgetTooSmall, Lut, LutConfig, LutEntry};
+pub use engine::{DrtEngine, EngineCore, EngineError, EngineFamily, Inference};
+pub use json::JsonParseError;
+pub use lut::{BudgetTooSmall, Lut, LutConfig, LutEntry, LutError};

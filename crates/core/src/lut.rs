@@ -1,6 +1,7 @@
 //! The Pareto look-up table at the heart of the DRT engine (block 'A' of
 //! Figure 8): Pareto-optimal execution paths keyed by resource budget.
 
+use crate::json::{self, Json};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vit_models::{SegFormerDynamic, SwinDynamic};
@@ -117,6 +118,77 @@ impl fmt::Display for BudgetTooSmall {
 
 impl std::error::Error for BudgetTooSmall {}
 
+/// Error returned when loading a LUT artifact fails — either the JSON is
+/// malformed or the decoded table violates a LUT invariant. The engine
+/// refuses to run on such a table: `lookup` assumes budget-sorted,
+/// Pareto-consistent rows, and a violated invariant would silently return
+/// sub-optimal configurations at serve time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LutError {
+    /// The input is not valid JSON.
+    Parse(json::JsonParseError),
+    /// The JSON is valid but does not have the LUT shape (missing or
+    /// mistyped field, unknown config tag, wrong depths arity, ...).
+    Schema(String),
+    /// The table has no rows; a LUT must offer at least one execution path.
+    Empty,
+    /// A row's resource or accuracy is NaN or infinite.
+    NonFinite {
+        /// Index of the offending row.
+        index: usize,
+        /// Which field is non-finite.
+        field: &'static str,
+    },
+    /// Rows are not strictly sorted by increasing resource (`lookup`'s
+    /// early-exit scan requires it).
+    NotBudgetSorted {
+        /// Index of the row that is not more expensive than its predecessor.
+        index: usize,
+    },
+    /// A more expensive row is not strictly more accurate than its
+    /// predecessor, i.e. it is dominated and should have been pruned.
+    NotParetoConsistent {
+        /// Index of the dominated row.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutError::Parse(e) => write!(f, "malformed LUT JSON: {e}"),
+            LutError::Schema(msg) => write!(f, "LUT JSON has wrong shape: {msg}"),
+            LutError::Empty => write!(f, "LUT has no entries"),
+            LutError::NonFinite { index, field } => {
+                write!(f, "LUT entry {index} has a non-finite `{field}`")
+            }
+            LutError::NotBudgetSorted { index } => write!(
+                f,
+                "LUT entry {index} is not strictly more expensive than its predecessor"
+            ),
+            LutError::NotParetoConsistent { index } => write!(
+                f,
+                "LUT entry {index} is dominated: more expensive but not more accurate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LutError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<json::JsonParseError> for LutError {
+    fn from(e: json::JsonParseError) -> Self {
+        LutError::Parse(e)
+    }
+}
+
 /// The Pareto LUT: rows sorted by increasing resource, each strictly more
 /// accurate than the previous (invariant established at construction).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,18 +247,117 @@ impl Lut {
     }
 
     /// Serializes the LUT to JSON (the precomputed artifact the runtime
-    /// engine loads).
+    /// engine loads). Uses the externally-tagged layout, e.g.
+    /// `"config": {"SegFormer": {"depths": [...], ...}}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("lut is serializable")
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let config = match e.config {
+                    LutConfig::SegFormer {
+                        depths,
+                        fuse_in_channels,
+                        fuse_out_channels,
+                        decode_linear0_in,
+                    } => Json::Obj(vec![(
+                        "SegFormer".into(),
+                        Json::Obj(vec![
+                            ("depths".into(), depths_json(&depths)),
+                            ("fuse_in_channels".into(), usize_json(fuse_in_channels)),
+                            ("fuse_out_channels".into(), usize_json(fuse_out_channels)),
+                            ("decode_linear0_in".into(), usize_json(decode_linear0_in)),
+                        ]),
+                    )]),
+                    LutConfig::Swin {
+                        depths,
+                        bottleneck_in_channels,
+                    } => Json::Obj(vec![(
+                        "Swin".into(),
+                        Json::Obj(vec![
+                            ("depths".into(), depths_json(&depths)),
+                            (
+                                "bottleneck_in_channels".into(),
+                                usize_json(bottleneck_in_channels),
+                            ),
+                        ]),
+                    )]),
+                };
+                Json::Obj(vec![
+                    ("config".into(), config),
+                    ("resource".into(), Json::Num(e.resource)),
+                    ("norm_resource".into(), Json::Num(e.norm_resource)),
+                    ("norm_miou".into(), Json::Num(e.norm_miou)),
+                ])
+            })
+            .collect();
+        json::write_pretty(&Json::Obj(vec![
+            ("description".into(), Json::Str(self.description.clone())),
+            ("entries".into(), Json::Arr(entries)),
+        ]))
     }
 
-    /// Loads a LUT from JSON.
+    /// Loads a LUT from JSON and validates it.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns [`LutError`] when the input is not valid JSON, does not
+    /// have the LUT shape, or decodes to a table that violates a LUT
+    /// invariant (empty, not budget-sorted, not Pareto-consistent, or
+    /// containing non-finite numbers).
+    pub fn from_json(s: &str) -> Result<Self, LutError> {
+        let doc = json::parse(s)?;
+        let description = field(&doc, "description")?
+            .as_str()
+            .ok_or_else(|| LutError::Schema("`description` must be a string".into()))?
+            .to_string();
+        let rows = field(&doc, "entries")?
+            .as_arr()
+            .ok_or_else(|| LutError::Schema("`entries` must be an array".into()))?;
+        let entries = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| decode_entry(row).map_err(|e| prefix_entry(i, e)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let lut = Lut {
+            description,
+            entries,
+        };
+        lut.validate()?;
+        Ok(lut)
+    }
+
+    /// Checks the LUT invariants `lookup` relies on: at least one row,
+    /// finite numbers, rows strictly sorted by increasing resource, and
+    /// strictly increasing accuracy (no dominated rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`LutError`].
+    pub fn validate(&self) -> Result<(), LutError> {
+        if self.entries.is_empty() {
+            return Err(LutError::Empty);
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            for (field, v) in [
+                ("resource", e.resource),
+                ("norm_resource", e.norm_resource),
+                ("norm_miou", e.norm_miou),
+            ] {
+                if !v.is_finite() {
+                    return Err(LutError::NonFinite { index: i, field });
+                }
+            }
+        }
+        for (i, w) in self.entries.windows(2).enumerate() {
+            if w[1].resource <= w[0].resource {
+                return Err(LutError::NotBudgetSorted { index: i + 1 });
+            }
+            if w[1].norm_miou <= w[0].norm_miou {
+                return Err(LutError::NotParetoConsistent { index: i + 1 });
+            }
+        }
+        Ok(())
     }
 
     /// Number of Pareto rows retained.
@@ -216,6 +387,90 @@ impl Lut {
             entries,
         }
     }
+}
+
+fn usize_json(v: usize) -> Json {
+    Json::Int(v as i64)
+}
+
+fn depths_json(depths: &[usize; 4]) -> Json {
+    Json::Arr(depths.iter().map(|&d| usize_json(d)).collect())
+}
+
+fn field<'a>(obj: &'a Json, name: &str) -> Result<&'a Json, LutError> {
+    obj.get(name)
+        .ok_or_else(|| LutError::Schema(format!("missing field `{name}`")))
+}
+
+fn prefix_entry(index: usize, e: LutError) -> LutError {
+    match e {
+        LutError::Schema(msg) => LutError::Schema(format!("entry {index}: {msg}")),
+        other => other,
+    }
+}
+
+fn decode_f64(obj: &Json, name: &str) -> Result<f64, LutError> {
+    field(obj, name)?
+        .as_f64()
+        .ok_or_else(|| LutError::Schema(format!("`{name}` must be a number")))
+}
+
+fn decode_usize(obj: &Json, name: &str) -> Result<usize, LutError> {
+    field(obj, name)?
+        .as_usize()
+        .ok_or_else(|| LutError::Schema(format!("`{name}` must be a non-negative integer")))
+}
+
+fn decode_depths(obj: &Json) -> Result<[usize; 4], LutError> {
+    let arr = field(obj, "depths")?
+        .as_arr()
+        .ok_or_else(|| LutError::Schema("`depths` must be an array".into()))?;
+    if arr.len() != 4 {
+        return Err(LutError::Schema(format!(
+            "`depths` must have 4 stages, got {}",
+            arr.len()
+        )));
+    }
+    let mut depths = [0usize; 4];
+    for (i, v) in arr.iter().enumerate() {
+        depths[i] = v
+            .as_usize()
+            .ok_or_else(|| LutError::Schema("`depths` elements must be non-negative".into()))?;
+    }
+    Ok(depths)
+}
+
+fn decode_config(config: &Json) -> Result<LutConfig, LutError> {
+    match config {
+        Json::Obj(fields) if fields.len() == 1 => {
+            let (tag, body) = &fields[0];
+            match tag.as_str() {
+                "SegFormer" => Ok(LutConfig::SegFormer {
+                    depths: decode_depths(body)?,
+                    fuse_in_channels: decode_usize(body, "fuse_in_channels")?,
+                    fuse_out_channels: decode_usize(body, "fuse_out_channels")?,
+                    decode_linear0_in: decode_usize(body, "decode_linear0_in")?,
+                }),
+                "Swin" => Ok(LutConfig::Swin {
+                    depths: decode_depths(body)?,
+                    bottleneck_in_channels: decode_usize(body, "bottleneck_in_channels")?,
+                }),
+                other => Err(LutError::Schema(format!("unknown config tag `{other}`"))),
+            }
+        }
+        _ => Err(LutError::Schema(
+            "`config` must be an object with exactly one variant tag".into(),
+        )),
+    }
+}
+
+fn decode_entry(row: &Json) -> Result<LutEntry, LutError> {
+    Ok(LutEntry {
+        config: decode_config(field(row, "config")?)?,
+        resource: decode_f64(row, "resource")?,
+        norm_resource: decode_f64(row, "norm_resource")?,
+        norm_miou: decode_f64(row, "norm_miou")?,
+    })
 }
 
 #[cfg(test)]
@@ -286,15 +541,93 @@ mod tests {
     }
 
     #[test]
+    fn from_json_rejects_malformed_syntax() {
+        for doc in [
+            "",
+            "{",
+            "not json",
+            "{\"description\": \"x\", \"entries\": [}",
+        ] {
+            assert!(
+                matches!(Lut::from_json(doc), Err(LutError::Parse(_))),
+                "{doc:?} should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shape() {
+        let cases = [
+            r#"{"entries": []}"#,                                      // missing description
+            r#"{"description": "x"}"#,                                 // missing entries
+            r#"{"description": 3, "entries": []}"#,                    // mistyped description
+            r#"{"description": "x", "entries": 3}"#,                   // mistyped entries
+            r#"{"description": "x", "entries": [{"resource": 1.0}]}"#, // missing config
+        ];
+        for doc in cases {
+            assert!(
+                matches!(Lut::from_json(doc), Err(LutError::Schema(_))),
+                "{doc} should be a schema error"
+            );
+        }
+        // Unknown variant tag and bad depths arity are schema errors too.
+        let bad_tag = lut().to_json().replace("SegFormer", "ResNet");
+        assert!(
+            matches!(Lut::from_json(&bad_tag), Err(LutError::Schema(m)) if m.contains("ResNet"))
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_invariant_violations() {
+        let entry = |r: f64, a: f64| {
+            format!(
+                r#"{{"config": {{"Swin": {{"depths": [2, 2, 6, 2], "bottleneck_in_channels": 512}}}},
+                     "resource": {r}, "norm_resource": {r}, "norm_miou": {a}}}"#
+            )
+        };
+        let doc = |entries: &[String]| {
+            format!(
+                r#"{{"description": "t", "entries": [{}]}}"#,
+                entries.join(",")
+            )
+        };
+
+        assert_eq!(Lut::from_json(&doc(&[])), Err(LutError::Empty));
+        assert_eq!(
+            Lut::from_json(&doc(&[entry(0.8, 0.9), entry(0.5, 0.95)])),
+            Err(LutError::NotBudgetSorted { index: 1 })
+        );
+        assert_eq!(
+            Lut::from_json(&doc(&[entry(0.5, 0.9), entry(0.8, 0.9)])),
+            Err(LutError::NotParetoConsistent { index: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_rows() {
+        let mut l = lut();
+        l.entries[1].norm_miou = f64::NAN;
+        assert_eq!(
+            l.validate(),
+            Err(LutError::NonFinite {
+                index: 1,
+                field: "norm_miou"
+            })
+        );
+    }
+
+    #[test]
+    fn from_points_always_validates() {
+        assert!(lut().validate().is_ok());
+    }
+
+    #[test]
     fn downsample_keeps_endpoints() {
         let l = lut();
         let d = l.downsample(2);
         assert_eq!(d.len(), 2);
         assert_eq!(d.entries()[0].resource, l.entries()[0].resource);
-        assert_eq!(
-            d.entries()[1].resource,
-            l.entries()[l.len() - 1].resource
-        );
+        assert_eq!(d.entries()[1].resource, l.entries()[l.len() - 1].resource);
         // Downsampling more rows than exist is identity.
         assert_eq!(l.downsample(100), l);
     }

@@ -17,11 +17,18 @@ use vit_tensor::Tensor;
 ///
 /// Panics when shapes differ or a label is out of `0..classes`.
 pub fn confusion_matrix(pred: &Tensor, gt: &Tensor, classes: usize) -> Vec<u64> {
-    assert_eq!(pred.shape(), gt.shape(), "prediction/ground-truth shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        gt.shape(),
+        "prediction/ground-truth shape mismatch"
+    );
     let mut m = vec![0u64; classes * classes];
     for (&p, &g) in pred.data().iter().zip(gt.data().iter()) {
         let (p, g) = (p as usize, g as usize);
-        assert!(p < classes && g < classes, "label out of range: pred {p}, gt {g}");
+        assert!(
+            p < classes && g < classes,
+            "label out of range: pred {p}, gt {g}"
+        );
         m[g * classes + p] += 1;
     }
     m
@@ -75,7 +82,11 @@ pub fn mean_iou(pred: &Tensor, gt: &Tensor, classes: usize) -> f64 {
 ///
 /// Panics when shapes differ.
 pub fn pixel_accuracy(pred: &Tensor, gt: &Tensor) -> f64 {
-    assert_eq!(pred.shape(), gt.shape(), "prediction/ground-truth shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        gt.shape(),
+        "prediction/ground-truth shape mismatch"
+    );
     if pred.numel() == 0 {
         return 0.0;
     }

@@ -257,28 +257,29 @@ fn window_merge(x: &Tensor, window: usize, h: usize, w: usize) -> Tensor {
     out
 }
 
-/// Executes graphs with deterministic synthetic weights.
+/// Per-worker mutable execution state: the lazily generated weight cache
+/// and reusable value buffers.
 ///
-/// Weights are generated lazily per node and cached, so repeated executions
-/// of the same graph reuse them.
-#[derive(Debug)]
-pub struct Executor {
-    gen: WeightGen,
+/// [`WeightGen`] is `Copy` and freely shared; `ExecScratch` is what a
+/// concurrent caller must keep one-per-thread. Weight values are a pure
+/// function of the generator, so two workers with separate scratches over
+/// the same generator compute identical results.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
     cache: HashMap<String, Vec<Tensor>>,
+    values: Vec<Option<Tensor>>,
 }
 
-impl Executor {
-    /// Creates an executor with a global weight seed.
-    pub fn new(seed: u64) -> Self {
-        Executor {
-            gen: WeightGen::new(seed),
-            cache: HashMap::new(),
-        }
+impl ExecScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The underlying weight generator.
-    pub fn weight_gen(&self) -> &WeightGen {
-        &self.gen
+    /// Number of nodes with cached weights (observability for cache-reuse
+    /// tests).
+    pub fn cached_nodes(&self) -> usize {
+        self.cache.len()
     }
 
     /// The parameter-tensor shapes a node of this op/input signature owns.
@@ -328,7 +329,13 @@ impl Executor {
         }
     }
 
-    fn weights_for(&mut self, node_name: &str, op: &Op, in_shapes: &[&[usize]]) -> Vec<Tensor> {
+    fn weights_for(
+        &mut self,
+        gen: WeightGen,
+        node_name: &str,
+        op: &Op,
+        in_shapes: &[&[usize]],
+    ) -> Vec<Tensor> {
         // The same node name can appear in graphs of *different* dynamic
         // configurations with different widths (that is the point of the
         // shared-weights design), so a cache hit is only valid when the
@@ -336,12 +343,13 @@ impl Executor {
         let expected = Self::weight_shapes(op, in_shapes);
         if let Some(w) = self.cache.get(node_name) {
             if w.len() == expected.len()
-                && w.iter().zip(expected.iter()).all(|(t, s)| t.shape() == s.as_slice())
+                && w.iter()
+                    .zip(expected.iter())
+                    .all(|(t, s)| t.shape() == s.as_slice())
             {
                 return w.clone();
             }
         }
-        let gen = self.gen;
         let w: Vec<Tensor> = match op {
             Op::Conv2d {
                 out_channels,
@@ -412,8 +420,9 @@ impl Executor {
         w
     }
 
-    /// Runs the graph on the provided inputs (one tensor per graph input, in
-    /// declaration order) and returns the output tensor.
+    /// Runs the graph with weights drawn from `gen`, using this scratch's
+    /// weight cache and buffers (one tensor per graph input, in declaration
+    /// order).
     ///
     /// # Errors
     ///
@@ -423,7 +432,12 @@ impl Executor {
     /// # Panics
     ///
     /// Panics when the graph has no output set.
-    pub fn run(&mut self, graph: &Graph, inputs: &[Tensor]) -> Result<Tensor, ExecError> {
+    pub fn run(
+        &mut self,
+        gen: WeightGen,
+        graph: &Graph,
+        inputs: &[Tensor],
+    ) -> Result<Tensor, ExecError> {
         let output = graph.output().expect("graph must have an output set");
         if inputs.len() != graph.input_ids().len() {
             return Err(ExecError::BadInputs {
@@ -448,7 +462,11 @@ impl Executor {
         }
 
         let mut refcounts = graph.consumer_counts();
-        let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+        // Reuse the value buffer across runs (per-request allocation
+        // matters on the serving hot path).
+        let mut values = std::mem::take(&mut self.values);
+        values.clear();
+        values.resize_with(graph.len(), || None);
         let mut input_iter = inputs.iter();
         for (id, node) in graph.iter() {
             let in_tensors: Vec<&Tensor> = node
@@ -474,7 +492,7 @@ impl Executor {
                     bias,
                     ..
                 } => {
-                    let w = self.weights_for(&node.name, &node.op, &in_shapes);
+                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
                     let p = ops::Conv2dParams {
                         stride_h: stride.0,
                         stride_w: stride.1,
@@ -486,16 +504,16 @@ impl Executor {
                     ops::conv2d(in_tensors[0], &w[0], b, p).map_err(kerr)?
                 }
                 Op::Linear { bias, .. } => {
-                    let w = self.weights_for(&node.name, &node.op, &in_shapes);
+                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
                     let b = if *bias { Some(&w[1]) } else { None };
                     ops::linear(in_tensors[0], &w[0], b).map_err(kerr)?
                 }
                 Op::LayerNorm => {
-                    let w = self.weights_for(&node.name, &node.op, &in_shapes);
+                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
                     ops::layer_norm(in_tensors[0], &w[0], &w[1], 1e-5).map_err(kerr)?
                 }
                 Op::BatchNorm => {
-                    let w = self.weights_for(&node.name, &node.op, &in_shapes);
+                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
                     ops::batch_norm_inference(in_tensors[0], &w[0], &w[1]).map_err(kerr)?
                 }
                 Op::Relu => ops::relu(in_tensors[0]),
@@ -514,7 +532,7 @@ impl Executor {
                     points,
                     ..
                 } => {
-                    let w = self.weights_for(&node.name, &node.op, &in_shapes);
+                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
                     deform_attn(
                         in_tensors[0],
                         in_tensors[1],
@@ -528,9 +546,11 @@ impl Executor {
                     )
                     .map_err(kerr)?
                 }
-                Op::MaxPool { window, stride, pad } => {
-                    ops::max_pool2d(in_tensors[0], *window, *stride, *pad).map_err(kerr)?
-                }
+                Op::MaxPool {
+                    window,
+                    stride,
+                    pad,
+                } => ops::max_pool2d(in_tensors[0], *window, *stride, *pad).map_err(kerr)?,
                 Op::AdaptiveAvgPool { out_h, out_w } => {
                     ops::adaptive_avg_pool2d(in_tensors[0], *out_h, *out_w).map_err(kerr)?
                 }
@@ -556,9 +576,7 @@ impl Executor {
                         .map_err(kerr)?
                 }
                 Op::WindowPartition { window } => window_partition(in_tensors[0], *window),
-                Op::WindowMerge { window, h, w } => {
-                    window_merge(in_tensors[0], *window, *h, *w)
-                }
+                Op::WindowMerge { window, h, w } => window_merge(in_tensors[0], *window, *h, *w),
                 Op::CyclicShift { dy, dx } => cyclic_shift(in_tensors[0], *dy, *dx),
                 Op::GlobalAvgPool => ops::global_avg_pool(in_tensors[0]).map_err(kerr)?,
                 Op::ArgmaxChannels => in_tensors[0].argmax_channels().map_err(kerr)?,
@@ -582,7 +600,53 @@ impl Executor {
             }
             values[id.index()] = Some(out);
         }
-        Ok(values[output.index()].take().expect("output computed"))
+        let out = values[output.index()].take().expect("output computed");
+        values.clear();
+        self.values = values;
+        Ok(out)
+    }
+}
+
+/// Executes graphs with deterministic synthetic weights.
+///
+/// Weights are generated lazily per node and cached, so repeated executions
+/// of the same graph reuse them. This is the single-threaded convenience
+/// wrapper over a shared [`WeightGen`] plus a private [`ExecScratch`];
+/// concurrent callers hold one `WeightGen` and one scratch per worker and
+/// call [`ExecScratch::run`] directly.
+#[derive(Debug)]
+pub struct Executor {
+    gen: WeightGen,
+    scratch: ExecScratch,
+}
+
+impl Executor {
+    /// Creates an executor with a global weight seed.
+    pub fn new(seed: u64) -> Self {
+        Executor {
+            gen: WeightGen::new(seed),
+            scratch: ExecScratch::new(),
+        }
+    }
+
+    /// The underlying weight generator.
+    pub fn weight_gen(&self) -> &WeightGen {
+        &self.gen
+    }
+
+    /// Runs the graph on the provided inputs (one tensor per graph input, in
+    /// declaration order) and returns the output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when input count/shapes mismatch the graph or a
+    /// kernel fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has no output set.
+    pub fn run(&mut self, graph: &Graph, inputs: &[Tensor]) -> Result<Tensor, ExecError> {
+        self.scratch.run(self.gen, graph, inputs)
     }
 }
 
@@ -646,8 +710,7 @@ fn concat_tokens(inputs: &[&Tensor]) -> Tensor {
         for t in inputs {
             let n = t.shape()[1];
             let src = &t.data()[bi * n * c..(bi + 1) * n * c];
-            od[(bi * total_n + tok_off) * c..(bi * total_n + tok_off + n) * c]
-                .copy_from_slice(src);
+            od[(bi * total_n + tok_off) * c..(bi * total_n + tok_off + n) * c].copy_from_slice(src);
             tok_off += n;
         }
     }
@@ -717,11 +780,12 @@ fn sdpa(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Result<Tensor, Tens
     let dv = v.shape()[2];
     let hd = d / heads;
     let hdv = dv / heads;
-    let split = |x: &Tensor, tokens: usize, dim: usize, hdim: usize| -> Result<Tensor, TensorError> {
-        x.reshape(&[b, tokens, dim / hdim, hdim])?
-            .permute(&[0, 2, 1, 3])?
-            .reshape(&[b * (dim / hdim), tokens, hdim])
-    };
+    let split =
+        |x: &Tensor, tokens: usize, dim: usize, hdim: usize| -> Result<Tensor, TensorError> {
+            x.reshape(&[b, tokens, dim / hdim, hdim])?
+                .permute(&[0, 2, 1, 3])?
+                .reshape(&[b * (dim / hdim), tokens, hdim])
+        };
     let qh = split(q, n, d, hd)?;
     let kh = split(k, m, d, hd)?;
     let vh = split(v, m, dv, hdv)?;
@@ -800,9 +864,7 @@ mod tests {
         g.set_output(x);
         let mut ex = Executor::new(0);
         assert!(ex.run(&g, &[]).is_err());
-        assert!(ex
-            .run(&g, &[Tensor::zeros(&[1, 1, 2, 2])])
-            .is_err());
+        assert!(ex.run(&g, &[Tensor::zeros(&[1, 1, 2, 2])]).is_err());
     }
 
     #[test]
@@ -810,13 +872,37 @@ mod tests {
         let mut g = Graph::new("attn");
         let x = g.input("tokens", &[1, 16, 8]).unwrap();
         let q = g
-            .add("q", Op::Linear { out_features: 8, bias: false }, LayerRole::Other, &[x])
+            .add(
+                "q",
+                Op::Linear {
+                    out_features: 8,
+                    bias: false,
+                },
+                LayerRole::Other,
+                &[x],
+            )
             .unwrap();
         let k = g
-            .add("k", Op::Linear { out_features: 8, bias: false }, LayerRole::Other, &[x])
+            .add(
+                "k",
+                Op::Linear {
+                    out_features: 8,
+                    bias: false,
+                },
+                LayerRole::Other,
+                &[x],
+            )
             .unwrap();
         let v = g
-            .add("v", Op::Linear { out_features: 8, bias: false }, LayerRole::Other, &[x])
+            .add(
+                "v",
+                Op::Linear {
+                    out_features: 8,
+                    bias: false,
+                },
+                LayerRole::Other,
+                &[x],
+            )
             .unwrap();
         let a = g
             .add("sdpa", Op::Sdpa { heads: 2 }, LayerRole::Other, &[q, k, v])
@@ -875,20 +961,69 @@ mod tests {
     }
 
     #[test]
+    fn per_worker_scratches_agree_and_cache_weights() {
+        // Two workers with independent scratches over one shared WeightGen
+        // must produce identical outputs (weights are a pure function of
+        // the generator), and each scratch caches the layer weights.
+        let mut g = Graph::new("w");
+        let x = g.input("in", &[1, 1, 6]).unwrap();
+        let l = g
+            .add(
+                "proj",
+                Op::Linear {
+                    out_features: 4,
+                    bias: true,
+                },
+                LayerRole::Other,
+                &[x],
+            )
+            .unwrap();
+        g.set_output(l);
+        let gen = WeightGen::new(11);
+        let mut s1 = ExecScratch::new();
+        let mut s2 = ExecScratch::new();
+        let input = Tensor::rand_uniform(&[1, 1, 6], -1.0, 1.0, 4);
+        let a = s1.run(gen, &g, std::slice::from_ref(&input)).unwrap();
+        let b = s2.run(gen, &g, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s1.cached_nodes(), 1);
+        // Re-running on the same scratch reuses the cache.
+        let c = s1.run(gen, &g, &[input]).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(s1.cached_nodes(), 1);
+    }
+
+    #[test]
     fn shared_weights_between_full_and_pruned_linear() {
         // A linear with 8 outputs and the same node name as one with 4
         // outputs produces identical values on the first 4 outputs.
         let mut g_full = Graph::new("m");
         let x = g_full.input("in", &[1, 1, 6]).unwrap();
         let l = g_full
-            .add("proj", Op::Linear { out_features: 8, bias: true }, LayerRole::Other, &[x])
+            .add(
+                "proj",
+                Op::Linear {
+                    out_features: 8,
+                    bias: true,
+                },
+                LayerRole::Other,
+                &[x],
+            )
             .unwrap();
         g_full.set_output(l);
 
         let mut g_pruned = Graph::new("m");
         let x2 = g_pruned.input("in", &[1, 1, 6]).unwrap();
         let l2 = g_pruned
-            .add("proj", Op::Linear { out_features: 4, bias: true }, LayerRole::Other, &[x2])
+            .add(
+                "proj",
+                Op::Linear {
+                    out_features: 4,
+                    bias: true,
+                },
+                LayerRole::Other,
+                &[x2],
+            )
             .unwrap();
         g_pruned.set_output(l2);
 

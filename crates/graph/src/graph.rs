@@ -212,10 +212,7 @@ impl Graph {
 
     /// Finds a node by exact name.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Total FLOPs of the whole graph.

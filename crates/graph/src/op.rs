@@ -334,7 +334,9 @@ impl Op {
                 if *groups == 0 || c % groups != 0 || out_channels % groups != 0 {
                     return Err(err(
                         name,
-                        format!("channels in={c} out={out_channels} not divisible by groups {groups}"),
+                        format!(
+                            "channels in={c} out={out_channels} not divisible by groups {groups}"
+                        ),
                     ));
                 }
                 if h + 2 * pad.0 < kernel.0 || w + 2 * pad.1 < kernel.1 {
@@ -366,7 +368,10 @@ impl Op {
                 let k = inputs[1];
                 let v = inputs[2];
                 if q.len() != 3 || k.len() != 3 || v.len() != 3 {
-                    return Err(err(name, format!("sdpa expects rank-3 inputs, got {q:?} {k:?} {v:?}")));
+                    return Err(err(
+                        name,
+                        format!("sdpa expects rank-3 inputs, got {q:?} {k:?} {v:?}"),
+                    ));
                 }
                 if q[0] != k[0] || q[0] != v[0] || q[2] != k[2] || k[1] != v[1] {
                     return Err(err(
@@ -375,7 +380,10 @@ impl Op {
                     ));
                 }
                 if *heads == 0 || !q[2].is_multiple_of(*heads) {
-                    return Err(err(name, format!("dim {} not divisible by heads {heads}", q[2])));
+                    return Err(err(
+                        name,
+                        format!("dim {} not divisible by heads {heads}", q[2]),
+                    ));
                 }
                 // Output embeds the value dimension per token.
                 Ok(vec![q[0], q[1], v[2]])
@@ -384,7 +392,10 @@ impl Op {
                 let q = inputs[0];
                 let v = inputs[1];
                 if q.len() != 3 || v.len() != 3 {
-                    return Err(err(name, format!("deform-attn expects rank-3 inputs, got {q:?} {v:?}")));
+                    return Err(err(
+                        name,
+                        format!("deform-attn expects rank-3 inputs, got {q:?} {v:?}"),
+                    ));
                 }
                 if q[0] != v[0] || q[2] != *dim || v[2] != *dim {
                     return Err(err(
@@ -393,11 +404,18 @@ impl Op {
                     ));
                 }
                 if *heads == 0 || dim % heads != 0 {
-                    return Err(err(name, format!("dim {dim} not divisible by heads {heads}")));
+                    return Err(err(
+                        name,
+                        format!("dim {dim} not divisible by heads {heads}"),
+                    ));
                 }
                 Ok(q.to_vec())
             }
-            Op::MaxPool { window, stride, pad } => {
+            Op::MaxPool {
+                window,
+                stride,
+                pad,
+            } => {
                 let (n, c, h, w) = nchw(inputs[0])?;
                 if *window == 0 || *stride == 0 {
                     return Err(err(name, "window and stride must be nonzero"));
@@ -441,10 +459,7 @@ impl Op {
             Op::UnflattenHw { h, w } => {
                 let s = inputs[0];
                 if s.len() != 3 || s[1] != h * w {
-                    return Err(err(
-                        name,
-                        format!("cannot unflatten {s:?} to h={h} w={w}"),
-                    ));
+                    return Err(err(name, format!("cannot unflatten {s:?} to h={h} w={w}")));
                 }
                 Ok(vec![s[0], s[2], *h, *w])
             }
@@ -466,7 +481,10 @@ impl Op {
                     return Err(err(name, format!("cannot merge windows from {s:?}")));
                 }
                 if *window == 0 {
-                    return Err(err(name, format!("bad merge target {h}x{w} window {window}")));
+                    return Err(err(
+                        name,
+                        format!("bad merge target {h}x{w} window {window}"),
+                    ));
                 }
                 let windows = h.div_ceil(*window) * w.div_ceil(*window);
                 if !s[0].is_multiple_of(windows) {
@@ -495,13 +513,19 @@ impl Op {
                 match s.len() {
                     4 => {
                         if *keep == 0 || *keep > s[1] {
-                            return Err(err(name, format!("cannot keep {keep} of {} channels", s[1])));
+                            return Err(err(
+                                name,
+                                format!("cannot keep {keep} of {} channels", s[1]),
+                            ));
                         }
                         out[1] = *keep;
                     }
                     3 => {
                         if *keep == 0 || *keep > s[2] {
-                            return Err(err(name, format!("cannot keep {keep} of {} features", s[2])));
+                            return Err(err(
+                                name,
+                                format!("cannot keep {keep} of {} features", s[2]),
+                            ));
                         }
                         out[2] = *keep;
                     }
@@ -562,10 +586,18 @@ impl Op {
                 let in_features = *inputs[0].last().unwrap_or(&0) as u64;
                 let rows = numel(inputs[0]) / in_features.max(1);
                 let macs = rows * in_features * *out_features as u64;
-                macs + if *bias { rows * *out_features as u64 } else { 0 }
+                macs + if *bias {
+                    rows * *out_features as u64
+                } else {
+                    0
+                }
             }
             Op::Sdpa { .. } => {
-                let (b, n, d) = (inputs[0][0] as u64, inputs[0][1] as u64, inputs[0][2] as u64);
+                let (b, n, d) = (
+                    inputs[0][0] as u64,
+                    inputs[0][1] as u64,
+                    inputs[0][2] as u64,
+                );
                 let m = inputs[1][1] as u64;
                 let dv = inputs[2][2] as u64;
                 // scores (b*n*m*d MACs) + softmax (~5 flops/element) + context.
@@ -625,15 +657,20 @@ impl Op {
                 ..
             } => {
                 let c = inputs[0][1] as u64;
-                let w = *out_channels as u64 * (c / *groups as u64) * kernel.0 as u64 * kernel.1 as u64;
+                let w =
+                    *out_channels as u64 * (c / *groups as u64) * kernel.0 as u64 * kernel.1 as u64;
                 w + if *bias { *out_channels as u64 } else { 0 }
             }
             Op::Linear { out_features, bias } => {
                 let in_features = *inputs[0].last().unwrap_or(&0) as u64;
-                in_features * *out_features as u64
-                    + if *bias { *out_features as u64 } else { 0 }
+                in_features * *out_features as u64 + if *bias { *out_features as u64 } else { 0 }
             }
-            Op::DeformAttn { levels, points, dim, .. } => {
+            Op::DeformAttn {
+                levels,
+                points,
+                dim,
+                ..
+            } => {
                 let d = *dim as u64;
                 let (l, p) = (*levels as u64, *points as u64);
                 // value proj + output proj + offset/weight projections.
@@ -757,7 +794,10 @@ mod tests {
         let op = Op::Concat;
         let a = [1usize, 768, 128, 128];
         let shapes: Vec<&[usize]> = vec![&a, &a, &a, &a];
-        assert_eq!(op.infer_shape("c", &shapes).unwrap(), vec![1, 3072, 128, 128]);
+        assert_eq!(
+            op.infer_shape("c", &shapes).unwrap(),
+            vec![1, 3072, 128, 128]
+        );
     }
 
     #[test]

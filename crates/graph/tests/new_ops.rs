@@ -14,11 +14,7 @@ fn run_single(op: Op, input_shape: &[usize], input: Tensor) -> Tensor {
 
 #[test]
 fn slice_channels_nchw_keeps_prefix() {
-    let x = Tensor::from_vec(
-        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-        &[1, 3, 1, 2],
-    )
-    .unwrap();
+    let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 3, 1, 2]).unwrap();
     let y = run_single(Op::SliceChannels { keep: 2 }, &[1, 3, 1, 2], x);
     assert_eq!(y.shape(), &[1, 2, 1, 2]);
     assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
@@ -70,7 +66,9 @@ fn concat_tokens_stacks_sequences() {
     let mut g = Graph::new("t");
     let a = g.input("a", &[1, 2, 3]).unwrap();
     let b = g.input("b", &[1, 1, 3]).unwrap();
-    let c = g.add("cat", Op::ConcatTokens, LayerRole::Other, &[a, b]).unwrap();
+    let c = g
+        .add("cat", Op::ConcatTokens, LayerRole::Other, &[a, b])
+        .unwrap();
     g.set_output(c);
     let ta = Tensor::from_vec(vec![1.0; 6], &[1, 2, 3]).unwrap();
     let tb = Tensor::from_vec(vec![2.0; 3], &[1, 1, 3]).unwrap();
@@ -86,20 +84,31 @@ fn padded_window_partition_round_trips() {
     let mut g = Graph::new("t");
     let x = g.input("in", &[1, 2, 10, 10]).unwrap();
     let p = g
-        .add("part", Op::WindowPartition { window: 7 }, LayerRole::Other, &[x])
+        .add(
+            "part",
+            Op::WindowPartition { window: 7 },
+            LayerRole::Other,
+            &[x],
+        )
         .unwrap();
     assert_eq!(g.node(p).shape, vec![4, 49, 2]);
     let m = g
         .add(
             "merge",
-            Op::WindowMerge { window: 7, h: 10, w: 10 },
+            Op::WindowMerge {
+                window: 7,
+                h: 10,
+                w: 10,
+            },
             LayerRole::Other,
             &[p],
         )
         .unwrap();
     g.set_output(m);
     let input = Tensor::rand_uniform(&[1, 2, 10, 10], -1.0, 1.0, 5);
-    let out = Executor::new(0).run(&g, std::slice::from_ref(&input)).unwrap();
+    let out = Executor::new(0)
+        .run(&g, std::slice::from_ref(&input))
+        .unwrap();
     assert_eq!(out, input);
 }
 
@@ -111,7 +120,12 @@ fn deform_attn_executes_with_expected_shape() {
     let a = g
         .add(
             "dattn",
-            Op::DeformAttn { heads: 4, levels: 2, points: 4, dim: 16 },
+            Op::DeformAttn {
+                heads: 4,
+                levels: 2,
+                points: 4,
+                dim: 16,
+            },
             LayerRole::DetTransformerEncoder,
             &[q, v],
         )
@@ -132,7 +146,12 @@ fn deform_attn_executes_with_expected_shape() {
 
 #[test]
 fn deform_attn_flops_account_for_projections() {
-    let op = Op::DeformAttn { heads: 8, levels: 4, points: 4, dim: 256 };
+    let op = Op::DeformAttn {
+        heads: 8,
+        levels: 4,
+        points: 4,
+        dim: 256,
+    };
     let q = [1usize, 300, 256];
     let v = [1usize, 1000, 256];
     let out = op.infer_shape("d", &[&q, &v]).unwrap();
@@ -151,17 +170,38 @@ fn pruned_linear_after_slice_shares_prefix_weights() {
     let mut g_full = Graph::new("m");
     let x = g_full.input("in", &[1, 1, 6]).unwrap();
     let l = g_full
-        .add("proj", Op::Linear { out_features: 3, bias: false }, LayerRole::Other, &[x])
+        .add(
+            "proj",
+            Op::Linear {
+                out_features: 3,
+                bias: false,
+            },
+            LayerRole::Other,
+            &[x],
+        )
         .unwrap();
     g_full.set_output(l);
 
     let mut g_cut = Graph::new("m");
     let x2 = g_cut.input("in", &[1, 1, 6]).unwrap();
     let s = g_cut
-        .add("cut", Op::SliceChannels { keep: 4 }, LayerRole::Other, &[x2])
+        .add(
+            "cut",
+            Op::SliceChannels { keep: 4 },
+            LayerRole::Other,
+            &[x2],
+        )
         .unwrap();
     let l2 = g_cut
-        .add("proj", Op::Linear { out_features: 3, bias: false }, LayerRole::Other, &[s])
+        .add(
+            "proj",
+            Op::Linear {
+                out_features: 3,
+                bias: false,
+            },
+            LayerRole::Other,
+            &[s],
+        )
         .unwrap();
     g_cut.set_output(l2);
 
@@ -169,7 +209,9 @@ fn pruned_linear_after_slice_shares_prefix_weights() {
     // graphs must then agree exactly.
     let mut data = vec![0.3, -0.7, 1.1, 0.9, 0.0, 0.0];
     let input = Tensor::from_vec(std::mem::take(&mut data), &[1, 1, 6]).unwrap();
-    let full = Executor::new(9).run(&g_full, std::slice::from_ref(&input)).unwrap();
+    let full = Executor::new(9)
+        .run(&g_full, std::slice::from_ref(&input))
+        .unwrap();
     let cut = Executor::new(9).run(&g_cut, &[input]).unwrap();
     for (a, b) in full.data().iter().zip(cut.data().iter()) {
         assert!((a - b).abs() < 1e-6);
@@ -184,7 +226,15 @@ fn one_executor_serves_graphs_of_different_widths() {
         let mut g = Graph::new("m");
         let x = g.input("in", &[1, 1, 6]).unwrap();
         let l = g
-            .add("proj", Op::Linear { out_features: out, bias: true }, LayerRole::Other, &[x])
+            .add(
+                "proj",
+                Op::Linear {
+                    out_features: out,
+                    bias: true,
+                },
+                LayerRole::Other,
+                &[x],
+            )
             .unwrap();
         g.set_output(l);
         g

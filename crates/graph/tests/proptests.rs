@@ -7,8 +7,16 @@ use vit_tensor::Tensor;
 
 fn arb_conv() -> impl Strategy<Value = (Op, usize, usize, usize)> {
     // (op, in_channels, h, w) with valid geometry.
-    (1usize..5, 1usize..9, 1usize..4, 0usize..3, 1usize..3, 4usize..12, 4usize..12).prop_map(
-        |(cin, cout, k, pad, stride, h, w)| {
+    (
+        1usize..5,
+        1usize..9,
+        1usize..4,
+        0usize..3,
+        1usize..3,
+        4usize..12,
+        4usize..12,
+    )
+        .prop_map(|(cin, cout, k, pad, stride, h, w)| {
             let k = k.min(h + 2 * pad).min(w + 2 * pad);
             (
                 Op::Conv2d {
@@ -23,8 +31,7 @@ fn arb_conv() -> impl Strategy<Value = (Op, usize, usize, usize)> {
                 h,
                 w,
             )
-        },
-    )
+        })
 }
 
 proptest! {

@@ -78,7 +78,11 @@ impl DetrConfig {
                 "image {h}x{w} must be a positive multiple of 32"
             )));
         }
-        if self.batch == 0 || self.dim == 0 || self.heads == 0 || !self.dim.is_multiple_of(self.heads) {
+        if self.batch == 0
+            || self.dim == 0
+            || self.heads == 0
+            || !self.dim.is_multiple_of(self.heads)
+        {
             return Err(ModelError::BadConfig(format!(
                 "batch {} / dim {} / heads {} invalid",
                 self.batch, self.dim, self.heads
@@ -110,10 +114,20 @@ fn add_ffn(
     dim: usize,
     ffn_dim: usize,
 ) -> Result<NodeId> {
-    let fc1 = g.add(&format!("{prefix}.ffn.fc1"), linear(ffn_dim), role, &[input])?;
+    let fc1 = g.add(
+        &format!("{prefix}.ffn.fc1"),
+        linear(ffn_dim),
+        role,
+        &[input],
+    )?;
     let act = g.add(&format!("{prefix}.ffn.relu"), Op::Relu, role, &[fc1])?;
     let fc2 = g.add(&format!("{prefix}.ffn.fc2"), linear(dim), role, &[act])?;
-    let add = g.add(&format!("{prefix}.ffn.residual"), Op::Add, role, &[input, fc2])?;
+    let add = g.add(
+        &format!("{prefix}.ffn.residual"),
+        Op::Add,
+        role,
+        &[input, fc2],
+    )?;
     Ok(g.add(&format!("{prefix}.ffn.norm"), Op::LayerNorm, role, &[add])?)
 }
 
@@ -130,7 +144,12 @@ fn add_attention(
     let q = g.add(&format!("{prefix}.q"), linear(dim), role, &[query])?;
     let k = g.add(&format!("{prefix}.k"), linear(dim), role, &[kv])?;
     let v = g.add(&format!("{prefix}.v"), linear(dim), role, &[kv])?;
-    let sdpa = g.add(&format!("{prefix}.sdpa"), Op::Sdpa { heads }, role, &[q, k, v])?;
+    let sdpa = g.add(
+        &format!("{prefix}.sdpa"),
+        Op::Sdpa { heads },
+        role,
+        &[q, k, v],
+    )?;
     let proj = g.add(&format!("{prefix}.proj"), linear(dim), role, &[sdpa])?;
     let add = g.add(&format!("{prefix}.residual"), Op::Add, role, &[query, proj])?;
     Ok(g.add(&format!("{prefix}.norm"), Op::LayerNorm, role, &[add])?)
@@ -139,12 +158,7 @@ fn add_attention(
 /// Appends the shared detection heads (classification linear + 3-layer box
 /// MLP) and returns the box output (the graph output; class logits are a
 /// second consumer of the decoder state and remain in the graph).
-fn add_heads(
-    g: &mut Graph,
-    decoder_out: NodeId,
-    dim: usize,
-    num_classes: usize,
-) -> Result<NodeId> {
+fn add_heads(g: &mut Graph, decoder_out: NodeId, dim: usize, num_classes: usize) -> Result<NodeId> {
     let role = LayerRole::Head;
     let _cls = g.add("head.class", linear(num_classes), role, &[decoder_out])?;
     let b1 = g.add("head.bbox.fc1", linear(dim), role, &[decoder_out])?;
@@ -197,7 +211,15 @@ pub fn build_detr(cfg: &DetrConfig) -> Result<Graph> {
     for layer in 0..cfg.encoder_layers {
         let p = format!("transformer.encoder{layer}");
         let role = LayerRole::DetTransformerEncoder;
-        memory = add_attention(&mut g, memory, memory, &format!("{p}.self_attn"), role, cfg.dim, cfg.heads)?;
+        memory = add_attention(
+            &mut g,
+            memory,
+            memory,
+            &format!("{p}.self_attn"),
+            role,
+            cfg.dim,
+            cfg.heads,
+        )?;
         memory = add_ffn(&mut g, memory, &p, role, cfg.dim, cfg.ffn_dim)?;
     }
 
@@ -205,8 +227,24 @@ pub fn build_detr(cfg: &DetrConfig) -> Result<Graph> {
     for layer in 0..cfg.decoder_layers {
         let p = format!("transformer.decoder{layer}");
         let role = LayerRole::DetTransformerDecoder;
-        queries = add_attention(&mut g, queries, queries, &format!("{p}.self_attn"), role, cfg.dim, cfg.heads)?;
-        queries = add_attention(&mut g, queries, memory, &format!("{p}.cross_attn"), role, cfg.dim, cfg.heads)?;
+        queries = add_attention(
+            &mut g,
+            queries,
+            queries,
+            &format!("{p}.self_attn"),
+            role,
+            cfg.dim,
+            cfg.heads,
+        )?;
+        queries = add_attention(
+            &mut g,
+            queries,
+            memory,
+            &format!("{p}.cross_attn"),
+            role,
+            cfg.dim,
+            cfg.heads,
+        )?;
         queries = add_ffn(&mut g, queries, &p, role, cfg.dim, cfg.ffn_dim)?;
     }
 
@@ -254,7 +292,12 @@ pub fn build_deformable_detr(cfg: &DetrConfig) -> Result<Graph> {
             enc_role,
             &[src],
         )?;
-        let flat = g.add(&format!("transformer.flatten{i}"), Op::FlattenHw, enc_role, &[proj])?;
+        let flat = g.add(
+            &format!("transformer.flatten{i}"),
+            Op::FlattenHw,
+            enc_role,
+            &[proj],
+        )?;
         level_tokens.push(flat);
     }
     let extra = g.add(
@@ -287,7 +330,12 @@ pub fn build_deformable_detr(cfg: &DetrConfig) -> Result<Graph> {
     };
     for layer in 0..cfg.encoder_layers {
         let p = format!("transformer.encoder{layer}");
-        let attn = g.add(&format!("{p}.deform_attn"), deform.clone(), enc_role, &[memory, memory])?;
+        let attn = g.add(
+            &format!("{p}.deform_attn"),
+            deform.clone(),
+            enc_role,
+            &[memory, memory],
+        )?;
         let add = g.add(&format!("{p}.residual"), Op::Add, enc_role, &[memory, attn])?;
         let norm = g.add(&format!("{p}.norm"), Op::LayerNorm, enc_role, &[add])?;
         memory = add_ffn(&mut g, norm, &p, enc_role, cfg.dim, cfg.ffn_dim)?;
@@ -297,9 +345,27 @@ pub fn build_deformable_detr(cfg: &DetrConfig) -> Result<Graph> {
     let dec_role = LayerRole::DetTransformerDecoder;
     for layer in 0..cfg.decoder_layers {
         let p = format!("transformer.decoder{layer}");
-        queries = add_attention(&mut g, queries, queries, &format!("{p}.self_attn"), dec_role, cfg.dim, cfg.heads)?;
-        let cross = g.add(&format!("{p}.cross_deform_attn"), deform.clone(), dec_role, &[queries, memory])?;
-        let add = g.add(&format!("{p}.cross_residual"), Op::Add, dec_role, &[queries, cross])?;
+        queries = add_attention(
+            &mut g,
+            queries,
+            queries,
+            &format!("{p}.self_attn"),
+            dec_role,
+            cfg.dim,
+            cfg.heads,
+        )?;
+        let cross = g.add(
+            &format!("{p}.cross_deform_attn"),
+            deform.clone(),
+            dec_role,
+            &[queries, memory],
+        )?;
+        let add = g.add(
+            &format!("{p}.cross_residual"),
+            Op::Add,
+            dec_role,
+            &[queries, cross],
+        )?;
         let norm = g.add(&format!("{p}.cross_norm"), Op::LayerNorm, dec_role, &[add])?;
         queries = add_ffn(&mut g, norm, &p, dec_role, cfg.dim, cfg.ffn_dim)?;
     }

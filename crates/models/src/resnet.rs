@@ -146,7 +146,11 @@ pub fn build_resnet(cfg: &ResNetConfig) -> Result<ResNetGraph> {
     let relu = g.add("stem.relu", Op::Relu, role, &[bn])?;
     let mut x = g.add(
         "stem.maxpool",
-        Op::MaxPool { window: 3, stride: 2, pad: 1 },
+        Op::MaxPool {
+            window: 3,
+            stride: 2,
+            pad: 1,
+        },
         role,
         &[relu],
     )?;
@@ -170,7 +174,10 @@ pub fn build_resnet(cfg: &ResNetConfig) -> Result<ResNetGraph> {
         let pool = g.add("head.avgpool", Op::GlobalAvgPool, LayerRole::Head, &[x])?;
         g.add(
             "head.fc",
-            Op::Linear { out_features: classes, bias: true },
+            Op::Linear {
+                out_features: classes,
+                bias: true,
+            },
             LayerRole::Head,
             &[pool],
         )?
@@ -212,7 +219,12 @@ fn add_bottleneck(
     let c1 = g.add(&format!("{p}.conv1"), conv(mid_ch, 1, 1, 0), role, &[input])?;
     let b1 = g.add(&format!("{p}.bn1"), Op::BatchNorm, role, &[c1])?;
     let r1 = g.add(&format!("{p}.relu1"), Op::Relu, role, &[b1])?;
-    let c2 = g.add(&format!("{p}.conv2"), conv(mid_ch, 3, stride, 1), role, &[r1])?;
+    let c2 = g.add(
+        &format!("{p}.conv2"),
+        conv(mid_ch, 3, stride, 1),
+        role,
+        &[r1],
+    )?;
     let b2 = g.add(&format!("{p}.bn2"), Op::BatchNorm, role, &[c2])?;
     let r2 = g.add(&format!("{p}.relu2"), Op::Relu, role, &[b2])?;
     let c3 = g.add(&format!("{p}.conv3"), conv(out_ch, 1, 1, 0), role, &[r2])?;
@@ -295,14 +307,62 @@ impl OfaSubnet {
 /// smallest.
 pub fn ofa_family() -> Vec<OfaSubnet> {
     vec![
-        OfaSubnet { label: "ofa-full", depths: [3, 4, 6, 3], width_mult: 1.0, expand_ratio: 0.35, top1: 79.3 },
-        OfaSubnet { label: "ofa-d2343-w1.0-e0.35", depths: [2, 3, 4, 3], width_mult: 1.0, expand_ratio: 0.35, top1: 79.0 },
-        OfaSubnet { label: "ofa-d2343-w1.0-e0.25", depths: [2, 3, 4, 3], width_mult: 1.0, expand_ratio: 0.25, top1: 78.6 },
-        OfaSubnet { label: "ofa-d2242-w0.8-e0.35", depths: [2, 2, 4, 2], width_mult: 0.8, expand_ratio: 0.35, top1: 78.1 },
-        OfaSubnet { label: "ofa-d2242-w0.8-e0.25", depths: [2, 2, 4, 2], width_mult: 0.8, expand_ratio: 0.25, top1: 77.4 },
-        OfaSubnet { label: "ofa-d2232-w0.65-e0.35", depths: [2, 2, 3, 2], width_mult: 0.65, expand_ratio: 0.35, top1: 76.6 },
-        OfaSubnet { label: "ofa-d2232-w0.65-e0.25", depths: [2, 2, 3, 2], width_mult: 0.65, expand_ratio: 0.25, top1: 75.9 },
-        OfaSubnet { label: "ofa-d2222-w0.65-e0.2", depths: [2, 2, 2, 2], width_mult: 0.65, expand_ratio: 0.2, top1: 75.1 },
+        OfaSubnet {
+            label: "ofa-full",
+            depths: [3, 4, 6, 3],
+            width_mult: 1.0,
+            expand_ratio: 0.35,
+            top1: 79.3,
+        },
+        OfaSubnet {
+            label: "ofa-d2343-w1.0-e0.35",
+            depths: [2, 3, 4, 3],
+            width_mult: 1.0,
+            expand_ratio: 0.35,
+            top1: 79.0,
+        },
+        OfaSubnet {
+            label: "ofa-d2343-w1.0-e0.25",
+            depths: [2, 3, 4, 3],
+            width_mult: 1.0,
+            expand_ratio: 0.25,
+            top1: 78.6,
+        },
+        OfaSubnet {
+            label: "ofa-d2242-w0.8-e0.35",
+            depths: [2, 2, 4, 2],
+            width_mult: 0.8,
+            expand_ratio: 0.35,
+            top1: 78.1,
+        },
+        OfaSubnet {
+            label: "ofa-d2242-w0.8-e0.25",
+            depths: [2, 2, 4, 2],
+            width_mult: 0.8,
+            expand_ratio: 0.25,
+            top1: 77.4,
+        },
+        OfaSubnet {
+            label: "ofa-d2232-w0.65-e0.35",
+            depths: [2, 2, 3, 2],
+            width_mult: 0.65,
+            expand_ratio: 0.35,
+            top1: 76.6,
+        },
+        OfaSubnet {
+            label: "ofa-d2232-w0.65-e0.25",
+            depths: [2, 2, 3, 2],
+            width_mult: 0.65,
+            expand_ratio: 0.25,
+            top1: 75.9,
+        },
+        OfaSubnet {
+            label: "ofa-d2222-w0.65-e0.2",
+            depths: [2, 2, 2, 2],
+            width_mult: 0.65,
+            expand_ratio: 0.2,
+            top1: 75.1,
+        },
     ]
 }
 
@@ -393,7 +453,10 @@ mod tests {
         use vit_tensor::Tensor;
         let r = build_resnet(&ResNetConfig::imagenet().with_image(64, 64)).unwrap();
         let out = Executor::new(0)
-            .run(&r.graph, &[Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 3)])
+            .run(
+                &r.graph,
+                &[Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 3)],
+            )
             .unwrap();
         assert_eq!(out.shape(), &[1, 1000]);
         assert!(out.data().iter().all(|v| v.is_finite()));

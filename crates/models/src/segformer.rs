@@ -142,7 +142,11 @@ impl SegFormerDynamic {
 
     /// Convenience constructor for (depths, fuse-in-channels) points like
     /// those of Table II, keeping the remaining knobs at their full values.
-    pub fn with_depths_and_fuse(variant: &SegFormerVariant, depths: [usize; 4], fuse_in: usize) -> Self {
+    pub fn with_depths_and_fuse(
+        variant: &SegFormerVariant,
+        depths: [usize; 4],
+        fuse_in: usize,
+    ) -> Self {
         SegFormerDynamic {
             depths,
             fuse_in_channels: fuse_in,
@@ -378,7 +382,10 @@ pub fn build_segformer(cfg: &SegFormerConfig) -> Result<Graph> {
         )?;
         let up = g.add(
             &format!("decoder.linear{stage}.resize"),
-            Op::Resize { out_h: dh, out_w: dw },
+            Op::Resize {
+                out_h: dh,
+                out_w: dw,
+            },
             role,
             &[nchw],
         )?;
@@ -403,7 +410,12 @@ pub fn build_segformer(cfg: &SegFormerConfig) -> Result<Graph> {
         LayerRole::FuseConv,
         &[cat],
     )?;
-    let bn = g.add("decoder.fuse_bn", Op::BatchNorm, LayerRole::FuseConv, &[fuse])?;
+    let bn = g.add(
+        "decoder.fuse_bn",
+        Op::BatchNorm,
+        LayerRole::FuseConv,
+        &[fuse],
+    )?;
     let relu = g.add("decoder.fuse_relu", Op::Relu, LayerRole::FuseConv, &[bn])?;
     let pred = g.add(
         "decoder.conv_pred",
@@ -420,7 +432,10 @@ pub fn build_segformer(cfg: &SegFormerConfig) -> Result<Graph> {
     )?;
     let up = g.add(
         "decoder.upsample",
-        Op::Resize { out_h: ih, out_w: iw },
+        Op::Resize {
+            out_h: ih,
+            out_w: iw,
+        },
         LayerRole::Head,
         &[pred],
     )?;
@@ -479,7 +494,12 @@ fn add_mit_block(
     };
     let k = g.add(&format!("{p}.attn.k"), linear(dim), role, &[kv_src])?;
     let val = g.add(&format!("{p}.attn.v"), linear(dim), role, &[kv_src])?;
-    let sdpa = g.add(&format!("{p}.attn.sdpa"), Op::Sdpa { heads }, role, &[q, k, val])?;
+    let sdpa = g.add(
+        &format!("{p}.attn.sdpa"),
+        Op::Sdpa { heads },
+        role,
+        &[q, k, val],
+    )?;
     let proj = g.add(&format!("{p}.attn.proj"), linear(dim), role, &[sdpa])?;
     let res1 = g.add(&format!("{p}.attn.residual"), Op::Add, role, &[input, proj])?;
 

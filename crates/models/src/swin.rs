@@ -199,7 +199,12 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         pe_role,
         &[image],
     )?;
-    let mut seq = g.add("encoder.patch_embed.flatten", Op::FlattenHw, pe_role, &[s2d])?;
+    let mut seq = g.add(
+        "encoder.patch_embed.flatten",
+        Op::FlattenHw,
+        pe_role,
+        &[s2d],
+    )?;
     seq = g.add(
         "encoder.patch_embed.proj",
         Op::Linear {
@@ -220,7 +225,16 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         for block in 0..cfg.dynamic.depths[stage] {
             let shift = if block % 2 == 1 { v.window / 2 } else { 0 };
             seq = add_swin_block(
-                &mut g, seq, stage, block, dim, v.heads[stage], v.window, shift, v.mlp_ratio, h,
+                &mut g,
+                seq,
+                stage,
+                block,
+                dim,
+                v.heads[stage],
+                v.window,
+                shift,
+                v.mlp_ratio,
+                h,
                 w,
             )?;
         }
@@ -229,7 +243,12 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
             stage,
             block: cfg.dynamic.depths[stage] - 1,
         };
-        let normed = g.add(&format!("encoder.stage{stage}.norm"), Op::LayerNorm, role, &[seq])?;
+        let normed = g.add(
+            &format!("encoder.stage{stage}.norm"),
+            Op::LayerNorm,
+            role,
+            &[seq],
+        )?;
         let nchw = g.add(
             &format!("encoder.stage{stage}.to_nchw"),
             Op::UnflattenHw { h, w },
@@ -241,8 +260,18 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         if stage < 3 {
             // Patch merging: 2x2 space-to-depth + LayerNorm + linear 4C->2C.
             let m = format!("encoder.merge{stage}");
-            let un = g.add(&format!("{m}.to_nchw"), Op::UnflattenHw { h, w }, role, &[seq])?;
-            let sd = g.add(&format!("{m}.space_to_depth"), Op::SpaceToDepth { block: 2 }, role, &[un])?;
+            let un = g.add(
+                &format!("{m}.to_nchw"),
+                Op::UnflattenHw { h, w },
+                role,
+                &[seq],
+            )?;
+            let sd = g.add(
+                &format!("{m}.space_to_depth"),
+                Op::SpaceToDepth { block: 2 },
+                role,
+                &[un],
+            )?;
             let fl = g.add(&format!("{m}.flatten"), Op::FlattenHw, role, &[sd])?;
             let no = g.add(&format!("{m}.norm"), Op::LayerNorm, role, &[fl])?;
             seq = g.add(
@@ -289,7 +318,10 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         let p = format!("decoder.ppm.scale{scale}");
         let pool = g.add(
             &format!("{p}.pool"),
-            Op::AdaptiveAvgPool { out_h: scale, out_w: scale },
+            Op::AdaptiveAvgPool {
+                out_h: scale,
+                out_w: scale,
+            },
             role,
             &[c4],
         )?;
@@ -298,17 +330,35 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         let relu = g.add(&format!("{p}.relu"), Op::Relu, role, &[bn])?;
         let up = g.add(
             &format!("{p}.resize"),
-            Op::Resize { out_h: c4h, out_w: c4w },
+            Op::Resize {
+                out_h: c4h,
+                out_w: c4w,
+            },
             role,
             &[relu],
         )?;
         ppm_outs.push(up);
     }
-    let ppm_cat = g.add("decoder.ppm.concat", Op::Concat, LayerRole::PpmBranch { scale: 0 }, &ppm_outs)?;
+    let ppm_cat = g.add(
+        "decoder.ppm.concat",
+        Op::Concat,
+        LayerRole::PpmBranch { scale: 0 },
+        &ppm_outs,
+    )?;
     let ppm_role = LayerRole::PpmBranch { scale: 0 };
     let bott = g.add("decoder.ppm.bottleneck", conv3x3(ch), ppm_role, &[ppm_cat])?;
-    let bott_bn = g.add("decoder.ppm.bottleneck_bn", Op::BatchNorm, ppm_role, &[bott])?;
-    let top = g.add("decoder.ppm.bottleneck_relu", Op::Relu, ppm_role, &[bott_bn])?;
+    let bott_bn = g.add(
+        "decoder.ppm.bottleneck_bn",
+        Op::BatchNorm,
+        ppm_role,
+        &[bott],
+    )?;
+    let top = g.add(
+        "decoder.ppm.bottleneck_relu",
+        Op::Relu,
+        ppm_role,
+        &[bott_bn],
+    )?;
 
     // Lateral 1x1 convolutions on stages 0-2, then top-down additions.
     let mut laterals: Vec<NodeId> = Vec::with_capacity(4);
@@ -327,7 +377,10 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         let (sh, sw) = (ih >> (2 + stage), iw >> (2 + stage));
         let up = g.add(
             &format!("decoder.topdown{stage}.resize"),
-            Op::Resize { out_h: sh, out_w: sw },
+            Op::Resize {
+                out_h: sh,
+                out_w: sw,
+            },
             LayerRole::FpnConv { level: stage },
             &[*merged.last().expect("nonempty")],
         )?;
@@ -352,7 +405,10 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         let relu = g.add(&format!("{p}.relu"), Op::Relu, role, &[bn])?;
         let up = g.add(
             &format!("{p}.resize"),
-            Op::Resize { out_h: h4, out_w: w4 },
+            Op::Resize {
+                out_h: h4,
+                out_w: w4,
+            },
             role,
             &[relu],
         )?;
@@ -371,7 +427,10 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
     };
     let lvl3_up = g.add(
         "decoder.fpn3.resize",
-        Op::Resize { out_h: h4, out_w: w4 },
+        Op::Resize {
+            out_h: h4,
+            out_w: w4,
+        },
         lvl3_role,
         &[lvl3],
     )?;
@@ -384,8 +443,18 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
         LayerRole::FuseConv,
         &[cat],
     )?;
-    let fuse_bn = g.add("decoder.fpn_bottleneck_bn", Op::BatchNorm, LayerRole::FuseConv, &[fuse])?;
-    let fuse_relu = g.add("decoder.fpn_bottleneck_relu", Op::Relu, LayerRole::FuseConv, &[fuse_bn])?;
+    let fuse_bn = g.add(
+        "decoder.fpn_bottleneck_bn",
+        Op::BatchNorm,
+        LayerRole::FuseConv,
+        &[fuse],
+    )?;
+    let fuse_relu = g.add(
+        "decoder.fpn_bottleneck_relu",
+        Op::Relu,
+        LayerRole::FuseConv,
+        &[fuse_bn],
+    )?;
     let pred = g.add(
         "decoder.conv_seg",
         Op::Conv2d {
@@ -401,7 +470,10 @@ pub fn build_swin_upernet(cfg: &SwinConfig) -> Result<Graph> {
     )?;
     let up = g.add(
         "decoder.upsample",
-        Op::Resize { out_h: ih, out_w: iw },
+        Op::Resize {
+            out_h: ih,
+            out_w: iw,
+        },
         LayerRole::Head,
         &[pred],
     )?;
@@ -432,7 +504,12 @@ fn add_swin_block(
     };
 
     let norm1 = g.add(&format!("{p}.norm1"), Op::LayerNorm, role, &[input])?;
-    let mut nchw = g.add(&format!("{p}.attn.to_nchw"), Op::UnflattenHw { h, w }, role, &[norm1])?;
+    let mut nchw = g.add(
+        &format!("{p}.attn.to_nchw"),
+        Op::UnflattenHw { h, w },
+        role,
+        &[norm1],
+    )?;
     if shift > 0 {
         nchw = g.add(
             &format!("{p}.attn.shift"),
@@ -444,11 +521,21 @@ fn add_swin_block(
             &[nchw],
         )?;
     }
-    let win = g.add(&format!("{p}.attn.partition"), Op::WindowPartition { window }, role, &[nchw])?;
+    let win = g.add(
+        &format!("{p}.attn.partition"),
+        Op::WindowPartition { window },
+        role,
+        &[nchw],
+    )?;
     let q = g.add(&format!("{p}.attn.q"), linear(dim), role, &[win])?;
     let k = g.add(&format!("{p}.attn.k"), linear(dim), role, &[win])?;
     let val = g.add(&format!("{p}.attn.v"), linear(dim), role, &[win])?;
-    let sdpa = g.add(&format!("{p}.attn.sdpa"), Op::Sdpa { heads }, role, &[q, k, val])?;
+    let sdpa = g.add(
+        &format!("{p}.attn.sdpa"),
+        Op::Sdpa { heads },
+        role,
+        &[q, k, val],
+    )?;
     let proj = g.add(&format!("{p}.attn.proj"), linear(dim), role, &[sdpa])?;
     let mut back = g.add(
         &format!("{p}.attn.merge"),
@@ -471,7 +558,12 @@ fn add_swin_block(
     let res1 = g.add(&format!("{p}.attn.residual"), Op::Add, role, &[input, flat])?;
 
     let norm2 = g.add(&format!("{p}.norm2"), Op::LayerNorm, role, &[res1])?;
-    let fc1 = g.add(&format!("{p}.mlp.fc1"), linear(dim * mlp_ratio), role, &[norm2])?;
+    let fc1 = g.add(
+        &format!("{p}.mlp.fc1"),
+        linear(dim * mlp_ratio),
+        role,
+        &[norm2],
+    )?;
     let gelu = g.add(&format!("{p}.mlp.gelu"), Op::Gelu, role, &[fc1])?;
     let fc2 = g.add(&format!("{p}.mlp.fc2"), linear(dim), role, &[gelu])?;
     Ok(g.add(&format!("{p}.mlp.residual"), Op::Add, role, &[res1, fc2])?)
@@ -556,8 +648,8 @@ mod tests {
         }))
         .unwrap();
         let f = |g: &Graph, n: &str| g.node(g.find(n).unwrap()).flops(g);
-        let ratio = f(&cut, "decoder.fpn_bottleneck") as f64
-            / f(&full, "decoder.fpn_bottleneck") as f64;
+        let ratio =
+            f(&cut, "decoder.fpn_bottleneck") as f64 / f(&full, "decoder.fpn_bottleneck") as f64;
         assert!((ratio - 0.5).abs() < 0.01, "bottleneck ratio {ratio:.3}");
         assert!(f(&cut, "decoder.fpn_convs0.conv") < f(&full, "decoder.fpn_convs0.conv"));
         // Encoder untouched.
@@ -599,22 +691,29 @@ mod tests {
         .unwrap();
         assert!(cut.total_flops() < full.total_flops());
         let f = |g: &Graph, n: &str| g.node(g.find(n).unwrap()).flops(g);
-        assert_eq!(f(&full, "decoder.fpn_bottleneck"), f(&cut, "decoder.fpn_bottleneck"));
+        assert_eq!(
+            f(&full, "decoder.fpn_bottleneck"),
+            f(&cut, "decoder.fpn_bottleneck")
+        );
     }
 
     #[test]
     fn invalid_configs_rejected() {
         let variant = SwinVariant::tiny();
-        assert!(build_swin_upernet(&SwinConfig::ade20k(variant).with_dynamic(SwinDynamic {
-            depths: [2, 2, 7, 2], // tiny has only 6 blocks in stage 2
-            bottleneck_in_channels: 2048,
-        }))
-        .is_err());
-        assert!(build_swin_upernet(&SwinConfig::ade20k(variant).with_dynamic(SwinDynamic {
-            depths: [2, 2, 6, 2],
-            bottleneck_in_channels: 2049,
-        }))
-        .is_err());
+        assert!(
+            build_swin_upernet(&SwinConfig::ade20k(variant).with_dynamic(SwinDynamic {
+                depths: [2, 2, 7, 2], // tiny has only 6 blocks in stage 2
+                bottleneck_in_channels: 2048,
+            }))
+            .is_err()
+        );
+        assert!(
+            build_swin_upernet(&SwinConfig::ade20k(variant).with_dynamic(SwinDynamic {
+                depths: [2, 2, 6, 2],
+                bottleneck_in_channels: 2049,
+            }))
+            .is_err()
+        );
         assert!(build_swin_upernet(&SwinConfig::ade20k(variant).with_image(100, 100)).is_err());
     }
 

@@ -120,7 +120,12 @@ pub fn build_vit(cfg: &VitConfig) -> Result<Graph> {
     )?;
     let flat = g.add("patch_embed.flatten", Op::FlattenHw, role, &[s2d])?;
     let seq = g.add("patch_embed.proj", linear(cfg.stack.dim), role, &[flat])?;
-    let out = add_encoder_stack(&mut g, seq, &cfg.stack, LayerRole::EncoderBlock { stage: 0, block: 0 })?;
+    let out = add_encoder_stack(
+        &mut g,
+        seq,
+        &cfg.stack,
+        LayerRole::EncoderBlock { stage: 0, block: 0 },
+    )?;
     let norm = g.add("final_norm", Op::LayerNorm, LayerRole::Head, &[out])?;
     // Mean-pool tokens (stand-in for the class token) then classify.
     let (ph, pw) = (ih / cfg.patch, iw / cfg.patch);
@@ -131,7 +136,12 @@ pub fn build_vit(cfg: &VitConfig) -> Result<Graph> {
         &[norm],
     )?;
     let pooled = g.add("pool.gap", Op::GlobalAvgPool, LayerRole::Head, &[nchw])?;
-    let logits = g.add("head.fc", linear(cfg.num_classes), LayerRole::Head, &[pooled])?;
+    let logits = g.add(
+        "head.fc",
+        linear(cfg.num_classes),
+        LayerRole::Head,
+        &[pooled],
+    )?;
     g.set_output(logits);
     Ok(g)
 }

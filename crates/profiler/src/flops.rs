@@ -161,10 +161,9 @@ mod tests {
     use vit_models::{build_segformer, SegFormerConfig, SegFormerVariant};
 
     fn b0_profile() -> Profile {
-        let g = build_segformer(
-            &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128),
-        )
-        .unwrap();
+        let g =
+            build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128))
+                .unwrap();
         Profile::with_gpu(&g, &GpuModel::titan_v())
     }
 

@@ -208,7 +208,10 @@ mod tests {
         let g = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
         let ms = GpuModel::titan_v().total_time(&g) * 1e3;
         // Paper Table I: 58 ms.
-        assert!((ms - 58.0).abs() / 58.0 < 0.30, "got {ms:.1} ms, expected ~58");
+        assert!(
+            (ms - 58.0).abs() / 58.0 < 0.30,
+            "got {ms:.1} ms, expected ~58"
+        );
     }
 
     #[test]
@@ -216,7 +219,10 @@ mod tests {
         let g = build_segformer(&SegFormerConfig::cityscapes(SegFormerVariant::b2())).unwrap();
         let ms = GpuModel::titan_v().total_time(&g) * 1e3;
         // Paper Table I: 415 ms.
-        assert!((ms - 415.0).abs() / 415.0 < 0.30, "got {ms:.1} ms, expected ~415");
+        assert!(
+            (ms - 415.0).abs() / 415.0 < 0.30,
+            "got {ms:.1} ms, expected ~415"
+        );
     }
 
     #[test]
@@ -224,7 +230,10 @@ mod tests {
         let g = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
         let ms = GpuModel::titan_v().total_time(&g) * 1e3;
         // Paper Table I: 215 ms.
-        assert!((ms - 215.0).abs() / 215.0 < 0.35, "got {ms:.1} ms, expected ~215");
+        assert!(
+            (ms - 215.0).abs() / 215.0 < 0.35,
+            "got {ms:.1} ms, expected ~215"
+        );
     }
 
     #[test]
@@ -263,7 +272,10 @@ mod tests {
         let s1 = share_at(1);
         let s16 = share_at(16);
         assert!(s1 > 0.6, "batch-1 backbone share {s1:.2}");
-        assert!(s16 > s1, "share should grow with batch: {s1:.2} -> {s16:.2}");
+        assert!(
+            s16 > s1,
+            "share should grow with batch: {s1:.2} -> {s16:.2}"
+        );
     }
 
     #[test]
@@ -281,16 +293,17 @@ mod tests {
         let dt = 1.0 - gpu.total_time(&pruned) / gpu.total_time(&full);
         let de = 1.0 - gpu.total_energy(&pruned) / gpu.total_energy(&full);
         assert!(dt > 0.05, "time saving {dt:.2}");
-        assert!(de > dt, "energy saving {de:.2} should exceed time saving {dt:.2}");
+        assert!(
+            de > dt,
+            "energy saving {de:.2} should exceed time saving {dt:.2}"
+        );
     }
 
     #[test]
     fn larger_batch_reduces_per_image_time() {
         let g1 = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0())).unwrap();
-        let g8 = build_segformer(
-            &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_batch(8),
-        )
-        .unwrap();
+        let g8 = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0()).with_batch(8))
+            .unwrap();
         let gpu = GpuModel::titan_v();
         let per_image_1 = gpu.total_time(&g1);
         let per_image_8 = gpu.total_time(&g8) / 8.0;
@@ -301,7 +314,9 @@ mod tests {
     fn overhead_dominates_trivial_nodes() {
         let mut g = Graph::new("t");
         let x = g.input("in", &[1, 1, 2, 2]).unwrap();
-        let r = g.add("relu", Op::Relu, vit_graph::LayerRole::Other, &[x]).unwrap();
+        let r = g
+            .add("relu", Op::Relu, vit_graph::LayerRole::Other, &[x])
+            .unwrap();
         g.set_output(r);
         let gpu = GpuModel::titan_v();
         let t = gpu.node_time(&g, g.node(r));

@@ -183,7 +183,10 @@ mod tests {
         let v = SwinVariant::tiny();
         let space = vec![
             SwinDynamic::full(&v),
-            SwinDynamic { depths: v.depths, bottleneck_in_channels: 1024 },
+            SwinDynamic {
+                depths: v.depths,
+                bottleneck_in_channels: 1024,
+            },
         ];
         let pts = sweep_swin_on_accelerator(
             &v,

@@ -69,8 +69,8 @@ impl ConfigFeatures {
     }
 
     fn distance(&self, other: &ConfigFeatures) -> f64 {
-        let mut d = (self.fuse_cut - other.fuse_cut).powi(2)
-            + (self.pred_cut - other.pred_cut).powi(2);
+        let mut d =
+            (self.fuse_cut - other.fuse_cut).powi(2) + (self.pred_cut - other.pred_cut).powi(2);
         for i in 0..4 {
             d += (self.skipped[i] - other.skipped[i]).powi(2);
         }
@@ -354,14 +354,23 @@ mod tests {
         // 2) cannot reach at all.
         let mb = AccuracyModel::for_workload(Workload::SwinBaseAde);
         let vb = SwinVariant::base();
-        let db = SwinDynamic { depths: [2, 2, 11, 2], bottleneck_in_channels: 1536 };
+        let db = SwinDynamic {
+            depths: [2, 2, 11, 2],
+            bottleneck_in_channels: 1536,
+        };
         let miou = mb.norm_miou_swin(&db, &vb);
-        assert!((miou - 0.72).abs() < 1e-9, "anchor SB8 should be exact, got {miou}");
+        assert!(
+            (miou - 0.72).abs() < 1e-9,
+            "anchor SB8 should be exact, got {miou}"
+        );
 
         // Tiny skipping a third of stage 2 drops hard.
         let mt = AccuracyModel::for_workload(Workload::SwinTinyAde);
         let vt = SwinVariant::tiny();
-        let dt = SwinDynamic { depths: [2, 2, 4, 2], bottleneck_in_channels: 2048 };
+        let dt = SwinDynamic {
+            depths: [2, 2, 4, 2],
+            bottleneck_in_channels: 2048,
+        };
         assert!(mt.norm_miou_swin(&dt, &vt) < 0.90);
     }
 

@@ -40,40 +40,172 @@ pub struct PaperPoint {
 /// Row A is the full model.
 pub fn table2_ade() -> Vec<PaperPoint> {
     vec![
-        PaperPoint { label: "A", depths: [3, 4, 6, 3], fuse_in_channels: 3072, norm_resource: 1.00, norm_miou: 1.00 },
-        PaperPoint { label: "B", depths: [3, 4, 6, 3], fuse_in_channels: 1920, norm_resource: 0.88, norm_miou: 0.98 },
-        PaperPoint { label: "C", depths: [2, 4, 6, 3], fuse_in_channels: 1664, norm_resource: 0.83, norm_miou: 0.96 },
-        PaperPoint { label: "D", depths: [2, 3, 6, 3], fuse_in_channels: 1408, norm_resource: 0.78, norm_miou: 0.92 },
-        PaperPoint { label: "E", depths: [2, 3, 5, 3], fuse_in_channels: 1024, norm_resource: 0.73, norm_miou: 0.82 },
-        PaperPoint { label: "F", depths: [3, 2, 5, 2], fuse_in_channels: 896, norm_resource: 0.69, norm_miou: 0.72 },
-        PaperPoint { label: "G", depths: [2, 3, 4, 3], fuse_in_channels: 512, norm_resource: 0.66, norm_miou: 0.63 },
+        PaperPoint {
+            label: "A",
+            depths: [3, 4, 6, 3],
+            fuse_in_channels: 3072,
+            norm_resource: 1.00,
+            norm_miou: 1.00,
+        },
+        PaperPoint {
+            label: "B",
+            depths: [3, 4, 6, 3],
+            fuse_in_channels: 1920,
+            norm_resource: 0.88,
+            norm_miou: 0.98,
+        },
+        PaperPoint {
+            label: "C",
+            depths: [2, 4, 6, 3],
+            fuse_in_channels: 1664,
+            norm_resource: 0.83,
+            norm_miou: 0.96,
+        },
+        PaperPoint {
+            label: "D",
+            depths: [2, 3, 6, 3],
+            fuse_in_channels: 1408,
+            norm_resource: 0.78,
+            norm_miou: 0.92,
+        },
+        PaperPoint {
+            label: "E",
+            depths: [2, 3, 5, 3],
+            fuse_in_channels: 1024,
+            norm_resource: 0.73,
+            norm_miou: 0.82,
+        },
+        PaperPoint {
+            label: "F",
+            depths: [3, 2, 5, 2],
+            fuse_in_channels: 896,
+            norm_resource: 0.69,
+            norm_miou: 0.72,
+        },
+        PaperPoint {
+            label: "G",
+            depths: [2, 3, 4, 3],
+            fuse_in_channels: 512,
+            norm_resource: 0.66,
+            norm_miou: 0.63,
+        },
     ]
 }
 
 /// Table II, rows H-L: SegFormer-B2 trained on Cityscapes (row A is shared).
 pub fn table2_cityscapes() -> Vec<PaperPoint> {
     vec![
-        PaperPoint { label: "A", depths: [3, 4, 6, 3], fuse_in_channels: 3072, norm_resource: 1.00, norm_miou: 1.00 },
-        PaperPoint { label: "H", depths: [2, 4, 6, 3], fuse_in_channels: 2432, norm_resource: 0.76, norm_miou: 0.98 },
-        PaperPoint { label: "I", depths: [2, 4, 5, 3], fuse_in_channels: 2048, norm_resource: 0.72, norm_miou: 0.95 },
-        PaperPoint { label: "J", depths: [2, 4, 5, 3], fuse_in_channels: 1280, norm_resource: 0.68, norm_miou: 0.90 },
-        PaperPoint { label: "K", depths: [2, 4, 5, 3], fuse_in_channels: 896, norm_resource: 0.66, norm_miou: 0.81 },
-        PaperPoint { label: "L", depths: [2, 4, 5, 3], fuse_in_channels: 384, norm_resource: 0.63, norm_miou: 0.69 },
+        PaperPoint {
+            label: "A",
+            depths: [3, 4, 6, 3],
+            fuse_in_channels: 3072,
+            norm_resource: 1.00,
+            norm_miou: 1.00,
+        },
+        PaperPoint {
+            label: "H",
+            depths: [2, 4, 6, 3],
+            fuse_in_channels: 2432,
+            norm_resource: 0.76,
+            norm_miou: 0.98,
+        },
+        PaperPoint {
+            label: "I",
+            depths: [2, 4, 5, 3],
+            fuse_in_channels: 2048,
+            norm_resource: 0.72,
+            norm_miou: 0.95,
+        },
+        PaperPoint {
+            label: "J",
+            depths: [2, 4, 5, 3],
+            fuse_in_channels: 1280,
+            norm_resource: 0.68,
+            norm_miou: 0.90,
+        },
+        PaperPoint {
+            label: "K",
+            depths: [2, 4, 5, 3],
+            fuse_in_channels: 896,
+            norm_resource: 0.66,
+            norm_miou: 0.81,
+        },
+        PaperPoint {
+            label: "L",
+            depths: [2, 4, 5, 3],
+            fuse_in_channels: 384,
+            norm_resource: 0.63,
+            norm_miou: 0.69,
+        },
     ]
 }
 
 /// Table III: Swin-Base execution-path configurations on ADE20K.
 pub fn table3_swin_base() -> Vec<PaperPoint> {
     vec![
-        PaperPoint { label: "SB0", depths: [2, 2, 18, 2], fuse_in_channels: 2048, norm_resource: 1.000, norm_miou: 1.00 },
-        PaperPoint { label: "SB1", depths: [2, 2, 18, 2], fuse_in_channels: 1920, norm_resource: 0.998, norm_miou: 0.98 },
-        PaperPoint { label: "SB2", depths: [2, 2, 18, 2], fuse_in_channels: 1792, norm_resource: 0.990, norm_miou: 0.94 },
-        PaperPoint { label: "SB3", depths: [2, 2, 16, 2], fuse_in_channels: 1920, norm_resource: 0.980, norm_miou: 0.85 },
-        PaperPoint { label: "SB4", depths: [2, 2, 14, 2], fuse_in_channels: 1792, norm_resource: 0.900, norm_miou: 0.81 },
-        PaperPoint { label: "SB5", depths: [2, 2, 16, 2], fuse_in_channels: 1152, norm_resource: 0.810, norm_miou: 0.78 },
-        PaperPoint { label: "SB6", depths: [2, 2, 13, 2], fuse_in_channels: 1536, norm_resource: 0.740, norm_miou: 0.76 },
-        PaperPoint { label: "SB7", depths: [2, 2, 12, 2], fuse_in_channels: 1536, norm_resource: 0.620, norm_miou: 0.74 },
-        PaperPoint { label: "SB8", depths: [2, 2, 11, 2], fuse_in_channels: 1536, norm_resource: 0.520, norm_miou: 0.72 },
+        PaperPoint {
+            label: "SB0",
+            depths: [2, 2, 18, 2],
+            fuse_in_channels: 2048,
+            norm_resource: 1.000,
+            norm_miou: 1.00,
+        },
+        PaperPoint {
+            label: "SB1",
+            depths: [2, 2, 18, 2],
+            fuse_in_channels: 1920,
+            norm_resource: 0.998,
+            norm_miou: 0.98,
+        },
+        PaperPoint {
+            label: "SB2",
+            depths: [2, 2, 18, 2],
+            fuse_in_channels: 1792,
+            norm_resource: 0.990,
+            norm_miou: 0.94,
+        },
+        PaperPoint {
+            label: "SB3",
+            depths: [2, 2, 16, 2],
+            fuse_in_channels: 1920,
+            norm_resource: 0.980,
+            norm_miou: 0.85,
+        },
+        PaperPoint {
+            label: "SB4",
+            depths: [2, 2, 14, 2],
+            fuse_in_channels: 1792,
+            norm_resource: 0.900,
+            norm_miou: 0.81,
+        },
+        PaperPoint {
+            label: "SB5",
+            depths: [2, 2, 16, 2],
+            fuse_in_channels: 1152,
+            norm_resource: 0.810,
+            norm_miou: 0.78,
+        },
+        PaperPoint {
+            label: "SB6",
+            depths: [2, 2, 13, 2],
+            fuse_in_channels: 1536,
+            norm_resource: 0.740,
+            norm_miou: 0.76,
+        },
+        PaperPoint {
+            label: "SB7",
+            depths: [2, 2, 12, 2],
+            fuse_in_channels: 1536,
+            norm_resource: 0.620,
+            norm_miou: 0.74,
+        },
+        PaperPoint {
+            label: "SB8",
+            depths: [2, 2, 11, 2],
+            fuse_in_channels: 1536,
+            norm_resource: 0.520,
+            norm_miou: 0.72,
+        },
     ]
 }
 
@@ -82,12 +214,48 @@ pub fn table3_swin_base() -> Vec<PaperPoint> {
 /// follow the curve's published shape — steeper than SegFormer, per §III-B).
 pub fn fig7_swin_tiny() -> Vec<PaperPoint> {
     vec![
-        PaperPoint { label: "ST-2048", depths: [2, 2, 6, 2], fuse_in_channels: 2048, norm_resource: 1.00, norm_miou: 1.00 },
-        PaperPoint { label: "ST-1792", depths: [2, 2, 6, 2], fuse_in_channels: 1792, norm_resource: 0.95, norm_miou: 0.96 },
-        PaperPoint { label: "ST-1536", depths: [2, 2, 6, 2], fuse_in_channels: 1536, norm_resource: 0.91, norm_miou: 0.91 },
-        PaperPoint { label: "ST-1280", depths: [2, 2, 6, 2], fuse_in_channels: 1280, norm_resource: 0.87, norm_miou: 0.85 },
-        PaperPoint { label: "ST-1024", depths: [2, 2, 6, 2], fuse_in_channels: 1024, norm_resource: 0.84, norm_miou: 0.77 },
-        PaperPoint { label: "ST-512", depths: [2, 2, 6, 2], fuse_in_channels: 512, norm_resource: 0.79, norm_miou: 0.58 },
+        PaperPoint {
+            label: "ST-2048",
+            depths: [2, 2, 6, 2],
+            fuse_in_channels: 2048,
+            norm_resource: 1.00,
+            norm_miou: 1.00,
+        },
+        PaperPoint {
+            label: "ST-1792",
+            depths: [2, 2, 6, 2],
+            fuse_in_channels: 1792,
+            norm_resource: 0.95,
+            norm_miou: 0.96,
+        },
+        PaperPoint {
+            label: "ST-1536",
+            depths: [2, 2, 6, 2],
+            fuse_in_channels: 1536,
+            norm_resource: 0.91,
+            norm_miou: 0.91,
+        },
+        PaperPoint {
+            label: "ST-1280",
+            depths: [2, 2, 6, 2],
+            fuse_in_channels: 1280,
+            norm_resource: 0.87,
+            norm_miou: 0.85,
+        },
+        PaperPoint {
+            label: "ST-1024",
+            depths: [2, 2, 6, 2],
+            fuse_in_channels: 1024,
+            norm_resource: 0.84,
+            norm_miou: 0.77,
+        },
+        PaperPoint {
+            label: "ST-512",
+            depths: [2, 2, 6, 2],
+            fuse_in_channels: 512,
+            norm_resource: 0.79,
+            norm_miou: 0.58,
+        },
     ]
 }
 
@@ -110,9 +278,24 @@ pub struct TrainedModelPoint {
 pub fn trained_segformer_ade() -> Vec<TrainedModelPoint> {
     let b2 = 0.4651;
     vec![
-        TrainedModelPoint { name: "segformer-b2", miou: 0.4651, norm_miou: 1.0, gflops: 62.4 },
-        TrainedModelPoint { name: "segformer-b1", miou: 0.4220, norm_miou: 0.4220 / b2, gflops: 15.9 },
-        TrainedModelPoint { name: "segformer-b0", miou: 0.3740, norm_miou: 0.3740 / b2, gflops: 8.4 },
+        TrainedModelPoint {
+            name: "segformer-b2",
+            miou: 0.4651,
+            norm_miou: 1.0,
+            gflops: 62.4,
+        },
+        TrainedModelPoint {
+            name: "segformer-b1",
+            miou: 0.4220,
+            norm_miou: 0.4220 / b2,
+            gflops: 15.9,
+        },
+        TrainedModelPoint {
+            name: "segformer-b0",
+            miou: 0.3740,
+            norm_miou: 0.3740 / b2,
+            gflops: 8.4,
+        },
     ]
 }
 
@@ -120,9 +303,24 @@ pub fn trained_segformer_ade() -> Vec<TrainedModelPoint> {
 pub fn trained_segformer_cityscapes() -> Vec<TrainedModelPoint> {
     let b2 = 0.8098;
     vec![
-        TrainedModelPoint { name: "segformer-b2", miou: 0.8098, norm_miou: 1.0, gflops: 717.1 },
-        TrainedModelPoint { name: "segformer-b1", miou: 0.7856, norm_miou: 0.7856 / b2, gflops: 243.7 },
-        TrainedModelPoint { name: "segformer-b0", miou: 0.7637, norm_miou: 0.7637 / b2, gflops: 125.5 },
+        TrainedModelPoint {
+            name: "segformer-b2",
+            miou: 0.8098,
+            norm_miou: 1.0,
+            gflops: 717.1,
+        },
+        TrainedModelPoint {
+            name: "segformer-b1",
+            miou: 0.7856,
+            norm_miou: 0.7856 / b2,
+            gflops: 243.7,
+        },
+        TrainedModelPoint {
+            name: "segformer-b0",
+            miou: 0.7637,
+            norm_miou: 0.7637 / b2,
+            gflops: 125.5,
+        },
     ]
 }
 
@@ -130,9 +328,24 @@ pub fn trained_segformer_cityscapes() -> Vec<TrainedModelPoint> {
 /// model; Table I gives Swin-Tiny 0.4451).
 pub fn trained_swin_ade() -> Vec<TrainedModelPoint> {
     vec![
-        TrainedModelPoint { name: "swin-base", miou: 0.4813, norm_miou: 1.0, gflops: 299.0 },
-        TrainedModelPoint { name: "swin-small", miou: 0.4772, norm_miou: 0.4772 / 0.4813, gflops: 259.0 },
-        TrainedModelPoint { name: "swin-tiny", miou: 0.4451, norm_miou: 0.4451 / 0.4813, gflops: 237.0 },
+        TrainedModelPoint {
+            name: "swin-base",
+            miou: 0.4813,
+            norm_miou: 1.0,
+            gflops: 299.0,
+        },
+        TrainedModelPoint {
+            name: "swin-small",
+            miou: 0.4772,
+            norm_miou: 0.4772 / 0.4813,
+            gflops: 259.0,
+        },
+        TrainedModelPoint {
+            name: "swin-tiny",
+            miou: 0.4451,
+            norm_miou: 0.4451 / 0.4813,
+            gflops: 237.0,
+        },
     ]
 }
 
@@ -198,14 +411,12 @@ pub fn swin_sweep_space(
 ) -> Vec<SwinDynamic> {
     let mut out = Vec::new();
     let full = variant.depths;
-    let d2_options: Vec<usize> =
-        (full[2].saturating_sub(max_skip).max(1)..=full[2]).collect();
+    let d2_options: Vec<usize> = (full[2].saturating_sub(max_skip).max(1)..=full[2]).collect();
     let full_ch = variant.full_bottleneck_in();
     for &d2 in &d2_options {
         for step in 0..channel_steps.max(1) {
             let frac = 1.0 - step as f64 / channel_steps.max(1) as f64 * 0.875;
-            let ch = ((full_ch as f64 * frac / 4.0).round() as usize * 4)
-                .clamp(4, full_ch);
+            let ch = ((full_ch as f64 * frac / 4.0).round() as usize * 4).clamp(4, full_ch);
             out.push(SwinDynamic {
                 depths: [full[0], full[1], d2, full[3]],
                 bottleneck_in_channels: ch,

@@ -162,7 +162,10 @@ mod tests {
             f_severe < f_mild,
             "severe pruning ({f_severe:.3}) should diverge more than mild ({f_mild:.3})"
         );
-        assert!(f_mild > 0.2, "mild pruning should retain substantial agreement, got {f_mild:.3}");
+        assert!(
+            f_mild > 0.2,
+            "mild pruning should retain substantial agreement, got {f_mild:.3}"
+        );
     }
 
     #[test]

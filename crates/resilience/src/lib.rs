@@ -32,9 +32,9 @@ pub mod sweep;
 pub use accel_sweep::{sweep_segformer_on_accelerator, sweep_swin_on_accelerator, AccelResource};
 pub use accuracy::{AccuracyModel, ConfigFeatures};
 pub use config::{
-    fig7_swin_tiny, segformer_extended_sweep_space, segformer_sweep_space, swin_sweep_space, table2_ade, table2_cityscapes, table3_swin_base,
-    trained_segformer_ade, trained_segformer_cityscapes, trained_swin_ade, PaperPoint,
-    TrainedModelPoint, Workload,
+    fig7_swin_tiny, segformer_extended_sweep_space, segformer_sweep_space, swin_sweep_space,
+    table2_ade, table2_cityscapes, table3_swin_base, trained_segformer_ade,
+    trained_segformer_cityscapes, trained_swin_ade, PaperPoint, TrainedModelPoint, Workload,
 };
 pub use fidelity::{segformer_fidelity, swin_fidelity, FidelityError, FidelitySettings};
 pub use pareto::{dominates, pareto_front};

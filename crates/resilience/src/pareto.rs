@@ -59,8 +59,10 @@ mod tests {
     fn front_drops_dominated_points() {
         let pts = vec![pt(1.0, 1.0), pt(0.8, 0.9), pt(0.9, 0.85), pt(0.7, 0.7)];
         let front = pareto_front(&pts);
-        let coords: Vec<(f64, f64)> =
-            front.iter().map(|p| (p.norm_resource, p.norm_miou)).collect();
+        let coords: Vec<(f64, f64)> = front
+            .iter()
+            .map(|p| (p.norm_resource, p.norm_miou))
+            .collect();
         // (0.9, 0.85) is dominated by (0.8, 0.9).
         assert_eq!(coords, vec![(0.7, 0.7), (0.8, 0.9), (1.0, 1.0)]);
     }
@@ -82,7 +84,10 @@ mod tests {
         // No front point dominated by any input point.
         for f in &front {
             for p in &pts {
-                assert!(!dominates(p, f) || (p.norm_resource == f.norm_resource && p.norm_miou == f.norm_miou));
+                assert!(
+                    !dominates(p, f)
+                        || (p.norm_resource == f.norm_resource && p.norm_miou == f.norm_miou)
+                );
             }
         }
     }

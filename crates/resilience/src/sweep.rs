@@ -152,7 +152,9 @@ where
         }
     })
     .expect("sweep worker panicked");
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,9 +202,27 @@ mod tests {
     #[test]
     fn energy_and_time_sweeps_differ() {
         let v = SegFormerVariant::b2();
-        let space = vec![SegFormerDynamic::with_depths_and_fuse(&v, [2, 3, 5, 3], 1024)];
-        let t = sweep_segformer(&v, Workload::SegFormerAde, (128, 128), 150, &space, ResourceKind::GpuTime);
-        let e = sweep_segformer(&v, Workload::SegFormerAde, (128, 128), 150, &space, ResourceKind::GpuEnergy);
+        let space = vec![SegFormerDynamic::with_depths_and_fuse(
+            &v,
+            [2, 3, 5, 3],
+            1024,
+        )];
+        let t = sweep_segformer(
+            &v,
+            Workload::SegFormerAde,
+            (128, 128),
+            150,
+            &space,
+            ResourceKind::GpuTime,
+        );
+        let e = sweep_segformer(
+            &v,
+            Workload::SegFormerAde,
+            (128, 128),
+            150,
+            &space,
+            ResourceKind::GpuEnergy,
+        );
         // Energy savings exceed time savings for pruned configs (paper
         // §III-A: 17% time -> 28% energy).
         assert!(e[0].norm_resource < t[0].norm_resource);
@@ -213,9 +233,19 @@ mod tests {
         let v = SwinVariant::tiny();
         let space = vec![
             SwinDynamic::full(&v),
-            SwinDynamic { depths: [2, 2, 6, 2], bottleneck_in_channels: 1024 },
+            SwinDynamic {
+                depths: [2, 2, 6, 2],
+                bottleneck_in_channels: 1024,
+            },
         ];
-        let pts = sweep_swin(&v, Workload::SwinTinyAde, (128, 128), 150, &space, ResourceKind::GpuTime);
+        let pts = sweep_swin(
+            &v,
+            Workload::SwinTinyAde,
+            (128, 128),
+            150,
+            &space,
+            ResourceKind::GpuTime,
+        );
         assert_eq!(pts.len(), 2);
         assert!(pts[1].norm_resource < pts[0].norm_resource);
     }

@@ -1,0 +1,70 @@
+//! # vit-serve
+//!
+//! Deadline-aware concurrent serving on top of the DRT engine.
+//!
+//! The paper's DRT engine (§IV, Figure 8) answers "given *this much*
+//! resource, which execution path maximizes accuracy?" for one inference
+//! at a time. This crate turns that primitive into a serving system: a
+//! bounded request queue, an earliest-deadline-first (EDF) scheduler with
+//! admission control, and a pool of workers sharing one
+//! [`vit_drt::EngineCore`]. Each request's *remaining slack* at dispatch
+//! (deadline − now) becomes the DRT budget, so under load the engine
+//! gracefully trades accuracy for latency instead of missing deadlines —
+//! the serving-time generalization of the paper's per-frame budget traces.
+//!
+//! Two execution substrates share the same scheduling semantics:
+//!
+//! * [`Server`] — real threads over one `Arc<EngineCore>`, wall-clock
+//!   deadlines, actual tensor execution ([`server`]).
+//! * [`simulate`] — a deterministic discrete-event simulator with a
+//!   virtual clock for reproducible load-sweep experiments ([`sim`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use std::time::{Duration, Instant};
+//! use vit_drt::DrtEngine;
+//! use vit_models::SegFormerVariant;
+//! use vit_resilience::{ResourceKind, Workload};
+//! use vit_serve::{Calibration, InferenceRequest, SchedulePolicy, Server, ServerConfig};
+//! use vit_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = DrtEngine::segformer(
+//!     SegFormerVariant::b0(), Workload::SegFormerAde, (64, 64),
+//!     ResourceKind::GpuTime)?;
+//! let core = engine.core().clone();
+//! let calibration = Calibration::measure(&core)?;
+//! let server = Server::start(
+//!     core,
+//!     calibration,
+//!     ServerConfig { workers: 4, ..ServerConfig::default() },
+//! );
+//! let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 1);
+//! server.submit(InferenceRequest {
+//!     image,
+//!     deadline: Instant::now() + Duration::from_millis(200),
+//!     resource_kind: ResourceKind::GpuTime,
+//! });
+//! let metrics = server.shutdown();
+//! println!("p99 latency {:.1} ms", metrics.p99_latency * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod policy;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod sim;
+
+pub use metrics::{percentile, ServerMetrics};
+pub use policy::{admissible, budget_for, SchedulePolicy};
+pub use queue::{EdfQueue, PopResult, PushError};
+pub use request::{InferenceRequest, Outcome, RequestRecord, ShedReason};
+pub use server::{Calibration, Server, ServerConfig, SubmitError};
+pub use sim::{simulate, SimArrival, SimConfig};

@@ -1,0 +1,191 @@
+//! Aggregate serving metrics.
+
+use crate::request::{Outcome, RequestRecord, ShedReason};
+use vit_drt::LutConfig;
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of an unsorted sample.
+/// Returns 0.0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Aggregated results of a serving run (threaded server or simulation).
+///
+/// Latencies are in seconds (wall or virtual, matching the substrate).
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// All requests offered to the server.
+    pub submitted: usize,
+    /// Requests that executed (possibly late).
+    pub completed: usize,
+    /// Requests shed because the bounded queue was full.
+    pub shed_queue_full: usize,
+    /// Requests shed by admission control (slack below cheapest entry).
+    pub shed_no_slack: usize,
+    /// Requests shed at dispatch after their slack expired in-queue.
+    pub shed_late: usize,
+    /// Completed requests that finished after their deadline.
+    pub deadline_misses: usize,
+    /// Median completion latency.
+    pub p50_latency: f64,
+    /// 95th-percentile completion latency.
+    pub p95_latency: f64,
+    /// 99th-percentile completion latency.
+    pub p99_latency: f64,
+    /// Mean submission → dispatch wait of completed requests.
+    pub mean_queue_wait: f64,
+    /// `deadline_misses + all sheds` over `submitted`: the fraction of
+    /// offered requests that did NOT produce an on-time result.
+    pub deadline_miss_rate: f64,
+    /// All sheds over `submitted`.
+    pub shed_rate: f64,
+    /// Mean *delivered* accuracy over all submitted requests: the LUT
+    /// accuracy estimate for on-time completions, zero for misses and
+    /// sheds (a late or absent answer delivers nothing).
+    pub mean_delivered_accuracy: f64,
+    /// How often each LUT configuration was selected, most-used first.
+    pub config_histogram: Vec<(LutConfig, usize)>,
+}
+
+impl ServerMetrics {
+    /// Aggregates per-request outcomes.
+    pub fn from_outcomes(outcomes: &[Outcome]) -> Self {
+        let submitted = outcomes.len();
+        let records: Vec<&RequestRecord> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Completed(r) => Some(r),
+                Outcome::Shed(_) => None,
+            })
+            .collect();
+        let shed_count = |reason: ShedReason| {
+            outcomes
+                .iter()
+                .filter(|o| matches!(o, Outcome::Shed(r) if *r == reason))
+                .count()
+        };
+        let shed_queue_full = shed_count(ShedReason::QueueFull);
+        let shed_no_slack = shed_count(ShedReason::SlackBelowCheapest);
+        let shed_late = shed_count(ShedReason::SlackExhausted);
+        let sheds = shed_queue_full + shed_no_slack + shed_late;
+        let deadline_misses = records.iter().filter(|r| !r.met_deadline).count();
+
+        let latencies: Vec<f64> = records.iter().map(|r| r.latency).collect();
+        let mean_queue_wait = if records.is_empty() {
+            0.0
+        } else {
+            records.iter().map(|r| r.queue_wait).sum::<f64>() / records.len() as f64
+        };
+        let delivered: f64 = records.iter().map(|r| r.delivered_accuracy()).sum();
+
+        let mut histogram: Vec<(LutConfig, usize)> = Vec::new();
+        for r in &records {
+            match histogram.iter_mut().find(|(c, _)| *c == r.config) {
+                Some((_, n)) => *n += 1,
+                None => histogram.push((r.config, 1)),
+            }
+        }
+        histogram.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+        let frac = |n: usize| {
+            if submitted == 0 {
+                0.0
+            } else {
+                n as f64 / submitted as f64
+            }
+        };
+        ServerMetrics {
+            submitted,
+            completed: records.len(),
+            shed_queue_full,
+            shed_no_slack,
+            shed_late,
+            deadline_misses,
+            p50_latency: percentile(&latencies, 50.0),
+            p95_latency: percentile(&latencies, 95.0),
+            p99_latency: percentile(&latencies, 99.0),
+            mean_queue_wait,
+            deadline_miss_rate: frac(deadline_misses + sheds),
+            shed_rate: frac(sheds),
+            mean_delivered_accuracy: if submitted == 0 {
+                0.0
+            } else {
+                delivered / submitted as f64
+            },
+            config_histogram: histogram,
+        }
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed(&self) -> usize {
+        self.shed_queue_full + self.shed_no_slack + self.shed_late
+    }
+
+    /// `completed + shed() == submitted` — no request vanished.
+    pub fn accounts_for_all_submissions(&self) -> bool {
+        self.completed + self.shed() == self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> LutConfig {
+        LutConfig::Swin {
+            depths: [2, 2, 6, 2],
+            bottleneck_in_channels: 512,
+        }
+    }
+
+    fn record(latency: f64, met: bool, accuracy: f64) -> Outcome {
+        Outcome::Completed(RequestRecord {
+            latency,
+            queue_wait: latency / 2.0,
+            met_deadline: met,
+            accuracy,
+            config: config(),
+        })
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn aggregation_counts_everything() {
+        let outcomes = vec![
+            record(0.010, true, 0.9),
+            record(0.020, true, 1.0),
+            record(0.500, false, 1.0), // late: delivers 0
+            Outcome::Shed(ShedReason::QueueFull),
+            Outcome::Shed(ShedReason::SlackBelowCheapest),
+        ];
+        let m = ServerMetrics::from_outcomes(&outcomes);
+        assert_eq!(m.submitted, 5);
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.shed(), 2);
+        assert!(m.accounts_for_all_submissions());
+        assert_eq!(m.deadline_misses, 1);
+        // 1 miss + 2 sheds out of 5 offered.
+        assert!((m.deadline_miss_rate - 0.6).abs() < 1e-12);
+        assert!((m.shed_rate - 0.4).abs() < 1e-12);
+        // (0.9 + 1.0 + 0 + 0 + 0) / 5
+        assert!((m.mean_delivered_accuracy - 0.38).abs() < 1e-12);
+        assert_eq!(m.config_histogram, vec![(config(), 3)]);
+        assert_eq!(m.p99_latency, 0.5);
+    }
+}

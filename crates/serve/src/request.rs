@@ -1,0 +1,70 @@
+//! Request and per-request outcome types.
+
+use std::time::Instant;
+use vit_drt::LutConfig;
+use vit_resilience::ResourceKind;
+use vit_tensor::Tensor;
+
+/// One inference request submitted to a [`crate::Server`].
+#[derive(Debug)]
+pub struct InferenceRequest {
+    /// The input image (`[1, 3, h, w]`, matching the engine's image size).
+    pub image: Tensor,
+    /// Absolute completion deadline. The scheduler turns remaining slack
+    /// (`deadline − now`) into the DRT resource budget at dispatch time.
+    pub deadline: Instant,
+    /// The resource dimension the deadline is stated in. Must match the
+    /// kind the server's LUT was swept with; a mismatched request is
+    /// rejected at submission.
+    pub resource_kind: ResourceKind,
+}
+
+/// Why a request was shed instead of executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded queue was full at submission (overload backpressure).
+    QueueFull,
+    /// Remaining slack was already below the cheapest LUT entry's cost at
+    /// admission — executing could not possibly meet the deadline.
+    SlackBelowCheapest,
+    /// Slack ran out while the request waited in the queue; detected at
+    /// dispatch, before wasting worker time on a hopeless request.
+    SlackExhausted,
+}
+
+/// What finally happened to one completed (executed) request.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Submission → completion, in seconds (virtual or wall).
+    pub latency: f64,
+    /// Submission → dispatch, in seconds.
+    pub queue_wait: f64,
+    /// Whether the request finished at or before its deadline.
+    pub met_deadline: bool,
+    /// The LUT's normalized-mIoU estimate of the configuration that ran.
+    pub accuracy: f64,
+    /// The execution path that ran.
+    pub config: LutConfig,
+}
+
+impl RequestRecord {
+    /// Accuracy actually delivered to the client: the configuration's
+    /// estimate when the deadline was met, zero for a late result (a
+    /// missed deadline delivers no usable output in a real-time system).
+    pub fn delivered_accuracy(&self) -> f64 {
+        if self.met_deadline {
+            self.accuracy
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The terminal state of one submitted request.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The request executed (possibly late).
+    Completed(RequestRecord),
+    /// The request was shed without executing.
+    Shed(ShedReason),
+}

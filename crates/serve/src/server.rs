@@ -1,0 +1,299 @@
+//! The threaded serving loop: bounded ingress, EDF scheduler, worker pool
+//! over one shared [`EngineCore`].
+
+use crate::metrics::ServerMetrics;
+use crate::policy::{admissible, budget_for, SchedulePolicy};
+use crate::queue::{EdfQueue, PopResult, PushError};
+use crate::request::{InferenceRequest, Outcome, RequestRecord, ShedReason};
+use crossbeam::channel::{self, TrySendError};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vit_drt::{EngineCore, EngineError};
+use vit_graph::ExecScratch;
+use vit_resilience::ResourceKind;
+use vit_tensor::Tensor;
+
+/// Maps the LUT's abstract resource units onto wall-clock seconds on this
+/// machine, so absolute deadlines can be converted into LUT budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Measured wall seconds per LUT resource unit.
+    pub secs_per_unit: f64,
+}
+
+impl Calibration {
+    /// Measures the machine: runs the full (most expensive) execution path
+    /// once to warm its graph and weight caches, times a second run, and
+    /// divides by the path's LUT cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the calibration inference fails.
+    pub fn measure(core: &Arc<EngineCore>) -> Result<Self, EngineError> {
+        let mut scratch = ExecScratch::new();
+        let (h, w) = core.image_size();
+        let image = Tensor::rand_uniform(&[1, 3, h, w], 0.0, 1.0, 1);
+        let full = core
+            .lut()
+            .entries()
+            .last()
+            .expect("EngineCore guarantees a non-empty LUT")
+            .clone();
+        core.run_entry(&mut scratch, &image, full.clone(), true)?; // warm caches
+        let t0 = Instant::now();
+        core.run_entry(&mut scratch, &image, full.clone(), true)?;
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        Ok(Calibration {
+            secs_per_unit: secs / full.resource,
+        })
+    }
+
+    /// A calibration from a known rate (e.g. for simulations).
+    pub fn from_secs_per_unit(secs_per_unit: f64) -> Self {
+        assert!(secs_per_unit > 0.0, "calibration rate must be positive");
+        Calibration { secs_per_unit }
+    }
+
+    /// Seconds → LUT resource units.
+    pub fn units(&self, secs: f64) -> f64 {
+        secs / self.secs_per_unit
+    }
+
+    /// LUT resource units → seconds.
+    pub fn secs(&self, units: f64) -> f64 {
+        units * self.secs_per_unit
+    }
+}
+
+/// Server topology and scheduling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads sharing the engine core.
+    pub workers: usize,
+    /// Capacity of the ingress channel and of the EDF queue (each stage
+    /// holds at most this many requests).
+    pub queue_depth: usize,
+    /// The resource dimension deadlines are stated in; requests with a
+    /// different kind are rejected.
+    pub resource_kind: ResourceKind,
+    /// How budgets are chosen.
+    pub policy: SchedulePolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            resource_kind: ResourceKind::GpuTime,
+            policy: SchedulePolicy::DrtDynamic,
+        }
+    }
+}
+
+/// Error from [`Server::submit`] for requests the server cannot interpret
+/// (as opposed to load shedding, which is a recorded outcome, not an
+/// error).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitError {
+    /// The request's resource kind does not match the server's LUT.
+    WrongResourceKind {
+        /// Kind the server was configured with.
+        expected: ResourceKind,
+        /// Kind the request carried.
+        got: ResourceKind,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::WrongResourceKind { expected, got } => write!(
+                f,
+                "request resource kind {got:?} does not match server LUT kind {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Submitted {
+    image: Tensor,
+    deadline: Instant,
+    submitted_at: Instant,
+}
+
+/// A running deadline-aware inference server.
+///
+/// Requests flow `submit` → bounded ingress channel → EDF queue → worker
+/// pool. Admission control sheds requests that cannot possibly meet their
+/// deadline; the bounded stages shed on overload; every submitted request
+/// ends up in exactly one [`Outcome`].
+pub struct Server {
+    ingress: Option<channel::Sender<Submitted>>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    outcomes: Arc<Mutex<Vec<Outcome>>>,
+    core: Arc<EngineCore>,
+    calibration: Calibration,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Spawns the scheduler and worker threads and starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` or `config.queue_depth` is zero.
+    pub fn start(core: Arc<EngineCore>, calibration: Calibration, config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "server needs at least one worker");
+        let (tx, rx) = channel::bounded::<Submitted>(config.queue_depth);
+        let queue: Arc<EdfQueue<Instant, Submitted>> =
+            Arc::new(EdfQueue::bounded(config.queue_depth));
+        let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Scheduler: moves admitted requests from the ingress channel into
+        // the EDF queue (blocking when the queue is full, which backs
+        // pressure up into the bounded channel and from there into sheds).
+        let scheduler = {
+            let queue = queue.clone();
+            std::thread::spawn(move || {
+                while let Ok(sub) = rx.recv() {
+                    if matches!(queue.push(sub.deadline, sub), Err(PushError::Closed)) {
+                        break;
+                    }
+                }
+                queue.close();
+            })
+        };
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let queue = queue.clone();
+                let outcomes = outcomes.clone();
+                let core = core.clone();
+                let policy = config.policy;
+                let spu = calibration.secs_per_unit;
+                std::thread::spawn(move || {
+                    let mut scratch = ExecScratch::new();
+                    while let PopResult::Item((deadline, sub)) = queue.pop() {
+                        let now = Instant::now();
+                        let queue_wait = now.duration_since(sub.submitted_at).as_secs_f64();
+                        // Signed remaining slack: negative once past due.
+                        let slack_secs = if deadline >= now {
+                            deadline.duration_since(now).as_secs_f64()
+                        } else {
+                            -now.duration_since(deadline).as_secs_f64()
+                        };
+                        let slack_units = slack_secs / spu;
+                        if !admissible(slack_units, core.min_resource()) {
+                            outcomes
+                                .lock()
+                                .push(Outcome::Shed(ShedReason::SlackExhausted));
+                            continue;
+                        }
+                        let budget = budget_for(policy, &core, slack_units);
+                        let (entry, _fits) = core.select(budget);
+                        let inference = core
+                            .run_entry(&mut scratch, &sub.image, entry, true)
+                            .expect("worker inference failed");
+                        let finish = Instant::now();
+                        outcomes.lock().push(Outcome::Completed(RequestRecord {
+                            latency: finish.duration_since(sub.submitted_at).as_secs_f64(),
+                            queue_wait,
+                            met_deadline: finish <= deadline,
+                            accuracy: inference.norm_miou_estimate,
+                            config: inference.config,
+                        }));
+                    }
+                })
+            })
+            .collect();
+
+        Server {
+            ingress: Some(tx),
+            scheduler: Some(scheduler),
+            workers,
+            outcomes,
+            core,
+            calibration,
+            config,
+        }
+    }
+
+    /// The shared engine core this server runs on.
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// The wall-clock calibration in use.
+    pub fn calibration(&self) -> Calibration {
+        self.calibration
+    }
+
+    /// Offers a request. Returns `Ok(true)` when the request was admitted
+    /// and queued, `Ok(false)` when it was shed (recorded in the metrics
+    /// with its reason).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] for a request whose resource kind does not
+    /// match the server's LUT; such a request is *not* counted as shed.
+    pub fn submit(&self, request: InferenceRequest) -> Result<bool, SubmitError> {
+        if request.resource_kind != self.config.resource_kind {
+            return Err(SubmitError::WrongResourceKind {
+                expected: self.config.resource_kind,
+                got: request.resource_kind,
+            });
+        }
+        let now = Instant::now();
+        let slack_secs = request
+            .deadline
+            .saturating_duration_since(now)
+            .as_secs_f64();
+        let slack_units = self.calibration.units(slack_secs);
+        if !admissible(slack_units, self.core.min_resource()) {
+            self.outcomes
+                .lock()
+                .push(Outcome::Shed(ShedReason::SlackBelowCheapest));
+            return Ok(false);
+        }
+        let sub = Submitted {
+            image: request.image,
+            deadline: request.deadline,
+            submitted_at: now,
+        };
+        match self
+            .ingress
+            .as_ref()
+            .expect("ingress open until shutdown")
+            .try_send(sub)
+        {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.outcomes
+                    .lock()
+                    .push(Outcome::Shed(ShedReason::QueueFull));
+                Ok(false)
+            }
+        }
+    }
+
+    /// Stops accepting requests, drains everything already queued, joins
+    /// all threads, and returns the aggregated metrics.
+    pub fn shutdown(mut self) -> ServerMetrics {
+        drop(self.ingress.take()); // scheduler's recv() ends, queue closes
+        if let Some(s) = self.scheduler.take() {
+            s.join().expect("scheduler thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        let outcomes = self.outcomes.lock();
+        ServerMetrics::from_outcomes(&outcomes)
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic discrete-event simulation of the serving loop.
+//!
+//! Shares the scheduling semantics of the threaded [`crate::Server`] —
+//! EDF dispatch, admission control at arrival and at dispatch, a bounded
+//! queue — but advances a *virtual* clock, so a load sweep is exactly
+//! reproducible under a fixed seed and independent of the host machine.
+//! Service times are the LUT's resource estimates scaled by a fixed
+//! seconds-per-unit rate; inference outputs are not materialized (the
+//! metrics only need the selected configuration and its accuracy
+//! estimate), which keeps sweeping hundreds of operating points cheap.
+
+use crate::metrics::ServerMetrics;
+use crate::policy::{admissible, budget_for, SchedulePolicy};
+use crate::request::{Outcome, RequestRecord, ShedReason};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vit_drt::EngineCore;
+
+/// One request arrival in virtual time.
+#[derive(Debug, Clone, Copy)]
+pub struct SimArrival {
+    /// Arrival (submission) time in virtual seconds.
+    pub time: f64,
+    /// Relative deadline: the request must finish by `time + slack`.
+    pub slack: f64,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Parallel workers.
+    pub workers: usize,
+    /// EDF queue capacity; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Virtual seconds one LUT resource unit takes to execute.
+    pub secs_per_unit: f64,
+}
+
+/// Totally ordered f64 for use as a heap key (virtual times are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    arrival: f64,
+    deadline: f64,
+}
+
+/// Runs the simulation over `arrivals` (any order; sorted internally by
+/// arrival time, stably) and returns aggregate metrics in virtual seconds.
+///
+/// # Panics
+///
+/// Panics when `config.workers` or `config.queue_depth` is zero, or when
+/// `config.secs_per_unit` is not positive.
+pub fn simulate(core: &EngineCore, config: SimConfig, arrivals: &[SimArrival]) -> ServerMetrics {
+    assert!(config.workers > 0, "simulation needs at least one worker");
+    assert!(config.queue_depth > 0, "simulation needs queue capacity");
+    assert!(
+        config.secs_per_unit > 0.0,
+        "seconds-per-unit must be positive"
+    );
+    let spu = config.secs_per_unit;
+    let min_cost = core.min_resource();
+
+    let mut sorted: Vec<SimArrival> = arrivals.to_vec();
+    sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
+
+    // Earliest-deadline-first queue of admitted, not-yet-dispatched
+    // requests; FIFO sequence number breaks deadline ties.
+    let mut queue: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::new();
+    let mut queued: Vec<QueuedReq> = Vec::new(); // indexed by seq
+                                                 // When each worker becomes free, as a min-heap.
+    let mut workers: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::new();
+    for _ in 0..config.workers {
+        workers.push(Reverse(OrdF64(0.0)));
+    }
+
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(sorted.len());
+    let mut next_arrival = 0usize;
+
+    // Admission control at arrival time: slack below the cheapest path or
+    // a full queue sheds immediately.
+    let admit = |a: &SimArrival,
+                 queue: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
+                 queued: &mut Vec<QueuedReq>,
+                 outcomes: &mut Vec<Outcome>| {
+        if !admissible(a.slack / spu, min_cost) {
+            outcomes.push(Outcome::Shed(ShedReason::SlackBelowCheapest));
+            return;
+        }
+        if queue.len() >= config.queue_depth {
+            outcomes.push(Outcome::Shed(ShedReason::QueueFull));
+            return;
+        }
+        let seq = queued.len() as u64;
+        let deadline = a.time + a.slack;
+        queued.push(QueuedReq {
+            arrival: a.time,
+            deadline,
+        });
+        queue.push(Reverse((OrdF64(deadline), seq)));
+    };
+
+    loop {
+        let free_at = workers.peek().expect("worker heap never empties").0 .0;
+        // Everything that has arrived by the time a worker frees must be
+        // visible to that dispatch decision (EDF is over *queued* work).
+        while next_arrival < sorted.len() && sorted[next_arrival].time <= free_at {
+            admit(
+                &sorted[next_arrival],
+                &mut queue,
+                &mut queued,
+                &mut outcomes,
+            );
+            next_arrival += 1;
+        }
+        if queue.is_empty() {
+            if next_arrival >= sorted.len() {
+                break; // drained
+            }
+            // Idle: jump to the next arrival.
+            admit(
+                &sorted[next_arrival],
+                &mut queue,
+                &mut queued,
+                &mut outcomes,
+            );
+            next_arrival += 1;
+            continue;
+        }
+
+        // Dispatch the earliest-deadline queued request on the earliest
+        // free worker.
+        let Reverse((_, seq)) = queue.pop().expect("checked non-empty");
+        let req = queued[seq as usize];
+        workers.pop();
+        let start = free_at.max(req.arrival);
+        let slack_units = (req.deadline - start) / spu;
+        if !admissible(slack_units, min_cost) {
+            // Slack expired while waiting: shed at dispatch, worker stays
+            // free at the same instant.
+            workers.push(Reverse(OrdF64(free_at)));
+            outcomes.push(Outcome::Shed(ShedReason::SlackExhausted));
+            continue;
+        }
+        let budget = budget_for(config.policy, core, slack_units);
+        let (entry, _fits) = core.select(budget);
+        let finish = start + entry.resource * spu;
+        workers.push(Reverse(OrdF64(finish)));
+        outcomes.push(Outcome::Completed(RequestRecord {
+            latency: finish - req.arrival,
+            queue_wait: start - req.arrival,
+            met_deadline: finish <= req.deadline,
+            accuracy: entry.norm_miou,
+            config: entry.config,
+        }));
+    }
+
+    ServerMetrics::from_outcomes(&outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vit_drt::{EngineCore, EngineFamily, Lut};
+    use vit_models::{SegFormerDynamic, SegFormerVariant};
+    use vit_resilience::{DynConfig, TradeoffPoint};
+
+    /// A tiny synthetic 3-row LUT: costs 1/2/4 units, accuracies
+    /// 0.6/0.85/1.0.
+    fn test_core() -> EngineCore {
+        let point = |r: f64, a: f64| TradeoffPoint {
+            label: String::new(),
+            config: DynConfig::SegFormer(SegFormerDynamic::with_depths_and_fuse(
+                &SegFormerVariant::b0(),
+                [1, 1, 1, 1],
+                ((r * 64.0) as usize).max(4),
+            )),
+            resource: r,
+            norm_resource: r / 4.0,
+            norm_miou: a,
+        };
+        let lut = Lut::from_points(
+            "sim test",
+            &[point(1.0, 0.6), point(2.0, 0.85), point(4.0, 1.0)],
+        );
+        EngineCore::new(
+            EngineFamily::SegFormer(SegFormerVariant::b0()),
+            150,
+            (64, 64),
+            lut,
+        )
+        .unwrap()
+    }
+
+    fn uniform_arrivals(n: usize, gap: f64, slack: f64) -> Vec<SimArrival> {
+        (0..n)
+            .map(|i| SimArrival {
+                time: i as f64 * gap,
+                slack,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn underload_runs_full_model_on_time() {
+        let core = test_core();
+        let m = simulate(
+            &core,
+            SimConfig {
+                workers: 2,
+                queue_depth: 16,
+                policy: SchedulePolicy::DrtDynamic,
+                secs_per_unit: 1.0,
+            },
+            // One arrival every 4s on 2 workers; service <= 4s: no queueing.
+            &uniform_arrivals(20, 4.0, 8.0),
+        );
+        assert!(m.accounts_for_all_submissions());
+        assert_eq!(m.shed(), 0);
+        assert_eq!(m.deadline_misses, 0);
+        // Plenty of slack: every request runs the full (1.0) model.
+        assert!((m.mean_delivered_accuracy - 1.0).abs() < 1e-12);
+        assert_eq!(m.config_histogram.len(), 1);
+    }
+
+    #[test]
+    fn overload_degrades_accuracy_instead_of_missing() {
+        let core = test_core();
+        let cfg = |policy| SimConfig {
+            workers: 1,
+            queue_depth: 8,
+            policy,
+            secs_per_unit: 1.0,
+        };
+        // Offered load 2x capacity of the full model (arrival every 2s,
+        // full service 4s), with slack that fits the full model only when
+        // the queue is empty.
+        let arrivals = uniform_arrivals(60, 2.0, 5.0);
+        let drt = simulate(&core, cfg(SchedulePolicy::DrtDynamic), &arrivals);
+        let stat = simulate(&core, cfg(SchedulePolicy::static_full()), &arrivals);
+        assert!(drt.accounts_for_all_submissions());
+        assert!(stat.accounts_for_all_submissions());
+        assert!(
+            drt.deadline_miss_rate < stat.deadline_miss_rate,
+            "DRT {} vs static {}",
+            drt.deadline_miss_rate,
+            stat.deadline_miss_rate
+        );
+        assert!(drt.mean_delivered_accuracy > stat.mean_delivered_accuracy);
+        // DRT adapts: more than one configuration gets used.
+        assert!(drt.config_histogram.len() > 1);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let core = test_core();
+        let cfg = SimConfig {
+            workers: 3,
+            queue_depth: 8,
+            policy: SchedulePolicy::DrtDynamic,
+            secs_per_unit: 0.01,
+        };
+        let arrivals = uniform_arrivals(100, 0.013, 0.07);
+        let a = simulate(&core, cfg, &arrivals);
+        let b = simulate(&core, cfg, &arrivals);
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+        assert_eq!(a.p99_latency, b.p99_latency);
+        assert_eq!(a.config_histogram, b.config_histogram);
+    }
+
+    #[test]
+    fn impossible_slack_is_shed_at_admission() {
+        let core = test_core();
+        let m = simulate(
+            &core,
+            SimConfig {
+                workers: 1,
+                queue_depth: 4,
+                policy: SchedulePolicy::DrtDynamic,
+                secs_per_unit: 1.0,
+            },
+            // Slack 0.5 < cheapest cost 1.0: nothing can ever be served.
+            &uniform_arrivals(10, 1.0, 0.5),
+        );
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.shed_no_slack, 10);
+        assert!(m.accounts_for_all_submissions());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the serving scheduler: EDF ordering under arbitrary
+//! interleavings, and admission control never letting through a request
+//! whose slack cannot cover the cheapest LUT entry.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vit_drt::{EngineCore, EngineFamily, Lut};
+use vit_models::{SegFormerDynamic, SegFormerVariant};
+use vit_resilience::{DynConfig, TradeoffPoint};
+use vit_serve::{admissible, simulate, EdfQueue, PopResult, SchedulePolicy, SimArrival, SimConfig};
+
+/// A synthetic core whose LUT costs 1/2/4 units.
+fn tiny_core() -> EngineCore {
+    let point = |r: f64, a: f64| TradeoffPoint {
+        label: String::new(),
+        config: DynConfig::SegFormer(SegFormerDynamic::with_depths_and_fuse(
+            &SegFormerVariant::b0(),
+            [1, 1, 1, 1],
+            ((r * 64.0) as usize).max(4),
+        )),
+        resource: r,
+        norm_resource: r / 4.0,
+        norm_miou: a,
+    };
+    let lut = Lut::from_points(
+        "proptest",
+        &[point(1.0, 0.6), point(2.0, 0.85), point(4.0, 1.0)],
+    );
+    EngineCore::new(
+        EngineFamily::SegFormer(SegFormerVariant::b0()),
+        150,
+        (64, 64),
+        lut,
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Whatever order deadlines are pushed in, pops come out in
+    /// nondecreasing deadline order, and equal deadlines come out in
+    /// arrival (FIFO) order.
+    #[test]
+    fn edf_pop_order_is_sorted_with_fifo_ties(deadlines in vec(0u64..16, 1..64)) {
+        let q: EdfQueue<u64, usize> = EdfQueue::bounded(64);
+        for (i, d) in deadlines.iter().enumerate() {
+            q.try_push(*d, i).unwrap();
+        }
+        q.close();
+        let mut popped = Vec::new();
+        while let PopResult::Item(it) = q.pop() {
+            popped.push(it);
+        }
+        prop_assert_eq!(popped.len(), deadlines.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "deadlines out of order: {:?}", w);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {:?}", w);
+            }
+        }
+    }
+
+    /// Admission is exactly the slack-vs-cheapest-cost threshold.
+    #[test]
+    fn admission_never_admits_slack_below_cheapest(
+        slack in -100.0f64..100.0,
+        cheapest in 0.0f64..50.0,
+    ) {
+        prop_assert_eq!(admissible(slack, cheapest), slack >= cheapest);
+    }
+
+    /// Under arbitrary arrival patterns, the simulator (a) accounts for
+    /// every request, (b) sheds at admission *exactly* the arrivals whose
+    /// slack is below the cheapest path, and (c) never runs a request
+    /// whose budget could not cover the cheapest entry.
+    #[test]
+    fn simulator_conserves_requests_and_enforces_admission(
+        raw in vec((0.0f64..50.0, 0.0f64..12.0), 1..80),
+        workers in 1usize..5,
+        queue_depth in 1usize..12,
+    ) {
+        let core = tiny_core();
+        let arrivals: Vec<SimArrival> = raw
+            .iter()
+            .map(|(time, slack)| SimArrival { time: *time, slack: *slack })
+            .collect();
+        let metrics = simulate(
+            &core,
+            SimConfig {
+                workers,
+                queue_depth,
+                policy: SchedulePolicy::DrtDynamic,
+                secs_per_unit: 1.0,
+            },
+            &arrivals,
+        );
+        prop_assert_eq!(metrics.submitted, arrivals.len());
+        prop_assert!(metrics.accounts_for_all_submissions());
+        // With secs_per_unit = 1.0 a slack below the cheapest cost (1.0)
+        // can never be admitted, and nothing else sheds for that reason.
+        let impossible = arrivals
+            .iter()
+            .filter(|a| !admissible(a.slack, core.min_resource()))
+            .count();
+        prop_assert_eq!(metrics.shed_no_slack, impossible);
+        // Every completed request ran a path at least as cheap as its
+        // whole slack allowed: delivered accuracy only comes from real
+        // LUT rows.
+        for (config, _) in &metrics.config_histogram {
+            prop_assert!(core.lut().entries().iter().any(|e| e.config == *config));
+        }
+    }
+}

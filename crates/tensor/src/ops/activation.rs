@@ -48,7 +48,10 @@ pub fn softmax_last_dim(input: &Tensor) -> Result<Tensor> {
         .last()
         .ok_or_else(|| invalid_argument("softmax", "tensor has no dimensions".to_string()))?;
     if last == 0 {
-        return Err(invalid_argument("softmax", "last dimension is zero".to_string()));
+        return Err(invalid_argument(
+            "softmax",
+            "last dimension is zero".to_string(),
+        ));
     }
     let mut out = input.clone();
     let rows = out.numel() / last;

@@ -113,10 +113,16 @@ pub fn conv2d(
         ));
     }
     if p.stride_h == 0 || p.stride_w == 0 {
-        return Err(invalid_argument("conv2d", "stride must be nonzero".to_string()));
+        return Err(invalid_argument(
+            "conv2d",
+            "stride must be nonzero".to_string(),
+        ));
     }
     if p.groups == 0 {
-        return Err(invalid_argument("conv2d", "groups must be nonzero".to_string()));
+        return Err(invalid_argument(
+            "conv2d",
+            "groups must be nonzero".to_string(),
+        ));
     }
     let (n, c, h, w) = (
         input.shape()[0],
@@ -133,20 +139,31 @@ pub fn conv2d(
     if c % p.groups != 0 || k % p.groups != 0 {
         return Err(invalid_argument(
             "conv2d",
-            format!("channels ({c} in, {k} out) not divisible by groups {}", p.groups),
+            format!(
+                "channels ({c} in, {k} out) not divisible by groups {}",
+                p.groups
+            ),
         ));
     }
     if c / p.groups != c_per_g {
         return Err(shape_mismatch(
             "conv2d",
-            format!("weight in-channels {} (= {c} / groups {})", c / p.groups, p.groups),
+            format!(
+                "weight in-channels {} (= {c} / groups {})",
+                c / p.groups,
+                p.groups
+            ),
             format!("{c_per_g}"),
         ));
     }
     if h + 2 * p.pad_h < r || w + 2 * p.pad_w < s {
         return Err(invalid_shape(
             "conv2d",
-            format!("kernel {r}x{s} larger than padded input {}x{}", h + 2 * p.pad_h, w + 2 * p.pad_w),
+            format!(
+                "kernel {r}x{s} larger than padded input {}x{}",
+                h + 2 * p.pad_h,
+                w + 2 * p.pad_w
+            ),
         ));
     }
     if let Some(b) = bias {
@@ -186,8 +203,7 @@ pub fn conv2d(
                                     continue;
                                 }
                                 let ix = ix - p.pad_w;
-                                acc += xd[((b * c + cin) * h + iy) * w + ix]
-                                    * wd[wrow * s + sx];
+                                acc += xd[((b * c + cin) * h + iy) * w + ix] * wd[wrow * s + sx];
                             }
                         }
                     }
@@ -310,11 +326,7 @@ mod tests {
     fn grouped_conv_partitions_channels() {
         // 4 in channels, 2 groups, 2 out channels: each output sees only its
         // half of the input channels.
-        let x = Tensor::from_vec(
-            vec![1.0, 10.0, 100.0, 1000.0],
-            &[1, 4, 1, 1],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 10.0, 100.0, 1000.0], &[1, 4, 1, 1]).unwrap();
         let w = Tensor::ones(&[2, 2, 1, 1]);
         let y = conv2d(&x, &w, None, Conv2dParams::new().groups(2)).unwrap();
         assert_eq!(y.data(), &[11.0, 1100.0]);

@@ -26,7 +26,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.rank() != 2 || b.rank() != 2 {
         return Err(invalid_shape(
             "matmul",
-            format!("expected two rank-2 tensors, got {:?} x {:?}", a.shape(), b.shape()),
+            format!(
+                "expected two rank-2 tensors, got {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            ),
         ));
     }
     let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -112,7 +116,10 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<
         ));
     }
     let in_features = *input.shape().last().ok_or_else(|| {
-        invalid_shape("linear", "input must have at least one dimension".to_string())
+        invalid_shape(
+            "linear",
+            "input must have at least one dimension".to_string(),
+        )
     })?;
     let (out_features, w_in) = (weight.shape()[0], weight.shape()[1]);
     if w_in != in_features {
@@ -201,10 +208,8 @@ mod tests {
         let c = bmm(&a, &b).unwrap();
         assert_eq!(c.shape(), &[3, 2, 5]);
         for bi in 0..3 {
-            let a2 =
-                Tensor::from_vec(a.data()[bi * 8..(bi + 1) * 8].to_vec(), &[2, 4]).unwrap();
-            let b2 =
-                Tensor::from_vec(b.data()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]).unwrap();
+            let a2 = Tensor::from_vec(a.data()[bi * 8..(bi + 1) * 8].to_vec(), &[2, 4]).unwrap();
+            let b2 = Tensor::from_vec(b.data()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]).unwrap();
             let expect = matmul(&a2, &b2).unwrap();
             assert_eq!(&c.data()[bi * 10..(bi + 1) * 10], expect.data());
         }

@@ -13,7 +13,10 @@ use crate::tensor::Tensor;
 /// match the last dimension.
 pub fn layer_norm(input: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
     let features = *input.shape().last().ok_or_else(|| {
-        invalid_shape("layer_norm", "input must have at least one dimension".to_string())
+        invalid_shape(
+            "layer_norm",
+            "input must have at least one dimension".to_string(),
+        )
     })?;
     if gamma.numel() != features || beta.numel() != features {
         return Err(shape_mismatch(

@@ -88,7 +88,11 @@ impl Tensor {
         if data.len() != numel_of(shape) {
             return Err(shape_mismatch(
                 "from_vec",
-                format!("buffer of {} elements for shape {:?}", numel_of(shape), shape),
+                format!(
+                    "buffer of {} elements for shape {:?}",
+                    numel_of(shape),
+                    shape
+                ),
                 format!("{} elements", data.len()),
             ));
         }

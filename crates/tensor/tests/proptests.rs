@@ -4,9 +4,8 @@ use proptest::prelude::*;
 use vit_tensor::{ops, quant::QuantTensor, Tensor};
 
 fn small_tensor(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
-        Tensor::rand_uniform(&[r, c], -2.0, 2.0, seed)
-    })
+    (1..=max_dim, 1..=max_dim, any::<u64>())
+        .prop_map(|(r, c, seed)| Tensor::rand_uniform(&[r, c], -2.0, 2.0, seed))
 }
 
 proptest! {

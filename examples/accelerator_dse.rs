@@ -17,12 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let variant = SegFormerVariant::b2();
     let opts = SimOptions::default();
     let full = build_segformer(&SegFormerConfig::ade20k(variant))?;
-    let pruned = build_segformer(
-        &SegFormerConfig::ade20k(variant)
-            .with_dynamic(SegFormerDynamic::with_depths_and_fuse(&variant, [2, 3, 4, 3], 512)),
-    )?;
+    let pruned = build_segformer(&SegFormerConfig::ade20k(variant).with_dynamic(
+        SegFormerDynamic::with_depths_and_fuse(&variant, [2, 3, 4, 3], 512),
+    ))?;
 
-    for (name, g) in [("full model (point A)", &full), ("pruned model (point G)", &pruned)] {
+    for (name, g) in [
+        ("full model (point A)", &full),
+        ("pruned model (point G)", &pruned),
+    ] {
         println!("workload: {name}");
         let points = design_space(
             g,

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Where does detection compute go? (paper §II-A)
     for (name, g) in [
         ("DETR", build_detr(&DetrConfig::detr_coco())?),
-        ("Deformable DETR", build_deformable_detr(&DetrConfig::deformable_coco())?),
+        (
+            "Deformable DETR",
+            build_deformable_detr(&DetrConfig::deformable_coco())?,
+        ),
     ] {
         let (backbone, transformer) = backbone_transformer_split(&g);
         println!(

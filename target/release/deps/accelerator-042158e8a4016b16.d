@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accelerator-042158e8a4016b16.d: crates/bench/benches/accelerator.rs
+
+/root/repo/target/release/deps/accelerator-042158e8a4016b16: crates/bench/benches/accelerator.rs
+
+crates/bench/benches/accelerator.rs:

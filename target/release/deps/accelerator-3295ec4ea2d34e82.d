@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accelerator-3295ec4ea2d34e82.d: crates/bench/benches/accelerator.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelerator-3295ec4ea2d34e82.rmeta: crates/bench/benches/accelerator.rs Cargo.toml
+
+crates/bench/benches/accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-0a127b8cebe70dc9.d: vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-0a127b8cebe70dc9.rmeta: vendor/crossbeam/src/lib.rs Cargo.toml
+
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-df48ee7784abe827.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-df48ee7784abe827: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_engine-40bfa16ff71a9c71.d: crates/core/../../tests/end_to_end_engine.rs
+
+/root/repo/target/release/deps/end_to_end_engine-40bfa16ff71a9c71: crates/core/../../tests/end_to_end_engine.rs
+
+crates/core/../../tests/end_to_end_engine.rs:

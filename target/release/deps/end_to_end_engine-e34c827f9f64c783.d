@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end_engine-e34c827f9f64c783.d: crates/core/../../tests/end_to_end_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end_engine-e34c827f9f64c783.rmeta: crates/core/../../tests/end_to_end_engine.rs Cargo.toml
+
+crates/core/../../tests/end_to_end_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

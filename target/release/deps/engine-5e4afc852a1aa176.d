@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-5e4afc852a1aa176.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-5e4afc852a1aa176: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine-c264244c02393c81.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine-c264244c02393c81.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration-789548b23ebfb2fd.d: crates/core/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration-789548b23ebfb2fd.rmeta: crates/core/../../tests/integration.rs Cargo.toml
+
+crates/core/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

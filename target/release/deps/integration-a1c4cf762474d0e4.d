@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-a1c4cf762474d0e4.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/release/deps/integration-a1c4cf762474d0e4: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-7057dcda4125293a.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-7057dcda4125293a: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

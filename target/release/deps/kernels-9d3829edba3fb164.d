@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kernels-9d3829edba3fb164.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libkernels-9d3829edba3fb164.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lut_proptests-4c673f5600926bc6.d: crates/core/tests/lut_proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/liblut_proptests-4c673f5600926bc6.rmeta: crates/core/tests/lut_proptests.rs Cargo.toml
+
+crates/core/tests/lut_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

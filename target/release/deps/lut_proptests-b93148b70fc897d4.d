@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lut_proptests-b93148b70fc897d4.d: crates/core/tests/lut_proptests.rs
+
+/root/repo/target/release/deps/lut_proptests-b93148b70fc897d4: crates/core/tests/lut_proptests.rs
+
+crates/core/tests/lut_proptests.rs:

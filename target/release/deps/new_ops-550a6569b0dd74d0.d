@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/new_ops-550a6569b0dd74d0.d: crates/graph/tests/new_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libnew_ops-550a6569b0dd74d0.rmeta: crates/graph/tests/new_ops.rs Cargo.toml
+
+crates/graph/tests/new_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/new_ops-819ec190fbcd512a.d: crates/graph/tests/new_ops.rs
+
+/root/repo/target/release/deps/new_ops-819ec190fbcd512a: crates/graph/tests/new_ops.rs
+
+crates/graph/tests/new_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_claims-37fa17e0be940a0a.d: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_claims-37fa17e0be940a0a.rmeta: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+crates/core/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

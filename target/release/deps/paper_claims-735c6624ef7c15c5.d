@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-735c6624ef7c15c5.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-735c6624ef7c15c5: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-3af61d154a4ea5cb.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-3af61d154a4ea5cb: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1cf2feaff14ef0ba.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1cf2feaff14ef0ba.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1cf2feaff14ef0ba.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

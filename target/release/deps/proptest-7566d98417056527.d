@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-7566d98417056527.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-7566d98417056527.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

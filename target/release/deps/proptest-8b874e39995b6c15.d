@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-8b874e39995b6c15.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-8b874e39995b6c15: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

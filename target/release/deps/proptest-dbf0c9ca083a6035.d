@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-dbf0c9ca083a6035.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-dbf0c9ca083a6035.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-1021cc8c6ee1b399.d: crates/resilience/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-1021cc8c6ee1b399.rmeta: crates/resilience/tests/proptests.rs Cargo.toml
+
+crates/resilience/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

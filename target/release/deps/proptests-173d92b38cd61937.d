@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-173d92b38cd61937.d: crates/accel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-173d92b38cd61937.rmeta: crates/accel/tests/proptests.rs Cargo.toml
+
+crates/accel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

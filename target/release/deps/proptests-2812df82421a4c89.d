@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-2812df82421a4c89.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-2812df82421a4c89: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-2a68475fe9b9ca19.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-2a68475fe9b9ca19.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-2ac12a88487485b5.d: crates/models/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-2ac12a88487485b5: crates/models/tests/proptests.rs
+
+crates/models/tests/proptests.rs:

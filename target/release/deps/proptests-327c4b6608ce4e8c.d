@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-327c4b6608ce4e8c.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-327c4b6608ce4e8c: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-4fcb467a6f9ec773.d: crates/models/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-4fcb467a6f9ec773.rmeta: crates/models/tests/proptests.rs Cargo.toml
+
+crates/models/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

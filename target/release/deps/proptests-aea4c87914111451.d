@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-aea4c87914111451.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-aea4c87914111451: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

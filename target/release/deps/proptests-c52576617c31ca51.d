@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-c52576617c31ca51.d: crates/resilience/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-c52576617c31ca51: crates/resilience/tests/proptests.rs
+
+crates/resilience/tests/proptests.rs:

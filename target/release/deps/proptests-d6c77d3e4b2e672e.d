@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d6c77d3e4b2e672e.d: crates/serve/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d6c77d3e4b2e672e: crates/serve/tests/proptests.rs
+
+crates/serve/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-dc33fa01ca1862ed.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-dc33fa01ca1862ed.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

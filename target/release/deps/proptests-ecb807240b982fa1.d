@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-ecb807240b982fa1.d: crates/serve/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-ecb807240b982fa1.rmeta: crates/serve/tests/proptests.rs Cargo.toml
+
+crates/serve/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

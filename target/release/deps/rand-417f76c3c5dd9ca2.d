@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-417f76c3c5dd9ca2.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-417f76c3c5dd9ca2.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-d94af9945aa7acbd.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-d94af9945aa7acbd.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-2585fd9022056ed3.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-2585fd9022056ed3.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-29e438833c17fb70.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-29e438833c17fb70: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

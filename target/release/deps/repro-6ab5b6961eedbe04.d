@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-6ab5b6961eedbe04.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-6ab5b6961eedbe04: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

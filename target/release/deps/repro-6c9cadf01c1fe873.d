@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-6c9cadf01c1fe873.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-6c9cadf01c1fe873.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

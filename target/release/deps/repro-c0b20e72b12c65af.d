@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c0b20e72b12c65af.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-c0b20e72b12c65af: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

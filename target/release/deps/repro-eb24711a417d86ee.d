@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-eb24711a417d86ee.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-eb24711a417d86ee: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

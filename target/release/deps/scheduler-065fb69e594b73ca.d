@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scheduler-065fb69e594b73ca.d: crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/release/deps/libscheduler-065fb69e594b73ca.rmeta: crates/bench/benches/scheduler.rs Cargo.toml
+
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

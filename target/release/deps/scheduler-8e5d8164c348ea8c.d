@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler-8e5d8164c348ea8c.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/release/deps/scheduler-8e5d8164c348ea8c: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-857cd778c9194a19.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-857cd778c9194a19.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b60bc6d107c3ede5.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b60bc6d107c3ede5.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b60bc6d107c3ede5.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

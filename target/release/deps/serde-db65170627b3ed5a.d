@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-db65170627b3ed5a.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-db65170627b3ed5a: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

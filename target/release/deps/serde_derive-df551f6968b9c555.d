@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-df551f6968b9c555.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-df551f6968b9c555: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving-42600c1d75c5a41e.d: crates/serve/../../tests/serving.rs
+
+/root/repo/target/release/deps/serving-42600c1d75c5a41e: crates/serve/../../tests/serving.rs
+
+crates/serve/../../tests/serving.rs:

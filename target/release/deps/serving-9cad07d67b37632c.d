@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving-9cad07d67b37632c.d: crates/serve/../../tests/serving.rs
+
+/root/repo/target/release/deps/serving-9cad07d67b37632c: crates/serve/../../tests/serving.rs
+
+crates/serve/../../tests/serving.rs:

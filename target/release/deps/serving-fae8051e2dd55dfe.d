@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serving-fae8051e2dd55dfe.d: crates/serve/../../tests/serving.rs Cargo.toml
+
+/root/repo/target/release/deps/libserving-fae8051e2dd55dfe.rmeta: crates/serve/../../tests/serving.rs Cargo.toml
+
+crates/serve/../../tests/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vit_accel-d0032cba993de12d.d: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+/root/repo/target/release/deps/libvit_accel-d0032cba993de12d.rlib: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+/root/repo/target/release/deps/libvit_accel-d0032cba993de12d.rmeta: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/config.rs:
+crates/accel/src/dse.rs:
+crates/accel/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vit_accel-d277bdaf05ab9550.d: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+/root/repo/target/release/deps/vit_accel-d277bdaf05ab9550: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/config.rs:
+crates/accel/src/dse.rs:
+crates/accel/src/sim.rs:

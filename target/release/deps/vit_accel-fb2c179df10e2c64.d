@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vit_accel-fb2c179df10e2c64.d: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_accel-fb2c179df10e2c64.rmeta: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/config.rs:
+crates/accel/src/dse.rs:
+crates/accel/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vit_bench-0954bc712166ab90.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_bench-0954bc712166ab90.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/accelerator.rs:
+crates/bench/src/experiments/characterization.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/headline.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/serve.rs:
+crates/bench/src/loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vit_bench-99ee7e2f3c6c044f.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs
+
+/root/repo/target/release/deps/vit_bench-99ee7e2f3c6c044f: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/accelerator.rs:
+crates/bench/src/experiments/characterization.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/headline.rs:
+crates/bench/src/experiments/resilience.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vit_bench-f69f5d848ec3dcc5.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs
+
+/root/repo/target/release/deps/libvit_bench-f69f5d848ec3dcc5.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs
+
+/root/repo/target/release/deps/libvit_bench-f69f5d848ec3dcc5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/accelerator.rs:
+crates/bench/src/experiments/characterization.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/headline.rs:
+crates/bench/src/experiments/resilience.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vit_data-5fcc3002d7db06f5.d: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_data-5fcc3002d7db06f5.rmeta: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/metrics.rs:
+crates/data/src/scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vit_data-9420f1f2774b0d5a.d: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/libvit_data-9420f1f2774b0d5a.rlib: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/libvit_data-9420f1f2774b0d5a.rmeta: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/metrics.rs:
+crates/data/src/scene.rs:

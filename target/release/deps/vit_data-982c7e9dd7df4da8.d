@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vit_data-982c7e9dd7df4da8.d: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/vit_data-982c7e9dd7df4da8: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/metrics.rs:
+crates/data/src/scene.rs:

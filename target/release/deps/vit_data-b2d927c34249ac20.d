@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vit_data-b2d927c34249ac20.d: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_data-b2d927c34249ac20.rmeta: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/metrics.rs:
+crates/data/src/scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

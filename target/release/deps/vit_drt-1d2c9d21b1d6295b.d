@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vit_drt-1d2c9d21b1d6295b.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_drt-1d2c9d21b1d6295b.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/budget.rs:
+crates/core/src/engine.rs:
+crates/core/src/json.rs:
+crates/core/src/lut.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vit_drt-47a597de24846f1e.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_drt-47a597de24846f1e.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/budget.rs:
+crates/core/src/engine.rs:
+crates/core/src/json.rs:
+crates/core/src/lut.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vit_drt-7d0bd87c813aa1ac.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+/root/repo/target/release/deps/libvit_drt-7d0bd87c813aa1ac.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+/root/repo/target/release/deps/libvit_drt-7d0bd87c813aa1ac.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/budget.rs:
+crates/core/src/engine.rs:
+crates/core/src/json.rs:
+crates/core/src/lut.rs:

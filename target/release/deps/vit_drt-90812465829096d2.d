@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vit_drt-90812465829096d2.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+/root/repo/target/release/deps/vit_drt-90812465829096d2: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/budget.rs:
+crates/core/src/engine.rs:
+crates/core/src/json.rs:
+crates/core/src/lut.rs:

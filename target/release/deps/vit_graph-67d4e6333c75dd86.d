@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vit_graph-67d4e6333c75dd86.d: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_graph-67d4e6333c75dd86.rmeta: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

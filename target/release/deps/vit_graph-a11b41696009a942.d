@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vit_graph-a11b41696009a942.d: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+/root/repo/target/release/deps/libvit_graph-a11b41696009a942.rlib: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+/root/repo/target/release/deps/libvit_graph-a11b41696009a942.rmeta: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vit_graph-cdd1eb064622d094.d: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+/root/repo/target/release/deps/vit_graph-cdd1eb064622d094: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:

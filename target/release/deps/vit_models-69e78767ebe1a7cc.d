@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vit_models-69e78767ebe1a7cc.d: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/libvit_models-69e78767ebe1a7cc.rlib: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/libvit_models-69e78767ebe1a7cc.rmeta: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/detr.rs:
+crates/models/src/error.rs:
+crates/models/src/resnet.rs:
+crates/models/src/segformer.rs:
+crates/models/src/swin.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vit_models-be4ff67b4606590f.d: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/vit_models-be4ff67b4606590f: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/detr.rs:
+crates/models/src/error.rs:
+crates/models/src/resnet.rs:
+crates/models/src/segformer.rs:
+crates/models/src/swin.rs:
+crates/models/src/vit.rs:

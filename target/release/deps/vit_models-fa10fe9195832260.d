@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vit_models-fa10fe9195832260.d: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_models-fa10fe9195832260.rmeta: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/detr.rs:
+crates/models/src/error.rs:
+crates/models/src/resnet.rs:
+crates/models/src/segformer.rs:
+crates/models/src/swin.rs:
+crates/models/src/vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vit_profiler-4c9bcfa26905e13d.d: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+/root/repo/target/release/deps/libvit_profiler-4c9bcfa26905e13d.rlib: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+/root/repo/target/release/deps/libvit_profiler-4c9bcfa26905e13d.rmeta: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/flops.rs:
+crates/profiler/src/gpu.rs:

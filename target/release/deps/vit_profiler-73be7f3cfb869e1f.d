@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vit_profiler-73be7f3cfb869e1f.d: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_profiler-73be7f3cfb869e1f.rmeta: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/flops.rs:
+crates/profiler/src/gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

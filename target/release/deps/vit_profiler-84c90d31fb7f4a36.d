@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vit_profiler-84c90d31fb7f4a36.d: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+/root/repo/target/release/deps/vit_profiler-84c90d31fb7f4a36: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/flops.rs:
+crates/profiler/src/gpu.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vit_profiler-cee5e7ee54727f93.d: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_profiler-cee5e7ee54727f93.rmeta: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/flops.rs:
+crates/profiler/src/gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

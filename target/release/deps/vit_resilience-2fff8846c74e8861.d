@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vit_resilience-2fff8846c74e8861.d: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+/root/repo/target/release/deps/libvit_resilience-2fff8846c74e8861.rlib: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+/root/repo/target/release/deps/libvit_resilience-2fff8846c74e8861.rmeta: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/accel_sweep.rs:
+crates/resilience/src/accuracy.rs:
+crates/resilience/src/config.rs:
+crates/resilience/src/fidelity.rs:
+crates/resilience/src/pareto.rs:
+crates/resilience/src/sweep.rs:

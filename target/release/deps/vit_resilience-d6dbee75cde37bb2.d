@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vit_resilience-d6dbee75cde37bb2.d: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_resilience-d6dbee75cde37bb2.rmeta: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs Cargo.toml
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/accel_sweep.rs:
+crates/resilience/src/accuracy.rs:
+crates/resilience/src/config.rs:
+crates/resilience/src/fidelity.rs:
+crates/resilience/src/pareto.rs:
+crates/resilience/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

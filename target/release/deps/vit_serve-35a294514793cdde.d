@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vit_serve-35a294514793cdde.d: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+/root/repo/target/release/deps/libvit_serve-35a294514793cdde.rlib: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+/root/repo/target/release/deps/libvit_serve-35a294514793cdde.rmeta: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/policy.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vit_serve-8592a30ba2f870ac.d: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/libvit_serve-8592a30ba2f870ac.rlib: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/libvit_serve-8592a30ba2f870ac.rmeta: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vit_serve-b6b0d84e9799865c.d: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_serve-b6b0d84e9799865c.rmeta: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/policy.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/vit_tensor-1a8081bdc69220c9.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/release/deps/libvit_tensor-1a8081bdc69220c9.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/attention.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/resize.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vit_tensor-69bd00141055cfbf.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libvit_tensor-69bd00141055cfbf.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libvit_tensor-69bd00141055cfbf.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/attention.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/resize.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/tensor.rs:

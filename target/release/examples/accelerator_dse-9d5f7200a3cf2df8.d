@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/accelerator_dse-9d5f7200a3cf2df8.d: crates/core/../../examples/accelerator_dse.rs
+
+/root/repo/target/release/examples/accelerator_dse-9d5f7200a3cf2df8: crates/core/../../examples/accelerator_dse.rs
+
+crates/core/../../examples/accelerator_dse.rs:

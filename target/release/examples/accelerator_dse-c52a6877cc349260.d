@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/accelerator_dse-c52a6877cc349260.d: crates/core/../../examples/accelerator_dse.rs Cargo.toml
+
+/root/repo/target/release/examples/libaccelerator_dse-c52a6877cc349260.rmeta: crates/core/../../examples/accelerator_dse.rs Cargo.toml
+
+crates/core/../../examples/accelerator_dse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/detection_pipeline-88139e26a285d0cd.d: crates/core/../../examples/detection_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libdetection_pipeline-88139e26a285d0cd.rmeta: crates/core/../../examples/detection_pipeline.rs Cargo.toml
+
+crates/core/../../examples/detection_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/detection_pipeline-b5244b24a1893400.d: crates/core/../../examples/detection_pipeline.rs
+
+/root/repo/target/release/examples/detection_pipeline-b5244b24a1893400: crates/core/../../examples/detection_pipeline.rs
+
+crates/core/../../examples/detection_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/prewarm_probe-9c7152ee129b4956.d: crates/bench/../../examples/prewarm_probe.rs
+
+/root/repo/target/release/examples/prewarm_probe-9c7152ee129b4956: crates/bench/../../examples/prewarm_probe.rs
+
+crates/bench/../../examples/prewarm_probe.rs:

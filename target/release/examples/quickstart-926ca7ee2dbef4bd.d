@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-926ca7ee2dbef4bd.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-926ca7ee2dbef4bd.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

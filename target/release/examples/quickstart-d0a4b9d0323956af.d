@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d0a4b9d0323956af.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d0a4b9d0323956af: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

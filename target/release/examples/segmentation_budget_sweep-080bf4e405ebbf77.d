@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/segmentation_budget_sweep-080bf4e405ebbf77.d: crates/core/../../examples/segmentation_budget_sweep.rs Cargo.toml
+
+/root/repo/target/release/examples/libsegmentation_budget_sweep-080bf4e405ebbf77.rmeta: crates/core/../../examples/segmentation_budget_sweep.rs Cargo.toml
+
+crates/core/../../examples/segmentation_budget_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

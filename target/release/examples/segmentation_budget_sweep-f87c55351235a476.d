@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/segmentation_budget_sweep-f87c55351235a476.d: crates/core/../../examples/segmentation_budget_sweep.rs
+
+/root/repo/target/release/examples/segmentation_budget_sweep-f87c55351235a476: crates/core/../../examples/segmentation_budget_sweep.rs
+
+crates/core/../../examples/segmentation_budget_sweep.rs:

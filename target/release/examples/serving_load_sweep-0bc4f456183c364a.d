@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving_load_sweep-0bc4f456183c364a.d: crates/bench/../../examples/serving_load_sweep.rs
+
+/root/repo/target/release/examples/serving_load_sweep-0bc4f456183c364a: crates/bench/../../examples/serving_load_sweep.rs
+
+crates/bench/../../examples/serving_load_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/serving_load_sweep-121e97e52d70fdd9.d: crates/bench/../../examples/serving_load_sweep.rs Cargo.toml
+
+/root/repo/target/release/examples/libserving_load_sweep-121e97e52d70fdd9.rmeta: crates/bench/../../examples/serving_load_sweep.rs Cargo.toml
+
+crates/bench/../../examples/serving_load_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -39,7 +39,9 @@ fn engine_follows_a_budget_trace() {
     let mut est = Vec::new();
     for (i, b) in trace.take(8).enumerate() {
         let scene = scenes.sample_sized(i as u64, 64, 64);
-        let out = engine.infer(&scene.image, b * full).expect("inference runs");
+        let out = engine
+            .infer(&scene.image, b * full)
+            .expect("inference runs");
         assert!(out.met_budget, "step {i} missed a feasible budget");
         assert!(out.resource_estimate <= b * full + 1e-12);
         est.push(out.norm_miou_estimate);

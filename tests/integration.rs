@@ -64,7 +64,11 @@ fn pareto_front_spans_a_useful_range() {
     assert!((fullest.norm_resource - 1.0).abs() < 1e-9);
     assert!((fullest.norm_miou - 1.0).abs() < 1e-9);
     // The front reaches at least 35% resource savings.
-    assert!(cheapest.norm_resource < 0.65, "cheapest {}", cheapest.norm_resource);
+    assert!(
+        cheapest.norm_resource < 0.65,
+        "cheapest {}",
+        cheapest.norm_resource
+    );
 }
 
 #[test]
@@ -72,7 +76,10 @@ fn swin_and_segformer_share_the_fuse_bottleneck_structure() {
     // The paper's central structural observation, across both families.
     let seg = build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b2())).unwrap();
     let swin = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
-    for (g, fuse) in [(&seg, "decoder.conv_fuse"), (&swin, "decoder.fpn_bottleneck")] {
+    for (g, fuse) in [
+        (&seg, "decoder.conv_fuse"),
+        (&swin, "decoder.fpn_bottleneck"),
+    ] {
         let node = g.find(fuse).unwrap();
         let share = g.node(node).flops(g) as f64 / g.total_flops() as f64;
         assert!(share > 0.5, "{fuse} share {share}");
@@ -85,8 +92,12 @@ fn executable_graphs_are_deterministic_across_executors() {
     let cfg = SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(64, 64);
     let g = build_segformer(&cfg).unwrap();
     let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 9);
-    let a = Executor::new(5).run(&g, std::slice::from_ref(&img)).unwrap();
-    let b = Executor::new(5).run(&g, std::slice::from_ref(&img)).unwrap();
+    let a = Executor::new(5)
+        .run(&g, std::slice::from_ref(&img))
+        .unwrap();
+    let b = Executor::new(5)
+        .run(&g, std::slice::from_ref(&img))
+        .unwrap();
     assert_eq!(a, b);
     // Different weight seeds give different outputs.
     let c = Executor::new(6).run(&g, &[img]).unwrap();
@@ -110,14 +121,11 @@ fn one_accelerator_serves_all_three_model_families() {
     // accelerator* executes SegFormer, Swin and OFA ResNet-50 (§VI-C).
     let opts = SimOptions::default();
     let star = AccelConfig::accelerator_star();
-    let seg = build_segformer(
-        &SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128),
-    )
-    .unwrap();
-    let swin = build_swin_upernet(
-        &SwinConfig::ade20k(SwinVariant::tiny()).with_image(128, 128),
-    )
-    .unwrap();
+    let seg =
+        build_segformer(&SegFormerConfig::ade20k(SegFormerVariant::b0()).with_image(128, 128))
+            .unwrap();
+    let swin =
+        build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny()).with_image(128, 128)).unwrap();
     let ofa = ofa_family()[3].build_backbone((128, 128), 1).unwrap().graph;
     for g in [&seg, &swin, &ofa] {
         let r = simulate(g, &star, &opts);

@@ -23,8 +23,14 @@ fn claim_convolutions_dominate_segmentation_flops() {
     let swin = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
     let seg_share = seg.flops_by_class(OpClass::Conv) as f64 / seg.total_flops() as f64;
     let swin_share = swin.flops_by_class(OpClass::Conv) as f64 / swin.total_flops() as f64;
-    assert!((seg_share - 0.68).abs() < 0.05, "SegFormer conv share {seg_share:.2}");
-    assert!((swin_share - 0.89).abs() < 0.05, "Swin conv share {swin_share:.2}");
+    assert!(
+        (seg_share - 0.68).abs() < 0.05,
+        "SegFormer conv share {seg_share:.2}"
+    );
+    assert!(
+        (swin_share - 0.89).abs() < 0.05,
+        "Swin conv share {swin_share:.2}"
+    );
 }
 
 #[test]
@@ -73,8 +79,14 @@ fn claim_ade_17pct_time_28pct_energy_at_small_drop() {
             energy_at_best = 1.0 - gpu.total_energy(&g) / gpu.total_energy(&full);
         }
     }
-    assert!(best_time_saving >= 0.15, "time saving {best_time_saving:.2}");
-    assert!(energy_at_best > best_time_saving, "energy {energy_at_best:.2}");
+    assert!(
+        best_time_saving >= 0.15,
+        "time saving {best_time_saving:.2}"
+    );
+    assert!(
+        energy_at_best > best_time_saving,
+        "energy {energy_at_best:.2}"
+    );
 }
 
 #[test]
@@ -103,7 +115,10 @@ fn claim_accelerator_speedup_over_gpu_is_an_order_of_magnitude() {
     let opts = SimOptions::default();
     for (g, min_speedup) in [
         (segformer_b2(), 12.0),
-        (build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap(), 12.0),
+        (
+            build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap(),
+            12.0,
+        ),
     ] {
         let r = simulate(&g, &AccelConfig::accelerator_star(), &opts);
         let speedup = gpu.total_time(&g) / r.total_time_s();
@@ -120,15 +135,18 @@ fn claim_segformer_cycles_within_25pct_of_published() {
     let a = simulate(&g, &AccelConfig::accelerator_a(), &opts).total_cycles() as f64;
     assert!((a - 4_415_208.0).abs() / 4_415_208.0 < 0.25, "A: {a}");
     let star = simulate(&g, &AccelConfig::accelerator_star(), &opts).total_cycles() as f64;
-    assert!((star - 4_540_195.0).abs() / 4_540_195.0 < 0.25, "star: {star}");
+    assert!(
+        (star - 4_540_195.0).abs() / 4_540_195.0 < 0.25,
+        "star: {star}"
+    );
 }
 
 #[test]
 fn claim_swin_cycles_within_10pct_of_published() {
     // 15,482,594 cycles for Swin-Tiny on accelerator*.
     let g = build_swin_upernet(&SwinConfig::ade20k(SwinVariant::tiny())).unwrap();
-    let c = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default())
-        .total_cycles() as f64;
+    let c = simulate(&g, &AccelConfig::accelerator_star(), &SimOptions::default()).total_cycles()
+        as f64;
     assert!((c - 15_482_594.0).abs() / 15_482_594.0 < 0.10, "got {c}");
 }
 
@@ -230,7 +248,10 @@ fn claim_batching_pushes_swin_curve_left() {
     let time_at = |ch: usize, batch: usize| -> f64 {
         let cfg = SwinConfig::ade20k(v)
             .with_batch(batch)
-            .with_dynamic(SwinDynamic { depths: v.depths, bottleneck_in_channels: ch });
+            .with_dynamic(SwinDynamic {
+                depths: v.depths,
+                bottleneck_in_channels: ch,
+            });
         gpu.total_time(&build_swin_upernet(&cfg).unwrap())
     };
     let saving_b1 = 1.0 - time_at(1024, 1) / time_at(2048, 1);

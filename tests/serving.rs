@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: the threaded serving stack end to end —
+//! vit-serve's scheduler and worker pool executing real vit-drt inference
+//! through one shared `EngineCore`.
+//!
+//! Deadline arithmetic uses a large synthetic seconds-per-unit calibration
+//! so the slack each request carries (minutes of wall time) dwarfs real
+//! execution and queueing time — the scheduler's *decisions* are then
+//! deterministic even when the test host is fully loaded, while the
+//! workers still execute real inference.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vit_drt::{DrtEngine, EngineCore};
+use vit_models::SegFormerVariant;
+use vit_resilience::{ResourceKind, Workload};
+use vit_serve::{
+    Calibration, InferenceRequest, SchedulePolicy, Server, ServerConfig, ServerMetrics, SubmitError,
+};
+use vit_tensor::Tensor;
+
+/// Wall seconds per LUT unit: big enough that queue wait and execution
+/// (seconds) never erode a deadline by a meaningful number of units.
+const SPU: f64 = 1e7;
+
+fn shared_core() -> Arc<EngineCore> {
+    let engine = DrtEngine::segformer(
+        SegFormerVariant::b0(),
+        Workload::SegFormerAde,
+        (64, 64),
+        ResourceKind::GpuTime,
+    )
+    .expect("engine builds");
+    engine.core().clone()
+}
+
+fn image() -> Tensor {
+    Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 11)
+}
+
+/// A request whose remaining slack is `units` LUT resource units.
+fn request(units: f64) -> InferenceRequest {
+    InferenceRequest {
+        image: image(),
+        deadline: Instant::now() + Duration::from_secs_f64(units * SPU),
+        resource_kind: ResourceKind::GpuTime,
+    }
+}
+
+fn server(core: &Arc<EngineCore>, workers: usize, queue_depth: usize) -> Server {
+    Server::start(
+        Arc::clone(core),
+        Calibration::from_secs_per_unit(SPU),
+        ServerConfig {
+            workers,
+            queue_depth,
+            resource_kind: ResourceKind::GpuTime,
+            policy: SchedulePolicy::DrtDynamic,
+        },
+    )
+}
+
+/// Mean LUT resource of the configurations a run actually selected,
+/// weighted by how often each was used.
+fn mean_selected_resource(core: &EngineCore, metrics: &ServerMetrics) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (config, count) in &metrics.config_histogram {
+        let entry = core
+            .lut()
+            .entries()
+            .iter()
+            .find(|e| e.config == *config)
+            .expect("every selected config comes from the LUT");
+        total += entry.resource * *count as f64;
+        n += count;
+    }
+    assert!(n > 0, "run completed no requests");
+    total / n as f64
+}
+
+/// Four workers over one shared core, 120 requests with mixed deadlines —
+/// impossible (below the cheapest path), tight, and loose — submitted
+/// open-loop. Every submission must end up counted exactly once
+/// (completed, or shed with a reason); nothing may vanish.
+#[test]
+fn worker_pool_accounts_for_every_submission() {
+    let core = shared_core();
+    let min = core.min_resource();
+    let max = core.max_resource();
+    let srv = server(&core, 4, 64);
+
+    let total = 120;
+    let mut impossible = 0;
+    for i in 0..total {
+        let units = match i % 2 {
+            0 => {
+                impossible += 1;
+                min * 0.2 // cannot cover even the cheapest path
+            }
+            _ => {
+                if i % 4 == 1 {
+                    min * 1.5 // tight: a cheap path fits, the full does not
+                } else {
+                    max * 20.0 // loose
+                }
+            }
+        };
+        let admitted = srv.submit(request(units)).expect("resource kind matches");
+        assert_eq!(
+            admitted,
+            i % 2 != 0,
+            "admission must be exactly the slack-vs-cheapest threshold"
+        );
+    }
+    let m = srv.shutdown();
+    assert_eq!(m.submitted, total);
+    assert!(
+        m.accounts_for_all_submissions(),
+        "completed {} + shed {} != submitted {}",
+        m.completed,
+        m.shed(),
+        m.submitted
+    );
+    assert_eq!(m.shed_no_slack, impossible);
+    assert_eq!(m.completed, total - impossible, "admitted requests all run");
+    assert_eq!(m.deadline_misses, 0, "minutes of slack are never missed");
+    assert!(core.cached_graphs() >= 2, "tight and loose paths differ");
+}
+
+/// Tighter deadlines must push the scheduler toward cheaper LUT
+/// configurations: a server fed tight-slack requests selects a lower mean
+/// resource than one fed loose-slack requests, which runs the full model.
+#[test]
+fn tighter_deadlines_select_cheaper_configs() {
+    let core = shared_core();
+    let min = core.min_resource();
+    let max = core.max_resource();
+    assert!(
+        min * 1.5 < max,
+        "LUT must span enough for a tight budget to exclude the full model"
+    );
+
+    let run = |units: f64| {
+        let srv = server(&core, 4, 64);
+        for _ in 0..12 {
+            srv.submit(request(units)).expect("resource kind matches");
+        }
+        srv.shutdown()
+    };
+
+    let tight = run(min * 1.5);
+    let loose = run(max * 25.0);
+    assert_eq!(tight.completed, 12);
+    assert_eq!(loose.completed, 12);
+    let tight_mean = mean_selected_resource(&core, &tight);
+    let loose_mean = mean_selected_resource(&core, &loose);
+    assert!(
+        tight_mean < loose_mean,
+        "tight deadlines picked mean resource {tight_mean}, loose picked {loose_mean}"
+    );
+    // With 25x-full slack the scheduler always runs the full model.
+    assert!((loose_mean - max).abs() < 1e-12);
+    // A tight budget can never select a path costing more than the slack.
+    assert!(tight_mean <= min * 1.5);
+}
+
+/// The wall-clock calibration path: measuring on this machine produces a
+/// usable positive rate and round-trips seconds ↔ units.
+#[test]
+fn calibration_measures_a_positive_rate() {
+    let core = shared_core();
+    let cal = Calibration::measure(&core).expect("calibration inference runs");
+    assert!(cal.secs_per_unit > 0.0 && cal.secs_per_unit.is_finite());
+    let secs = cal.secs(core.max_resource());
+    assert!((cal.units(secs) - core.max_resource()).abs() < 1e-9);
+}
+
+/// Requests in the wrong resource dimension are rejected, not shed.
+#[test]
+fn wrong_resource_kind_is_an_error_not_a_shed() {
+    let core = shared_core();
+    let srv = Server::start(
+        Arc::clone(&core),
+        Calibration::from_secs_per_unit(1.0),
+        ServerConfig::default(),
+    );
+    let err = srv
+        .submit(InferenceRequest {
+            image: image(),
+            deadline: Instant::now() + Duration::from_secs(5),
+            resource_kind: ResourceKind::GpuEnergy,
+        })
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SubmitError::WrongResourceKind {
+            expected: ResourceKind::GpuTime,
+            got: ResourceKind::GpuEnergy,
+        }
+    );
+    let m = srv.shutdown();
+    assert_eq!(m.submitted, 0, "a rejected request is not an outcome");
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names the workspace imports:
+//! the derive macros (inert, from the vendored `serde_derive`) and marker
+//! traits with blanket implementations so `T: Serialize` bounds — should any
+//! appear — are always satisfiable. No actual serialization framework lives
+//! here; the one on-disk format in the workspace (the Pareto LUT) is
+//! hand-rolled JSON in `vit-drt`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}

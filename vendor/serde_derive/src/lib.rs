@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates many plain-data types with
+//! `#[derive(Serialize, Deserialize)]`, but the only code that actually
+//! serialized anything (the LUT) now uses a hand-rolled JSON module in
+//! `vit-drt`. These derives therefore expand to nothing: they keep the
+//! annotations compiling without pulling serde's proc-macro stack into an
+//! offline build.
+
+use proc_macro::TokenStream;
+
+/// Inert `Serialize` derive: accepts the input (including `#[serde(...)]`
+/// helper attributes) and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `Deserialize` derive: accepts the input (including `#[serde(...)]`
+/// helper attributes) and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
