@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_engine-d4dc36c621cc76a2.d: crates/core/../../tests/end_to_end_engine.rs
+
+/root/repo/target/debug/deps/end_to_end_engine-d4dc36c621cc76a2: crates/core/../../tests/end_to_end_engine.rs
+
+crates/core/../../tests/end_to_end_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-265479d06309fb3b.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-265479d06309fb3b: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

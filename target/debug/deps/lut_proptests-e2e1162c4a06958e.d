@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_proptests-e2e1162c4a06958e.d: crates/core/tests/lut_proptests.rs
+
+/root/repo/target/debug/deps/lut_proptests-e2e1162c4a06958e: crates/core/tests/lut_proptests.rs
+
+crates/core/tests/lut_proptests.rs:

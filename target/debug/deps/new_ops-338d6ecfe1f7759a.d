@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/new_ops-338d6ecfe1f7759a.d: crates/graph/tests/new_ops.rs
+
+/root/repo/target/debug/deps/new_ops-338d6ecfe1f7759a: crates/graph/tests/new_ops.rs
+
+crates/graph/tests/new_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-db6a67dbd89a9f45.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-db6a67dbd89a9f45: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

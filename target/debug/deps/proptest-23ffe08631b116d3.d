@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-23ffe08631b116d3.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-23ffe08631b116d3: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

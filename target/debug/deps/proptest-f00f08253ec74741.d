@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f00f08253ec74741.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f00f08253ec74741.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f00f08253ec74741.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

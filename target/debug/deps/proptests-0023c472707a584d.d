@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0023c472707a584d.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0023c472707a584d: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-347e57d6c2553f18.d: crates/serve/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-347e57d6c2553f18: crates/serve/tests/proptests.rs
+
+crates/serve/tests/proptests.rs:

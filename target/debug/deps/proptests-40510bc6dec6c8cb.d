@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-40510bc6dec6c8cb.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-40510bc6dec6c8cb: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6fee1de92c728603.d: crates/resilience/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6fee1de92c728603: crates/resilience/tests/proptests.rs
+
+crates/resilience/tests/proptests.rs:

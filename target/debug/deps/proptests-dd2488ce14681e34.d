@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dd2488ce14681e34.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dd2488ce14681e34: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

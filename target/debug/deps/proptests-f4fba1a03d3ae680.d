@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f4fba1a03d3ae680.d: crates/models/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f4fba1a03d3ae680: crates/models/tests/proptests.rs
+
+crates/models/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-73bdf73f02bf0481.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-73bdf73f02bf0481: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

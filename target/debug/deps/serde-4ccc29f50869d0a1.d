@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4ccc29f50869d0a1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-4ccc29f50869d0a1: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

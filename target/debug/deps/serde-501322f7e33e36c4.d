@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-501322f7e33e36c4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-501322f7e33e36c4.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-501322f7e33e36c4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0a1b2741db556bfe.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-0a1b2741db556bfe: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

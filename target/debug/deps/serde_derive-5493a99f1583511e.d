@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5493a99f1583511e.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-5493a99f1583511e.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving-b2e44ff08216f963.d: crates/serve/../../tests/serving.rs
+
+/root/repo/target/debug/deps/serving-b2e44ff08216f963: crates/serve/../../tests/serving.rs
+
+crates/serve/../../tests/serving.rs:

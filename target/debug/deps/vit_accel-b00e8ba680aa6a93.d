@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vit_accel-b00e8ba680aa6a93.d: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libvit_accel-b00e8ba680aa6a93.rlib: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libvit_accel-b00e8ba680aa6a93.rmeta: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/config.rs:
+crates/accel/src/dse.rs:
+crates/accel/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vit_accel-b8ac4751f4219e35.d: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/vit_accel-b8ac4751f4219e35: crates/accel/src/lib.rs crates/accel/src/config.rs crates/accel/src/dse.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/config.rs:
+crates/accel/src/dse.rs:
+crates/accel/src/sim.rs:

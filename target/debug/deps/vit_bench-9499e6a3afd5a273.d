@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vit_bench-9499e6a3afd5a273.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/libvit_bench-9499e6a3afd5a273.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/libvit_bench-9499e6a3afd5a273.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/accelerator.rs:
+crates/bench/src/experiments/characterization.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/headline.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/serve.rs:
+crates/bench/src/loadgen.rs:

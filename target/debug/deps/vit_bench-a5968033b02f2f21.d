@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vit_bench-a5968033b02f2f21.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/vit_bench-a5968033b02f2f21: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/accelerator.rs crates/bench/src/experiments/characterization.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/headline.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/serve.rs crates/bench/src/loadgen.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/accelerator.rs:
+crates/bench/src/experiments/characterization.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/headline.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/serve.rs:
+crates/bench/src/loadgen.rs:

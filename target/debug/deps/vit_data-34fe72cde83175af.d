@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vit_data-34fe72cde83175af.d: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/vit_data-34fe72cde83175af: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/metrics.rs:
+crates/data/src/scene.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vit_data-918e4db72e27164e.d: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/libvit_data-918e4db72e27164e.rlib: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/libvit_data-918e4db72e27164e.rmeta: crates/data/src/lib.rs crates/data/src/metrics.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/metrics.rs:
+crates/data/src/scene.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vit_drt-38365e625605c719.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+/root/repo/target/debug/deps/vit_drt-38365e625605c719: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/budget.rs crates/core/src/engine.rs crates/core/src/json.rs crates/core/src/lut.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/budget.rs:
+crates/core/src/engine.rs:
+crates/core/src/json.rs:
+crates/core/src/lut.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vit_graph-513be47a9f8a1b1b.d: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+/root/repo/target/debug/deps/libvit_graph-513be47a9f8a1b1b.rlib: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+/root/repo/target/debug/deps/libvit_graph-513be47a9f8a1b1b.rmeta: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vit_graph-7f62bf6ace9fd2c3.d: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+/root/repo/target/debug/deps/vit_graph-7f62bf6ace9fd2c3: crates/graph/src/lib.rs crates/graph/src/exec.rs crates/graph/src/graph.rs crates/graph/src/op.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/exec.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vit_models-2e69aa6215fce22b.d: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/vit_models-2e69aa6215fce22b: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/detr.rs:
+crates/models/src/error.rs:
+crates/models/src/resnet.rs:
+crates/models/src/segformer.rs:
+crates/models/src/swin.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vit_models-803400758b9f01c9.d: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/libvit_models-803400758b9f01c9.rlib: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/libvit_models-803400758b9f01c9.rmeta: crates/models/src/lib.rs crates/models/src/detr.rs crates/models/src/error.rs crates/models/src/resnet.rs crates/models/src/segformer.rs crates/models/src/swin.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/detr.rs:
+crates/models/src/error.rs:
+crates/models/src/resnet.rs:
+crates/models/src/segformer.rs:
+crates/models/src/swin.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vit_profiler-38df02611c9378e5.d: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+/root/repo/target/debug/deps/libvit_profiler-38df02611c9378e5.rlib: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+/root/repo/target/debug/deps/libvit_profiler-38df02611c9378e5.rmeta: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/flops.rs:
+crates/profiler/src/gpu.rs:

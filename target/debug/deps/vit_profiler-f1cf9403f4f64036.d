@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vit_profiler-f1cf9403f4f64036.d: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+/root/repo/target/debug/deps/vit_profiler-f1cf9403f4f64036: crates/profiler/src/lib.rs crates/profiler/src/flops.rs crates/profiler/src/gpu.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/flops.rs:
+crates/profiler/src/gpu.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vit_resilience-33638f9672cfcec3.d: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+/root/repo/target/debug/deps/vit_resilience-33638f9672cfcec3: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/accel_sweep.rs:
+crates/resilience/src/accuracy.rs:
+crates/resilience/src/config.rs:
+crates/resilience/src/fidelity.rs:
+crates/resilience/src/pareto.rs:
+crates/resilience/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vit_resilience-4eec25242b9f7eba.d: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+/root/repo/target/debug/deps/libvit_resilience-4eec25242b9f7eba.rlib: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+/root/repo/target/debug/deps/libvit_resilience-4eec25242b9f7eba.rmeta: crates/resilience/src/lib.rs crates/resilience/src/accel_sweep.rs crates/resilience/src/accuracy.rs crates/resilience/src/config.rs crates/resilience/src/fidelity.rs crates/resilience/src/pareto.rs crates/resilience/src/sweep.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/accel_sweep.rs:
+crates/resilience/src/accuracy.rs:
+crates/resilience/src/config.rs:
+crates/resilience/src/fidelity.rs:
+crates/resilience/src/pareto.rs:
+crates/resilience/src/sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vit_serve-d422996ccc09b063.d: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+/root/repo/target/debug/deps/vit_serve-d422996ccc09b063: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/policy.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:

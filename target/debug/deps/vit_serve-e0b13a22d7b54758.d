@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vit_serve-e0b13a22d7b54758.d: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+/root/repo/target/debug/deps/libvit_serve-e0b13a22d7b54758.rlib: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+/root/repo/target/debug/deps/libvit_serve-e0b13a22d7b54758.rmeta: crates/serve/src/lib.rs crates/serve/src/metrics.rs crates/serve/src/policy.rs crates/serve/src/queue.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/sim.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/policy.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/sim.rs:

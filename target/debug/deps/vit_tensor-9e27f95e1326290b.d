@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vit_tensor-9e27f95e1326290b.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libvit_tensor-9e27f95e1326290b.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libvit_tensor-9e27f95e1326290b.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/resize.rs crates/tensor/src/quant.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/attention.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/resize.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_dse-ee47524813a30797.d: crates/core/../../examples/accelerator_dse.rs
+
+/root/repo/target/debug/examples/accelerator_dse-ee47524813a30797: crates/core/../../examples/accelerator_dse.rs
+
+crates/core/../../examples/accelerator_dse.rs:

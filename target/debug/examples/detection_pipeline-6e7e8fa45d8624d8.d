@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_pipeline-6e7e8fa45d8624d8.d: crates/core/../../examples/detection_pipeline.rs
+
+/root/repo/target/debug/examples/detection_pipeline-6e7e8fa45d8624d8: crates/core/../../examples/detection_pipeline.rs
+
+crates/core/../../examples/detection_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9461e3ea52c226cf.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9461e3ea52c226cf: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/segmentation_budget_sweep-f5b3221e32ec757d.d: crates/core/../../examples/segmentation_budget_sweep.rs
+
+/root/repo/target/debug/examples/segmentation_budget_sweep-f5b3221e32ec757d: crates/core/../../examples/segmentation_budget_sweep.rs
+
+crates/core/../../examples/segmentation_budget_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving_load_sweep-efc88e7c024889e2.d: crates/bench/../../examples/serving_load_sweep.rs
+
+/root/repo/target/debug/examples/serving_load_sweep-efc88e7c024889e2: crates/bench/../../examples/serving_load_sweep.rs
+
+crates/bench/../../examples/serving_load_sweep.rs:
