@@ -34,4 +34,4 @@ pub mod sim;
 
 pub use config::{AccelConfig, TechEnergy, TOTAL_PARALLEL_MACS};
 pub use dse::{design_space, DesignPoint};
-pub use sim::{simulate, AccelReport, LayerStats, SimOptions};
+pub use sim::{node_contractions, simulate, AccelReport, Contraction, LayerStats, SimOptions};

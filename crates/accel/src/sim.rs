@@ -157,6 +157,37 @@ fn numel(shape: &[usize]) -> u64 {
     shape.iter().product::<usize>() as u64
 }
 
+/// The shape of one tensor contraction a node maps onto the MAC array —
+/// the public view of the simulator's internal mapping, exposed so static
+/// analysis (the `vit-verify` accelerator pass) checks exactly the tilings
+/// the simulator would execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contraction {
+    /// Output rows (P*Q spatial positions, or token count).
+    pub pq: u64,
+    /// Kernel footprint R*S.
+    pub rs: u64,
+    /// Input channels per group (the `c0` vector-lane dimension).
+    pub c: u64,
+    /// Output channels (the `k0` vector-MAC dimension).
+    pub k: u64,
+}
+
+/// The contractions `node` maps onto the MAC array, in execution order.
+/// Non-MAC nodes (normalization, pooling, data movement) return an empty
+/// list: they run on the post-processing units instead.
+pub fn node_contractions(graph: &Graph, node: &Node) -> Vec<Contraction> {
+    mapped_work(graph, node)
+        .into_iter()
+        .map(|w| Contraction {
+            pq: w.pq,
+            rs: w.rs,
+            c: w.c,
+            k: w.k,
+        })
+        .collect()
+}
+
 /// Extracts the contractions a node maps onto the MAC array; non-MAC nodes
 /// return an empty list and run on the PPU instead.
 fn mapped_work(graph: &Graph, node: &Node) -> Vec<MappedWork> {

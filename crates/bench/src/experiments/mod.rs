@@ -7,3 +7,4 @@ pub mod engine;
 pub mod headline;
 pub mod resilience;
 pub mod serve;
+pub mod verify;

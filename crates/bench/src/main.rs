@@ -36,6 +36,11 @@ accelerator (§V/§VI):
   fig15       Swin-Tiny on accelerator*
   table4      OFA accelerators (+fig16 accuracy vs cycles)
 
+static analysis:
+  verify      run all vit-verify passes over every built-in model + LUT
+              (flags: --json machine-readable output, --deny-warnings
+               exit non-zero on warnings too)
+
 summary:
   headline    every headline claim, paper vs ours
   ablations   design-choice ablations
@@ -71,6 +76,20 @@ fn main() {
         "fig14" => accelerator::fig14(),
         "fig15" => accelerator::fig15(),
         "table4" | "fig16" => accelerator::table4_fig16(),
+        "verify" => {
+            let mut args = verify::VerifyArgs::default();
+            for flag in std::env::args().skip(2) {
+                match flag.as_str() {
+                    "--json" => args.json = true,
+                    "--deny-warnings" => args.deny_warnings = true,
+                    other => {
+                        eprintln!("unknown verify flag `{other}`\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            std::process::exit(verify::run(args));
+        }
         "headline" => headline::headline(),
         "ablations" => ablations::all(),
         "all" => {

@@ -150,6 +150,14 @@ impl EngineCore {
         if lut.is_empty() {
             return Err(EngineError::EmptyLut);
         }
+        // Debug builds re-validate the table the engine will serve from;
+        // `Lut::from_points`/`from_json` establish these invariants, but a
+        // table assembled through `Lut::from_entries_unchecked` may not.
+        debug_assert!(
+            lut.validate().is_ok(),
+            "engine LUT violates its invariants: {}",
+            lut.validate().unwrap_err()
+        );
         Ok(EngineCore {
             family,
             num_classes,
@@ -240,6 +248,16 @@ impl EngineCore {
                 })?
             }
         });
+        // In debug builds, statically re-verify every dynamically selected
+        // execution path before it can serve an inference: a builder
+        // regression that emits inconsistent shapes must fail here, not as
+        // a garbage prediction at runtime (`repro verify` runs the same
+        // check — plus the full diagnostic passes — over all models).
+        debug_assert!(
+            g.check_invariants().is_ok(),
+            "graph for {config:?} violates structural invariants: {}",
+            g.check_invariants().unwrap_err()
+        );
         let mut cache = self.graph_cache.write();
         Ok(cache.entry(config).or_insert(g).clone())
     }

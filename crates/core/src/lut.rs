@@ -218,6 +218,19 @@ impl Lut {
         }
     }
 
+    /// Assembles a LUT from raw rows **without validating** the invariants
+    /// [`Lut::lookup`] relies on — the escape hatch for verification
+    /// tooling that must represent broken tables (both
+    /// [`Lut::from_points`] and [`Lut::from_json`] refuse to). Run
+    /// [`Lut::validate`] or the `vit-verify` LUT pass before serving from
+    /// the result.
+    pub fn from_entries_unchecked(description: impl Into<String>, entries: Vec<LutEntry>) -> Self {
+        Lut {
+            description: description.into(),
+            entries,
+        }
+    }
+
     /// The LUT rows, cheapest first.
     pub fn entries(&self) -> &[LutEntry] {
         &self.entries

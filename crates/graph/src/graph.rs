@@ -14,6 +14,13 @@ impl NodeId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// A `NodeId` for a raw index, for tooling that reassembles graphs from
+    /// untrusted sources (see [`Graph::from_raw_parts`]). Ids built this way
+    /// carry no validity guarantee until the graph is verified.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
 }
 
 /// One layer in the graph.
@@ -164,6 +171,98 @@ impl Graph {
             shape,
         });
         Ok(id)
+    }
+
+    /// Reassembles a graph from raw parts **without any validation** —
+    /// the escape hatch for deserializers and verification tooling that
+    /// must be able to represent malformed graphs (the normal builder,
+    /// [`Graph::add`], makes them unconstructible). Run
+    /// [`Graph::check_invariants`] (or the full `vit-verify` pass) before
+    /// trusting the result.
+    pub fn from_raw_parts(
+        model: impl Into<String>,
+        nodes: Vec<Node>,
+        inputs: Vec<NodeId>,
+        output: Option<NodeId>,
+    ) -> Self {
+        Graph {
+            model: model.into(),
+            nodes,
+            inputs,
+            output,
+        }
+    }
+
+    /// Re-checks the structural invariants [`Graph::add`] establishes:
+    /// unique node names, topologically ordered input edges, in-range
+    /// input/output ids, operator arity, and stored shapes equal to
+    /// re-inferred shapes. Graphs built through the public builder always
+    /// pass; graphs from [`Graph::from_raw_parts`] may not.
+    ///
+    /// This is the cheap structural gate the DRT engine runs in debug
+    /// builds; the `vit-verify` crate layers full multi-code diagnostics
+    /// on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`GraphError`].
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !seen.insert(n.name.as_str()) {
+                return Err(GraphError {
+                    node: n.name.clone(),
+                    msg: "duplicate node name".to_string(),
+                });
+            }
+            for id in &n.inputs {
+                if id.0 >= i {
+                    return Err(GraphError {
+                        node: n.name.clone(),
+                        msg: format!(
+                            "input edge to node {} breaks topological order (node index {i})",
+                            id.0
+                        ),
+                    });
+                }
+            }
+            let in_shapes: Vec<&[usize]> = n
+                .inputs
+                .iter()
+                .map(|id| self.nodes[id.0].shape.as_slice())
+                .collect();
+            let inferred = n.op.infer_shape(&n.name, &in_shapes)?;
+            if inferred != n.shape {
+                return Err(GraphError {
+                    node: n.name.clone(),
+                    msg: format!(
+                        "stored shape {:?} disagrees with re-inferred shape {inferred:?}",
+                        n.shape
+                    ),
+                });
+            }
+        }
+        for id in &self.inputs {
+            let node = self.nodes.get(id.0).ok_or_else(|| GraphError {
+                node: format!("input #{}", id.0),
+                msg: "graph input id out of range".to_string(),
+            })?;
+            if !matches!(node.op, Op::Input { .. }) {
+                return Err(GraphError {
+                    node: node.name.clone(),
+                    msg: "graph input list points at a non-input node".to_string(),
+                });
+            }
+        }
+        if let Some(out) = self.output {
+            if out.0 >= self.nodes.len() {
+                return Err(GraphError {
+                    node: format!("output #{}", out.0),
+                    msg: "graph output id out of range".to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Marks the graph output.

@@ -1,0 +1,75 @@
+//! Pass 4 — accelerator mapping checks.
+//!
+//! Every MAC-bearing node must map onto a legal tiling of the PE array's
+//! `k0 x c0` vector datapath. The pass asks the simulator itself for each
+//! node's contractions ([`vit_accel::node_contractions`]), so what it
+//! checks is exactly what [`vit_accel::simulate`] would schedule.
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::VerifyOptions;
+use vit_accel::{node_contractions, AccelConfig};
+use vit_graph::Graph;
+
+/// Runs the accelerator mapping pass for one hardware configuration.
+pub fn verify_accel_mapping(
+    graph: &Graph,
+    accel: &AccelConfig,
+    opts: &VerifyOptions,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let (k0, c0) = (accel.k0 as u64, accel.c0 as u64);
+    for (id, node) in graph.iter() {
+        for (ci, w) in node_contractions(graph, node).iter().enumerate() {
+            let span = || Span::Node {
+                index: id.index(),
+                name: node.name.clone(),
+            };
+            let zero: Vec<&str> = [("pq", w.pq), ("rs", w.rs), ("c", w.c), ("k", w.k)]
+                .iter()
+                .filter(|(_, v)| *v == 0)
+                .map(|(n, _)| *n)
+                .collect();
+            if !zero.is_empty() {
+                diags.push(
+                    Diagnostic::new(
+                        Code::EmptyTiling,
+                        span(),
+                        format!(
+                            "contraction {ci} has zero dimension(s) {}: pq={} rs={} c={} k={}",
+                            zero.join(","),
+                            w.pq,
+                            w.rs,
+                            w.c,
+                            w.k
+                        ),
+                    )
+                    .with_help("a zero-size contraction cannot be scheduled on the MAC array"),
+                );
+                continue;
+            }
+            // Vector lanes are padded up to the next k0/c0 multiple; the
+            // padded fraction is pure waste on every cycle of this node.
+            let c_util = w.c as f64 / (w.c.div_ceil(c0) * c0) as f64;
+            let k_util = w.k as f64 / (w.k.div_ceil(k0) * k0) as f64;
+            let util = c_util * k_util;
+            if util < opts.min_mac_utilization {
+                diags.push(
+                    Diagnostic::new(
+                        Code::VectorUnderutilized,
+                        span(),
+                        format!(
+                            "contraction {ci} (c={}, k={}) uses {:.1}% of the {k0}x{c0} vector \
+                             datapath (floor {:.1}%)",
+                            w.c,
+                            w.k,
+                            util * 100.0,
+                            opts.min_mac_utilization * 100.0
+                        ),
+                    )
+                    .with_help("pad channels to the vector width or choose a narrower datapath"),
+                );
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,246 @@
+//! Pass 1 — graph well-formedness.
+//!
+//! Re-derives everything [`vit_graph::Graph::add`] establishes at build
+//! time and diffs it against what the graph actually stores, so graphs
+//! that arrive from deserialization, [`vit_graph::Graph::from_raw_parts`],
+//! or a regressed builder are caught before anything executes them.
+
+use crate::diag::{Code, Diagnostic, Span};
+use vit_graph::{Graph, LayerRole, Op, OpClass};
+
+fn node_span(graph: &Graph, index: usize) -> Span {
+    Span::Node {
+        index,
+        name: graph.nodes()[index].name.clone(),
+    }
+}
+
+/// Runs the graph well-formedness pass, returning every finding (not just
+/// the first, unlike [`vit_graph::Graph::check_invariants`]).
+pub fn verify_graph(graph: &Graph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_names(graph, &mut diags);
+    check_edges_and_shapes(graph, &mut diags);
+    check_outputs(graph, &mut diags);
+    check_liveness(graph, &mut diags);
+    check_roles(graph, &mut diags);
+    diags
+}
+
+/// `V004`: node names must be unique — the executor's slice-consistent
+/// synthetic weights key on names, so a duplicate silently aliases two
+/// layers' weights.
+fn check_names(graph: &Graph, diags: &mut Vec<Diagnostic>) {
+    let mut seen = std::collections::HashMap::new();
+    for (i, n) in graph.nodes().iter().enumerate() {
+        if let Some(first) = seen.insert(n.name.as_str(), i) {
+            diags.push(
+                Diagnostic::new(
+                    Code::DuplicateName,
+                    node_span(graph, i),
+                    format!("node name `{}` already used by node {first}", n.name),
+                )
+                .with_help("rename one of the nodes; weights are shared by name"),
+            );
+        }
+    }
+}
+
+/// `V002` on broken edges, then `V003`/`V001` by re-running shape
+/// inference over the stored input shapes and diffing against the stored
+/// output shape.
+fn check_edges_and_shapes(graph: &Graph, diags: &mut Vec<Diagnostic>) {
+    for (i, n) in graph.nodes().iter().enumerate() {
+        let mut edges_ok = true;
+        for id in &n.inputs {
+            if id.index() >= i {
+                edges_ok = false;
+                let what = if id.index() == i {
+                    "itself".to_string()
+                } else if id.index() >= graph.len() {
+                    format!("out-of-range node {}", id.index())
+                } else {
+                    format!("later node {}", id.index())
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::BadTopology,
+                        node_span(graph, i),
+                        format!("input edge points at {what}"),
+                    )
+                    .with_help("nodes may only consume previously-added nodes"),
+                );
+            }
+        }
+        if !edges_ok {
+            // Shapes cannot be re-derived over broken edges.
+            continue;
+        }
+        let in_shapes: Vec<&[usize]> = n
+            .inputs
+            .iter()
+            .map(|id| graph.node(*id).shape.as_slice())
+            .collect();
+        match n.op.infer_shape(&n.name, &in_shapes) {
+            Err(e) => diags.push(Diagnostic::new(
+                Code::InferFailure,
+                node_span(graph, i),
+                format!("shape inference fails for stored inputs: {}", e.msg),
+            )),
+            Ok(inferred) if inferred != n.shape => diags.push(
+                Diagnostic::new(
+                    Code::ShapeMismatch,
+                    node_span(graph, i),
+                    format!(
+                        "stored shape {:?} disagrees with re-inferred shape {inferred:?}",
+                        n.shape
+                    ),
+                )
+                .with_help("the stored shape was edited or the builder regressed"),
+            ),
+            Ok(_) => {}
+        }
+    }
+}
+
+/// `V002` for out-of-range input/output ids and non-input nodes in the
+/// input list; `V005` when no output is marked at all.
+fn check_outputs(graph: &Graph, diags: &mut Vec<Diagnostic>) {
+    for id in graph.input_ids() {
+        if id.index() >= graph.len() {
+            diags.push(Diagnostic::new(
+                Code::BadTopology,
+                Span::Global,
+                format!("graph input id {} is out of range", id.index()),
+            ));
+        } else if !matches!(graph.node(*id).op, Op::Input { .. }) {
+            diags.push(Diagnostic::new(
+                Code::BadTopology,
+                node_span(graph, id.index()),
+                "graph input list points at a non-input node",
+            ));
+        }
+    }
+    match graph.output() {
+        None => {
+            if !graph.is_empty() {
+                diags.push(
+                    Diagnostic::new(Code::MissingOutput, Span::Global, "no graph output marked")
+                        .with_help("call Graph::set_output on the prediction node"),
+                );
+            }
+        }
+        Some(out) if out.index() >= graph.len() => diags.push(Diagnostic::new(
+            Code::BadTopology,
+            Span::Global,
+            format!("graph output id {} is out of range", out.index()),
+        )),
+        Some(_) => {}
+    }
+}
+
+/// `V010`: every node must be backward-reachable from the graph output or
+/// from an auxiliary head output (a consumerless [`LayerRole::Head`] node
+/// — DETR's classification head is a deliberate second output). Inputs are
+/// exempt: an unconsumed input is surfaced through the nodes that fail to
+/// consume it.
+fn check_liveness(graph: &Graph, diags: &mut Vec<Diagnostic>) {
+    let Some(output) = graph.output() else {
+        return; // V005 already fired; reachability is meaningless.
+    };
+    if output.index() >= graph.len() {
+        return; // V002 already fired.
+    }
+    let counts = graph.consumer_counts();
+    let mut live = vec![false; graph.len()];
+    let mut stack: Vec<usize> = vec![output.index()];
+    for (i, n) in graph.iter() {
+        if counts[i.index()] == 0 && n.role == LayerRole::Head {
+            stack.push(i.index());
+        }
+    }
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        for id in &graph.nodes()[i].inputs {
+            if id.index() < i {
+                stack.push(id.index());
+            }
+        }
+    }
+    for (i, n) in graph.iter() {
+        if !live[i.index()] && !matches!(n.op, Op::Input { .. }) {
+            diags.push(
+                Diagnostic::new(
+                    Code::DeadNode,
+                    node_span(graph, i.index()),
+                    "unreachable from the graph output",
+                )
+                .with_help("remove the node or connect it; dead nodes distort cost totals"),
+            );
+        }
+    }
+}
+
+/// `V006`: the decoder-role layer groups the paper's FLOPs split relies on
+/// must stay consistent with their operator classes — a `FuseConv` /
+/// `PredConv` / `FpnConv` / `PpmBranch` group must contain at least one
+/// convolution, a `DecoderLinear` group at least one matmul or convolution
+/// (UperNet's lateral projections are 1x1 convolutions), and no decoder
+/// group may contain attention (the paper's decoders are attention-free).
+/// Weight-free groups are exempt: they are pure plumbing (resize / slice /
+/// add) that borrows its compute from another group, like Swin UperNet's
+/// level-3 FPN output reusing the PPM bottleneck.
+fn check_roles(graph: &Graph, diags: &mut Vec<Diagnostic>) {
+    use std::collections::BTreeMap;
+    // Group key: (discriminant string, stage/level). BTreeMap keeps
+    // diagnostics deterministic.
+    let mut groups: BTreeMap<(&'static str, usize), Vec<usize>> = BTreeMap::new();
+    for (i, n) in graph.iter() {
+        let key = match n.role {
+            LayerRole::FuseConv => ("FuseConv", 0),
+            LayerRole::PredConv => ("PredConv", 0),
+            LayerRole::FpnConv { level } => ("FpnConv", level),
+            LayerRole::PpmBranch { scale } => ("PpmBranch", scale),
+            LayerRole::DecoderLinear { stage } => ("DecoderLinear", stage),
+            _ => continue,
+        };
+        groups.entry(key).or_default().push(i.index());
+        if n.op.class() == OpClass::Attention {
+            diags.push(Diagnostic::new(
+                Code::RoleMismatch,
+                node_span(graph, i.index()),
+                format!("attention operator carries decoder role {:?}", n.role),
+            ));
+        }
+    }
+    for ((kind, idx), members) in groups {
+        if members.iter().all(|&m| {
+            let n = &graph.nodes()[m];
+            n.params(graph) == 0
+        }) {
+            continue; // Weight-free plumbing group (e.g. Swin FPN level 3).
+        }
+        let (wanted, ok): (&str, fn(OpClass) -> bool) = match kind {
+            "DecoderLinear" => ("matmul or convolution", |c| {
+                matches!(c, OpClass::Matmul | OpClass::Conv)
+            }),
+            "PpmBranch" | "FuseConv" | "PredConv" | "FpnConv" => {
+                ("convolution", |c| c == OpClass::Conv)
+            }
+            _ => unreachable!(),
+        };
+        let has = members.iter().any(|&m| ok(graph.nodes()[m].op.class()));
+        if !has {
+            diags.push(
+                Diagnostic::new(
+                    Code::RoleMismatch,
+                    node_span(graph, members[0]),
+                    format!("{kind} group {idx} contains no {wanted} operator"),
+                )
+                .with_help("the paper's per-role cost aggregation would misreport this group"),
+            );
+        }
+    }
+}

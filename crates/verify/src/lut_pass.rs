@@ -1,0 +1,287 @@
+//! Pass 3 — LUT soundness.
+//!
+//! The Pareto LUT is the contract between offline sweep and online
+//! serving: `lookup` assumes budget-sorted, strictly monotone, finite
+//! rows, and every row's config must still materialize into a well-formed
+//! graph. This pass re-checks all of it, reports *every* violation (not
+//! just the first, unlike [`Lut::validate`]), and additionally checks the
+//! serve policies the deployment is configured with.
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::graph_pass::verify_graph;
+use crate::VerifyOptions;
+use vit_drt::{EngineCore, EngineFamily, Lut, LutConfig};
+use vit_models::{build_segformer, build_swin_upernet, SegFormerConfig, SwinConfig};
+use vit_serve::{admissible, budget_for, SchedulePolicy};
+
+/// Everything the LUT pass needs to know about the deployment the table
+/// will serve: which model family materializes its configs, at what input
+/// geometry, and which serve policies / budget floor it must satisfy.
+#[derive(Debug, Clone)]
+pub struct LutContext {
+    /// Model family the LUT's configs belong to.
+    pub family: EngineFamily,
+    /// Segmentation classes of the deployment.
+    pub num_classes: usize,
+    /// Input image size the LUT was swept at.
+    pub image: (usize, usize),
+    /// The lowest per-request budget the deployment hands out, in LUT
+    /// resource units (e.g. the tightest deadline's slack). `None` skips
+    /// the admission-feasibility check.
+    pub budget_floor: Option<f64>,
+    /// The serve policies configured on top of this LUT.
+    pub policies: Vec<SchedulePolicy>,
+}
+
+impl LutContext {
+    /// A context with no policy/budget constraints — row and
+    /// materialization checks only.
+    pub fn bare(family: EngineFamily, num_classes: usize, image: (usize, usize)) -> Self {
+        LutContext {
+            family,
+            num_classes,
+            image,
+            budget_floor: None,
+            policies: Vec::new(),
+        }
+    }
+}
+
+/// Runs the LUT soundness pass.
+pub fn verify_lut(lut: &Lut, ctx: &LutContext, opts: &VerifyOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_rows(lut, opts, &mut diags);
+    check_materialization(lut, ctx, &mut diags);
+    check_policies(
+        lut,
+        ctx,
+        diags
+            .iter()
+            .all(|d| d.code.severity() != crate::Severity::Error),
+        &mut diags,
+    );
+    diags
+}
+
+/// `V023`, `V022`, `V021`, `V027`, `V024`: the row-level invariants
+/// `Lut::lookup` relies on, each reported per offending row.
+fn check_rows(lut: &Lut, opts: &VerifyOptions, diags: &mut Vec<Diagnostic>) {
+    if lut.is_empty() {
+        diags.push(
+            Diagnostic::new(Code::EmptyLut, Span::Global, "LUT has no execution paths")
+                .with_help("the sweep produced no buildable configurations"),
+        );
+        return;
+    }
+    for (i, e) in lut.entries().iter().enumerate() {
+        for (field, v) in [
+            ("resource", e.resource),
+            ("norm_resource", e.norm_resource),
+            ("norm_miou", e.norm_miou),
+        ] {
+            if !v.is_finite() {
+                diags.push(Diagnostic::new(
+                    Code::NonFinite,
+                    Span::Entry { index: i },
+                    format!("`{field}` is {v}"),
+                ));
+            } else if field != "resource" && (v <= 0.0 || v > 1.0 + 1e-9) {
+                diags.push(Diagnostic::new(
+                    Code::NormOutOfRange,
+                    Span::Entry { index: i },
+                    format!("`{field}` = {v} lies outside (0, 1]"),
+                ));
+            }
+        }
+        if e.resource.is_finite() && e.resource <= 0.0 {
+            diags.push(Diagnostic::new(
+                Code::NormOutOfRange,
+                Span::Entry { index: i },
+                format!("`resource` = {} is not positive", e.resource),
+            ));
+        }
+    }
+    for (i, w) in lut.entries().windows(2).enumerate() {
+        if !w[0].resource.is_finite() || !w[1].resource.is_finite() {
+            continue; // V022 already fired; ordering is meaningless.
+        }
+        if w[1].resource <= w[0].resource {
+            diags.push(
+                Diagnostic::new(
+                    Code::ParetoNonMonotone,
+                    Span::Entry { index: i + 1 },
+                    format!(
+                        "resource {} is not strictly above its predecessor's {}",
+                        w[1].resource, w[0].resource
+                    ),
+                )
+                .with_help("lookup's early-exit scan requires budget-sorted rows"),
+            );
+        } else if w[1].norm_miou <= w[0].norm_miou {
+            diags.push(
+                Diagnostic::new(
+                    Code::ParetoNonMonotone,
+                    Span::Entry { index: i + 1 },
+                    format!(
+                        "row is dominated: more expensive but norm_miou {} <= {}",
+                        w[1].norm_miou, w[0].norm_miou
+                    ),
+                )
+                .with_help("dominated rows should have been pruned by pareto_front"),
+            );
+        } else if w[1].resource / w[0].resource > opts.budget_gap_factor {
+            diags.push(
+                Diagnostic::new(
+                    Code::BudgetGap,
+                    Span::Entry { index: i + 1 },
+                    format!(
+                        "budget coverage gap: resource jumps {:.3} -> {:.3} (more than {}x)",
+                        w[0].resource, w[1].resource, opts.budget_gap_factor
+                    ),
+                )
+                .with_help(
+                    "budgets inside the gap run the cheaper row and waste accuracy headroom",
+                ),
+            );
+        }
+    }
+}
+
+/// `V025`: every config must materialize into a graph of the context's
+/// family that passes the graph well-formedness pass.
+fn check_materialization(lut: &Lut, ctx: &LutContext, diags: &mut Vec<Diagnostic>) {
+    for (i, e) in lut.entries().iter().enumerate() {
+        let built = match (ctx.family, e.config) {
+            (EngineFamily::SegFormer(variant), c) => match c.as_segformer() {
+                Some(dynamic) => build_segformer(&SegFormerConfig {
+                    variant,
+                    num_classes: ctx.num_classes,
+                    image: ctx.image,
+                    batch: 1,
+                    dynamic,
+                })
+                .map_err(|e| e.to_string()),
+                None => Err(family_mismatch(&e.config, "SegFormer")),
+            },
+            (EngineFamily::Swin(variant), c) => match c.as_swin() {
+                Some(dynamic) => build_swin_upernet(&SwinConfig {
+                    variant,
+                    num_classes: ctx.num_classes,
+                    image: ctx.image,
+                    batch: 1,
+                    dynamic,
+                })
+                .map_err(|e| e.to_string()),
+                None => Err(family_mismatch(&e.config, "Swin")),
+            },
+        };
+        match built {
+            Err(msg) => diags.push(
+                Diagnostic::new(
+                    Code::ConfigInvalid,
+                    Span::Entry { index: i },
+                    format!("config does not materialize: {msg}"),
+                )
+                .with_help("the engine would fail at serve time on first selection of this row"),
+            ),
+            Ok(graph) => {
+                let nested = verify_graph(&graph);
+                let errors = nested
+                    .iter()
+                    .filter(|d| d.severity == crate::Severity::Error)
+                    .count();
+                if errors > 0 {
+                    diags.push(Diagnostic::new(
+                        Code::ConfigInvalid,
+                        Span::Entry { index: i },
+                        format!(
+                            "materialized graph fails well-formedness with {errors} error(s), first: {}",
+                            nested[0].message
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn family_mismatch(config: &LutConfig, family: &str) -> String {
+    format!("{config:?} does not belong to the {family} engine family")
+}
+
+/// `V026`: the configured serve policies must be satisfiable. A static
+/// policy indexing past the table is silently clamped at serve time — a
+/// misconfiguration this pass surfaces instead — and a budget floor below
+/// the cheapest path means the tightest requests are always shed.
+fn check_policies(lut: &Lut, ctx: &LutContext, rows_sound: bool, diags: &mut Vec<Diagnostic>) {
+    if lut.is_empty() {
+        return;
+    }
+    let cheapest = lut.entries()[0].resource;
+    if let Some(floor) = ctx.budget_floor {
+        if !admissible(floor, cheapest) {
+            diags.push(
+                Diagnostic::new(
+                    Code::PolicyInfeasible,
+                    Span::Global,
+                    format!(
+                        "budget floor {floor} is below the cheapest execution path ({cheapest})"
+                    ),
+                )
+                .with_help("requests at the low end of the budget range can never be admitted"),
+            );
+        }
+    }
+    for p in &ctx.policies {
+        if let SchedulePolicy::Static { entry_index } = *p {
+            if entry_index != usize::MAX && entry_index >= lut.len() {
+                diags.push(
+                    Diagnostic::new(
+                        Code::PolicyInfeasible,
+                        Span::Policy {
+                            policy: format!("{p:?}"),
+                        },
+                        format!(
+                            "static entry index {entry_index} exceeds the {}-row table",
+                            lut.len()
+                        ),
+                    )
+                    .with_help("the server clamps it silently; point it at a real row"),
+                );
+            }
+        }
+    }
+    // With sound rows, cross-check the budget each policy hands the engine
+    // against an actual EngineCore over this LUT (the exact serve-time
+    // code path). Skipped for unsound tables: the engine refuses them.
+    if !rows_sound || lut.validate().is_err() {
+        return;
+    }
+    let Ok(core) = EngineCore::new(ctx.family, ctx.num_classes, ctx.image, lut.clone()) else {
+        return;
+    };
+    for p in &ctx.policies {
+        let budget = budget_for(*p, &core, core.max_resource());
+        let (entry, met) = core.select(budget);
+        if !met {
+            diags.push(Diagnostic::new(
+                Code::PolicyInfeasible,
+                Span::Policy {
+                    policy: format!("{p:?}"),
+                },
+                format!("policy budget {budget} selects no row even with full slack"),
+            ));
+        } else if let SchedulePolicy::Static { entry_index } = *p {
+            let idx = entry_index.min(lut.len() - 1);
+            if entry != lut.entries()[idx] {
+                diags.push(Diagnostic::new(
+                    Code::PolicyInfeasible,
+                    Span::Policy {
+                        policy: format!("{p:?}"),
+                    },
+                    format!("static policy for row {idx} selects a different row"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: any graph assembled through the *public* builder
+//! API must pass the well-formedness pass with zero diagnostics, and cost
+//! conservation must hold against a fresh profile — the escape hatches
+//! (`from_raw_parts`, `from_entries_unchecked`) are the only way to make
+//! the verifier fire.
+
+use proptest::prelude::*;
+use vit_graph::{Graph, LayerRole, Op};
+use vit_profiler::Profile;
+use vit_verify::{verify_accel_mapping, verify_costs, verify_graph, Severity, VerifyOptions};
+
+/// One randomly chosen NCHW-preserving layer.
+#[derive(Debug, Clone)]
+enum Layer {
+    Conv { out: usize, k: usize },
+    BatchNorm,
+    Relu,
+    Gelu,
+    Slice { frac: usize },
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    (0usize..5, 1usize..12, 1usize..4).prop_map(|(which, out, k)| match which {
+        0 => Layer::Conv { out, k },
+        1 => Layer::BatchNorm,
+        2 => Layer::Relu,
+        3 => Layer::Gelu,
+        _ => Layer::Slice { frac: k },
+    })
+}
+
+/// Builds a random chain graph through the public API only. Every layer
+/// consumes the previous one, so the graph is fully live by construction.
+fn build_chain(c: usize, h: usize, w: usize, layers: &[Layer]) -> Graph {
+    let mut g = Graph::new("proptest");
+    let mut prev = g.input("in", &[1, c, h, w]).expect("input");
+    let mut channels = c;
+    for (i, layer) in layers.iter().enumerate() {
+        prev = match layer {
+            Layer::Conv { out, k } => {
+                let k = (*k).min(h).min(w);
+                let id = g
+                    .add(
+                        &format!("l{i}.conv"),
+                        Op::Conv2d {
+                            out_channels: *out,
+                            kernel: (k, k),
+                            stride: (1, 1),
+                            pad: (k / 2, k / 2),
+                            groups: 1,
+                            bias: i % 2 == 0,
+                        },
+                        LayerRole::Other,
+                        &[prev],
+                    )
+                    .expect("conv");
+                channels = *out;
+                id
+            }
+            Layer::BatchNorm => g
+                .add(
+                    &format!("l{i}.bn"),
+                    Op::BatchNorm,
+                    LayerRole::Other,
+                    &[prev],
+                )
+                .expect("bn"),
+            Layer::Relu => g
+                .add(&format!("l{i}.relu"), Op::Relu, LayerRole::Other, &[prev])
+                .expect("relu"),
+            Layer::Gelu => g
+                .add(&format!("l{i}.gelu"), Op::Gelu, LayerRole::Other, &[prev])
+                .expect("gelu"),
+            Layer::Slice { frac } => {
+                let keep = (channels / (frac + 1)).max(1);
+                let id = g
+                    .add(
+                        &format!("l{i}.slice"),
+                        Op::SliceChannels { keep },
+                        LayerRole::Other,
+                        &[prev],
+                    )
+                    .expect("slice");
+                channels = keep;
+                id
+            }
+        };
+    }
+    g.set_output(prev);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn public_api_graphs_pass_well_formedness(
+        c in 1usize..8,
+        h in 4usize..10,
+        w in 4usize..10,
+        layers in prop::collection::vec(arb_layer(), 1..8),
+    ) {
+        let g = build_chain(c, h, w, &layers);
+        let diags = verify_graph(&g);
+        prop_assert!(diags.is_empty(), "public-API graph flagged: {diags:?}");
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn cost_conservation_holds_by_construction(
+        c in 1usize..8,
+        h in 4usize..10,
+        w in 4usize..10,
+        layers in prop::collection::vec(arb_layer(), 1..8),
+    ) {
+        let g = build_chain(c, h, w, &layers);
+        let diags = verify_costs(&g, &Profile::flops_only(&g));
+        prop_assert!(diags.is_empty(), "fresh profile flagged: {diags:?}");
+    }
+
+    #[test]
+    fn accel_mapping_of_valid_graphs_never_errors(
+        c in 1usize..8,
+        h in 4usize..10,
+        w in 4usize..10,
+        layers in prop::collection::vec(arb_layer(), 1..8),
+    ) {
+        // Narrow random layers may warn (V031 lane padding) but a graph the
+        // builder accepted can never produce an unschedulable tiling.
+        let g = build_chain(c, h, w, &layers);
+        let accel = vit_accel::AccelConfig::accelerator_a();
+        let diags = verify_accel_mapping(&g, &accel, &VerifyOptions::default());
+        prop_assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "valid graph produced accel errors: {diags:?}"
+        );
+    }
+}
