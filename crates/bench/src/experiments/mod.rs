@@ -5,6 +5,7 @@ pub mod accelerator;
 pub mod characterization;
 pub mod engine;
 pub mod headline;
+pub mod parallel;
 pub mod resilience;
 pub mod serve;
 pub mod verify;

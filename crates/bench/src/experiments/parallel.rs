@@ -1,0 +1,201 @@
+//! `repro bench`: sequential-vs-parallel wall-clock regression harness.
+//!
+//! Times the *full* (undynamic) execution path of each model with the
+//! sequential interpreter and with the wavefront executor at several
+//! thread counts, asserts the outputs are bit-identical, and (with
+//! `--json`) writes the numbers to `BENCH_parallel_exec.json` so later
+//! PRs have a perf trajectory to compare against.
+//!
+//! The report records the machine's hardware parallelism: speedups are
+//! only physically possible when the machine has more than one core, and
+//! honest numbers on a one-core CI box (ratio ≈ 1.0 or below) are still a
+//! valid regression baseline.
+
+use crate::{banner, f, Table};
+use std::time::Instant;
+use vit_graph::{ExecOptions, ExecScratch, Graph, WeightGen};
+use vit_models::{
+    build_segformer, build_swin_upernet, SegFormerConfig, SegFormerVariant, SwinConfig, SwinVariant,
+};
+use vit_tensor::Tensor;
+
+/// Flags for [`bench`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BenchArgs {
+    /// Write `BENCH_parallel_exec.json` next to the table output.
+    pub json: bool,
+    /// Smoke mode for CI: fewer repetitions and thread counts.
+    pub quick: bool,
+}
+
+struct Case {
+    name: &'static str,
+    graph: Graph,
+    image: Tensor,
+}
+
+fn cases() -> Vec<Case> {
+    // Full paths (dynamic = full model) at an executable geometry. The
+    // acceptance target is the SegFormer-B2 full path; B0 and Swin-T give
+    // the trajectory breadth.
+    let image = (64, 64);
+    let mk_image = |seed| Tensor::rand_uniform(&[1, 3, image.0, image.1], 0.0, 1.0, seed);
+    vec![
+        Case {
+            name: "segformer-b0",
+            graph: build_segformer(&SegFormerConfig {
+                image,
+                ..SegFormerConfig::ade20k(SegFormerVariant::b0())
+            })
+            .expect("builds"),
+            image: mk_image(1),
+        },
+        Case {
+            name: "segformer-b2",
+            graph: build_segformer(&SegFormerConfig {
+                image,
+                ..SegFormerConfig::ade20k(SegFormerVariant::b2())
+            })
+            .expect("builds"),
+            image: mk_image(2),
+        },
+        Case {
+            name: "swin-tiny-upernet",
+            graph: build_swin_upernet(&SwinConfig {
+                image,
+                ..SwinConfig::ade20k(SwinVariant::tiny())
+            })
+            .expect("builds"),
+            image: mk_image(3),
+        },
+    ]
+}
+
+struct ParallelPoint {
+    threads: usize,
+    ms: f64,
+    bit_identical: bool,
+}
+
+struct CaseResult {
+    name: &'static str,
+    seq_ms: f64,
+    parallel: Vec<ParallelPoint>,
+}
+
+/// Best-of-`reps` wall time of one full graph execution, in milliseconds.
+fn time_run(
+    scratch: &mut ExecScratch,
+    gen: WeightGen,
+    case: &Case,
+    opts: &ExecOptions,
+    reps: usize,
+) -> (f64, Tensor) {
+    let inputs = std::slice::from_ref(&case.image);
+    let mut out = scratch
+        .run_opts(gen, &case.graph, inputs, opts)
+        .expect("bench graph runs"); // warm weights, graphs, buffers
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = scratch
+            .run_opts(gen, &case.graph, inputs, opts)
+            .expect("bench graph runs");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+/// The seq-vs-parallel benchmark (`repro bench`).
+pub fn bench(args: BenchArgs) {
+    banner("bench — sequential vs parallel wavefront executor (full paths)");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let (reps, thread_counts): (usize, &[usize]) =
+        if args.quick { (1, &[2]) } else { (3, &[2, 4]) };
+    println!("hardware parallelism: {cores} core(s); best of {reps} timed run(s) per cell\n");
+
+    let gen = WeightGen::new(0);
+    let mut results = Vec::new();
+    let mut t = Table::new(&[
+        "model",
+        "seq ms",
+        "threads",
+        "par ms",
+        "speedup",
+        "bit-identical",
+    ]);
+    for case in cases() {
+        let mut scratch = ExecScratch::new();
+        let (seq_ms, seq_out) =
+            time_run(&mut scratch, gen, &case, &ExecOptions::sequential(), reps);
+        let mut parallel = Vec::new();
+        for &threads in thread_counts {
+            let opts = ExecOptions::threaded(threads);
+            let (ms, out) = time_run(&mut scratch, gen, &case, &opts, reps);
+            let identical = out == seq_out;
+            assert!(
+                identical,
+                "{}: parallel output at {threads} threads diverged from sequential",
+                case.name
+            );
+            t.row(&[
+                case.name.to_string(),
+                f(seq_ms, 2),
+                threads.to_string(),
+                f(ms, 2),
+                f(seq_ms / ms, 2),
+                identical.to_string(),
+            ]);
+            parallel.push(ParallelPoint {
+                threads,
+                ms,
+                bit_identical: identical,
+            });
+        }
+        results.push(CaseResult {
+            name: case.name,
+            seq_ms,
+            parallel,
+        });
+    }
+    t.print();
+
+    if args.json {
+        let path = "BENCH_parallel_exec.json";
+        std::fs::write(path, render_json(cores, reps, args.quick, &results))
+            .expect("write benchmark JSON");
+        println!("\nwrote {path}");
+    }
+}
+
+fn render_json(cores: usize, reps: usize, quick: bool, results: &[CaseResult]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"parallel_exec\",\n");
+    s.push_str(&format!("  \"hardware_parallelism\": {cores},\n"));
+    s.push_str(&format!("  \"timed_runs_per_cell\": {reps},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"model\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"sequential_ms\": {:.3},\n", r.seq_ms));
+        s.push_str("      \"parallel\": [\n");
+        for (j, p) in r.parallel.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+                p.threads,
+                p.ms,
+                r.seq_ms / p.ms,
+                p.bit_identical,
+                if j + 1 < r.parallel.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -41,6 +41,12 @@ static analysis:
               (flags: --json machine-readable output, --deny-warnings
                exit non-zero on warnings too)
 
+regression benchmarks:
+  bench       sequential vs parallel wavefront executor on full model
+              paths; asserts bit-identical outputs
+              (flags: --json write BENCH_parallel_exec.json,
+               --quick fewer reps/threads for CI smoke runs)
+
 summary:
   headline    every headline claim, paper vs ours
   ablations   design-choice ablations
@@ -89,6 +95,20 @@ fn main() {
                 }
             }
             std::process::exit(verify::run(args));
+        }
+        "bench" => {
+            let mut args = parallel::BenchArgs::default();
+            for flag in std::env::args().skip(2) {
+                match flag.as_str() {
+                    "--json" => args.json = true,
+                    "--quick" => args.quick = true,
+                    other => {
+                        eprintln!("unknown bench flag `{other}`\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            parallel::bench(args);
         }
         "headline" => headline::headline(),
         "ablations" => ablations::all(),

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use vit_accel::AccelConfig;
-use vit_graph::{ExecError, ExecScratch, Graph, WeightGen};
+use vit_graph::{ExecError, ExecOptions, ExecScratch, Graph, WeightGen};
 use vit_models::{
     build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant, SwinConfig,
     SwinVariant,
@@ -114,6 +114,7 @@ pub struct Inference {
 pub struct DrtEngine {
     core: Arc<EngineCore>,
     scratch: ExecScratch,
+    exec: ExecOptions,
 }
 
 /// The shareable heart of the engine: the LUT, the model family, and a
@@ -282,6 +283,24 @@ impl EngineCore {
         self.run_entry(scratch, image, entry, met)
     }
 
+    /// [`EngineCore::infer_with`] with explicit [`ExecOptions`]. The
+    /// parallel path is bit-identical to the sequential one, so this only
+    /// changes latency, never predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    pub fn infer_with_opts(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        budget: f64,
+        opts: &ExecOptions,
+    ) -> Result<Inference, EngineError> {
+        let (entry, met) = self.select(budget);
+        self.run_entry_opts(scratch, image, entry, met, opts)
+    }
+
     /// Runs a specific LUT entry (as returned by [`EngineCore::select`])
     /// — the execution half of `infer_with`, for callers that already
     /// committed to a configuration at scheduling time.
@@ -296,8 +315,32 @@ impl EngineCore {
         entry: LutEntry,
         met_budget: bool,
     ) -> Result<Inference, EngineError> {
+        self.run_entry_opts(
+            scratch,
+            image,
+            entry,
+            met_budget,
+            &ExecOptions::sequential(),
+        )
+    }
+
+    /// [`EngineCore::run_entry`] with explicit [`ExecOptions`] — the
+    /// entry point serving workers use to run on a shared thread pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    pub fn run_entry_opts(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        entry: LutEntry,
+        met_budget: bool,
+        opts: &ExecOptions,
+    ) -> Result<Inference, EngineError> {
         let graph = self.graph_for(entry.config)?;
-        let logits = scratch.run(self.weight_gen, &graph, std::slice::from_ref(image))?;
+        let logits =
+            scratch.run_opts(self.weight_gen, &graph, std::slice::from_ref(image), opts)?;
         let label_map = logits
             .argmax_channels()
             .expect("segmentation output is NCHW");
@@ -420,7 +463,19 @@ impl DrtEngine {
         DrtEngine {
             core,
             scratch: ExecScratch::new(),
+            exec: ExecOptions::sequential(),
         }
+    }
+
+    /// Sets how this engine executes graphs (sequential by default).
+    /// Parallel options change latency only — outputs stay bit-identical.
+    pub fn set_exec_options(&mut self, exec: ExecOptions) {
+        self.exec = exec;
+    }
+
+    /// The engine's current execution options.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.exec
     }
 
     /// The shared, `Send + Sync` part of this engine.
@@ -455,7 +510,8 @@ impl DrtEngine {
     ///
     /// Returns [`EngineError`] when graph construction or execution fails.
     pub fn infer(&mut self, image: &Tensor, budget: f64) -> Result<Inference, EngineError> {
-        self.core.infer_with(&mut self.scratch, image, budget)
+        self.core
+            .infer_with_opts(&mut self.scratch, image, budget, &self.exec)
     }
 }
 

@@ -47,3 +47,4 @@ pub use budget::{BudgetTrace, TracePattern};
 pub use engine::{DrtEngine, EngineCore, EngineError, EngineFamily, Inference};
 pub use json::JsonParseError;
 pub use lut::{BudgetTooSmall, Lut, LutConfig, LutEntry, LutError};
+pub use vit_graph::ExecOptions;

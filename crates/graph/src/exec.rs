@@ -8,13 +8,65 @@
 //! first `k` channels, with no retraining — so measured output fidelity
 //! between a pruned graph and the full graph is meaningful.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeId};
 use crate::op::Op;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use vit_tensor::{ops, Tensor, TensorError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use vit_tensor::par::Scope;
+use vit_tensor::{ops, BufferPool, ExecCtx, Tensor, TensorError, ThreadPool};
+
+/// How a graph execution runs: sequentially, or tiled across a worker
+/// pool with wavefront node scheduling.
+///
+/// The parallel path is **bit-identical** to the sequential one at any
+/// thread count (see the determinism contract in [`vit_tensor::par`]); the
+/// option only changes wall-clock time, never results.
+///
+/// Cloning is cheap — clones share the same pool, which is how serving
+/// workers cooperate on one set of physical cores instead of
+/// oversubscribing.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl ExecOptions {
+    /// Single-threaded execution (the default).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Execution over a private pool of `threads` total threads; `threads
+    /// <= 1` is sequential.
+    pub fn threaded(threads: usize) -> Self {
+        if threads <= 1 {
+            Self::default()
+        } else {
+            ExecOptions {
+                pool: Some(Arc::new(ThreadPool::new(threads))),
+            }
+        }
+    }
+
+    /// Execution over an existing shared pool.
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        ExecOptions { pool: Some(pool) }
+    }
+
+    /// Total threads this execution may use (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    /// The shared pool, when one is attached and worth using.
+    fn active_pool(&self) -> Option<&ThreadPool> {
+        self.pool.as_deref().filter(|p| p.threads() > 1)
+    }
+}
 
 /// Error from graph execution.
 #[derive(Debug)]
@@ -266,8 +318,9 @@ fn window_merge(x: &Tensor, window: usize, h: usize, w: usize) -> Tensor {
 /// the same generator compute identical results.
 #[derive(Debug, Default)]
 pub struct ExecScratch {
-    cache: HashMap<String, Vec<Tensor>>,
+    cache: HashMap<String, Arc<Vec<Tensor>>>,
     values: Vec<Option<Tensor>>,
+    bufs: BufferPool,
 }
 
 impl ExecScratch {
@@ -329,97 +382,156 @@ impl ExecScratch {
         }
     }
 
+    /// Whether a cached weight set matches the shapes this graph needs.
+    fn cache_entry_valid(w: &[Tensor], expected: &[Vec<usize>]) -> bool {
+        w.len() == expected.len()
+            && w.iter()
+                .zip(expected.iter())
+                .all(|(t, s)| t.shape() == s.as_slice())
+    }
+
     fn weights_for(
         &mut self,
         gen: WeightGen,
         node_name: &str,
         op: &Op,
         in_shapes: &[&[usize]],
-    ) -> Vec<Tensor> {
+    ) -> Arc<Vec<Tensor>> {
         // The same node name can appear in graphs of *different* dynamic
         // configurations with different widths (that is the point of the
         // shared-weights design), so a cache hit is only valid when the
         // cached shapes match this graph's shapes.
         let expected = Self::weight_shapes(op, in_shapes);
         if let Some(w) = self.cache.get(node_name) {
-            if w.len() == expected.len()
-                && w.iter()
-                    .zip(expected.iter())
-                    .all(|(t, s)| t.shape() == s.as_slice())
-            {
-                return w.clone();
+            if Self::cache_entry_valid(w, &expected) {
+                return Arc::clone(w);
             }
         }
-        let w: Vec<Tensor> = match op {
-            Op::Conv2d {
-                out_channels,
-                kernel,
-                groups,
-                bias,
-                ..
-            } => {
-                let c = in_shapes[0][1];
-                let mut v = vec![gen.decayed_tensor(
-                    node_name,
-                    "weight",
-                    &[*out_channels, c / groups, kernel.0, kernel.1],
-                    1,
-                    kernel.0 * kernel.1,
-                )];
-                if *bias {
-                    v.push(gen.tensor(node_name, "bias", &[*out_channels], 0.05));
-                }
-                v
-            }
-            Op::Linear { out_features, bias } => {
-                let in_features = *in_shapes[0].last().expect("validated");
-                let mut v = vec![gen.decayed_tensor(
-                    node_name,
-                    "weight",
-                    &[*out_features, in_features],
-                    1,
-                    1,
-                )];
-                if *bias {
-                    v.push(gen.tensor(node_name, "bias", &[*out_features], 0.05));
-                }
-                v
-            }
-            Op::DeformAttn {
-                heads,
-                levels,
-                points,
-                dim,
-            } => {
-                let d = *dim;
-                let hlp = heads * levels * points;
-                vec![
-                    gen.decayed_tensor(node_name, "value_proj", &[d, d], 1, 1),
-                    gen.decayed_tensor(node_name, "output_proj", &[d, d], 1, 1),
-                    gen.decayed_tensor(node_name, "offsets", &[hlp * 2, d], 1, 1),
-                    gen.decayed_tensor(node_name, "attn_weights", &[hlp, d], 1, 1),
-                ]
-            }
-            Op::LayerNorm => {
-                let f = *in_shapes[0].last().expect("validated");
-                vec![
-                    gen.near_one(node_name, "gamma", &[f]),
-                    gen.tensor(node_name, "beta", &[f], 0.1),
-                ]
-            }
-            Op::BatchNorm => {
-                let c = in_shapes[0][1];
-                vec![
-                    gen.near_one(node_name, "scale", &[c]),
-                    gen.tensor(node_name, "shift", &[c], 0.1),
-                ]
-            }
-            _ => Vec::new(),
-        };
-        self.cache.insert(node_name.to_string(), w.clone());
+        let w = Arc::new(generate_weights(gen, node_name, op, in_shapes));
+        self.cache.insert(node_name.to_string(), Arc::clone(&w));
         w
     }
 
+    /// Generates-and-caches weights for every parameterized node of
+    /// `graph` whose cache entry is missing or shape-mismatched,
+    /// parallelizing generation across `pool` when one is given. Weight
+    /// values are a pure function of `(gen, node name, coordinates)`, so
+    /// the generation schedule cannot affect them.
+    fn materialize_weights(&mut self, gen: WeightGen, graph: &Graph, pool: Option<&ThreadPool>) {
+        let mut missing: Vec<(&str, &Op, Vec<&[usize]>)> = Vec::new();
+        for (_, node) in graph.iter() {
+            let in_shapes: Vec<&[usize]> = node
+                .inputs
+                .iter()
+                .map(|i| graph.node(*i).shape.as_slice())
+                .collect();
+            let expected = Self::weight_shapes(&node.op, &in_shapes);
+            if expected.is_empty() {
+                continue;
+            }
+            match self.cache.get(node.name.as_str()) {
+                Some(w) if Self::cache_entry_valid(w, &expected) => {}
+                _ => missing.push((node.name.as_str(), &node.op, in_shapes)),
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let mut generated: Vec<Option<Vec<Tensor>>> = Vec::new();
+        generated.resize_with(missing.len(), || None);
+        match pool {
+            Some(pool) if missing.len() > 1 => pool.scope(|s| {
+                for (slot, (name, op, in_shapes)) in generated.iter_mut().zip(missing.iter()) {
+                    s.spawn(move |_| {
+                        *slot = Some(generate_weights(gen, name, op, in_shapes));
+                    });
+                }
+            }),
+            _ => {
+                for (slot, (name, op, in_shapes)) in generated.iter_mut().zip(missing.iter()) {
+                    *slot = Some(generate_weights(gen, name, op, in_shapes));
+                }
+            }
+        }
+        for ((name, _, _), w) in missing.into_iter().zip(generated) {
+            self.cache
+                .insert(name.to_string(), Arc::new(w.expect("slot filled")));
+        }
+    }
+}
+
+/// Materializes the parameter tensors a node owns. Pure in `(gen,
+/// node_name, op, in_shapes)` — safe to call from any thread.
+fn generate_weights(
+    gen: WeightGen,
+    node_name: &str,
+    op: &Op,
+    in_shapes: &[&[usize]],
+) -> Vec<Tensor> {
+    match op {
+        Op::Conv2d {
+            out_channels,
+            kernel,
+            groups,
+            bias,
+            ..
+        } => {
+            let c = in_shapes[0][1];
+            let mut v = vec![gen.decayed_tensor(
+                node_name,
+                "weight",
+                &[*out_channels, c / groups, kernel.0, kernel.1],
+                1,
+                kernel.0 * kernel.1,
+            )];
+            if *bias {
+                v.push(gen.tensor(node_name, "bias", &[*out_channels], 0.05));
+            }
+            v
+        }
+        Op::Linear { out_features, bias } => {
+            let in_features = *in_shapes[0].last().expect("validated");
+            let mut v =
+                vec![gen.decayed_tensor(node_name, "weight", &[*out_features, in_features], 1, 1)];
+            if *bias {
+                v.push(gen.tensor(node_name, "bias", &[*out_features], 0.05));
+            }
+            v
+        }
+        Op::DeformAttn {
+            heads,
+            levels,
+            points,
+            dim,
+        } => {
+            let d = *dim;
+            let hlp = heads * levels * points;
+            vec![
+                gen.decayed_tensor(node_name, "value_proj", &[d, d], 1, 1),
+                gen.decayed_tensor(node_name, "output_proj", &[d, d], 1, 1),
+                gen.decayed_tensor(node_name, "offsets", &[hlp * 2, d], 1, 1),
+                gen.decayed_tensor(node_name, "attn_weights", &[hlp, d], 1, 1),
+            ]
+        }
+        Op::LayerNorm => {
+            let f = *in_shapes[0].last().expect("validated");
+            vec![
+                gen.near_one(node_name, "gamma", &[f]),
+                gen.tensor(node_name, "beta", &[f], 0.1),
+            ]
+        }
+        Op::BatchNorm => {
+            let c = in_shapes[0][1];
+            vec![
+                gen.near_one(node_name, "scale", &[c]),
+                gen.tensor(node_name, "shift", &[c], 0.1),
+            ]
+        }
+        _ => Vec::new(),
+    }
+}
+
+impl ExecScratch {
     /// Runs the graph with weights drawn from `gen`, using this scratch's
     /// weight cache and buffers (one tensor per graph input, in declaration
     /// order).
@@ -437,6 +549,28 @@ impl ExecScratch {
         gen: WeightGen,
         graph: &Graph,
         inputs: &[Tensor],
+    ) -> Result<Tensor, ExecError> {
+        self.run_opts(gen, graph, inputs, &ExecOptions::sequential())
+    }
+
+    /// [`ExecScratch::run`] with explicit [`ExecOptions`]: sequential
+    /// without a pool, wavefront-scheduled (plus intra-kernel tiling)
+    /// with one. Both paths return bit-identical tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when input count/shapes mismatch the graph or a
+    /// kernel fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has no output set.
+    pub fn run_opts(
+        &mut self,
+        gen: WeightGen,
+        graph: &Graph,
+        inputs: &[Tensor],
+        opts: &ExecOptions,
     ) -> Result<Tensor, ExecError> {
         let output = graph.output().expect("graph must have an output set");
         if inputs.len() != graph.input_ids().len() {
@@ -460,7 +594,20 @@ impl ExecScratch {
                 });
             }
         }
+        self.materialize_weights(gen, graph, opts.active_pool());
+        match opts.active_pool() {
+            Some(pool) => self.run_wavefront(gen, graph, inputs, output, pool),
+            None => self.run_sequential(gen, graph, inputs, output),
+        }
+    }
 
+    fn run_sequential(
+        &mut self,
+        gen: WeightGen,
+        graph: &Graph,
+        inputs: &[Tensor],
+        output: NodeId,
+    ) -> Result<Tensor, ExecError> {
         let mut refcounts = graph.consumer_counts();
         // Reuse the value buffer across runs (per-request allocation
         // matters on the serving hot path).
@@ -469,121 +616,25 @@ impl ExecScratch {
         values.resize_with(graph.len(), || None);
         let mut input_iter = inputs.iter();
         for (id, node) in graph.iter() {
-            let in_tensors: Vec<&Tensor> = node
-                .inputs
-                .iter()
-                .map(|i| values[i.index()].as_ref().expect("topological order"))
-                .collect();
-            let in_shapes: Vec<&[usize]> = node
-                .inputs
-                .iter()
-                .map(|i| graph.node(*i).shape.as_slice())
-                .collect();
-            let kerr = |source: TensorError| ExecError::Kernel {
-                node: node.name.clone(),
-                source,
-            };
-            let out = match &node.op {
-                Op::Input { .. } => input_iter.next().expect("validated count").clone(),
-                Op::Conv2d {
-                    stride,
-                    pad,
-                    groups,
-                    bias,
-                    ..
-                } => {
-                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
-                    let p = ops::Conv2dParams {
-                        stride_h: stride.0,
-                        stride_w: stride.1,
-                        pad_h: pad.0,
-                        pad_w: pad.1,
-                        groups: *groups,
-                    };
-                    let b = if *bias { Some(&w[1]) } else { None };
-                    ops::conv2d(in_tensors[0], &w[0], b, p).map_err(kerr)?
-                }
-                Op::Linear { bias, .. } => {
-                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
-                    let b = if *bias { Some(&w[1]) } else { None };
-                    ops::linear(in_tensors[0], &w[0], b).map_err(kerr)?
-                }
-                Op::LayerNorm => {
-                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
-                    ops::layer_norm(in_tensors[0], &w[0], &w[1], 1e-5).map_err(kerr)?
-                }
-                Op::BatchNorm => {
-                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
-                    ops::batch_norm_inference(in_tensors[0], &w[0], &w[1]).map_err(kerr)?
-                }
-                Op::Relu => ops::relu(in_tensors[0]),
-                Op::Gelu => ops::gelu(in_tensors[0]),
-                Op::Sdpa { heads } => {
-                    // q/k/v are already projected; use identity-free fused
-                    // attention: softmax(q k^T / sqrt(d)) v, head-split.
-                    let q = in_tensors[0];
-                    let k = in_tensors[1];
-                    let v = in_tensors[2];
-                    sdpa(q, k, v, *heads).map_err(kerr)?
-                }
-                Op::DeformAttn {
-                    heads,
-                    levels,
-                    points,
-                    ..
-                } => {
-                    let w = self.weights_for(gen, &node.name, &node.op, &in_shapes);
-                    deform_attn(
-                        in_tensors[0],
-                        in_tensors[1],
-                        &w[0],
-                        &w[1],
-                        &w[2],
-                        &w[3],
-                        *heads,
-                        *levels,
-                        *points,
-                    )
-                    .map_err(kerr)?
-                }
-                Op::MaxPool {
-                    window,
-                    stride,
-                    pad,
-                } => ops::max_pool2d(in_tensors[0], *window, *stride, *pad).map_err(kerr)?,
-                Op::AdaptiveAvgPool { out_h, out_w } => {
-                    ops::adaptive_avg_pool2d(in_tensors[0], *out_h, *out_w).map_err(kerr)?
-                }
-                Op::Resize { out_h, out_w } => {
-                    ops::bilinear_resize(in_tensors[0], *out_h, *out_w).map_err(kerr)?
-                }
-                Op::Concat => ops::concat_channels(&in_tensors).map_err(kerr)?,
-                Op::Add => in_tensors[0].add(in_tensors[1]).map_err(kerr)?,
-                Op::FlattenHw => {
-                    let s = in_tensors[0].shape();
-                    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-                    in_tensors[0]
-                        .reshape(&[n, c, h * w])
-                        .and_then(|t| t.permute(&[0, 2, 1]))
-                        .map_err(kerr)?
-                }
-                Op::UnflattenHw { h, w } => {
-                    let s = in_tensors[0].shape();
-                    let (n, c) = (s[0], s[2]);
-                    in_tensors[0]
-                        .permute(&[0, 2, 1])
-                        .and_then(|t| t.reshape(&[n, c, *h, *w]))
-                        .map_err(kerr)?
-                }
-                Op::WindowPartition { window } => window_partition(in_tensors[0], *window),
-                Op::WindowMerge { window, h, w } => window_merge(in_tensors[0], *window, *h, *w),
-                Op::CyclicShift { dy, dx } => cyclic_shift(in_tensors[0], *dy, *dx),
-                Op::GlobalAvgPool => ops::global_avg_pool(in_tensors[0]).map_err(kerr)?,
-                Op::ArgmaxChannels => in_tensors[0].argmax_channels().map_err(kerr)?,
-                Op::Identity => in_tensors[0].clone(),
-                Op::SliceChannels { keep } => slice_channels(in_tensors[0], *keep),
-                Op::SpaceToDepth { block } => space_to_depth(in_tensors[0], *block),
-                Op::ConcatTokens => concat_tokens(&in_tensors),
+            let out = if matches!(node.op, Op::Input { .. }) {
+                input_iter.next().expect("validated count").clone()
+            } else {
+                let in_shapes: Vec<&[usize]> = node
+                    .inputs
+                    .iter()
+                    .map(|i| graph.node(*i).shape.as_slice())
+                    .collect();
+                let weights = self.weights_for(gen, &node.name, &node.op, &in_shapes);
+                let in_tensors: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|i| values[i.index()].as_ref().expect("topological order"))
+                    .collect();
+                let ctx = ExecCtx {
+                    pool: None,
+                    bufs: Some(&self.bufs),
+                };
+                eval_node(node, weights.as_slice(), &in_tensors, &ctx)?
             };
             debug_assert_eq!(
                 out.shape(),
@@ -591,20 +642,313 @@ impl ExecScratch {
                 "shape inference disagrees with execution at `{}`",
                 node.name
             );
-            // Free inputs that have no remaining consumers.
+            // Free inputs that have no remaining consumers, returning their
+            // allocations to the buffer pool for later nodes and runs.
             for i in &node.inputs {
                 refcounts[i.index()] -= 1;
                 if refcounts[i.index()] == 0 {
-                    values[i.index()] = None;
+                    if let Some(t) = values[i.index()].take() {
+                        self.bufs.recycle(t.into_vec());
+                    }
                 }
             }
             values[id.index()] = Some(out);
         }
         let out = values[output.index()].take().expect("output computed");
+        for v in values.iter_mut() {
+            if let Some(t) = v.take() {
+                self.bufs.recycle(t.into_vec());
+            }
+        }
         values.clear();
         self.values = values;
         Ok(out)
     }
+
+    fn run_wavefront(
+        &self,
+        gen: WeightGen,
+        graph: &Graph,
+        inputs: &[Tensor],
+        output: NodeId,
+        pool: &ThreadPool,
+    ) -> Result<Tensor, ExecError> {
+        let n = graph.len();
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
+        for (id, node) in graph.iter() {
+            pending.push(AtomicUsize::new(node.inputs.len()));
+            for i in &node.inputs {
+                successors[i.index()].push(id.index());
+            }
+        }
+        let uses: Vec<AtomicUsize> = graph
+            .consumer_counts()
+            .into_iter()
+            .map(AtomicUsize::new)
+            .collect();
+        // The output value must survive the run even when other nodes
+        // consume it, so it holds one extra use.
+        uses[output.index()].fetch_add(1, Ordering::Relaxed);
+        let mut input_pos: Vec<Option<usize>> = vec![None; n];
+        for (i, id) in graph.input_ids().iter().enumerate() {
+            input_pos[id.index()] = Some(i);
+        }
+        let wf = Wavefront {
+            gen,
+            graph,
+            cache: &self.cache,
+            bufs: &self.bufs,
+            pool,
+            inputs,
+            input_pos,
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            pending,
+            uses,
+            successors,
+            err: Mutex::new(None),
+            abort: AtomicBool::new(false),
+        };
+        pool.scope(|s| {
+            // Seed the wavefront with zero-input nodes; completions cascade
+            // by spawning each successor the moment its last input lands.
+            for (id, node) in graph.iter() {
+                if node.inputs.is_empty() {
+                    let wf = &wf;
+                    let idx = id.index();
+                    s.spawn(move |s| wf.exec_node(idx, s));
+                }
+            }
+        });
+        if let Some(e) = wf.err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
+        }
+        let out = wf.slots[output.index()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("output computed");
+        Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
+    }
+}
+
+/// Shared state of one wavefront execution: per-node output slots,
+/// in-degree and consumer counters, and the first error (if any).
+struct Wavefront<'g> {
+    gen: WeightGen,
+    graph: &'g Graph,
+    cache: &'g HashMap<String, Arc<Vec<Tensor>>>,
+    bufs: &'g BufferPool,
+    pool: &'g ThreadPool,
+    inputs: &'g [Tensor],
+    input_pos: Vec<Option<usize>>,
+    slots: Vec<Mutex<Option<Arc<Tensor>>>>,
+    pending: Vec<AtomicUsize>,
+    uses: Vec<AtomicUsize>,
+    successors: Vec<Vec<usize>>,
+    err: Mutex<Option<ExecError>>,
+    abort: AtomicBool,
+}
+
+impl Wavefront<'_> {
+    fn slot(&self, i: usize) -> std::sync::MutexGuard<'_, Option<Arc<Tensor>>> {
+        self.slots[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Evaluates node `idx` (all of whose inputs are ready), then releases
+    /// dead inputs to the buffer pool and spawns every successor this
+    /// completion made ready. Node scheduling order cannot affect values:
+    /// each node's kernel is internally deterministic and weights are a
+    /// pure function of the generator.
+    fn exec_node<'env>(&'env self, idx: usize, scope: &Scope<'env>) {
+        if self.abort.load(Ordering::Acquire) {
+            return;
+        }
+        let node = self.graph.node(NodeId::from_index(idx));
+        let result = if matches!(node.op, Op::Input { .. }) {
+            let pos = self.input_pos[idx].expect("input node has a position");
+            Ok(self.inputs[pos].clone())
+        } else {
+            let ins: Vec<Arc<Tensor>> = node
+                .inputs
+                .iter()
+                .map(|i| Arc::clone(self.slot(i.index()).as_ref().expect("inputs ready")))
+                .collect();
+            let in_refs: Vec<&Tensor> = ins.iter().map(Arc::as_ref).collect();
+            let in_shapes: Vec<&[usize]> = node
+                .inputs
+                .iter()
+                .map(|i| self.graph.node(*i).shape.as_slice())
+                .collect();
+            let weights = self.node_weights(node, &in_shapes);
+            let ctx = ExecCtx {
+                pool: Some(self.pool),
+                bufs: Some(self.bufs),
+            };
+            eval_node(node, weights.as_slice(), &in_refs, &ctx)
+        };
+        match result {
+            Ok(out) => {
+                debug_assert_eq!(
+                    out.shape(),
+                    node.shape.as_slice(),
+                    "shape inference disagrees with execution at `{}`",
+                    node.name
+                );
+                *self.slot(idx) = Some(Arc::new(out));
+            }
+            Err(e) => {
+                self.abort.store(true, Ordering::Release);
+                let mut err = self.err.lock().unwrap_or_else(|p| p.into_inner());
+                if err.is_none() {
+                    *err = Some(e);
+                }
+                return;
+            }
+        }
+        // Recycle inputs whose last consumer just finished.
+        for i in &node.inputs {
+            let ii = i.index();
+            if self.uses[ii].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if let Some(a) = self.slot(ii).take() {
+                    if let Ok(t) = Arc::try_unwrap(a) {
+                        self.bufs.recycle(t.into_vec());
+                    }
+                }
+            }
+        }
+        for &succ in &self.successors[idx] {
+            if self.pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                scope.spawn(move |s| self.exec_node(succ, s));
+            }
+        }
+    }
+
+    /// This node's weights: from the shared cache when the shapes match,
+    /// freshly generated otherwise (pure, so uncached generation is merely
+    /// slower, never different).
+    fn node_weights(&self, node: &crate::graph::Node, in_shapes: &[&[usize]]) -> Arc<Vec<Tensor>> {
+        let expected = ExecScratch::weight_shapes(&node.op, in_shapes);
+        if expected.is_empty() {
+            return Arc::new(Vec::new());
+        }
+        if let Some(w) = self.cache.get(node.name.as_str()) {
+            if ExecScratch::cache_entry_valid(w, &expected) {
+                return Arc::clone(w);
+            }
+        }
+        Arc::new(generate_weights(self.gen, &node.name, &node.op, in_shapes))
+    }
+}
+
+/// Evaluates one non-[`Op::Input`] node on already-computed input tensors.
+///
+/// `weights` must match [`ExecScratch::weight_shapes`] for the node (empty
+/// for parameter-free ops). The heavy kernels tile across `ctx`'s pool and
+/// draw outputs from its buffer pool; every other op runs sequentially.
+fn eval_node(
+    node: &crate::graph::Node,
+    w: &[Tensor],
+    in_tensors: &[&Tensor],
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor, ExecError> {
+    let kerr = |source: TensorError| ExecError::Kernel {
+        node: node.name.clone(),
+        source,
+    };
+    let out = match &node.op {
+        Op::Input { .. } => unreachable!("Op::Input is handled by the caller"),
+        Op::Conv2d {
+            stride,
+            pad,
+            groups,
+            bias,
+            ..
+        } => {
+            let p = ops::Conv2dParams {
+                stride_h: stride.0,
+                stride_w: stride.1,
+                pad_h: pad.0,
+                pad_w: pad.1,
+                groups: *groups,
+            };
+            let b = if *bias { Some(&w[1]) } else { None };
+            ops::conv2d_ctx(in_tensors[0], &w[0], b, p, ctx).map_err(kerr)?
+        }
+        Op::Linear { bias, .. } => {
+            let b = if *bias { Some(&w[1]) } else { None };
+            ops::linear_ctx(in_tensors[0], &w[0], b, ctx).map_err(kerr)?
+        }
+        Op::LayerNorm => ops::layer_norm(in_tensors[0], &w[0], &w[1], 1e-5).map_err(kerr)?,
+        Op::BatchNorm => ops::batch_norm_inference(in_tensors[0], &w[0], &w[1]).map_err(kerr)?,
+        Op::Relu => ops::relu(in_tensors[0]),
+        Op::Gelu => ops::gelu(in_tensors[0]),
+        Op::Sdpa { heads } => {
+            // q/k/v are already projected; use identity-free fused
+            // attention: softmax(q k^T / sqrt(d)) v, head-split.
+            let q = in_tensors[0];
+            let k = in_tensors[1];
+            let v = in_tensors[2];
+            sdpa(q, k, v, *heads, ctx).map_err(kerr)?
+        }
+        Op::DeformAttn {
+            heads,
+            levels,
+            points,
+            ..
+        } => deform_attn(
+            in_tensors[0],
+            in_tensors[1],
+            &w[0],
+            &w[1],
+            &w[2],
+            &w[3],
+            *heads,
+            *levels,
+            *points,
+            ctx,
+        )
+        .map_err(kerr)?,
+        Op::MaxPool {
+            window,
+            stride,
+            pad,
+        } => ops::max_pool2d(in_tensors[0], *window, *stride, *pad).map_err(kerr)?,
+        Op::AdaptiveAvgPool { out_h, out_w } => {
+            ops::adaptive_avg_pool2d(in_tensors[0], *out_h, *out_w).map_err(kerr)?
+        }
+        Op::Resize { out_h, out_w } => {
+            ops::bilinear_resize(in_tensors[0], *out_h, *out_w).map_err(kerr)?
+        }
+        Op::Concat => ops::concat_channels(in_tensors).map_err(kerr)?,
+        Op::Add => in_tensors[0].add(in_tensors[1]).map_err(kerr)?,
+        Op::FlattenHw => {
+            let s = in_tensors[0].shape();
+            let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+            in_tensors[0]
+                .reshape(&[n, c, h * w])
+                .and_then(|t| t.permute(&[0, 2, 1]))
+                .map_err(kerr)?
+        }
+        Op::UnflattenHw { h, w } => {
+            let s = in_tensors[0].shape();
+            let (n, c) = (s[0], s[2]);
+            in_tensors[0]
+                .permute(&[0, 2, 1])
+                .and_then(|t| t.reshape(&[n, c, *h, *w]))
+                .map_err(kerr)?
+        }
+        Op::WindowPartition { window } => window_partition(in_tensors[0], *window),
+        Op::WindowMerge { window, h, w } => window_merge(in_tensors[0], *window, *h, *w),
+        Op::CyclicShift { dy, dx } => cyclic_shift(in_tensors[0], *dy, *dx),
+        Op::GlobalAvgPool => ops::global_avg_pool(in_tensors[0]).map_err(kerr)?,
+        Op::ArgmaxChannels => in_tensors[0].argmax_channels().map_err(kerr)?,
+        Op::Identity => in_tensors[0].clone(),
+        Op::SliceChannels { keep } => slice_channels(in_tensors[0], *keep),
+        Op::SpaceToDepth { block } => space_to_depth(in_tensors[0], *block),
+        Op::ConcatTokens => concat_tokens(in_tensors),
+    };
+    Ok(out)
 }
 
 /// Executes graphs with deterministic synthetic weights.
@@ -647,6 +991,26 @@ impl Executor {
     /// Panics when the graph has no output set.
     pub fn run(&mut self, graph: &Graph, inputs: &[Tensor]) -> Result<Tensor, ExecError> {
         self.scratch.run(self.gen, graph, inputs)
+    }
+
+    /// [`Executor::run`] with explicit [`ExecOptions`] (bit-identical to
+    /// `run` at any thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when input count/shapes mismatch the graph or a
+    /// kernel fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has no output set.
+    pub fn run_opts(
+        &mut self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        opts: &ExecOptions,
+    ) -> Result<Tensor, ExecError> {
+        self.scratch.run_opts(self.gen, graph, inputs, opts)
     }
 }
 
@@ -735,13 +1099,14 @@ fn deform_attn(
     heads: usize,
     levels: usize,
     points: usize,
+    ctx: &ExecCtx<'_>,
 ) -> Result<Tensor, TensorError> {
     let (b, n, d) = (query.shape()[0], query.shape()[1], query.shape()[2]);
     let m = value.shape()[1];
     let hd = d / heads;
-    let v = ops::linear(value, wv, None)?;
-    let offsets = ops::linear(query, woff, None)?; // [b, n, h*l*p*2]
-    let attn_logits = ops::linear(query, wattn, None)?; // [b, n, h*l*p]
+    let v = ops::linear_ctx(value, wv, None, ctx)?;
+    let offsets = ops::linear_ctx(query, woff, None, ctx)?; // [b, n, h*l*p*2]
+    let attn_logits = ops::linear_ctx(query, wattn, None, ctx)?; // [b, n, h*l*p]
     let attn = ops::softmax_last_dim(&attn_logits)?;
     let mut out = Tensor::zeros(&[b, n, d]);
     let od = out.data_mut();
@@ -770,11 +1135,17 @@ fn deform_attn(
             }
         }
     }
-    ops::linear(&out, wo, None)
+    ops::linear_ctx(&out, wo, None, ctx)
 }
 
 /// Fused scaled-dot-product attention on already-projected q/k/v.
-fn sdpa(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Result<Tensor, TensorError> {
+fn sdpa(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor, TensorError> {
     let (b, n, d) = (q.shape()[0], q.shape()[1], q.shape()[2]);
     let m = k.shape()[1];
     let dv = v.shape()[2];
@@ -790,10 +1161,11 @@ fn sdpa(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Result<Tensor, Tens
     let kh = split(k, m, d, hd)?;
     let vh = split(v, m, dv, hdv)?;
     let kt = kh.permute(&[0, 2, 1])?;
-    let scores = ops::bmm(&qh, &kt)?.scale(1.0 / (hd as f32).sqrt());
+    let scores = ops::bmm_ctx(&qh, &kt, ctx)?.scale(1.0 / (hd as f32).sqrt());
     let probs = ops::softmax_last_dim(&scores)?;
-    let ctx = ops::bmm(&probs, &vh)?;
-    ctx.reshape(&[b, heads, n, hdv])?
+    let attn_out = ops::bmm_ctx(&probs, &vh, ctx)?;
+    attn_out
+        .reshape(&[b, heads, n, hdv])?
         .permute(&[0, 2, 1, 3])?
         .reshape(&[b, n, dv])
 }

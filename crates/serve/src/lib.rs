@@ -66,5 +66,5 @@ pub use metrics::{percentile, ServerMetrics};
 pub use policy::{admissible, budget_for, SchedulePolicy};
 pub use queue::{EdfQueue, PopResult, PushError};
 pub use request::{InferenceRequest, Outcome, RequestRecord, ShedReason};
-pub use server::{Calibration, Server, ServerConfig, SubmitError};
+pub use server::{Calibration, Server, ServerConfig, SubmitError, CALIBRATION_RUNS};
 pub use sim::{simulate, SimArrival, SimConfig};

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use vit_drt::{EngineCore, EngineError};
-use vit_graph::ExecScratch;
+use vit_graph::{ExecOptions, ExecScratch};
 use vit_resilience::ResourceKind;
 use vit_tensor::Tensor;
 
@@ -24,15 +24,30 @@ pub struct Calibration {
     pub secs_per_unit: f64,
 }
 
+/// Timed runs averaged by [`Calibration::measure`]; a single-run
+/// measurement is far too noisy on shared CI machines.
+pub const CALIBRATION_RUNS: usize = 3;
+
 impl Calibration {
     /// Measures the machine: runs the full (most expensive) execution path
-    /// once to warm its graph and weight caches, times a second run, and
-    /// divides by the path's LUT cost.
+    /// once to warm its graph and weight caches, times
+    /// [`CALIBRATION_RUNS`] further runs, and divides their average by the
+    /// path's LUT cost.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError`] when the calibration inference fails.
+    /// Returns [`EngineError`] when a calibration inference fails.
     pub fn measure(core: &Arc<EngineCore>) -> Result<Self, EngineError> {
+        Self::measure_opts(core, &ExecOptions::sequential())
+    }
+
+    /// [`Calibration::measure`] under explicit [`ExecOptions`], so the
+    /// calibration reflects the execution mode the server will use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when a calibration inference fails.
+    pub fn measure_opts(core: &Arc<EngineCore>, exec: &ExecOptions) -> Result<Self, EngineError> {
         let mut scratch = ExecScratch::new();
         let (h, w) = core.image_size();
         let image = Tensor::rand_uniform(&[1, 3, h, w], 0.0, 1.0, 1);
@@ -42,12 +57,49 @@ impl Calibration {
             .last()
             .expect("EngineCore guarantees a non-empty LUT")
             .clone();
-        core.run_entry(&mut scratch, &image, full.clone(), true)?; // warm caches
-        let t0 = Instant::now();
-        core.run_entry(&mut scratch, &image, full.clone(), true)?;
-        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        core.run_entry_opts(&mut scratch, &image, full.clone(), true, exec)?; // warm caches
+        let resource = full.resource;
+        Self::from_timed_runs(
+            &mut || {
+                let t0 = Instant::now();
+                core.run_entry_opts(&mut scratch, &image, full.clone(), true, exec)?;
+                Ok(t0.elapsed().as_secs_f64())
+            },
+            CALIBRATION_RUNS,
+            resource,
+        )
+    }
+
+    /// Builds a calibration by averaging `runs` invocations of
+    /// `timed_run` (each returning one measured duration in seconds) over
+    /// an execution path costing `resource_units`. Split out from
+    /// [`Calibration::measure`] so the averaging is unit-testable with a
+    /// fake clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error `timed_run` returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `runs` is zero or `resource_units` is not positive.
+    pub fn from_timed_runs<E>(
+        timed_run: &mut dyn FnMut() -> Result<f64, E>,
+        runs: usize,
+        resource_units: f64,
+    ) -> Result<Self, E> {
+        assert!(runs >= 1, "calibration needs at least one timed run");
+        assert!(
+            resource_units > 0.0,
+            "calibration path must have positive cost"
+        );
+        let mut total = 0.0;
+        for _ in 0..runs {
+            total += timed_run()?.max(0.0);
+        }
+        let secs = (total / runs as f64).max(1e-9);
         Ok(Calibration {
-            secs_per_unit: secs / full.resource,
+            secs_per_unit: secs / resource_units,
         })
     }
 
@@ -81,6 +133,11 @@ pub struct ServerConfig {
     pub resource_kind: ResourceKind,
     /// How budgets are chosen.
     pub policy: SchedulePolicy,
+    /// Total threads of the intra-inference execution pool shared by all
+    /// workers (1 = each worker runs its inference sequentially). One pool
+    /// is shared so concurrent inferences cooperate on the machine's cores
+    /// instead of oversubscribing them `workers ×`.
+    pub exec_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +147,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
+            exec_threads: 1,
         }
     }
 }
@@ -171,6 +229,9 @@ impl Server {
             })
         };
 
+        // One execution pool shared (via `Arc`) by every worker: cloning
+        // `ExecOptions` clones the handle, not the threads.
+        let exec = ExecOptions::threaded(config.exec_threads);
         let workers = (0..config.workers)
             .map(|_| {
                 let queue = queue.clone();
@@ -178,6 +239,7 @@ impl Server {
                 let core = core.clone();
                 let policy = config.policy;
                 let spu = calibration.secs_per_unit;
+                let exec = exec.clone();
                 std::thread::spawn(move || {
                     let mut scratch = ExecScratch::new();
                     while let PopResult::Item((deadline, sub)) = queue.pop() {
@@ -199,7 +261,7 @@ impl Server {
                         let budget = budget_for(policy, &core, slack_units);
                         let (entry, _fits) = core.select(budget);
                         let inference = core
-                            .run_entry(&mut scratch, &sub.image, entry, true)
+                            .run_entry_opts(&mut scratch, &sub.image, entry, true, &exec)
                             .expect("worker inference failed");
                         let finish = Instant::now();
                         outcomes.lock().push(Outcome::Completed(RequestRecord {
@@ -295,5 +357,51 @@ impl Server {
         }
         let outcomes = self.outcomes.lock();
         ServerMetrics::from_outcomes(&outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_averages_all_timed_runs() {
+        // Fake clock: three scripted durations; the calibration must use
+        // their mean, not any single (noisy) run.
+        let mut durations = [0.010f64, 0.030, 0.020].into_iter();
+        let cal = Calibration::from_timed_runs::<()>(
+            &mut || Ok(durations.next().expect("exactly three runs requested")),
+            3,
+            4.0, // the full path costs 4 LUT units
+        )
+        .unwrap();
+        assert!((cal.secs_per_unit - 0.020 / 4.0).abs() < 1e-12);
+        assert!(durations.next().is_none(), "measure consumed every run");
+    }
+
+    #[test]
+    fn calibration_propagates_timer_errors() {
+        let mut calls = 0;
+        let r = Calibration::from_timed_runs(
+            &mut || {
+                calls += 1;
+                if calls == 2 {
+                    Err("clock broke")
+                } else {
+                    Ok(0.01)
+                }
+            },
+            3,
+            1.0,
+        );
+        assert_eq!(r.unwrap_err(), "clock broke");
+        assert_eq!(calls, 2, "stops at the first failure");
+    }
+
+    #[test]
+    fn calibration_clamps_zero_durations() {
+        let cal =
+            Calibration::from_timed_runs::<()>(&mut || Ok(0.0), CALIBRATION_RUNS, 2.0).unwrap();
+        assert!(cal.secs_per_unit > 0.0, "rate stays positive");
     }
 }

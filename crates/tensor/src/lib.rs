@@ -29,8 +29,10 @@
 
 mod error;
 pub mod ops;
+pub mod par;
 pub mod quant;
 mod tensor;
 
 pub use error::{Result, TensorError};
+pub use par::{BufferPool, ExecCtx, ThreadPool};
 pub use tensor::Tensor;

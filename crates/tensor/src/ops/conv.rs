@@ -1,6 +1,7 @@
 //! 2-D convolution kernels (standard, grouped, and depthwise).
 
 use crate::error::{invalid_argument, invalid_shape, shape_mismatch, Result};
+use crate::par::ExecCtx;
 use crate::tensor::Tensor;
 
 /// Convolution hyper-parameters.
@@ -102,6 +103,88 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     p: Conv2dParams,
 ) -> Result<Tensor> {
+    conv2d_ctx(input, weight, bias, p, &ExecCtx::default())
+}
+
+/// Geometry of one [`conv2d_ctx`] call, shared by every output chunk.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    c_per_g: usize,
+    k_per_g: usize,
+    r: usize,
+    s: usize,
+    oh: usize,
+    ow: usize,
+    p: Conv2dParams,
+}
+
+/// Computes output channel-planes `[row0, row0 + rows)` of the flattened
+/// `(batch, out_channel)` axis into `od` (that range's contiguous slice).
+///
+/// Each output element is one sequentially-accumulated dot product — the
+/// exact operation order of the single-threaded kernel — so splitting the
+/// plane range across threads cannot change a single bit of the result.
+fn conv2d_rows(
+    xd: &[f32],
+    wd: &[f32],
+    bd: Option<&[f32]>,
+    od: &mut [f32],
+    row0: usize,
+    g: ConvGeom,
+) {
+    let plane = g.oh * g.ow;
+    let rows = od.len() / plane;
+    for row in 0..rows {
+        let (b, ko) = ((row0 + row) / g.k, (row0 + row) % g.k);
+        let c_start = (ko / g.k_per_g) * g.c_per_g;
+        let bias_k = bd.map_or(0.0, |bd| bd[ko]);
+        for oy in 0..g.oh {
+            for ox in 0..g.ow {
+                let mut acc = 0.0f32;
+                for ci in 0..g.c_per_g {
+                    let cin = c_start + ci;
+                    for ry in 0..g.r {
+                        let iy = oy * g.p.stride_h + ry;
+                        if iy < g.p.pad_h || iy >= g.h + g.p.pad_h {
+                            continue;
+                        }
+                        let iy = iy - g.p.pad_h;
+                        let wrow = (ko * g.c_per_g + ci) * g.r + ry;
+                        for sx in 0..g.s {
+                            let ix = ox * g.p.stride_w + sx;
+                            if ix < g.p.pad_w || ix >= g.w + g.p.pad_w {
+                                continue;
+                            }
+                            let ix = ix - g.p.pad_w;
+                            acc +=
+                                xd[((b * g.c + cin) * g.h + iy) * g.w + ix] * wd[wrow * g.s + sx];
+                        }
+                    }
+                }
+                od[row * plane + oy * g.ow + ox] = acc + bias_k;
+            }
+        }
+    }
+}
+
+/// [`conv2d`] with an execution context: output channel-planes are tiled
+/// across the context's thread pool and the output buffer is drawn from
+/// its buffer pool. Bit-identical to [`conv2d`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`conv2d`].
+pub fn conv2d_ctx(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor> {
     if input.rank() != 4 || weight.rank() != 4 {
         return Err(invalid_shape(
             "conv2d",
@@ -176,53 +259,27 @@ pub fn conv2d(
         }
     }
     let (oh, ow) = p.out_size(h, w, r, s);
-    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let mut out = ctx.alloc_zeroed(&[n, k, oh, ow]);
     let xd = input.data();
     let wd = weight.data();
-    let od = out.data_mut();
-    let k_per_g = k / p.groups;
-    for b in 0..n {
-        for ko in 0..k {
-            let g = ko / k_per_g;
-            let c_start = g * c_per_g;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ci in 0..c_per_g {
-                        let cin = c_start + ci;
-                        for ry in 0..r {
-                            let iy = oy * p.stride_h + ry;
-                            if iy < p.pad_h || iy >= h + p.pad_h {
-                                continue;
-                            }
-                            let iy = iy - p.pad_h;
-                            let wrow = (ko * c_per_g + ci) * r + ry;
-                            for sx in 0..s {
-                                let ix = ox * p.stride_w + sx;
-                                if ix < p.pad_w || ix >= w + p.pad_w {
-                                    continue;
-                                }
-                                let ix = ix - p.pad_w;
-                                acc += xd[((b * c + cin) * h + iy) * w + ix] * wd[wrow * s + sx];
-                            }
-                        }
-                    }
-                    od[((b * k + ko) * oh + oy) * ow + ox] = acc;
-                }
-            }
-        }
-    }
-    if let Some(bias) = bias {
-        let bd = bias.data();
-        for b in 0..n {
-            for (ko, &bias_k) in bd.iter().enumerate() {
-                let base = (b * k + ko) * oh * ow;
-                for i in 0..oh * ow {
-                    od[base + i] += bias_k;
-                }
-            }
-        }
-    }
+    let bd = bias.map(Tensor::data);
+    let geom = ConvGeom {
+        c,
+        h,
+        w,
+        k,
+        c_per_g,
+        k_per_g: k / p.groups,
+        r,
+        s,
+        oh,
+        ow,
+        p,
+    };
+    let plane = oh * ow;
+    ctx.for_each_row_chunk(out.data_mut(), plane, |_, start, piece| {
+        conv2d_rows(xd, wd, bd, piece, start / plane.max(1), geom);
+    });
     Ok(out)
 }
 

@@ -1,7 +1,31 @@
 //! Matrix multiplication and linear (fully-connected) kernels.
 
 use crate::error::{invalid_shape, shape_mismatch, Result};
+use crate::par::ExecCtx;
 use crate::tensor::Tensor;
+
+/// Computes output rows of one `[m, k] x [k, n]` product into `od`, the
+/// contiguous slice for rows `[row0, row0 + od.len() / n)`.
+///
+/// The per-row loop (including the zero-skip) is byte-for-byte the
+/// sequential kernel's, so row partitioning cannot change any result bit.
+fn matmul_rows(ad: &[f32], bd: &[f32], od: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = od.len() / n.max(1);
+    for row in 0..rows {
+        let i = row0 + row;
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[row * n..(row + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
 
 /// Multiplies two 2-D matrices: `a` is `[m, k]`, `b` is `[k, n]`, the result
 /// is `[m, n]`.
@@ -23,6 +47,16 @@ use crate::tensor::Tensor;
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_ctx(a, b, &ExecCtx::default())
+}
+
+/// [`matmul`] with an execution context: output rows are tiled across the
+/// context's thread pool. Bit-identical to [`matmul`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`matmul`].
+pub fn matmul_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
     if a.rank() != 2 || b.rank() != 2 {
         return Err(invalid_shape(
             "matmul",
@@ -42,24 +76,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             format!("{:?} x {:?}", a.shape(), b.shape()),
         ));
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    let mut out = ctx.alloc_zeroed(&[m, n]);
     let ad = a.data();
     let bd = b.data();
-    let od = out.data_mut();
     // i-k-j loop order for stride-1 inner access on both b and out.
-    for i in 0..m {
-        for kk in 0..k {
-            let av = ad[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            let orow = &mut od[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
-    }
+    ctx.for_each_row_chunk(out.data_mut(), n, |_, start, piece| {
+        matmul_rows(ad, bd, piece, start / n.max(1), k, n);
+    });
     Ok(out)
 }
 
@@ -71,6 +94,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`crate::TensorError::ShapeMismatch`] when batch or inner
 /// dimensions disagree.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bmm_ctx(a, b, &ExecCtx::default())
+}
+
+/// [`bmm`] with an execution context: batches are tiled across the
+/// context's thread pool. Bit-identical to [`bmm`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`bmm`].
+pub fn bmm_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
     if a.rank() != 3 || b.rank() != 3 || a.shape()[0] != b.shape()[0] {
         return Err(shape_mismatch(
             "bmm",
@@ -87,13 +120,27 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             format!("{:?} x {:?}", a.shape(), b.shape()),
         ));
     }
-    let mut out = Tensor::zeros(&[batch, m, n]);
-    for bi in 0..batch {
-        let a2 = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k])?;
-        let b2 = Tensor::from_vec(b.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n])?;
-        let o2 = matmul(&a2, &b2)?;
-        out.data_mut()[bi * m * n..(bi + 1) * m * n].copy_from_slice(o2.data());
-    }
+    let mut out = ctx.alloc_zeroed(&[batch, m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let per = m * n;
+    // Chunk on whole batches; each batch is an independent [m, k] x [k, n]
+    // product computed directly on the input slices (same values and
+    // operation order as the per-batch copies the sequential path used).
+    ctx.for_each_row_chunk(out.data_mut(), per, |_, start, piece| {
+        let b0 = start / per.max(1);
+        for (off, opiece) in piece.chunks_mut(per.max(1)).enumerate() {
+            let bi = b0 + off;
+            matmul_rows(
+                &ad[bi * m * k..(bi + 1) * m * k],
+                &bd[bi * k * n..(bi + 1) * k * n],
+                opiece,
+                0,
+                k,
+                n,
+            );
+        }
+    });
     Ok(out)
 }
 
@@ -109,6 +156,21 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`crate::TensorError::ShapeMismatch`] when `in_features` or the
 /// bias length disagree.
 pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    linear_ctx(input, weight, bias, &ExecCtx::default())
+}
+
+/// [`linear`] with an execution context: output rows are tiled across the
+/// context's thread pool. Bit-identical to [`linear`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`linear`].
+pub fn linear_ctx(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor> {
     if weight.rank() != 2 {
         return Err(invalid_shape(
             "linear",
@@ -138,33 +200,30 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<
             ));
         }
     }
-    let rows = input.numel() / in_features;
     let mut out_shape = input.shape().to_vec();
     *out_shape.last_mut().expect("non-empty shape") = out_features;
-    let mut out = Tensor::zeros(&out_shape);
+    let mut out = ctx.alloc_zeroed(&out_shape);
     let xd = input.data();
     let wd = weight.data();
-    let od = out.data_mut();
-    for r in 0..rows {
-        let xrow = &xd[r * in_features..(r + 1) * in_features];
-        let orow = &mut od[r * out_features..(r + 1) * out_features];
-        for (o, orow_o) in orow.iter_mut().enumerate() {
-            let wrow = &wd[o * in_features..(o + 1) * in_features];
-            let mut acc = 0.0;
-            for (xi, wi) in xrow.iter().zip(wrow.iter()) {
-                acc += xi * wi;
-            }
-            *orow_o = acc;
-        }
-    }
-    if let Some(b) = bias {
-        let bd = b.data();
-        for r in 0..rows {
-            for o in 0..out_features {
-                od[r * out_features + o] += bd[o];
+    let bd = bias.map(Tensor::data);
+    // Chunk on output rows. Folding the bias into each row's final store
+    // (`acc + bias`) is bitwise identical to the former write-then-add
+    // passes because the output starts zeroed.
+    ctx.for_each_row_chunk(out.data_mut(), out_features, |_, start, piece| {
+        let r0 = start / out_features.max(1);
+        for (row, orow) in piece.chunks_mut(out_features.max(1)).enumerate() {
+            let r = r0 + row;
+            let xrow = &xd[r * in_features..(r + 1) * in_features];
+            for (o, orow_o) in orow.iter_mut().enumerate() {
+                let wrow = &wd[o * in_features..(o + 1) * in_features];
+                let mut acc = 0.0;
+                for (xi, wi) in xrow.iter().zip(wrow.iter()) {
+                    acc += xi * wi;
+                }
+                *orow_o = acc + bd.map_or(0.0, |bd| bd[o]);
             }
         }
-    }
+    });
     Ok(out)
 }
 

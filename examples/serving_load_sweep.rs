@@ -61,6 +61,7 @@ fn main() {
             queue_depth: 32,
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
+            exec_threads: 1,
         },
     );
 

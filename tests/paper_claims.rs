@@ -263,6 +263,159 @@ fn claim_batching_pushes_swin_curve_left() {
     assert!(saving_b16 > 0.20, "batch-16 saving {saving_b16:.3}");
 }
 
+// ---------------------------------------------------------------------------
+// Golden snapshots: exact pins of the engine's Pareto-path selection and of
+// measured pruned-vs-full output fidelity at the executable 64x64 geometry.
+// These values are deterministic (analytical profiler + seeded weights and
+// scenes); a legitimate change to weight generation, the profiler, or LUT
+// construction must update them consciously.
+// ---------------------------------------------------------------------------
+
+fn b0_engine() -> vit_drt::DrtEngine {
+    vit_drt::DrtEngine::segformer(
+        SegFormerVariant::b0(),
+        Workload::SegFormerAde,
+        (64, 64),
+        vit_resilience::ResourceKind::GpuTime,
+    )
+    .unwrap()
+}
+
+fn swin_tiny_engine() -> vit_drt::DrtEngine {
+    let v = SwinVariant::tiny();
+    let space: Vec<vit_models::SwinDynamic> = [2048usize, 1536, 1024, 512]
+        .iter()
+        .map(|&ch| vit_models::SwinDynamic {
+            depths: v.depths,
+            bottleneck_in_channels: ch,
+        })
+        .collect();
+    vit_drt::DrtEngine::swin(
+        v,
+        Workload::SwinTinyAde,
+        (64, 64),
+        &space,
+        vit_resilience::ResourceKind::GpuTime,
+    )
+    .unwrap()
+}
+
+#[test]
+fn golden_segformer_b0_pareto_path_selection() {
+    use vit_drt::LutConfig;
+    let engine = b0_engine();
+    let lut = engine.lut();
+    assert_eq!(lut.len(), 37, "LUT size changed");
+    let first = &lut.entries()[0];
+    assert!(
+        (first.norm_resource - 0.603655).abs() < 1e-5,
+        "cheapest norm_resource {}",
+        first.norm_resource
+    );
+    assert!(
+        (first.norm_miou - 0.498262).abs() < 1e-5,
+        "cheapest norm_miou {}",
+        first.norm_miou
+    );
+    let full = engine.max_resource();
+    assert!((full - 0.001629270).abs() < 1e-8, "max_resource {full}");
+    // Below the cheapest path the budget is infeasible.
+    assert!(lut.lookup(0.55 * full).is_err());
+    // The selected depths walk the Pareto frontier one stage at a time; the
+    // fuse stays at full width because the fuse cut buys little at 64x64.
+    let expect = [
+        (0.65, [1usize, 1, 1, 1]),
+        (0.75, [1, 1, 2, 1]),
+        (0.85, [1, 1, 2, 2]),
+        (0.95, [1, 2, 2, 2]),
+        (1.0, [2, 2, 2, 2]),
+    ];
+    for (frac, want_depths) in expect {
+        let e = lut.lookup(frac * full).unwrap();
+        match e.config {
+            LutConfig::SegFormer {
+                depths,
+                fuse_in_channels,
+                ..
+            } => {
+                assert_eq!(depths, want_depths, "depths at budget fraction {frac}");
+                assert_eq!(fuse_in_channels, 1024, "fuse at budget fraction {frac}");
+            }
+            ref other => panic!("unexpected config {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn golden_swin_tiny_pareto_path_selection() {
+    use vit_drt::LutConfig;
+    let engine = swin_tiny_engine();
+    let lut = engine.lut();
+    assert_eq!(lut.len(), 4, "LUT size changed");
+    let golden = [
+        (512usize, 0.715023, 0.58),
+        (1024, 0.810486, 0.77),
+        (1536, 0.905949, 0.91),
+        (2048, 1.0, 1.0),
+    ];
+    for (e, (ch, res, miou)) in lut.entries().iter().zip(golden) {
+        match e.config {
+            LutConfig::Swin {
+                bottleneck_in_channels,
+                ..
+            } => {
+                assert_eq!(bottleneck_in_channels, ch)
+            }
+            ref other => panic!("unexpected config {other:?}"),
+        }
+        assert!(
+            (e.norm_resource - res).abs() < 1e-5,
+            "norm_resource {}",
+            e.norm_resource
+        );
+        assert!(
+            (e.norm_miou - miou).abs() < 1e-5,
+            "norm_miou {}",
+            e.norm_miou
+        );
+    }
+    let full = engine.max_resource();
+    assert!(lut.lookup(0.7 * full).is_err());
+    for (frac, want_ch) in [(0.8, 512), (0.9, 1024), (1.0, 2048)] {
+        match lut.lookup(frac * full).unwrap().config {
+            LutConfig::Swin {
+                bottleneck_in_channels,
+                ..
+            } => {
+                assert_eq!(bottleneck_in_channels, want_ch, "at budget fraction {frac}")
+            }
+            ref other => panic!("unexpected config {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn golden_output_fidelity_cheapest_vs_full_path() {
+    use vit_data::{pixel_accuracy, Dataset, SceneGenerator};
+    let scene = SceneGenerator::new(Dataset::Ade20k, 5).sample_sized(0, 64, 64);
+
+    let mut b0 = b0_engine();
+    let full = b0.max_resource();
+    let full_out = b0.infer(&scene.image, full).unwrap();
+    let cheapest = b0.lut().entries()[0].norm_resource;
+    let cheap_out = b0.infer(&scene.image, (cheapest + 0.02) * full).unwrap();
+    let agree = pixel_accuracy(&cheap_out.label_map, &full_out.label_map);
+    assert!((agree - 0.310791).abs() < 1e-6, "B0 fidelity {agree}");
+
+    let mut swin = swin_tiny_engine();
+    let sfull = swin.max_resource();
+    let sf = swin.infer(&scene.image, sfull).unwrap();
+    let scheap = swin.lut().entries()[0].norm_resource;
+    let sc = swin.infer(&scene.image, (scheap + 0.02) * sfull).unwrap();
+    let sagree = pixel_accuracy(&sc.label_map, &sf.label_map);
+    assert!((sagree - 0.872070).abs() < 1e-6, "Swin fidelity {sagree}");
+}
+
 #[test]
 fn claim_736_channel_config_beats_full_model() {
     // The paper's surprising no-retraining improvement.

@@ -55,6 +55,7 @@ fn server(core: &Arc<EngineCore>, workers: usize, queue_depth: usize) -> Server 
             queue_depth,
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
+            exec_threads: 1,
         },
     )
 }
@@ -162,6 +163,84 @@ fn tighter_deadlines_select_cheaper_configs() {
     assert!((loose_mean - max).abs() < 1e-12);
     // A tight budget can never select a path costing more than the slack.
     assert!(tight_mean <= min * 1.5);
+}
+
+/// Overload stress: several producer threads hammer a small server (two
+/// workers sharing one parallel execution pool, a shallow ingress queue)
+/// with a mix of impossible and satisfiable deadlines, concurrently. The
+/// server must not deadlock, and the metrics must conserve every
+/// submission: completed + shed (for any reason) == submitted, with no
+/// record dropped or double-counted under contention.
+#[test]
+fn concurrent_producers_under_overload_conserve_every_record() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let core = shared_core();
+    let min = core.min_resource();
+    let srv = Server::start(
+        Arc::clone(&core),
+        Calibration::from_secs_per_unit(SPU),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 4,
+            resource_kind: ResourceKind::GpuTime,
+            policy: SchedulePolicy::DrtDynamic,
+            exec_threads: 2,
+        },
+    );
+
+    const PRODUCERS: usize = 6;
+    const PER_PRODUCER: usize = 8;
+    let accepted = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let (srv, accepted, rejected) = (&srv, &accepted, &rejected);
+            s.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    // A third of the load is infeasible (below the cheapest
+                    // path) so admission-control shedding races with worker
+                    // completion records; the rest is tight but satisfiable.
+                    let units = if (p + i) % 3 == 0 {
+                        min * 0.2
+                    } else {
+                        min * 1.5
+                    };
+                    match srv.submit(request(units)).expect("right resource kind") {
+                        true => accepted.fetch_add(1, Ordering::Relaxed),
+                        false => rejected.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    let m = srv.shutdown();
+
+    let total = PRODUCERS * PER_PRODUCER;
+    assert_eq!(m.submitted, total, "every submission is recorded");
+    assert!(
+        m.accounts_for_all_submissions(),
+        "completed {} + shed {} != submitted {}",
+        m.completed,
+        m.shed(),
+        m.submitted
+    );
+    assert_eq!(
+        accepted.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed),
+        total
+    );
+    // Shed-at-submit outcomes (no-slack + queue-full) are exactly the
+    // rejected submissions; everything accepted ran or was shed late.
+    assert_eq!(
+        m.shed_no_slack + m.shed_queue_full,
+        rejected.load(Ordering::Relaxed)
+    );
+    assert!(m.shed_no_slack > 0, "infeasible deadlines must be shed");
+    assert!(m.completed > 0, "satisfiable deadlines must complete");
+    assert_eq!(
+        m.deadline_misses, 0,
+        "minutes of synthetic slack are never missed"
+    );
 }
 
 /// The wall-clock calibration path: measuring on this machine produces a
