@@ -1,0 +1,31 @@
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vit_tensor::par::ThreadPool;
+
+// If the closure passed to `scope` panics after spawning, does the spawned
+// job still run afterwards (i.e. after the scope frame has unwound)?
+#[test]
+fn job_outlives_panicked_scope_body() {
+    let pool = ThreadPool::new(2);
+    let ran_after_unwind = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&ran_after_unwind);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        let local = vec![1u8, 2, 3]; // stands in for borrowed stack data
+        pool.scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(Duration::from_millis(100));
+                // reads `local` — by now the scope frame has unwound
+                let _ = local.len();
+                flag.store(true, Ordering::SeqCst);
+            });
+            panic!("scope body panics after spawning");
+        });
+    }));
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        !ran_after_unwind.load(Ordering::SeqCst),
+        "job ran AFTER the scope unwound: borrowed stack data was dangling"
+    );
+}
