@@ -6,6 +6,7 @@ pub mod characterization;
 pub mod engine;
 pub mod headline;
 pub mod parallel;
+pub mod profile;
 pub mod resilience;
 pub mod serve;
 pub mod verify;

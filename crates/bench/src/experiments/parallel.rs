@@ -12,20 +12,26 @@
 //! valid regression baseline.
 
 use crate::{banner, f, Table};
+use std::sync::Arc;
 use std::time::Instant;
-use vit_graph::{ExecOptions, ExecScratch, Graph, WeightGen};
+use vit_graph::{ExecOptions, ExecScratch, Graph, RunContext, WeightGen};
 use vit_models::{
     build_segformer, build_swin_upernet, SegFormerConfig, SegFormerVariant, SwinConfig, SwinVariant,
 };
+use vit_profiler::Profile;
 use vit_tensor::Tensor;
+use vit_trace::{chrome_trace_json, validate, EventKind, RingBufferSink, TraceSink};
 
-/// Flags for [`bench`].
-#[derive(Debug, Default, Clone, Copy)]
+/// Flags for [`bench()`].
+#[derive(Debug, Default, Clone)]
 pub struct BenchArgs {
     /// Write `BENCH_parallel_exec.json` next to the table output.
     pub json: bool,
     /// Smoke mode for CI: fewer repetitions and thread counts.
     pub quick: bool,
+    /// Run the tracing section: gate the disabled-tracing overhead,
+    /// validate a captured trace, and write it to this path.
+    pub trace: Option<String>,
 }
 
 struct Case {
@@ -88,18 +94,18 @@ fn time_run(
     scratch: &mut ExecScratch,
     gen: WeightGen,
     case: &Case,
-    opts: &ExecOptions,
+    ctx: &RunContext,
     reps: usize,
 ) -> (f64, Tensor) {
     let inputs = std::slice::from_ref(&case.image);
     let mut out = scratch
-        .run_opts(gen, &case.graph, inputs, opts)
+        .run_with(gen, &case.graph, inputs, ctx)
         .expect("bench graph runs"); // warm weights, graphs, buffers
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
         out = scratch
-            .run_opts(gen, &case.graph, inputs, opts)
+            .run_with(gen, &case.graph, inputs, ctx)
             .expect("bench graph runs");
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
     }
@@ -126,12 +132,11 @@ pub fn bench(args: BenchArgs) {
     ]);
     for case in cases() {
         let mut scratch = ExecScratch::new();
-        let (seq_ms, seq_out) =
-            time_run(&mut scratch, gen, &case, &ExecOptions::sequential(), reps);
+        let (seq_ms, seq_out) = time_run(&mut scratch, gen, &case, &RunContext::default(), reps);
         let mut parallel = Vec::new();
         for &threads in thread_counts {
-            let opts = ExecOptions::threaded(threads);
-            let (ms, out) = time_run(&mut scratch, gen, &case, &opts, reps);
+            let ctx = RunContext::default().with_exec(ExecOptions::threaded(threads));
+            let (ms, out) = time_run(&mut scratch, gen, &case, &ctx, reps);
             let identical = out == seq_out;
             assert!(
                 identical,
@@ -166,6 +171,113 @@ pub fn bench(args: BenchArgs) {
             .expect("write benchmark JSON");
         println!("\nwrote {path}");
     }
+
+    if let Some(path) = &args.trace {
+        trace_section(gen, args.quick, path);
+    }
+}
+
+/// Median of a sample (not the best-of used for speedups: an overhead
+/// *gate* must compare typical costs, where a one-sided best would hide a
+/// constant per-event tax in the noise floor).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// One timed full-graph run under `ctx`, in milliseconds.
+fn one_run_ms(scratch: &mut ExecScratch, gen: WeightGen, case: &Case, ctx: &RunContext) -> f64 {
+    let t0 = Instant::now();
+    scratch
+        .run_with(gen, &case.graph, std::slice::from_ref(&case.image), ctx)
+        .expect("bench graph runs");
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// The `--trace` section: gates the disabled-tracing cost and proves a
+/// captured trace is trustworthy before writing it out.
+///
+/// Since the redesign there is no sink-free execution path — disabled
+/// tracing (the `NullSink`) *is* the baseline — so its cost is gated with
+/// an A/A comparison: two interleaved groups of identical `NullSink` runs
+/// must agree within 2% at the median, which bounds the per-event seam
+/// (one virtual `enabled()` call) plus machine noise. The overhead of an
+/// *enabled* ring-buffer sink is reported for information.
+fn trace_section(gen: WeightGen, quick: bool, path: &str) {
+    let all = cases();
+    let case = &all[0]; // segformer-b0: the acceptance target
+    let reps = if quick { 8 } else { 12 };
+    println!(
+        "\ntracing — A/A NullSink gate on {}, median of {reps}:",
+        case.name
+    );
+
+    let mut scratch = ExecScratch::new();
+    let null_a = RunContext::default();
+    let null_b = RunContext::default();
+    let ring = Arc::new(RingBufferSink::new(1 << 20));
+    let traced = RunContext::default().with_sink(ring.clone() as Arc<dyn TraceSink>);
+    for ctx in [&null_a, &null_b, &traced] {
+        one_run_ms(&mut scratch, gen, case, ctx); // warm weights + buffers
+    }
+    let (mut a, mut b, mut t) = (Vec::new(), Vec::new(), Vec::new());
+    for i in 0..reps {
+        // Alternate the A/B order each iteration so machine drift within
+        // an iteration biases both groups' medians equally instead of
+        // always penalizing the second group.
+        if i % 2 == 0 {
+            a.push(one_run_ms(&mut scratch, gen, case, &null_a));
+            b.push(one_run_ms(&mut scratch, gen, case, &null_b));
+        } else {
+            b.push(one_run_ms(&mut scratch, gen, case, &null_b));
+            a.push(one_run_ms(&mut scratch, gen, case, &null_a));
+        }
+        t.push(one_run_ms(&mut scratch, gen, case, &traced));
+    }
+    let (ma, mb, mt) = (median(&mut a), median(&mut b), median(&mut t));
+    let aa_delta = (mb / ma - 1.0).abs();
+    println!(
+        "  null A {ma:.3} ms, null B {mb:.3} ms (A/A delta {:.2}%); \
+         ring-buffer sink {mt:.3} ms ({:+.2}% vs disabled, informational)",
+        aa_delta * 1e2,
+        (mt / ma - 1.0) * 1e2,
+    );
+    assert!(
+        aa_delta < 0.02,
+        "disabled-tracing A/A medians diverged by {:.2}% (>= 2%)",
+        aa_delta * 1e2
+    );
+
+    // One fresh traced run for the exported artifact, then prove it:
+    // well-formed, complete (every node has a span), and FLOP-exact
+    // against the static profiler count.
+    ring.take();
+    one_run_ms(&mut scratch, gen, case, &traced);
+    let events = ring.take();
+    assert_eq!(ring.dropped(), 0, "trace ring was large enough");
+    validate(&events).expect("captured trace is well-formed");
+    let node_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Node { .. }))
+        .count();
+    assert_eq!(node_events, case.graph.len(), "one span per graph node");
+    let traced_flops: u64 = events
+        .iter()
+        .map(|e| match &e.kind {
+            EventKind::Node { flops, .. } => *flops,
+            _ => 0,
+        })
+        .sum();
+    let static_flops = Profile::flops_only(&case.graph).total_flops();
+    assert_eq!(
+        traced_flops, static_flops,
+        "traced FLOPs diverge from the static profiler count"
+    );
+    std::fs::write(path, chrome_trace_json(&events)).expect("write chrome trace JSON");
+    println!(
+        "  captured {} events ({node_events} node spans, FLOPs match static count); wrote {path}",
+        events.len()
+    );
 }
 
 fn render_json(cores: usize, reps: usize, quick: bool, results: &[CaseResult]) -> String {

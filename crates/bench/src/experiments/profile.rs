@@ -1,0 +1,130 @@
+//! `repro profile <model> <budget>`: one traced DRT inference, exported
+//! as a chrome://tracing / Perfetto-loadable JSON plus a flame-style
+//! summary table.
+//!
+//! The run is traced cold on purpose: the graph build, weight
+//! materialization, and LUT selection phases are exactly what a latency
+//! investigation wants to see next to the per-node execution spans. The
+//! traced per-op FLOPs are cross-checked against the static count
+//! `vit-profiler` computes for the executed graph — the trace is only
+//! written after that agreement holds.
+
+use crate::banner;
+use std::sync::Arc;
+use vit_drt::{DrtEngine, RunContext};
+use vit_graph::ExecOptions;
+use vit_models::SegFormerVariant;
+use vit_profiler::Profile;
+use vit_resilience::{ResourceKind, Workload};
+use vit_tensor::Tensor;
+use vit_trace::{chrome_trace_json, validate, EventKind, FlameSummary, RingBufferSink, TraceSink};
+
+/// Arguments of `repro profile`.
+#[derive(Debug, Clone)]
+pub struct ProfileArgs {
+    /// Model to profile (`segformer-b0` or `segformer-b2`).
+    pub model: String,
+    /// Budget as a fraction of the full path's resource, in `(0, 1]`.
+    pub budget: f64,
+    /// Where to write the chrome-trace JSON.
+    pub out: String,
+    /// Threads of the intra-inference execution pool (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> Self {
+        ProfileArgs {
+            model: String::new(),
+            budget: 1.0,
+            out: "trace.json".to_string(),
+            threads: 1,
+        }
+    }
+}
+
+/// `repro profile`: trace one inference and export it. Exits non-zero on
+/// an unknown model or an out-of-range budget.
+pub fn profile(args: ProfileArgs) {
+    let variant = match args.model.as_str() {
+        "segformer-b0" => SegFormerVariant::b0(),
+        "segformer-b2" => SegFormerVariant::b2(),
+        other => {
+            eprintln!("unknown profile model `{other}` (expected segformer-b0 or segformer-b2)");
+            std::process::exit(2);
+        }
+    };
+    if !(args.budget > 0.0 && args.budget <= 1.0) {
+        eprintln!(
+            "budget {} out of range: expected a fraction of the full path in (0, 1]",
+            args.budget
+        );
+        std::process::exit(2);
+    }
+    banner(&format!(
+        "profile — one traced inference of {} at budget {:.3}x full",
+        args.model, args.budget
+    ));
+
+    let engine = DrtEngine::segformer(
+        variant,
+        Workload::SegFormerAde,
+        (64, 64),
+        ResourceKind::GpuTime,
+    )
+    .expect("engine builds");
+    let core = engine.core().clone();
+    let sink = Arc::new(RingBufferSink::new(1 << 20));
+    let exec = if args.threads > 1 {
+        ExecOptions::threaded(args.threads)
+    } else {
+        ExecOptions::sequential()
+    };
+    let ctx = RunContext::default()
+        .with_exec(exec)
+        .with_sink(sink.clone() as Arc<dyn TraceSink>);
+
+    let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 7);
+    let mut scratch = vit_graph::ExecScratch::new();
+    let budget_units = args.budget * core.max_resource();
+    let inference = core
+        .infer(&mut scratch, &image, budget_units, &ctx)
+        .expect("profiled inference runs");
+    println!(
+        "selected {:?} (met budget: {}, est. norm mIoU {:.3})",
+        inference.config, inference.met_budget, inference.norm_miou_estimate
+    );
+
+    let events = sink.take();
+    assert_eq!(sink.dropped(), 0, "trace ring was large enough");
+    validate(&events).expect("captured trace is well-formed");
+
+    // Cross-check: the traced per-node FLOPs must sum to exactly the
+    // static count vit-profiler reports for the graph that executed.
+    let graph = core.graph(inference.config).expect("executed graph builds");
+    let static_flops = Profile::flops_only(&graph).total_flops();
+    let traced_flops: u64 = events
+        .iter()
+        .map(|e| match &e.kind {
+            EventKind::Node { flops, .. } => *flops,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(
+        traced_flops, static_flops,
+        "traced FLOPs diverge from the static profiler count"
+    );
+    println!(
+        "traced FLOPs {traced_flops} == static profiler count {static_flops} \
+         over {} events\n",
+        events.len()
+    );
+
+    print!("{}", FlameSummary::from_events(&events, 10).render());
+
+    std::fs::write(&args.out, chrome_trace_json(&events)).expect("write chrome trace JSON");
+    println!(
+        "\nwrote {} — load it at chrome://tracing or https://ui.perfetto.dev",
+        args.out
+    );
+}

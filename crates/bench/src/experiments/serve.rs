@@ -81,6 +81,7 @@ pub fn serve() {
         "miss rate",
         "shed rate",
         "p99 latency (ms)",
+        "p50/p95/p99 qwait (ms)",
         "delivered acc",
     ]);
     let mut overload_ok = true;
@@ -93,6 +94,12 @@ pub fn serve() {
                 pct(m.deadline_miss_rate),
                 pct(m.shed_rate),
                 f(m.p99_latency * 1e3, 3),
+                format!(
+                    "{} / {} / {}",
+                    f(m.p50_queue_wait * 1e3, 3),
+                    f(m.p95_queue_wait * 1e3, 3),
+                    f(m.p99_queue_wait * 1e3, 3),
+                ),
                 f(m.mean_delivered_accuracy, 3),
             ]);
         }

@@ -45,7 +45,17 @@ regression benchmarks:
   bench       sequential vs parallel wavefront executor on full model
               paths; asserts bit-identical outputs
               (flags: --json write BENCH_parallel_exec.json,
-               --quick fewer reps/threads for CI smoke runs)
+               --quick fewer reps/threads for CI smoke runs,
+               --trace <path> gate disabled-tracing overhead and write a
+               validated chrome-trace JSON)
+
+profiling:
+  profile     one traced DRT inference: flame summary + chrome-trace JSON
+              usage: repro profile <model> <budget> [--threads N] [--out PATH]
+              model: segformer-b0 | segformer-b2
+              budget: fraction of the full path in (0, 1]
+              (default --out trace.json; load at chrome://tracing or
+               https://ui.perfetto.dev)
 
 summary:
   headline    every headline claim, paper vs ours
@@ -98,10 +108,17 @@ fn main() {
         }
         "bench" => {
             let mut args = parallel::BenchArgs::default();
-            for flag in std::env::args().skip(2) {
+            let mut rest = std::env::args().skip(2);
+            while let Some(flag) = rest.next() {
                 match flag.as_str() {
                     "--json" => args.json = true,
                     "--quick" => args.quick = true,
+                    "--trace" => {
+                        args.trace = Some(rest.next().unwrap_or_else(|| {
+                            eprintln!("--trace needs a path\n\n{USAGE}");
+                            std::process::exit(2);
+                        }));
+                    }
                     other => {
                         eprintln!("unknown bench flag `{other}`\n\n{USAGE}");
                         std::process::exit(2);
@@ -109,6 +126,42 @@ fn main() {
                 }
             }
             parallel::bench(args);
+        }
+        "profile" => {
+            let mut rest = std::env::args().skip(2);
+            let mut args = profile::ProfileArgs {
+                model: rest.next().unwrap_or_else(|| {
+                    eprintln!("profile needs a model\n\n{USAGE}");
+                    std::process::exit(2);
+                }),
+                ..profile::ProfileArgs::default()
+            };
+            args.budget = rest.next().and_then(|b| b.parse().ok()).unwrap_or_else(|| {
+                eprintln!("profile needs a numeric budget fraction\n\n{USAGE}");
+                std::process::exit(2);
+            });
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--threads" => {
+                        args.threads =
+                            rest.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                                eprintln!("--threads needs a positive integer\n\n{USAGE}");
+                                std::process::exit(2);
+                            });
+                    }
+                    "--out" => {
+                        args.out = rest.next().unwrap_or_else(|| {
+                            eprintln!("--out needs a path\n\n{USAGE}");
+                            std::process::exit(2);
+                        });
+                    }
+                    other => {
+                        eprintln!("unknown profile flag `{other}`\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            profile::profile(args);
         }
         "headline" => headline::headline(),
         "ablations" => ablations::all(),

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use vit_accel::AccelConfig;
-use vit_graph::{ExecError, ExecOptions, ExecScratch, Graph, WeightGen};
+use vit_graph::{ExecError, ExecOptions, ExecScratch, Graph, RunContext, WeightGen};
 use vit_models::{
     build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant, SwinConfig,
     SwinVariant,
@@ -22,6 +22,7 @@ use vit_resilience::{
     AccelResource, ResourceKind, Workload,
 };
 use vit_tensor::Tensor;
+use vit_trace::{now_ns, EventKind, Phase as TracePhase};
 
 /// The model family an engine serves.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +35,7 @@ pub enum EngineFamily {
 
 /// Error from engine construction or inference.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// A graph failed to build for a selected configuration.
     Model(ModelError),
@@ -114,7 +116,7 @@ pub struct Inference {
 pub struct DrtEngine {
     core: Arc<EngineCore>,
     scratch: ExecScratch,
-    exec: ExecOptions,
+    ctx: RunContext,
 }
 
 /// The shareable heart of the engine: the LUT, the model family, and a
@@ -217,10 +219,23 @@ impl EngineCore {
         }
     }
 
-    /// The built graph for `config`, from the concurrent cache.
-    fn graph_for(&self, config: LutConfig) -> Result<Arc<Graph>, EngineError> {
+    /// The built execution graph for `config`, from the concurrent cache.
+    /// This is the exact graph [`EngineCore::run`] executes for the
+    /// config, so static analyses (e.g. `vit-profiler` FLOP counts) can be
+    /// cross-checked against traced runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction fails.
+    pub fn graph(&self, config: LutConfig) -> Result<Arc<Graph>, EngineError> {
+        Ok(self.graph_for(config)?.0)
+    }
+
+    /// The built graph for `config`, from the concurrent cache; the flag
+    /// reports whether this call was served from the cache.
+    fn graph_for(&self, config: LutConfig) -> Result<(Arc<Graph>, bool), EngineError> {
         if let Some(g) = self.graph_cache.read().get(&config) {
-            return Ok(g.clone());
+            return Ok((g.clone(), true));
         }
         // Build outside any lock: graph construction is the expensive part
         // and must not serialize other workers' cache hits. Two workers may
@@ -260,87 +275,101 @@ impl EngineCore {
             g.check_invariants().unwrap_err()
         );
         let mut cache = self.graph_cache.write();
-        Ok(cache.entry(config).or_insert(g).clone())
+        Ok((cache.entry(config).or_insert(g).clone(), false))
     }
 
     /// Runs one dynamic inference using the caller's scratch: picks the
-    /// best path for `budget` (in the LUT's resource units), executes it,
-    /// and returns the outputs with the precomputed accuracy estimate.
+    /// best path for `budget` (in the LUT's resource units) under the
+    /// given [`RunContext`], executes it, and returns the outputs with the
+    /// precomputed accuracy estimate.
     ///
     /// When the budget is below every path, the cheapest path runs and
     /// [`Inference::met_budget`] is false.
     ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
-    pub fn infer_with(
-        &self,
-        scratch: &mut ExecScratch,
-        image: &Tensor,
-        budget: f64,
-    ) -> Result<Inference, EngineError> {
-        let (entry, met) = self.select(budget);
-        self.run_entry(scratch, image, entry, met)
-    }
-
-    /// [`EngineCore::infer_with`] with explicit [`ExecOptions`]. The
-    /// parallel path is bit-identical to the sequential one, so this only
-    /// changes latency, never predictions.
+    /// With an enabled trace sink this additionally records a
+    /// [`TracePhase::LutSelect`] span around the lookup, on top of
+    /// everything [`EngineCore::run`] records. Tracing never changes what
+    /// is computed.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] when graph construction or execution fails.
-    pub fn infer_with_opts(
+    pub fn infer(
         &self,
         scratch: &mut ExecScratch,
         image: &Tensor,
         budget: f64,
-        opts: &ExecOptions,
+        ctx: &RunContext,
     ) -> Result<Inference, EngineError> {
+        let sink = ctx.sink.as_ref();
+        let sel_start = sink.timestamp();
         let (entry, met) = self.select(budget);
-        self.run_entry_opts(scratch, image, entry, met, opts)
+        if sink.enabled() {
+            sink.record(EventKind::Phase {
+                phase: TracePhase::LutSelect,
+                detail: format!("budget={budget:.3} -> {:?}", entry.config),
+                start_ns: sel_start,
+                end_ns: now_ns(),
+            });
+        }
+        self.run(scratch, image, entry, met, ctx)
     }
 
     /// Runs a specific LUT entry (as returned by [`EngineCore::select`])
-    /// — the execution half of `infer_with`, for callers that already
-    /// committed to a configuration at scheduling time.
+    /// under a [`RunContext`] — the execution half of [`EngineCore::infer`],
+    /// for callers that already committed to a configuration at scheduling
+    /// time (serving workers run this on a shared thread pool).
+    ///
+    /// With an enabled trace sink this records a graph-cache hit/miss
+    /// counter, a [`TracePhase::GraphBuild`] span when the graph had to be
+    /// built, and an [`TracePhase::Execute`] span around the whole
+    /// execution (the executor adds per-node spans underneath).
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] when graph construction or execution fails.
-    pub fn run_entry(
+    pub fn run(
         &self,
         scratch: &mut ExecScratch,
         image: &Tensor,
         entry: LutEntry,
         met_budget: bool,
+        ctx: &RunContext,
     ) -> Result<Inference, EngineError> {
-        self.run_entry_opts(
-            scratch,
-            image,
-            entry,
-            met_budget,
-            &ExecOptions::sequential(),
-        )
-    }
-
-    /// [`EngineCore::run_entry`] with explicit [`ExecOptions`] — the
-    /// entry point serving workers use to run on a shared thread pool.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
-    pub fn run_entry_opts(
-        &self,
-        scratch: &mut ExecScratch,
-        image: &Tensor,
-        entry: LutEntry,
-        met_budget: bool,
-        opts: &ExecOptions,
-    ) -> Result<Inference, EngineError> {
-        let graph = self.graph_for(entry.config)?;
-        let logits =
-            scratch.run_opts(self.weight_gen, &graph, std::slice::from_ref(image), opts)?;
+        let sink = ctx.sink.as_ref();
+        let enabled = sink.enabled();
+        let build_start = sink.timestamp();
+        let (graph, cache_hit) = self.graph_for(entry.config)?;
+        if enabled {
+            let at_ns = now_ns();
+            sink.record(EventKind::Counter {
+                name: if cache_hit {
+                    "graph_cache.hits".to_string()
+                } else {
+                    "graph_cache.misses".to_string()
+                },
+                value: 1,
+                at_ns,
+            });
+            if !cache_hit {
+                sink.record(EventKind::Phase {
+                    phase: TracePhase::GraphBuild,
+                    detail: format!("{:?}", entry.config),
+                    start_ns: build_start,
+                    end_ns: at_ns,
+                });
+            }
+        }
+        let exec_start = sink.timestamp();
+        let logits = scratch.run_with(self.weight_gen, &graph, std::slice::from_ref(image), ctx)?;
+        if enabled {
+            sink.record(EventKind::Phase {
+                phase: TracePhase::Execute,
+                detail: graph.model.clone(),
+                start_ns: exec_start,
+                end_ns: now_ns(),
+            });
+        }
         let label_map = logits
             .argmax_channels()
             .expect("segmentation output is NCHW");
@@ -352,6 +381,74 @@ impl EngineCore {
             resource_estimate: entry.resource,
             met_budget,
         })
+    }
+
+    /// Deprecated shim for [`EngineCore::infer`] with the default context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    #[deprecated(since = "0.2.0", note = "use `infer` with a `RunContext`")]
+    pub fn infer_with(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        budget: f64,
+    ) -> Result<Inference, EngineError> {
+        self.infer(scratch, image, budget, &RunContext::default())
+    }
+
+    /// Deprecated shim for [`EngineCore::infer`] with
+    /// `RunContext::default().with_exec(opts.clone())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    #[deprecated(since = "0.2.0", note = "use `infer` with a `RunContext`")]
+    pub fn infer_with_opts(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        budget: f64,
+        opts: &ExecOptions,
+    ) -> Result<Inference, EngineError> {
+        let ctx = RunContext::default().with_exec(opts.clone());
+        self.infer(scratch, image, budget, &ctx)
+    }
+
+    /// Deprecated shim for [`EngineCore::run`] with the default context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    #[deprecated(since = "0.2.0", note = "use `run` with a `RunContext`")]
+    pub fn run_entry(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        entry: LutEntry,
+        met_budget: bool,
+    ) -> Result<Inference, EngineError> {
+        self.run(scratch, image, entry, met_budget, &RunContext::default())
+    }
+
+    /// Deprecated shim for [`EngineCore::run`] with
+    /// `RunContext::default().with_exec(opts.clone())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or execution fails.
+    #[deprecated(since = "0.2.0", note = "use `run` with a `RunContext`")]
+    pub fn run_entry_opts(
+        &self,
+        scratch: &mut ExecScratch,
+        image: &Tensor,
+        entry: LutEntry,
+        met_budget: bool,
+        opts: &ExecOptions,
+    ) -> Result<Inference, EngineError> {
+        let ctx = RunContext::default().with_exec(opts.clone());
+        self.run(scratch, image, entry, met_budget, &ctx)
     }
 }
 
@@ -463,19 +560,33 @@ impl DrtEngine {
         DrtEngine {
             core,
             scratch: ExecScratch::new(),
-            exec: ExecOptions::sequential(),
+            ctx: RunContext::default(),
         }
     }
 
-    /// Sets how this engine executes graphs (sequential by default).
-    /// Parallel options change latency only — outputs stay bit-identical.
-    pub fn set_exec_options(&mut self, exec: ExecOptions) {
-        self.exec = exec;
+    /// Sets the [`RunContext`] every subsequent [`DrtEngine::infer`] runs
+    /// under (sequential and untraced by default). Neither threading nor
+    /// tracing changes outputs — both are bit-identical to the default.
+    pub fn set_run_context(&mut self, ctx: RunContext) {
+        self.ctx = ctx;
     }
 
-    /// The engine's current execution options.
+    /// The engine's current run context.
+    pub fn run_context(&self) -> &RunContext {
+        &self.ctx
+    }
+
+    /// Deprecated shim: replaces only the execution half of the run
+    /// context.
+    #[deprecated(since = "0.2.0", note = "use `set_run_context`")]
+    pub fn set_exec_options(&mut self, exec: ExecOptions) {
+        self.ctx.exec = exec;
+    }
+
+    /// Deprecated shim for the execution half of [`DrtEngine::run_context`].
+    #[deprecated(since = "0.2.0", note = "use `run_context`")]
     pub fn exec_options(&self) -> &ExecOptions {
-        &self.exec
+        &self.ctx.exec
     }
 
     /// The shared, `Send + Sync` part of this engine.
@@ -510,8 +621,7 @@ impl DrtEngine {
     ///
     /// Returns [`EngineError`] when graph construction or execution fails.
     pub fn infer(&mut self, image: &Tensor, budget: f64) -> Result<Inference, EngineError> {
-        self.core
-            .infer_with_opts(&mut self.scratch, image, budget, &self.exec)
+        self.core.infer(&mut self.scratch, image, budget, &self.ctx)
     }
 }
 
@@ -605,6 +715,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the `infer_with` shim until it is removed
     fn workers_share_one_core_and_agree() {
         // Two handles over the same Arc<EngineCore> (separate scratches)
         // produce identical outputs and share the graph cache.

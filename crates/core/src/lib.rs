@@ -47,4 +47,17 @@ pub use budget::{BudgetTrace, TracePattern};
 pub use engine::{DrtEngine, EngineCore, EngineError, EngineFamily, Inference};
 pub use json::JsonParseError;
 pub use lut::{BudgetTooSmall, Lut, LutConfig, LutEntry, LutError};
-pub use vit_graph::ExecOptions;
+pub use vit_graph::{ExecOptions, RunContext};
+
+/// The types almost every consumer of the engine needs, in one import:
+///
+/// ```
+/// use vit_drt::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::budget::{BudgetTrace, TracePattern};
+    pub use crate::engine::{DrtEngine, EngineCore, EngineError, EngineFamily, Inference};
+    pub use crate::lut::{Lut, LutConfig, LutEntry};
+    pub use vit_graph::{ExecOptions, RunContext};
+    pub use vit_trace::{NullSink, RingBufferSink, StatsSink, TraceSink};
+}

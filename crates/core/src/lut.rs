@@ -124,6 +124,7 @@ impl std::error::Error for BudgetTooSmall {}
 /// Pareto-consistent rows, and a violated invariant would silently return
 /// sub-optimal configurations at serve time.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum LutError {
     /// The input is not valid JSON.
     Parse(json::JsonParseError),

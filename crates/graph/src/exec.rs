@@ -14,10 +14,11 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use vit_tensor::par::Scope;
 use vit_tensor::{ops, BufferPool, ExecCtx, Tensor, TensorError, ThreadPool};
+use vit_trace::{now_ns, null_sink, EventKind, Phase as TracePhase, TraceSink};
 
 /// How a graph execution runs: sequentially, or tiled across a worker
 /// pool with wavefront node scheduling.
@@ -66,6 +67,102 @@ impl ExecOptions {
     fn active_pool(&self) -> Option<&ThreadPool> {
         self.pool.as_deref().filter(|p| p.threads() > 1)
     }
+}
+
+/// Everything one graph (or engine) run needs beyond its inputs: how to
+/// execute ([`ExecOptions`]) and where to send trace events
+/// ([`TraceSink`]).
+///
+/// This is the single context parameter that replaced the
+/// `run`/`run_opts`/`infer_with`/`infer_with_opts` method sprawl.
+/// `RunContext::default()` is sequential and untraced — exactly the old
+/// default behavior — and the builder methods opt into more:
+///
+/// ```
+/// use vit_graph::{ExecOptions, RunContext};
+/// use std::sync::Arc;
+///
+/// let quiet = RunContext::default();
+/// let traced = RunContext::default()
+///     .with_exec(ExecOptions::threaded(4))
+///     .with_sink(Arc::new(vit_trace::RingBufferSink::new(4096)));
+/// assert_eq!(quiet.threads(), 1);
+/// assert_eq!(traced.threads(), 4);
+/// ```
+///
+/// Cloning is cheap (both fields are shared handles); serving workers
+/// clone one context per request.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// Sequential vs wavefront-parallel execution.
+    pub exec: ExecOptions,
+    /// Destination for trace events; [`vit_trace::NullSink`] (the default)
+    /// keeps the run untraced and free of tracing cost.
+    pub sink: Arc<dyn TraceSink>,
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        RunContext {
+            exec: ExecOptions::sequential(),
+            sink: null_sink(),
+        }
+    }
+}
+
+impl RunContext {
+    /// Sequential, untraced — identical to `default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the execution options.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Replaces the trace sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Convenience for `with_exec(ExecOptions::threaded(threads))`.
+    #[must_use]
+    pub fn threaded(threads: usize) -> Self {
+        Self::default().with_exec(ExecOptions::threaded(threads))
+    }
+
+    /// Total threads this context executes with (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// Whether the attached sink actually records events.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+}
+
+/// First-order DRAM bytes of one node — the same model as
+/// `vit-profiler::node_io_bytes` (read every input and every parameter,
+/// write the output once, 4-byte elements; data movers `Input`/`Identity`
+/// count zero), so traced byte totals cross-check against static profiles.
+fn node_trace_bytes(graph: &Graph, node: &crate::graph::Node) -> u64 {
+    if matches!(node.op, Op::Input { .. } | Op::Identity) {
+        return 0;
+    }
+    let in_bytes: u64 = node
+        .inputs
+        .iter()
+        .map(|id| graph.node(*id).shape.iter().product::<usize>() as u64 * 4)
+        .sum();
+    let out_bytes = node.shape.iter().product::<usize>() as u64 * 4;
+    let param_bytes = node.params(graph) * 4;
+    in_bytes + out_bytes + param_bytes
 }
 
 /// Error from graph execution.
@@ -550,7 +647,7 @@ impl ExecScratch {
         graph: &Graph,
         inputs: &[Tensor],
     ) -> Result<Tensor, ExecError> {
-        self.run_opts(gen, graph, inputs, &ExecOptions::sequential())
+        self.run_with(gen, graph, inputs, &RunContext::default())
     }
 
     /// [`ExecScratch::run`] with explicit [`ExecOptions`]: sequential
@@ -571,6 +668,38 @@ impl ExecScratch {
         graph: &Graph,
         inputs: &[Tensor],
         opts: &ExecOptions,
+    ) -> Result<Tensor, ExecError> {
+        let ctx = RunContext {
+            exec: opts.clone(),
+            sink: null_sink(),
+        };
+        self.run_with(gen, graph, inputs, &ctx)
+    }
+
+    /// The canonical entry point: runs the graph under a full
+    /// [`RunContext`] — execution options plus trace sink.
+    ///
+    /// With an enabled sink this records a [`TracePhase::WeightMaterialize`]
+    /// span, a [`TracePhase::Run`] span, one [`EventKind::Node`] span per
+    /// executed node, wavefront [`EventKind::Sched`] samples on the
+    /// parallel path, and buffer-pool hit/miss/zeroing counter deltas.
+    /// Tracing never changes what is computed: outputs are bit-identical
+    /// with any sink attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when input count/shapes mismatch the graph or a
+    /// kernel fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has no output set.
+    pub fn run_with(
+        &mut self,
+        gen: WeightGen,
+        graph: &Graph,
+        inputs: &[Tensor],
+        ctx: &RunContext,
     ) -> Result<Tensor, ExecError> {
         let output = graph.output().expect("graph must have an output set");
         if inputs.len() != graph.input_ids().len() {
@@ -594,11 +723,55 @@ impl ExecScratch {
                 });
             }
         }
-        self.materialize_weights(gen, graph, opts.active_pool());
-        match opts.active_pool() {
-            Some(pool) => self.run_wavefront(gen, graph, inputs, output, pool),
-            None => self.run_sequential(gen, graph, inputs, output),
+        let sink = ctx.sink.as_ref();
+        let enabled = sink.enabled();
+        let pool_stats_before = if enabled {
+            Some(self.bufs.stats())
+        } else {
+            None
+        };
+        let wm_start = sink.timestamp();
+        self.materialize_weights(gen, graph, ctx.exec.active_pool());
+        if enabled {
+            sink.record(EventKind::Phase {
+                phase: TracePhase::WeightMaterialize,
+                detail: graph.model.clone(),
+                start_ns: wm_start,
+                end_ns: now_ns(),
+            });
         }
+        let run_start = sink.timestamp();
+        let result = match ctx.exec.active_pool() {
+            Some(pool) => self.run_wavefront(gen, graph, inputs, output, pool, sink),
+            None => self.run_sequential(gen, graph, inputs, output, sink),
+        };
+        if enabled {
+            sink.record(EventKind::Phase {
+                phase: TracePhase::Run,
+                detail: graph.model.clone(),
+                start_ns: run_start,
+                end_ns: now_ns(),
+            });
+            if let Some(before) = pool_stats_before {
+                let after = self.bufs.stats();
+                let at_ns = now_ns();
+                for (name, delta) in [
+                    ("buffer_pool.hits", after.hits - before.hits),
+                    ("buffer_pool.misses", after.misses - before.misses),
+                    (
+                        "buffer_pool.zeroed_elems",
+                        after.zeroed_elems - before.zeroed_elems,
+                    ),
+                ] {
+                    sink.record(EventKind::Counter {
+                        name: name.to_string(),
+                        value: delta,
+                        at_ns,
+                    });
+                }
+            }
+        }
+        result
     }
 
     fn run_sequential(
@@ -607,6 +780,7 @@ impl ExecScratch {
         graph: &Graph,
         inputs: &[Tensor],
         output: NodeId,
+        sink: &dyn TraceSink,
     ) -> Result<Tensor, ExecError> {
         let mut refcounts = graph.consumer_counts();
         // Reuse the value buffer across runs (per-request allocation
@@ -614,8 +788,10 @@ impl ExecScratch {
         let mut values = std::mem::take(&mut self.values);
         values.clear();
         values.resize_with(graph.len(), || None);
+        let enabled = sink.enabled();
         let mut input_iter = inputs.iter();
         for (id, node) in graph.iter() {
+            let node_start = sink.timestamp();
             let out = if matches!(node.op, Op::Input { .. }) {
                 input_iter.next().expect("validated count").clone()
             } else {
@@ -633,9 +809,20 @@ impl ExecScratch {
                 let ctx = ExecCtx {
                     pool: None,
                     bufs: Some(&self.bufs),
+                    sink: enabled.then_some(sink),
                 };
                 eval_node(node, weights.as_slice(), &in_tensors, &ctx)?
             };
+            if enabled {
+                sink.record(EventKind::Node {
+                    name: node.name.clone(),
+                    op: node.op.kind_name().to_string(),
+                    start_ns: node_start,
+                    end_ns: now_ns(),
+                    flops: node.flops(graph),
+                    bytes: node_trace_bytes(graph, node),
+                });
+            }
             debug_assert_eq!(
                 out.shape(),
                 node.shape.as_slice(),
@@ -672,6 +859,7 @@ impl ExecScratch {
         inputs: &[Tensor],
         output: NodeId,
         pool: &ThreadPool,
+        sink: &dyn TraceSink,
     ) -> Result<Tensor, ExecError> {
         let n = graph.len();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -694,6 +882,7 @@ impl ExecScratch {
         for (i, id) in graph.input_ids().iter().enumerate() {
             input_pos[id.index()] = Some(i);
         }
+        let trace = sink.enabled();
         let wf = Wavefront {
             gen,
             graph,
@@ -708,6 +897,15 @@ impl ExecScratch {
             successors,
             err: Mutex::new(None),
             abort: AtomicBool::new(false),
+            sink,
+            trace,
+            spawn_ns: (0..if trace { n } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            spawn_depth: (0..if trace { n } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            ready: AtomicUsize::new(0),
         };
         pool.scope(|s| {
             // Seed the wavefront with zero-input nodes; completions cascade
@@ -716,6 +914,7 @@ impl ExecScratch {
                 if node.inputs.is_empty() {
                     let wf = &wf;
                     let idx = id.index();
+                    wf.note_spawn(idx);
                     s.spawn(move |s| wf.exec_node(idx, s));
                 }
             }
@@ -748,11 +947,33 @@ struct Wavefront<'g> {
     successors: Vec<Vec<usize>>,
     err: Mutex<Option<ExecError>>,
     abort: AtomicBool,
+    sink: &'g dyn TraceSink,
+    /// `sink.enabled()`, hoisted: the one flag every per-node trace action
+    /// gates on.
+    trace: bool,
+    /// Per-node spawn stamp (ns) for [`EventKind::Sched`]; empty when
+    /// untraced.
+    spawn_ns: Vec<AtomicU64>,
+    /// Ready-set depth observed when each node was spawned; empty when
+    /// untraced.
+    spawn_depth: Vec<AtomicU64>,
+    /// Nodes spawned but not yet started (the scheduler's ready set).
+    ready: AtomicUsize,
 }
 
 impl Wavefront<'_> {
     fn slot(&self, i: usize) -> std::sync::MutexGuard<'_, Option<Arc<Tensor>>> {
         self.slots[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stamps spawn time and ready-set depth for node `idx`, immediately
+    /// before it is handed to the pool. No-op when untraced.
+    fn note_spawn(&self, idx: usize) {
+        if self.trace {
+            let depth = self.ready.fetch_add(1, Ordering::Relaxed) + 1;
+            self.spawn_ns[idx].store(now_ns(), Ordering::Relaxed);
+            self.spawn_depth[idx].store(depth as u64, Ordering::Relaxed);
+        }
     }
 
     /// Evaluates node `idx` (all of whose inputs are ready), then releases
@@ -765,6 +986,19 @@ impl Wavefront<'_> {
             return;
         }
         let node = self.graph.node(NodeId::from_index(idx));
+        let node_start = if self.trace {
+            let start = now_ns();
+            self.ready.fetch_sub(1, Ordering::Relaxed);
+            self.sink.record(EventKind::Sched {
+                node: node.name.clone(),
+                spawn_ns: self.spawn_ns[idx].load(Ordering::Relaxed),
+                start_ns: start,
+                ready_depth: self.spawn_depth[idx].load(Ordering::Relaxed),
+            });
+            start
+        } else {
+            0
+        };
         let result = if matches!(node.op, Op::Input { .. }) {
             let pos = self.input_pos[idx].expect("input node has a position");
             Ok(self.inputs[pos].clone())
@@ -784,9 +1018,20 @@ impl Wavefront<'_> {
             let ctx = ExecCtx {
                 pool: Some(self.pool),
                 bufs: Some(self.bufs),
+                sink: self.trace.then_some(self.sink),
             };
             eval_node(node, weights.as_slice(), &in_refs, &ctx)
         };
+        if self.trace {
+            self.sink.record(EventKind::Node {
+                name: node.name.clone(),
+                op: node.op.kind_name().to_string(),
+                start_ns: node_start,
+                end_ns: now_ns(),
+                flops: node.flops(self.graph),
+                bytes: node_trace_bytes(self.graph, node),
+            });
+        }
         match result {
             Ok(out) => {
                 debug_assert_eq!(
@@ -819,6 +1064,7 @@ impl Wavefront<'_> {
         }
         for &succ in &self.successors[idx] {
             if self.pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.note_spawn(succ);
                 scope.spawn(move |s| self.exec_node(succ, s));
             }
         }
@@ -1011,6 +1257,26 @@ impl Executor {
         opts: &ExecOptions,
     ) -> Result<Tensor, ExecError> {
         self.scratch.run_opts(self.gen, graph, inputs, opts)
+    }
+
+    /// [`Executor::run`] under a full [`RunContext`] (execution options +
+    /// trace sink); bit-identical to `run` under any context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when input count/shapes mismatch the graph or a
+    /// kernel fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has no output set.
+    pub fn run_with(
+        &mut self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        ctx: &RunContext,
+    ) -> Result<Tensor, ExecError> {
+        self.scratch.run_with(self.gen, graph, inputs, ctx)
     }
 }
 
@@ -1363,6 +1629,63 @@ mod tests {
         let c = s1.run(gen, &g, &[input]).unwrap();
         assert_eq!(a, c);
         assert_eq!(s1.cached_nodes(), 1);
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_well_formed() {
+        let mut g = Graph::new("traced");
+        let x = g.input("image", &[1, 3, 8, 8]).unwrap();
+        let c1 = g
+            .add(
+                "conv1",
+                Op::Conv2d {
+                    out_channels: 4,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    pad: (1, 1),
+                    groups: 1,
+                    bias: true,
+                },
+                LayerRole::Backbone,
+                &[x],
+            )
+            .unwrap();
+        let r = g.add("relu", Op::Relu, LayerRole::Backbone, &[c1]).unwrap();
+        let p = g
+            .add("pool", Op::GlobalAvgPool, LayerRole::Head, &[r])
+            .unwrap();
+        g.set_output(p);
+        let gen = WeightGen::new(3);
+        let img = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, 5);
+
+        let mut plain = ExecScratch::new();
+        let baseline = plain.run(gen, &g, std::slice::from_ref(&img)).unwrap();
+
+        for threads in [1usize, 4] {
+            let sink = Arc::new(vit_trace::RingBufferSink::new(1 << 16));
+            let ctx = RunContext::threaded(threads).with_sink(sink.clone() as Arc<dyn TraceSink>);
+            let mut scratch = ExecScratch::new();
+            let traced = scratch
+                .run_with(gen, &g, std::slice::from_ref(&img), &ctx)
+                .unwrap();
+            assert_eq!(baseline, traced, "tracing must not change results");
+            let events = sink.events();
+            vit_trace::validate(&events).unwrap();
+            let node_events: Vec<_> = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Node { .. }))
+                .collect();
+            assert_eq!(node_events.len(), g.len(), "one span per node");
+            let traced_flops: u64 = node_events
+                .iter()
+                .map(|e| match &e.kind {
+                    EventKind::Node { flops, .. } => *flops,
+                    _ => 0,
+                })
+                .sum();
+            let static_flops: u64 = g.iter().map(|(_, n)| n.flops(&g)).sum();
+            assert_eq!(traced_flops, static_flops, "trace FLOPs match static");
+        }
     }
 
     #[test]

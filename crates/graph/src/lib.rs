@@ -44,6 +44,6 @@ mod exec;
 mod graph;
 mod op;
 
-pub use exec::{ExecError, ExecOptions, ExecScratch, Executor, WeightGen};
+pub use exec::{ExecError, ExecOptions, ExecScratch, Executor, RunContext, WeightGen};
 pub use graph::{Graph, Node, NodeId};
 pub use op::{GraphError, LayerRole, Op, OpClass};

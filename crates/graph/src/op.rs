@@ -272,6 +272,38 @@ fn err(node: &str, msg: impl Into<String>) -> GraphError {
 }
 
 impl Op {
+    /// The variant name (e.g. `"Conv2d"`), used as the op-kind label of
+    /// trace events and flame summaries.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Input { .. } => "Input",
+            Op::Conv2d { .. } => "Conv2d",
+            Op::Linear { .. } => "Linear",
+            Op::Sdpa { .. } => "Sdpa",
+            Op::DeformAttn { .. } => "DeformAttn",
+            Op::LayerNorm => "LayerNorm",
+            Op::BatchNorm => "BatchNorm",
+            Op::Relu => "Relu",
+            Op::Gelu => "Gelu",
+            Op::MaxPool { .. } => "MaxPool",
+            Op::AdaptiveAvgPool { .. } => "AdaptiveAvgPool",
+            Op::Resize { .. } => "Resize",
+            Op::Concat => "Concat",
+            Op::Add => "Add",
+            Op::FlattenHw => "FlattenHw",
+            Op::UnflattenHw { .. } => "UnflattenHw",
+            Op::WindowPartition { .. } => "WindowPartition",
+            Op::WindowMerge { .. } => "WindowMerge",
+            Op::CyclicShift { .. } => "CyclicShift",
+            Op::GlobalAvgPool => "GlobalAvgPool",
+            Op::ArgmaxChannels => "ArgmaxChannels",
+            Op::Identity => "Identity",
+            Op::SliceChannels { .. } => "SliceChannels",
+            Op::SpaceToDepth { .. } => "SpaceToDepth",
+            Op::ConcatTokens => "ConcatTokens",
+        }
+    }
+
     /// The structural class of this operator.
     pub fn class(&self) -> OpClass {
         match self {

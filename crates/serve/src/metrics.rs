@@ -40,6 +40,12 @@ pub struct ServerMetrics {
     pub p99_latency: f64,
     /// Mean submission → dispatch wait of completed requests.
     pub mean_queue_wait: f64,
+    /// Median submission → dispatch wait of completed requests.
+    pub p50_queue_wait: f64,
+    /// 95th-percentile submission → dispatch wait.
+    pub p95_queue_wait: f64,
+    /// 99th-percentile submission → dispatch wait.
+    pub p99_queue_wait: f64,
     /// `deadline_misses + all sheds` over `submitted`: the fraction of
     /// offered requests that did NOT produce an on-time result.
     pub deadline_miss_rate: f64,
@@ -77,10 +83,11 @@ impl ServerMetrics {
         let deadline_misses = records.iter().filter(|r| !r.met_deadline).count();
 
         let latencies: Vec<f64> = records.iter().map(|r| r.latency).collect();
-        let mean_queue_wait = if records.is_empty() {
+        let queue_waits: Vec<f64> = records.iter().map(|r| r.queue_wait).collect();
+        let mean_queue_wait = if queue_waits.is_empty() {
             0.0
         } else {
-            records.iter().map(|r| r.queue_wait).sum::<f64>() / records.len() as f64
+            queue_waits.iter().sum::<f64>() / queue_waits.len() as f64
         };
         let delivered: f64 = records.iter().map(|r| r.delivered_accuracy()).sum();
 
@@ -111,6 +118,9 @@ impl ServerMetrics {
             p95_latency: percentile(&latencies, 95.0),
             p99_latency: percentile(&latencies, 99.0),
             mean_queue_wait,
+            p50_queue_wait: percentile(&queue_waits, 50.0),
+            p95_queue_wait: percentile(&queue_waits, 95.0),
+            p99_queue_wait: percentile(&queue_waits, 99.0),
             deadline_miss_rate: frac(deadline_misses + sheds),
             shed_rate: frac(sheds),
             mean_delivered_accuracy: if submitted == 0 {
@@ -187,5 +197,10 @@ mod tests {
         assert!((m.mean_delivered_accuracy - 0.38).abs() < 1e-12);
         assert_eq!(m.config_histogram, vec![(config(), 3)]);
         assert_eq!(m.p99_latency, 0.5);
+        // queue_wait is latency/2 in the fixture, so the percentiles track.
+        assert_eq!(m.p50_queue_wait, 0.010);
+        assert_eq!(m.p95_queue_wait, 0.250);
+        assert_eq!(m.p99_queue_wait, 0.250);
+        assert!((m.mean_queue_wait - (0.005 + 0.010 + 0.250) / 3.0).abs() < 1e-12);
     }
 }

@@ -7,16 +7,29 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::time::Duration;
 
 /// Error from a non-blocking push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PushError {
     /// The queue is at capacity.
     Full,
     /// The queue has been closed.
     Closed,
 }
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full => f.write_str("EDF queue is at capacity"),
+            PushError::Closed => f.write_str("EDF queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
 
 /// Result of a blocking pop.
 #[derive(Debug)]

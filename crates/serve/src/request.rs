@@ -1,5 +1,6 @@
 //! Request and per-request outcome types.
 
+use std::fmt;
 use std::time::Instant;
 use vit_drt::LutConfig;
 use vit_resilience::ResourceKind;
@@ -21,6 +22,7 @@ pub struct InferenceRequest {
 
 /// Why a request was shed instead of executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum ShedReason {
     /// The bounded queue was full at submission (overload backpressure).
     QueueFull,
@@ -30,6 +32,23 @@ pub enum ShedReason {
     /// Slack ran out while the request waited in the queue; detected at
     /// dispatch, before wasting worker time on a hopeless request.
     SlackExhausted,
+}
+
+impl ShedReason {
+    /// Stable lower-snake name, used in log lines and trace event details.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::SlackBelowCheapest => "slack_below_cheapest",
+            ShedReason::SlackExhausted => "slack_exhausted",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// What finally happened to one completed (executed) request.

@@ -12,9 +12,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use vit_drt::{EngineCore, EngineError};
-use vit_graph::{ExecOptions, ExecScratch};
+use vit_graph::{ExecOptions, ExecScratch, RunContext};
 use vit_resilience::ResourceKind;
 use vit_tensor::Tensor;
+use vit_trace::{now_ns, EventKind, Phase as TracePhase};
 
 /// Maps the LUT's abstract resource units onto wall-clock seconds on this
 /// machine, so absolute deadlines can be converted into LUT budgets.
@@ -38,16 +39,17 @@ impl Calibration {
     ///
     /// Returns [`EngineError`] when a calibration inference fails.
     pub fn measure(core: &Arc<EngineCore>) -> Result<Self, EngineError> {
-        Self::measure_opts(core, &ExecOptions::sequential())
+        Self::measure_with(core, &RunContext::default())
     }
 
-    /// [`Calibration::measure`] under explicit [`ExecOptions`], so the
-    /// calibration reflects the execution mode the server will use.
+    /// [`Calibration::measure`] under an explicit [`RunContext`], so the
+    /// calibration reflects the execution mode (and trace sink) the server
+    /// will use.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] when a calibration inference fails.
-    pub fn measure_opts(core: &Arc<EngineCore>, exec: &ExecOptions) -> Result<Self, EngineError> {
+    pub fn measure_with(core: &Arc<EngineCore>, ctx: &RunContext) -> Result<Self, EngineError> {
         let mut scratch = ExecScratch::new();
         let (h, w) = core.image_size();
         let image = Tensor::rand_uniform(&[1, 3, h, w], 0.0, 1.0, 1);
@@ -57,17 +59,30 @@ impl Calibration {
             .last()
             .expect("EngineCore guarantees a non-empty LUT")
             .clone();
-        core.run_entry_opts(&mut scratch, &image, full.clone(), true, exec)?; // warm caches
+        core.run(&mut scratch, &image, full.clone(), true, ctx)?; // warm caches
         let resource = full.resource;
         Self::from_timed_runs(
             &mut || {
                 let t0 = Instant::now();
-                core.run_entry_opts(&mut scratch, &image, full.clone(), true, exec)?;
+                core.run(&mut scratch, &image, full.clone(), true, ctx)?;
                 Ok(t0.elapsed().as_secs_f64())
             },
             CALIBRATION_RUNS,
             resource,
         )
+    }
+
+    /// [`Calibration::measure`] under explicit [`ExecOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when a calibration inference fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `measure_with` with a `RunContext` instead"
+    )]
+    pub fn measure_opts(core: &Arc<EngineCore>, exec: &ExecOptions) -> Result<Self, EngineError> {
+        Self::measure_with(core, &RunContext::default().with_exec(exec.clone()))
     }
 
     /// Builds a calibration by averaging `runs` invocations of
@@ -156,6 +171,7 @@ impl Default for ServerConfig {
 /// (as opposed to load shedding, which is a recorded outcome, not an
 /// error).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum SubmitError {
     /// The request's resource kind does not match the server's LUT.
     WrongResourceKind {
@@ -183,6 +199,9 @@ struct Submitted {
     image: Tensor,
     deadline: Instant,
     submitted_at: Instant,
+    /// Trace-epoch stamp of the submission, for queue-wait spans. Zero
+    /// when tracing is disabled (never recorded in that case).
+    submitted_ns: u64,
 }
 
 /// A running deadline-aware inference server.
@@ -199,15 +218,38 @@ pub struct Server {
     core: Arc<EngineCore>,
     calibration: Calibration,
     config: ServerConfig,
+    ctx: RunContext,
 }
 
 impl Server {
-    /// Spawns the scheduler and worker threads and starts serving.
+    /// Spawns the scheduler and worker threads and starts serving, with
+    /// the intra-inference execution pool sized by `config.exec_threads`
+    /// and tracing disabled.
     ///
     /// # Panics
     ///
     /// Panics when `config.workers` or `config.queue_depth` is zero.
     pub fn start(core: Arc<EngineCore>, calibration: Calibration, config: ServerConfig) -> Self {
+        let ctx = RunContext::default().with_exec(ExecOptions::threaded(config.exec_threads));
+        Self::start_with(core, calibration, config, ctx)
+    }
+
+    /// [`Server::start`] under an explicit [`RunContext`]: the context's
+    /// execution options replace `config.exec_threads` (cloning the
+    /// context clones the pool handle, so all workers still share one
+    /// pool), and its trace sink observes the serving path — queue-wait
+    /// spans, admission and shed markers, and every engine span the
+    /// workers' inferences emit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` or `config.queue_depth` is zero.
+    pub fn start_with(
+        core: Arc<EngineCore>,
+        calibration: Calibration,
+        config: ServerConfig,
+        ctx: RunContext,
+    ) -> Self {
         assert!(config.workers > 0, "server needs at least one worker");
         let (tx, rx) = channel::bounded::<Submitted>(config.queue_depth);
         let queue: Arc<EdfQueue<Instant, Submitted>> =
@@ -230,8 +272,8 @@ impl Server {
         };
 
         // One execution pool shared (via `Arc`) by every worker: cloning
-        // `ExecOptions` clones the handle, not the threads.
-        let exec = ExecOptions::threaded(config.exec_threads);
+        // the `RunContext` clones the pool handle and the sink handle, not
+        // the threads or the sink's buffer.
         let workers = (0..config.workers)
             .map(|_| {
                 let queue = queue.clone();
@@ -239,11 +281,20 @@ impl Server {
                 let core = core.clone();
                 let policy = config.policy;
                 let spu = calibration.secs_per_unit;
-                let exec = exec.clone();
+                let ctx = ctx.clone();
                 std::thread::spawn(move || {
                     let mut scratch = ExecScratch::new();
                     while let PopResult::Item((deadline, sub)) = queue.pop() {
                         let now = Instant::now();
+                        let traced = ctx.trace_enabled();
+                        if traced {
+                            ctx.sink.record(EventKind::Phase {
+                                phase: TracePhase::QueueWait,
+                                detail: String::new(),
+                                start_ns: sub.submitted_ns,
+                                end_ns: now_ns(),
+                            });
+                        }
                         let queue_wait = now.duration_since(sub.submitted_at).as_secs_f64();
                         // Signed remaining slack: negative once past due.
                         let slack_secs = if deadline >= now {
@@ -253,6 +304,13 @@ impl Server {
                         };
                         let slack_units = slack_secs / spu;
                         if !admissible(slack_units, core.min_resource()) {
+                            if traced {
+                                ctx.sink.record(EventKind::Instant {
+                                    name: "shed".to_string(),
+                                    detail: ShedReason::SlackExhausted.name().to_string(),
+                                    at_ns: now_ns(),
+                                });
+                            }
                             outcomes
                                 .lock()
                                 .push(Outcome::Shed(ShedReason::SlackExhausted));
@@ -261,7 +319,7 @@ impl Server {
                         let budget = budget_for(policy, &core, slack_units);
                         let (entry, _fits) = core.select(budget);
                         let inference = core
-                            .run_entry_opts(&mut scratch, &sub.image, entry, true, &exec)
+                            .run(&mut scratch, &sub.image, entry, true, &ctx)
                             .expect("worker inference failed");
                         let finish = Instant::now();
                         outcomes.lock().push(Outcome::Completed(RequestRecord {
@@ -284,6 +342,7 @@ impl Server {
             core,
             calibration,
             config,
+            ctx,
         }
     }
 
@@ -295,6 +354,11 @@ impl Server {
     /// The wall-clock calibration in use.
     pub fn calibration(&self) -> Calibration {
         self.calibration
+    }
+
+    /// The execution context (options + trace sink) the workers run with.
+    pub fn run_context(&self) -> &RunContext {
+        &self.ctx
     }
 
     /// Offers a request. Returns `Ok(true)` when the request was admitted
@@ -313,12 +377,20 @@ impl Server {
             });
         }
         let now = Instant::now();
+        let traced = self.ctx.trace_enabled();
         let slack_secs = request
             .deadline
             .saturating_duration_since(now)
             .as_secs_f64();
         let slack_units = self.calibration.units(slack_secs);
         if !admissible(slack_units, self.core.min_resource()) {
+            if traced {
+                self.ctx.sink.record(EventKind::Instant {
+                    name: "shed".to_string(),
+                    detail: ShedReason::SlackBelowCheapest.name().to_string(),
+                    at_ns: now_ns(),
+                });
+            }
             self.outcomes
                 .lock()
                 .push(Outcome::Shed(ShedReason::SlackBelowCheapest));
@@ -328,6 +400,7 @@ impl Server {
             image: request.image,
             deadline: request.deadline,
             submitted_at: now,
+            submitted_ns: self.ctx.sink.timestamp(),
         };
         match self
             .ingress
@@ -335,8 +408,24 @@ impl Server {
             .expect("ingress open until shutdown")
             .try_send(sub)
         {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                if traced {
+                    self.ctx.sink.record(EventKind::Instant {
+                        name: "admission".to_string(),
+                        detail: format!("slack_units={slack_units:.3}"),
+                        at_ns: now_ns(),
+                    });
+                }
+                Ok(true)
+            }
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                if traced {
+                    self.ctx.sink.record(EventKind::Instant {
+                        name: "shed".to_string(),
+                        detail: ShedReason::QueueFull.name().to_string(),
+                        at_ns: now_ns(),
+                    });
+                }
                 self.outcomes
                     .lock()
                     .push(Outcome::Shed(ShedReason::QueueFull));

@@ -34,5 +34,5 @@ pub mod quant;
 mod tensor;
 
 pub use error::{Result, TensorError};
-pub use par::{BufferPool, ExecCtx, ThreadPool};
+pub use par::{BufferPool, BufferPoolStats, ExecCtx, ThreadPool};
 pub use tensor::Tensor;

@@ -29,8 +29,10 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::mem;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use vit_trace::TraceSink;
 
 use crate::tensor::Tensor;
 
@@ -307,6 +309,23 @@ impl Drop for ThreadPool {
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Mutex<Vec<Vec<f32>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    zeroed_elems: AtomicU64,
+}
+
+/// A snapshot of a [`BufferPool`]'s monotonic counters, taken with
+/// [`BufferPool::stats`]. Tracing layers diff two snapshots around a run
+/// to attribute pool behavior to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// `take_zeroed` calls served by reusing a free allocation.
+    pub hits: u64,
+    /// `take_zeroed` calls that had to allocate fresh.
+    pub misses: u64,
+    /// Total f32 elements zeroed across all `take_zeroed` calls (the
+    /// pool's main hidden cost).
+    pub zeroed_elems: u64,
 }
 
 /// Maximum buffers retained per pool; beyond this, returned allocations
@@ -341,13 +360,18 @@ impl BufferPool {
                 });
             best.map(|i| free.swap_remove(i))
         };
+        self.zeroed_elems.fetch_add(numel as u64, Ordering::Relaxed);
         match reused {
             Some(mut v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 v.clear();
                 v.resize(numel, 0.0);
                 v
             }
-            None => vec![0.0; numel],
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; numel]
+            }
         }
     }
 
@@ -367,6 +391,19 @@ impl BufferPool {
     pub fn free_buffers(&self) -> usize {
         self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
+
+    /// A snapshot of the pool's monotonic hit/miss/zeroing counters.
+    ///
+    /// The counters are updated with relaxed atomics on the allocation
+    /// path — cheap enough to stay on unconditionally — and only read when
+    /// a tracing layer diffs snapshots around a run.
+    pub fn stats(&self) -> BufferPoolStats {
+        BufferPoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            zeroed_elems: self.zeroed_elems.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Per-call execution context for kernels: where to run (an optional
@@ -381,6 +418,10 @@ pub struct ExecCtx<'a> {
     pub pool: Option<&'a ThreadPool>,
     /// Allocation free-list for kernel outputs; `None` allocates fresh.
     pub bufs: Option<&'a BufferPool>,
+    /// Trace sink for kernel-level events; `None` (or a disabled sink)
+    /// records nothing. Kernels must gate all tracing work on
+    /// [`ExecCtx::trace_enabled`].
+    pub sink: Option<&'a dyn TraceSink>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -388,6 +429,12 @@ impl<'a> ExecCtx<'a> {
     /// sequential).
     pub fn parallelism(&self) -> usize {
         self.pool.map_or(1, ThreadPool::threads)
+    }
+
+    /// Whether an enabled trace sink is attached — the single branch that
+    /// keeps tracing zero-cost when disabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.is_some_and(TraceSink::enabled)
     }
 
     /// A zeroed output tensor for `shape`, drawn from the buffer pool
@@ -540,6 +587,18 @@ mod tests {
         assert_eq!(b.as_ptr(), ptr, "smaller request reuses the allocation");
         assert_eq!(b.len(), 50);
         assert!(b.iter().all(|&v| v == 0.0), "reused buffers are zeroed");
+    }
+
+    #[test]
+    fn buffer_pool_counts_hits_misses_and_zeroing() {
+        let pool = BufferPool::new();
+        let a = pool.take_zeroed(100); // miss
+        pool.recycle(a);
+        let _b = pool.take_zeroed(50); // hit
+        let st = pool.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.zeroed_elems, 150);
     }
 
     #[test]

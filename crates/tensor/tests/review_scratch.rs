@@ -12,7 +12,7 @@ fn job_outlives_panicked_scope_body() {
     let ran_after_unwind = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&ran_after_unwind);
     let _ = catch_unwind(AssertUnwindSafe(|| {
-        let local = vec![1u8, 2, 3]; // stands in for borrowed stack data
+        let local = [1u8, 2, 3]; // stands in for borrowed stack data
         pool.scope(|s| {
             s.spawn(|_| {
                 std::thread::sleep(Duration::from_millis(100));

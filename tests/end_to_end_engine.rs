@@ -173,3 +173,64 @@ fn with_lut_rejects_empty() {
     )
     .is_err());
 }
+
+/// Differential test of the observability layer: attaching an enabled
+/// ring-buffer sink must not change a single output bit relative to the
+/// disabled (NullSink) path, sequentially and at 8 wavefront threads —
+/// and the captured trace must be well-formed with LUT-exact FLOPs.
+#[test]
+fn tracing_never_changes_outputs() {
+    use std::sync::Arc;
+    use vit_drt::prelude::*;
+    use vit_profiler::Profile;
+    use vit_trace::{validate, EventKind};
+
+    let core = small_engine().core().clone();
+    let mut scratch = vit_graph::ExecScratch::new();
+    let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 23);
+    let budget = 0.7 * core.max_resource();
+
+    for threads in [1usize, 8] {
+        let exec = if threads > 1 {
+            ExecOptions::threaded(threads)
+        } else {
+            ExecOptions::sequential()
+        };
+        let silent_ctx = RunContext::default().with_exec(exec.clone());
+        let baseline = core
+            .infer(&mut scratch, &image, budget, &silent_ctx)
+            .expect("untraced inference runs");
+
+        let sink = Arc::new(RingBufferSink::new(1 << 20));
+        let traced_ctx = RunContext::default()
+            .with_exec(exec)
+            .with_sink(sink.clone() as Arc<dyn TraceSink>);
+        let traced = core
+            .infer(&mut scratch, &image, budget, &traced_ctx)
+            .expect("traced inference runs");
+
+        assert_eq!(
+            baseline.logits, traced.logits,
+            "tracing changed logits at {threads} thread(s)"
+        );
+        assert_eq!(baseline.label_map, traced.label_map);
+        assert_eq!(baseline.config, traced.config);
+
+        let events = sink.take();
+        assert_eq!(sink.dropped(), 0);
+        validate(&events).expect("traced engine run is well-formed");
+        let traced_flops: u64 = events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Node { flops, .. } => *flops,
+                _ => 0,
+            })
+            .sum();
+        let graph = core.graph(traced.config).expect("executed graph builds");
+        assert_eq!(
+            traced_flops,
+            Profile::flops_only(&graph).total_flops(),
+            "traced FLOPs diverge from the static count at {threads} thread(s)"
+        );
+    }
+}

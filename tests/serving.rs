@@ -254,6 +254,74 @@ fn calibration_measures_a_positive_rate() {
     assert!((cal.units(secs) - core.max_resource()).abs() < 1e-9);
 }
 
+/// A traced server records the serving-layer events — one queue-wait span
+/// per dispatched request, one admission or shed marker per submission —
+/// alongside the engine spans its workers emit, and the combined stream is
+/// a well-formed trace.
+#[test]
+fn traced_server_records_serving_spans() {
+    use vit_drt::RunContext;
+    use vit_trace::{validate, EventKind, Phase, RingBufferSink, TraceSink};
+
+    let core = shared_core();
+    let min = core.min_resource();
+    let sink = Arc::new(RingBufferSink::new(1 << 16));
+    let srv = Server::start_with(
+        Arc::clone(&core),
+        Calibration::from_secs_per_unit(SPU),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            resource_kind: ResourceKind::GpuTime,
+            policy: SchedulePolicy::DrtDynamic,
+            exec_threads: 1,
+        },
+        RunContext::default().with_sink(sink.clone() as Arc<dyn TraceSink>),
+    );
+
+    let total = 8;
+    let mut infeasible = 0;
+    for i in 0..total {
+        let units = if i % 4 == 0 {
+            infeasible += 1;
+            min * 0.2 // shed at admission: below the cheapest path
+        } else {
+            min * 1.5
+        };
+        srv.submit(request(units)).expect("resource kind matches");
+    }
+    let m = srv.shutdown();
+    assert_eq!(m.completed, total - infeasible);
+    assert_eq!(m.shed(), infeasible);
+
+    let events = sink.events();
+    assert_eq!(sink.dropped(), 0, "ring must be big enough for this run");
+    validate(&events).expect("traced serving run is well-formed");
+
+    let count = |pred: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+    let queue_waits = count(&|k| {
+        matches!(
+            k,
+            EventKind::Phase {
+                phase: Phase::QueueWait,
+                ..
+            }
+        )
+    });
+    let admissions =
+        count(&|k| matches!(k, EventKind::Instant { name, .. } if name == "admission"));
+    let sheds = count(&|k| matches!(k, EventKind::Instant { name, .. } if name == "shed"));
+    // With minutes of synthetic slack nothing sheds late, so every
+    // dispatched (= admitted = completed) request has one queue-wait span.
+    assert_eq!(queue_waits, m.completed);
+    assert_eq!(admissions, m.completed);
+    assert_eq!(sheds, m.shed());
+    assert!(
+        count(&|k| matches!(k, EventKind::Node { .. })) > 0,
+        "worker inferences must emit engine node spans through the shared sink"
+    );
+}
+
 /// Requests in the wrong resource dimension are rejected, not shed.
 #[test]
 fn wrong_resource_kind_is_an_error_not_a_shed() {
