@@ -1,10 +1,12 @@
 //! `repro bench`: sequential-vs-parallel wall-clock regression harness.
 //!
 //! Times the *full* (undynamic) execution path of each model with the
-//! sequential interpreter and with the wavefront executor at several
-//! thread counts, asserts the outputs are bit-identical, and (with
-//! `--json`) writes the numbers to `BENCH_parallel_exec.json` so later
-//! PRs have a perf trajectory to compare against.
+//! sequential interpreter, with the wavefront executor at several thread
+//! counts, and by replaying a compiled [`ExecPlan`]; asserts every
+//! variant's outputs are bit-identical to the sequential interpreter's,
+//! and (with `--json`) writes the numbers — including per-op-class
+//! GFLOP/s from a traced run — to `BENCH_parallel_exec.json` so later PRs
+//! have a perf trajectory to compare against.
 //!
 //! The report records the machine's hardware parallelism: speedups are
 //! only physically possible when the machine has more than one core, and
@@ -12,12 +14,14 @@
 //! valid regression baseline.
 
 use crate::{banner, f, Table};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use vit_graph::{ExecOptions, ExecScratch, Graph, RunContext, WeightGen};
+use vit_graph::{ExecOptions, ExecScratch, Graph, OpClass, RunContext, WeightGen};
 use vit_models::{
     build_segformer, build_swin_upernet, SegFormerConfig, SegFormerVariant, SwinConfig, SwinVariant,
 };
+use vit_plan::ExecPlan;
 use vit_profiler::Profile;
 use vit_tensor::Tensor;
 use vit_trace::{chrome_trace_json, validate, EventKind, RingBufferSink, TraceSink};
@@ -83,10 +87,27 @@ struct ParallelPoint {
     bit_identical: bool,
 }
 
+struct PlanPoint {
+    compile_ms: f64,
+    ms: f64,
+    bit_identical: bool,
+    records: usize,
+    fused: usize,
+    arena_elems: usize,
+}
+
+struct ClassRate {
+    class: &'static str,
+    flops: u64,
+    ms: f64,
+}
+
 struct CaseResult {
     name: &'static str,
     seq_ms: f64,
     parallel: Vec<ParallelPoint>,
+    plan: PlanPoint,
+    classes: Vec<ClassRate>,
 }
 
 /// Best-of-`reps` wall time of one full graph execution, in milliseconds.
@@ -112,9 +133,87 @@ fn time_run(
     (best, out)
 }
 
+/// Best-of-`reps` wall time of one plan replay, in milliseconds.
+fn time_plan(plan: &ExecPlan, case: &Case, ctx: &RunContext, reps: usize) -> (f64, Tensor) {
+    let inputs = std::slice::from_ref(&case.image);
+    let mut out = plan.execute(inputs, ctx).expect("bench plan replays"); // warm arena
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = plan.execute(inputs, ctx).expect("bench plan replays");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+/// The reporting buckets for per-class throughput: the profiler's
+/// compute classes, with elementwise and data movement folded into
+/// `other` (their FLOP counts are zero or negligible either way).
+fn class_label(class: OpClass) -> &'static str {
+    match class {
+        OpClass::Conv => "conv",
+        OpClass::Matmul => "matmul",
+        OpClass::Attention => "attention",
+        OpClass::Norm => "norm",
+        OpClass::Elementwise | OpClass::Memory => "other",
+    }
+}
+
+/// Per-op-class FLOPs and wall time from one traced sequential run:
+/// analytical GFLOP/s (MAC convention) per compute class.
+fn class_rates(scratch: &mut ExecScratch, gen: WeightGen, case: &Case) -> Vec<ClassRate> {
+    let classes: HashMap<&str, OpClass> = case
+        .graph
+        .iter()
+        .map(|(_, n)| (n.name.as_str(), n.op.class()))
+        .collect();
+    let ring = Arc::new(RingBufferSink::new(1 << 20));
+    let ctx = RunContext::default().with_sink(ring.clone() as Arc<dyn TraceSink>);
+    scratch
+        .run_with(gen, &case.graph, std::slice::from_ref(&case.image), &ctx)
+        .expect("bench graph runs");
+    let order = ["conv", "matmul", "attention", "norm", "other"];
+    let mut agg: HashMap<&str, (u64, u64)> = HashMap::new();
+    for e in ring.take() {
+        if let EventKind::Node {
+            name,
+            start_ns,
+            end_ns,
+            flops,
+            ..
+        } = e.kind
+        {
+            let label = class_label(classes[name.as_str()]);
+            let slot = agg.entry(label).or_insert((0, 0));
+            slot.0 += flops;
+            slot.1 += end_ns - start_ns;
+        }
+    }
+    order
+        .iter()
+        .map(|&class| {
+            let (flops, ns) = agg.get(class).copied().unwrap_or((0, 0));
+            ClassRate {
+                class,
+                flops,
+                ms: ns as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// GFLOP/s of a (FLOPs, milliseconds) pair; zero when nothing ran.
+fn gflops(flops: u64, ms: f64) -> f64 {
+    if ms > 0.0 {
+        flops as f64 / (ms * 1e6)
+    } else {
+        0.0
+    }
+}
+
 /// The seq-vs-parallel benchmark (`repro bench`).
 pub fn bench(args: BenchArgs) {
-    banner("bench — sequential vs parallel wavefront executor (full paths)");
+    banner("bench — sequential vs parallel vs compiled-plan execution (full paths)");
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let (reps, thread_counts): (usize, &[usize]) =
         if args.quick { (1, &[2]) } else { (3, &[2, 4]) };
@@ -157,13 +256,75 @@ pub fn bench(args: BenchArgs) {
                 bit_identical: identical,
             });
         }
+
+        // Compiled plan: pay the lowering once, then replay the flat
+        // record stream sequentially. Replay must beat (or at worst
+        // match) the interpreter — that is the whole point of plans.
+        let t0 = Instant::now();
+        let plan = ExecPlan::compile(&case.graph, gen).expect("bench plan compiles");
+        let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (plan_ms, plan_out) = time_plan(&plan, &case, &RunContext::default(), reps);
+        let identical = plan_out == seq_out;
+        assert!(
+            identical,
+            "{}: plan replay diverged from the sequential interpreter",
+            case.name
+        );
+        t.row(&[
+            case.name.to_string(),
+            f(seq_ms, 2),
+            "plan".to_string(),
+            f(plan_ms, 2),
+            f(seq_ms / plan_ms, 2),
+            identical.to_string(),
+        ]);
+        let plan_point = PlanPoint {
+            compile_ms,
+            ms: plan_ms,
+            bit_identical: identical,
+            records: plan.records().len(),
+            fused: plan.fused_nodes(),
+            arena_elems: plan.arena_len(),
+        };
+
+        let classes = class_rates(&mut scratch, gen, &case);
         results.push(CaseResult {
             name: case.name,
             seq_ms,
             parallel,
+            plan: plan_point,
+            classes,
         });
     }
     t.print();
+
+    let mut pt = Table::new(&["model", "records", "fused", "arena KiB", "compile ms"]);
+    for r in &results {
+        pt.row(&[
+            r.name.to_string(),
+            r.plan.records.to_string(),
+            r.plan.fused.to_string(),
+            f(r.plan.arena_elems as f64 * 4.0 / 1024.0, 1),
+            f(r.plan.compile_ms, 2),
+        ]);
+    }
+    println!("\ncompiled plans:");
+    pt.print();
+
+    let mut ct = Table::new(&["model", "class", "GFLOP", "ms", "GFLOP/s"]);
+    for r in &results {
+        for c in &r.classes {
+            ct.row(&[
+                r.name.to_string(),
+                c.class.to_string(),
+                f(c.flops as f64 / 1e9, 3),
+                f(c.ms, 2),
+                f(gflops(c.flops, c.ms), 2),
+            ]);
+        }
+    }
+    println!("\nper-op-class throughput (traced sequential run, MAC convention):");
+    ct.print();
 
     if args.json {
         let path = "BENCH_parallel_exec.json";
@@ -300,6 +461,29 @@ fn render_json(cores: usize, reps: usize, quick: bool, results: &[CaseResult]) -
                 r.seq_ms / p.ms,
                 p.bit_identical,
                 if j + 1 < r.parallel.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ],\n");
+        s.push_str(&format!(
+            "      \"plan\": {{\"ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}, \
+             \"compile_ms\": {:.3}, \"records\": {}, \"fused_nodes\": {}, \"arena_elems\": {}}},\n",
+            r.plan.ms,
+            r.seq_ms / r.plan.ms,
+            r.plan.bit_identical,
+            r.plan.compile_ms,
+            r.plan.records,
+            r.plan.fused,
+            r.plan.arena_elems,
+        ));
+        s.push_str("      \"gflops_by_class\": [\n");
+        for (j, c) in r.classes.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"class\": \"{}\", \"flops\": {}, \"ms\": {:.3}, \"gflops\": {:.3}}}{}\n",
+                c.class,
+                c.flops,
+                c.ms,
+                gflops(c.flops, c.ms),
+                if j + 1 < r.classes.len() { "," } else { "" }
             ));
         }
         s.push_str("      ]\n");

@@ -12,7 +12,7 @@
 use crate::banner;
 use std::sync::Arc;
 use vit_drt::{DrtEngine, RunContext};
-use vit_graph::ExecOptions;
+use vit_graph::{ExecBackend, ExecOptions};
 use vit_models::SegFormerVariant;
 use vit_profiler::Profile;
 use vit_resilience::{ResourceKind, Workload};
@@ -30,6 +30,8 @@ pub struct ProfileArgs {
     pub out: String,
     /// Threads of the intra-inference execution pool (1 = sequential).
     pub threads: usize,
+    /// Replay a compiled execution plan instead of interpreting the graph.
+    pub plan: bool,
 }
 
 impl Default for ProfileArgs {
@@ -39,6 +41,7 @@ impl Default for ProfileArgs {
             budget: 1.0,
             out: "trace.json".to_string(),
             threads: 1,
+            plan: false,
         }
     }
 }
@@ -62,8 +65,10 @@ pub fn profile(args: ProfileArgs) {
         std::process::exit(2);
     }
     banner(&format!(
-        "profile — one traced inference of {} at budget {:.3}x full",
-        args.model, args.budget
+        "profile — one traced {} inference of {} at budget {:.3}x full",
+        if args.plan { "compiled-plan" } else { "interpreted" },
+        args.model,
+        args.budget
     ));
 
     let engine = DrtEngine::segformer(
@@ -80,8 +85,13 @@ pub fn profile(args: ProfileArgs) {
     } else {
         ExecOptions::sequential()
     };
+    let backend = if args.plan {
+        ExecBackend::Plan
+    } else {
+        ExecBackend::Interpret
+    };
     let ctx = RunContext::default()
-        .with_exec(exec)
+        .with_exec(exec.with_backend(backend))
         .with_sink(sink.clone() as Arc<dyn TraceSink>);
 
     let image = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 7);

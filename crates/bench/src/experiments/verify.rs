@@ -13,8 +13,11 @@ use vit_models::{
 };
 use vit_resilience::{swin_sweep_space, AccelResource, ResourceKind, Workload};
 use vit_serve::SchedulePolicy;
+use vit_graph::WeightGen;
+use vit_plan::ExecPlan;
 use vit_verify::{
-    verify_lut_report, verify_model_on_accelerators, LutContext, Report, VerifyOptions,
+    verify_lut_report, verify_model_on_accelerators, verify_plan, LutContext, Report,
+    VerifyOptions,
 };
 
 /// Settings parsed from the `repro verify` command line.
@@ -177,6 +180,14 @@ pub fn run(args: VerifyArgs) -> i32 {
 
     for (label, graph) in model_graphs() {
         let mut report = verify_model_on_accelerators(&graph, &accel_refs, &opts);
+        // Pass 5: lower the graph into a compiled plan and prove the two
+        // are the same program. Only meaningful over a sound graph.
+        if report.errors() == 0 {
+            match ExecPlan::compile(&graph, WeightGen::new(0)) {
+                Ok(plan) => report.extend(verify_plan(&graph, &plan)),
+                Err(e) => panic!("compiling a plan for {label} failed: {e}"),
+            }
+        }
         report.target = format!("{label} ({} nodes)", graph.len());
         reports.push(report);
     }

@@ -42,8 +42,9 @@ static analysis:
                exit non-zero on warnings too)
 
 regression benchmarks:
-  bench       sequential vs parallel wavefront executor on full model
-              paths; asserts bit-identical outputs
+  bench       sequential vs parallel wavefront executor vs compiled-plan
+              replay on full model paths; asserts bit-identical outputs
+              and reports per-op-class GFLOP/s
               (flags: --json write BENCH_parallel_exec.json,
                --quick fewer reps/threads for CI smoke runs,
                --trace <path> gate disabled-tracing overhead and write a
@@ -51,10 +52,12 @@ regression benchmarks:
 
 profiling:
   profile     one traced DRT inference: flame summary + chrome-trace JSON
-              usage: repro profile <model> <budget> [--threads N] [--out PATH]
+              usage: repro profile <model> <budget> [--threads N] [--plan]
+                     [--out PATH]
               model: segformer-b0 | segformer-b2
               budget: fraction of the full path in (0, 1]
-              (default --out trace.json; load at chrome://tracing or
+              (--plan replays a compiled execution plan; default --out
+               trace.json; load at chrome://tracing or
                https://ui.perfetto.dev)
 
 summary:
@@ -155,6 +158,7 @@ fn main() {
                             std::process::exit(2);
                         });
                     }
+                    "--plan" => args.plan = true,
                     other => {
                         eprintln!("unknown profile flag `{other}`\n\n{USAGE}");
                         std::process::exit(2);

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use vit_accel::AccelConfig;
-use vit_graph::{ExecError, ExecOptions, ExecScratch, Graph, RunContext, WeightGen};
+use vit_graph::{ExecBackend, ExecError, ExecOptions, ExecScratch, Graph, RunContext, WeightGen};
 use vit_models::{
     build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant, SwinConfig,
     SwinVariant,
@@ -21,6 +21,7 @@ use vit_resilience::{
     segformer_sweep_space, sweep_segformer, sweep_segformer_on_accelerator, sweep_swin,
     AccelResource, ResourceKind, Workload,
 };
+use vit_plan::{ExecPlan, PlanError};
 use vit_tensor::Tensor;
 use vit_trace::{now_ns, EventKind, Phase as TracePhase};
 
@@ -41,6 +42,8 @@ pub enum EngineError {
     Model(ModelError),
     /// Graph execution failed.
     Exec(ExecError),
+    /// Lowering a graph into a compiled execution plan failed.
+    Plan(PlanError),
     /// The engine's LUT is empty.
     EmptyLut,
 }
@@ -50,6 +53,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Model(e) => write!(f, "engine model error: {e}"),
             EngineError::Exec(e) => write!(f, "engine execution error: {e}"),
+            EngineError::Plan(e) => write!(f, "engine plan compilation error: {e}"),
             EngineError::EmptyLut => write!(f, "engine LUT has no execution paths"),
         }
     }
@@ -66,6 +70,12 @@ impl From<ModelError> for EngineError {
 impl From<ExecError> for EngineError {
     fn from(e: ExecError) -> Self {
         EngineError::Exec(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
     }
 }
 
@@ -126,7 +136,7 @@ pub struct DrtEngine {
 /// `EngineCore` is `Send + Sync`; a serving worker pool holds one
 /// `Arc<EngineCore>` and gives each worker its own [`ExecScratch`].
 /// [`EngineCore::select`] (pure LUT lookup, cheap, lock-free) is split
-/// from [`EngineCore::infer_with`] (graph execution) so schedulers can
+/// from [`EngineCore::infer`] (graph execution) so schedulers can
 /// decide admission/configuration without running anything.
 #[derive(Debug)]
 pub struct EngineCore {
@@ -136,6 +146,7 @@ pub struct EngineCore {
     lut: Lut,
     weight_gen: WeightGen,
     graph_cache: RwLock<HashMap<LutConfig, Arc<Graph>>>,
+    plan_cache: RwLock<HashMap<LutConfig, Arc<ExecPlan>>>,
 }
 
 impl EngineCore {
@@ -168,6 +179,7 @@ impl EngineCore {
             lut,
             weight_gen: WeightGen::new(0),
             graph_cache: RwLock::new(HashMap::new()),
+            plan_cache: RwLock::new(HashMap::new()),
         })
     }
 
@@ -200,6 +212,11 @@ impl EngineCore {
     /// Number of distinct execution paths built so far.
     pub fn cached_graphs(&self) -> usize {
         self.graph_cache.read().len()
+    }
+
+    /// Number of distinct execution paths compiled into plans so far.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.read().len()
     }
 
     /// The configuration the engine would run for `budget`, without
@@ -278,6 +295,35 @@ impl EngineCore {
         Ok((cache.entry(config).or_insert(g).clone(), false))
     }
 
+    /// The compiled execution plan for `config`, from the concurrent plan
+    /// cache. This is the exact plan [`EngineCore::run`] replays for the
+    /// config when the context selects [`ExecBackend::Plan`], so static
+    /// analyses (e.g. the `vit-verify` plan-equivalence pass) can check it
+    /// against the graph from [`EngineCore::graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or plan lowering
+    /// fails.
+    pub fn plan(&self, config: LutConfig) -> Result<Arc<ExecPlan>, EngineError> {
+        Ok(self.plan_for(config)?.0)
+    }
+
+    /// The compiled plan for `config`, from the concurrent cache; the flag
+    /// reports whether this call was served from the cache.
+    fn plan_for(&self, config: LutConfig) -> Result<(Arc<ExecPlan>, bool), EngineError> {
+        if let Some(p) = self.plan_cache.read().get(&config) {
+            return Ok((p.clone(), true));
+        }
+        // Like `graph_for`, compile outside any lock; racing workers keep
+        // the first insert. Compilation packs every weight tensor, so a
+        // plan-cache miss subsumes the interpreter's weight materialization.
+        let (graph, _) = self.graph_for(config)?;
+        let p = Arc::new(ExecPlan::compile(&graph, self.weight_gen)?);
+        let mut cache = self.plan_cache.write();
+        Ok((cache.entry(config).or_insert(p).clone(), false))
+    }
+
     /// Runs one dynamic inference using the caller's scratch: picks the
     /// best path for `budget` (in the LUT's resource units) under the
     /// given [`RunContext`], executes it, and returns the outputs with the
@@ -320,14 +366,17 @@ impl EngineCore {
     /// for callers that already committed to a configuration at scheduling
     /// time (serving workers run this on a shared thread pool).
     ///
-    /// With an enabled trace sink this records a graph-cache hit/miss
-    /// counter, a [`TracePhase::GraphBuild`] span when the graph had to be
-    /// built, and an [`TracePhase::Execute`] span around the whole
-    /// execution (the executor adds per-node spans underneath).
+    /// With an enabled trace sink this records a graph-cache (or, under
+    /// [`ExecBackend::Plan`], plan-cache) hit/miss counter, a
+    /// [`TracePhase::GraphBuild`] / [`TracePhase::PlanBuild`] span when the
+    /// path had to be built, and an [`TracePhase::Execute`] span around the
+    /// whole execution (the executor or plan replay adds per-node spans
+    /// underneath).
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
+    /// Returns [`EngineError`] when graph construction, plan lowering, or
+    /// execution fails.
     pub fn run(
         &self,
         scratch: &mut ExecScratch,
@@ -338,38 +387,79 @@ impl EngineCore {
     ) -> Result<Inference, EngineError> {
         let sink = ctx.sink.as_ref();
         let enabled = sink.enabled();
-        let build_start = sink.timestamp();
-        let (graph, cache_hit) = self.graph_for(entry.config)?;
-        if enabled {
-            let at_ns = now_ns();
-            sink.record(EventKind::Counter {
-                name: if cache_hit {
-                    "graph_cache.hits".to_string()
-                } else {
-                    "graph_cache.misses".to_string()
-                },
-                value: 1,
-                at_ns,
-            });
-            if !cache_hit {
-                sink.record(EventKind::Phase {
-                    phase: TracePhase::GraphBuild,
-                    detail: format!("{:?}", entry.config),
-                    start_ns: build_start,
-                    end_ns: at_ns,
-                });
+        let logits = match ctx.exec.backend() {
+            ExecBackend::Interpret => {
+                let build_start = sink.timestamp();
+                let (graph, cache_hit) = self.graph_for(entry.config)?;
+                if enabled {
+                    let at_ns = now_ns();
+                    sink.record(EventKind::Counter {
+                        name: if cache_hit {
+                            "graph_cache.hits".to_string()
+                        } else {
+                            "graph_cache.misses".to_string()
+                        },
+                        value: 1,
+                        at_ns,
+                    });
+                    if !cache_hit {
+                        sink.record(EventKind::Phase {
+                            phase: TracePhase::GraphBuild,
+                            detail: format!("{:?}", entry.config),
+                            start_ns: build_start,
+                            end_ns: at_ns,
+                        });
+                    }
+                }
+                let exec_start = sink.timestamp();
+                let logits =
+                    scratch.run_with(self.weight_gen, &graph, std::slice::from_ref(image), ctx)?;
+                if enabled {
+                    sink.record(EventKind::Phase {
+                        phase: TracePhase::Execute,
+                        detail: graph.model.clone(),
+                        start_ns: exec_start,
+                        end_ns: now_ns(),
+                    });
+                }
+                logits
             }
-        }
-        let exec_start = sink.timestamp();
-        let logits = scratch.run_with(self.weight_gen, &graph, std::slice::from_ref(image), ctx)?;
-        if enabled {
-            sink.record(EventKind::Phase {
-                phase: TracePhase::Execute,
-                detail: graph.model.clone(),
-                start_ns: exec_start,
-                end_ns: now_ns(),
-            });
-        }
+            ExecBackend::Plan => {
+                let build_start = sink.timestamp();
+                let (plan, cache_hit) = self.plan_for(entry.config)?;
+                if enabled {
+                    let at_ns = now_ns();
+                    sink.record(EventKind::Counter {
+                        name: if cache_hit {
+                            "plan_cache.hits".to_string()
+                        } else {
+                            "plan_cache.misses".to_string()
+                        },
+                        value: 1,
+                        at_ns,
+                    });
+                    if !cache_hit {
+                        sink.record(EventKind::Phase {
+                            phase: TracePhase::PlanBuild,
+                            detail: format!("{:?}", entry.config),
+                            start_ns: build_start,
+                            end_ns: at_ns,
+                        });
+                    }
+                }
+                let exec_start = sink.timestamp();
+                let logits = plan.execute(std::slice::from_ref(image), ctx)?;
+                if enabled {
+                    sink.record(EventKind::Phase {
+                        phase: TracePhase::Execute,
+                        detail: plan.model().to_string(),
+                        start_ns: exec_start,
+                        end_ns: now_ns(),
+                    });
+                }
+                logits
+            }
+        };
         let label_map = logits
             .argmax_channels()
             .expect("segmentation output is NCHW");
@@ -715,7 +805,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the `infer_with` shim until it is removed
     fn workers_share_one_core_and_agree() {
         // Two handles over the same Arc<EngineCore> (separate scratches)
         // produce identical outputs and share the graph cache.
@@ -731,7 +820,9 @@ mod tests {
                     let img = img.clone();
                     s.spawn(move || {
                         let mut scratch = ExecScratch::new();
-                        core.infer_with(&mut scratch, &img, budget).unwrap().logits
+                        core.infer(&mut scratch, &img, budget, &RunContext::default())
+                            .unwrap()
+                            .logits
                     })
                 })
                 .collect();
@@ -739,6 +830,33 @@ mod tests {
         });
         assert_eq!(outs[0], outs[1]);
         assert_eq!(core.cached_graphs(), 1);
+    }
+
+    #[test]
+    fn plan_backend_matches_interpreter_bitwise() {
+        let e = small_engine();
+        let core = e.core().clone();
+        drop(e);
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 21);
+        let plan_ctx = RunContext::default()
+            .with_exec(ExecOptions::default().with_backend(ExecBackend::Plan));
+        for frac in [0.3, 1.0] {
+            let budget = core.max_resource() * frac;
+            let mut scratch = ExecScratch::new();
+            let interp = core.infer(&mut scratch, &img, budget, &RunContext::default()).unwrap();
+            let planned = core.infer(&mut scratch, &img, budget, &plan_ctx).unwrap();
+            assert_eq!(interp.logits, planned.logits);
+            assert_eq!(interp.label_map, planned.label_map);
+            assert_eq!(interp.config, planned.config);
+        }
+        // Each distinct config was compiled exactly once and cached.
+        assert_eq!(core.cached_plans(), core.cached_graphs());
+        // A repeat inference hits the plan cache (count is unchanged).
+        let before = core.cached_plans();
+        let mut scratch = ExecScratch::new();
+        core.infer(&mut scratch, &img, core.max_resource(), &plan_ctx)
+            .unwrap();
+        assert_eq!(core.cached_plans(), before);
     }
 
     #[test]

@@ -20,8 +20,27 @@ use vit_tensor::par::Scope;
 use vit_tensor::{ops, BufferPool, ExecCtx, Tensor, TensorError, ThreadPool};
 use vit_trace::{now_ns, null_sink, EventKind, Phase as TracePhase, TraceSink};
 
+/// Which execution engine a run uses.
+///
+/// Both backends produce bit-identical outputs; they differ only in how
+/// much per-run work happens outside the kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecBackend {
+    /// Walk the graph per run: per-node weight-cache lookups, buffer-pool
+    /// allocation, and (when threaded) wavefront node scheduling.
+    #[default]
+    Interpret,
+    /// Replay a compiled `vit-plan` `ExecPlan`: a flat record loop over a
+    /// pre-sized arena with pre-packed weights and fused epilogues. The
+    /// flag lives here so `RunContext` can carry it everywhere; the plan
+    /// types themselves live in the `vit-plan` crate and engines dispatch
+    /// on this value.
+    Plan,
+}
+
 /// How a graph execution runs: sequentially, or tiled across a worker
-/// pool with wavefront node scheduling.
+/// pool with wavefront node scheduling — and on which backend
+/// ([`ExecBackend`]).
 ///
 /// The parallel path is **bit-identical** to the sequential one at any
 /// thread count (see the determinism contract in [`vit_tensor::par`]); the
@@ -33,6 +52,7 @@ use vit_trace::{now_ns, null_sink, EventKind, Phase as TracePhase, TraceSink};
 #[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     pool: Option<Arc<ThreadPool>>,
+    backend: ExecBackend,
 }
 
 impl ExecOptions {
@@ -49,13 +69,28 @@ impl ExecOptions {
         } else {
             ExecOptions {
                 pool: Some(Arc::new(ThreadPool::new(threads))),
+                backend: ExecBackend::default(),
             }
         }
     }
 
     /// Execution over an existing shared pool.
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
-        ExecOptions { pool: Some(pool) }
+        ExecOptions {
+            pool: Some(pool),
+            backend: ExecBackend::default(),
+        }
+    }
+
+    /// Selects the execution backend, keeping the pool configuration.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The selected execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Total threads this execution may use (1 when sequential).
@@ -64,7 +99,7 @@ impl ExecOptions {
     }
 
     /// The shared pool, when one is attached and worth using.
-    fn active_pool(&self) -> Option<&ThreadPool> {
+    pub fn active_pool(&self) -> Option<&ThreadPool> {
         self.pool.as_deref().filter(|p| p.threads() > 1)
     }
 }
@@ -434,49 +469,7 @@ impl ExecScratch {
 
     /// The parameter-tensor shapes a node of this op/input signature owns.
     fn weight_shapes(op: &Op, in_shapes: &[&[usize]]) -> Vec<Vec<usize>> {
-        match op {
-            Op::Conv2d {
-                out_channels,
-                kernel,
-                groups,
-                bias,
-                ..
-            } => {
-                let c = in_shapes[0][1];
-                let mut v = vec![vec![*out_channels, c / groups, kernel.0, kernel.1]];
-                if *bias {
-                    v.push(vec![*out_channels]);
-                }
-                v
-            }
-            Op::Linear { out_features, bias } => {
-                let in_features = *in_shapes[0].last().expect("validated");
-                let mut v = vec![vec![*out_features, in_features]];
-                if *bias {
-                    v.push(vec![*out_features]);
-                }
-                v
-            }
-            Op::DeformAttn {
-                heads,
-                levels,
-                points,
-                dim,
-            } => {
-                let d = *dim;
-                let hlp = heads * levels * points;
-                vec![vec![d, d], vec![d, d], vec![hlp * 2, d], vec![hlp, d]]
-            }
-            Op::LayerNorm => {
-                let f = *in_shapes[0].last().expect("validated");
-                vec![vec![f], vec![f]]
-            }
-            Op::BatchNorm => {
-                let c = in_shapes[0][1];
-                vec![vec![c], vec![c]]
-            }
-            _ => Vec::new(),
-        }
+        node_weight_shapes(op, in_shapes)
     }
 
     /// Whether a cached weight set matches the shapes this graph needs.
@@ -504,7 +497,7 @@ impl ExecScratch {
                 return Arc::clone(w);
             }
         }
-        let w = Arc::new(generate_weights(gen, node_name, op, in_shapes));
+        let w = Arc::new(generate_node_weights(gen, node_name, op, in_shapes));
         self.cache.insert(node_name.to_string(), Arc::clone(&w));
         w
     }
@@ -540,13 +533,13 @@ impl ExecScratch {
             Some(pool) if missing.len() > 1 => pool.scope(|s| {
                 for (slot, (name, op, in_shapes)) in generated.iter_mut().zip(missing.iter()) {
                     s.spawn(move |_| {
-                        *slot = Some(generate_weights(gen, name, op, in_shapes));
+                        *slot = Some(generate_node_weights(gen, name, op, in_shapes));
                     });
                 }
             }),
             _ => {
                 for (slot, (name, op, in_shapes)) in generated.iter_mut().zip(missing.iter()) {
-                    *slot = Some(generate_weights(gen, name, op, in_shapes));
+                    *slot = Some(generate_node_weights(gen, name, op, in_shapes));
                 }
             }
         }
@@ -557,9 +550,63 @@ impl ExecScratch {
     }
 }
 
+/// The parameter-tensor shapes a node of `op` with inputs of `in_shapes`
+/// owns, in the order [`generate_node_weights`] produces them.
+///
+/// Plan compilers use this (paired with [`generate_node_weights`]) to
+/// materialize weights once at plan time instead of per inference.
+pub fn node_weight_shapes(op: &Op, in_shapes: &[&[usize]]) -> Vec<Vec<usize>> {
+    match op {
+        Op::Conv2d {
+            out_channels,
+            kernel,
+            groups,
+            bias,
+            ..
+        } => {
+            let c = in_shapes[0][1];
+            let mut v = vec![vec![*out_channels, c / groups, kernel.0, kernel.1]];
+            if *bias {
+                v.push(vec![*out_channels]);
+            }
+            v
+        }
+        Op::Linear { out_features, bias } => {
+            let in_features = *in_shapes[0].last().expect("validated");
+            let mut v = vec![vec![*out_features, in_features]];
+            if *bias {
+                v.push(vec![*out_features]);
+            }
+            v
+        }
+        Op::DeformAttn {
+            heads,
+            levels,
+            points,
+            dim,
+        } => {
+            let d = *dim;
+            let hlp = heads * levels * points;
+            vec![vec![d, d], vec![d, d], vec![hlp * 2, d], vec![hlp, d]]
+        }
+        Op::LayerNorm => {
+            let f = *in_shapes[0].last().expect("validated");
+            vec![vec![f], vec![f]]
+        }
+        Op::BatchNorm => {
+            let c = in_shapes[0][1];
+            vec![vec![c], vec![c]]
+        }
+        _ => Vec::new(),
+    }
+}
+
 /// Materializes the parameter tensors a node owns. Pure in `(gen,
-/// node_name, op, in_shapes)` — safe to call from any thread.
-fn generate_weights(
+/// node_name, op, in_shapes)` — safe to call from any thread, and the
+/// values the interpreter's weight cache and a compiled plan's packed
+/// weights both come from (which is what makes the two backends
+/// bit-identical).
+pub fn generate_node_weights(
     gen: WeightGen,
     node_name: &str,
     op: &Op,
@@ -1083,26 +1130,51 @@ impl Wavefront<'_> {
                 return Arc::clone(w);
             }
         }
-        Arc::new(generate_weights(self.gen, &node.name, &node.op, in_shapes))
+        Arc::new(generate_node_weights(self.gen, &node.name, &node.op, in_shapes))
     }
 }
 
 /// Evaluates one non-[`Op::Input`] node on already-computed input tensors.
-///
-/// `weights` must match [`ExecScratch::weight_shapes`] for the node (empty
-/// for parameter-free ops). The heavy kernels tile across `ctx`'s pool and
-/// draw outputs from its buffer pool; every other op runs sequentially.
 fn eval_node(
     node: &crate::graph::Node,
     w: &[Tensor],
     in_tensors: &[&Tensor],
     ctx: &ExecCtx<'_>,
 ) -> Result<Tensor, ExecError> {
+    eval_op(&node.name, &node.op, w, in_tensors, ctx)
+}
+
+/// Evaluates one non-[`Op::Input`] operator on already-computed input
+/// tensors — the single kernel-dispatch point both the interpreter and
+/// `vit-plan`'s fallback records call, which is what keeps the two
+/// backends bit-identical on ops without a packed kernel.
+///
+/// `w` must match [`node_weight_shapes`] for the op (empty for
+/// parameter-free ops); `name` labels kernel errors. The heavy kernels
+/// tile across `ctx`'s pool and draw outputs from its buffer pool; every
+/// other op runs sequentially.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Kernel`] when the underlying kernel rejects the
+/// input/weight shapes.
+///
+/// # Panics
+///
+/// Panics on [`Op::Input`], which has no computation — callers route
+/// graph inputs themselves.
+pub fn eval_op(
+    name: &str,
+    op: &Op,
+    w: &[Tensor],
+    in_tensors: &[&Tensor],
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor, ExecError> {
     let kerr = |source: TensorError| ExecError::Kernel {
-        node: node.name.clone(),
+        node: name.to_string(),
         source,
     };
-    let out = match &node.op {
+    let out = match op {
         Op::Input { .. } => unreachable!("Op::Input is handled by the caller"),
         Op::Conv2d {
             stride,

@@ -44,6 +44,9 @@ mod exec;
 mod graph;
 mod op;
 
-pub use exec::{ExecError, ExecOptions, ExecScratch, Executor, RunContext, WeightGen};
+pub use exec::{
+    eval_op, generate_node_weights, node_weight_shapes, ExecBackend, ExecError, ExecOptions,
+    ExecScratch, Executor, RunContext, WeightGen,
+};
 pub use graph::{Graph, Node, NodeId};
 pub use op::{GraphError, LayerRole, Op, OpClass};

@@ -1,0 +1,867 @@
+//! # vit-plan
+//!
+//! Compiled execution plans: lower a [`vit_graph::Graph`] **once** into a
+//! flat [`ExecPlan`] and replay it per inference.
+//!
+//! The interpreter in `vit-graph` walks the graph every run — hash-map
+//! weight lookups, buffer-pool allocation, and (threaded) atomic wavefront
+//! scheduling per node. Real ViT inference stacks (ViTA's edge
+//! accelerator, Vis-TOP's overlay processor) instead compile a model into
+//! a static schedule with fixed buffer placement and replay it. This crate
+//! is that substrate for the DRT reproduction:
+//!
+//! * **flat records** — topologically ordered [`PlanRecord`]s with
+//!   pre-resolved input/output offsets; replay is a tight loop, with no
+//!   per-node hash lookups, `Arc` slot graphs, or atomic wavefront
+//!   counters;
+//! * **static arena** — one buffer sized by exact liveness analysis at
+//!   compile time (free ranges are reused the moment their last consumer
+//!   retires), replacing the `BufferPool` best-fit heuristic on this path;
+//!   the arena is recycled across runs and never re-zeroed, because every
+//!   record fully overwrites its output range;
+//! * **fused epilogues** — a `Relu`/`Gelu` whose sole producer is a
+//!   `Conv2d`/`Linear` (and which is that producer's only consumer) is
+//!   folded into the producing kernel's final store, eliminating a whole
+//!   read-modify-write pass over the activation;
+//! * **pre-packed weights** — parameter tensors are generated once at
+//!   compile time and packed contiguously
+//!   ([`vit_tensor::ops::PackedConv2d`]/[`PackedLinear`]), so replay
+//!   touches no weight cache.
+//!
+//! Replay is **bit-identical** to the interpreter at any thread count: the
+//! packed kernels share the interpreter's inner loops and epilogue
+//! scalars, fallback records dispatch through the same
+//! [`vit_graph::eval_op`], and threading happens only via intra-kernel
+//! output tiling (the `vit_tensor::par` determinism contract).
+//!
+//! `vit-verify`'s plan pass proves plan↔graph equivalence offline:
+//! identical FLOP/param/byte totals, every node covered exactly once by a
+//! record or fusion, and arena liveness soundness.
+//!
+//! [`PackedLinear`]: vit_tensor::ops::PackedLinear
+//!
+//! # Examples
+//!
+//! ```
+//! use vit_graph::{Graph, LayerRole, Op, RunContext, WeightGen};
+//! use vit_plan::ExecPlan;
+//! use vit_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new("tiny");
+//! let x = g.input("image", &[1, 3, 8, 8])?;
+//! let c = g.add(
+//!     "stem",
+//!     Op::Conv2d {
+//!         out_channels: 4,
+//!         kernel: (3, 3),
+//!         stride: (1, 1),
+//!         pad: (1, 1),
+//!         groups: 1,
+//!         bias: true,
+//!     },
+//!     LayerRole::Backbone,
+//!     &[x],
+//! )?;
+//! let r = g.add("stem.act", Op::Relu, LayerRole::Backbone, &[c])?;
+//! g.set_output(r);
+//!
+//! let plan = ExecPlan::compile(&g, WeightGen::new(0))?;
+//! assert_eq!(plan.records().len(), 2); // input + fused conv∘relu
+//! let out = plan.execute(
+//!     &[Tensor::ones(&[1, 3, 8, 8])],
+//!     &RunContext::default(),
+//! )?;
+//! assert_eq!(out.shape(), &[1, 4, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Mutex;
+
+use vit_graph::{
+    eval_op, generate_node_weights, Graph, Node, Op, RunContext, WeightGen,
+};
+use vit_graph::ExecError;
+use vit_profiler::node_io_bytes;
+use vit_tensor::ops::{Conv2dParams, Epilogue, PackedConv2d, PackedLinear};
+use vit_tensor::{BufferPool, ExecCtx, Tensor, TensorError};
+use vit_trace::{now_ns, EventKind, Phase, TraceSink};
+
+/// A contiguous element range inside a plan's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufRange {
+    /// First element index.
+    pub offset: usize,
+    /// Length in elements.
+    pub len: usize,
+}
+
+impl BufRange {
+    /// One past the last element index.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    /// Whether two ranges share any element.
+    pub fn overlaps(&self, other: &BufRange) -> bool {
+        self.offset < other.end() && other.offset < self.end()
+    }
+}
+
+/// How one record computes its output range.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Copy graph input `pos` into the output range.
+    Input { pos: usize },
+    /// Pre-packed convolution (epilogue possibly fused).
+    Conv(PackedConv2d),
+    /// Pre-packed linear layer (epilogue possibly fused).
+    Linear(PackedLinear),
+    /// Standalone elementwise relu (not fused into a producer).
+    Relu,
+    /// Standalone elementwise gelu.
+    Gelu,
+    /// Elementwise sum of two equal-shape inputs.
+    Add,
+    /// Byte copy (`Op::Identity`).
+    Copy,
+    /// Any other op: materialize input tensors and dispatch through
+    /// [`vit_graph::eval_op`] with weights generated at compile time.
+    Fallback { weights: Vec<Tensor> },
+}
+
+/// One flat instruction of a compiled plan: which op to run, where its
+/// inputs and output live in the arena, and the static costs it accounts
+/// for (including any nodes fused into it).
+#[derive(Debug, Clone)]
+pub struct PlanRecord {
+    /// Graph node this record executes (the *producer* for fused pairs).
+    pub name: String,
+    /// The producer's operator.
+    pub op: Op,
+    /// Arena ranges of the inputs, in graph edge order.
+    pub inputs: Vec<BufRange>,
+    /// Shapes of the inputs, in graph edge order.
+    pub in_shapes: Vec<Vec<usize>>,
+    /// Arena range of the output.
+    pub out: BufRange,
+    /// Shape of the output (after any fused epilogue, which preserves it).
+    pub out_shape: Vec<usize>,
+    /// Names of graph nodes fused into this record's epilogue.
+    pub fused: Vec<String>,
+    /// Analytical FLOPs (MAC convention), producer plus fused nodes.
+    pub flops: u64,
+    /// Learned parameters, producer plus fused nodes.
+    pub params: u64,
+    /// First-order DRAM traffic in bytes, producer plus fused nodes
+    /// (accounted as the interpreter would, so plan totals equal graph
+    /// totals even though fusion eliminates the traffic physically).
+    pub bytes: u64,
+    step: Step,
+}
+
+/// Why a graph could not be lowered into a plan.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The graph has no output set.
+    NoOutput {
+        /// Model name of the offending graph.
+        model: String,
+    },
+    /// Packing a node's weights failed (inconsistent generated shapes).
+    Pack {
+        /// Node whose weights failed to pack.
+        node: String,
+        /// Underlying tensor error.
+        source: TensorError,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoOutput { model } => {
+                write!(f, "graph `{model}` has no output set")
+            }
+            PlanError::Pack { node, source } => {
+                write!(f, "packing weights of `{node}` failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::NoOutput { .. } => None,
+            PlanError::Pack { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Free-list allocator used at compile time to assign arena ranges.
+///
+/// Best-fit over coalesced free ranges, bump-extending the arena when
+/// nothing fits. Exactness comes from *when* it is driven: a range is
+/// freed the moment its owner's last consumer has been lowered, so two
+/// ranges only coexist when their values genuinely do.
+#[derive(Debug, Default)]
+struct ArenaLayout {
+    free: Vec<BufRange>, // sorted by offset, coalesced
+    len: usize,
+}
+
+impl ArenaLayout {
+    fn alloc(&mut self, len: usize) -> BufRange {
+        // Best fit: smallest free range that holds `len`.
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.len >= len)
+            .min_by_key(|(_, r)| r.len)
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let r = self.free[i];
+                if r.len == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = BufRange {
+                        offset: r.offset + len,
+                        len: r.len - len,
+                    };
+                }
+                BufRange {
+                    offset: r.offset,
+                    len,
+                }
+            }
+            None => {
+                let r = BufRange {
+                    offset: self.len,
+                    len,
+                };
+                self.len += len;
+                r
+            }
+        }
+    }
+
+    fn free(&mut self, r: BufRange) {
+        if r.len == 0 {
+            return;
+        }
+        let i = self
+            .free
+            .partition_point(|f| f.offset < r.offset);
+        self.free.insert(i, r);
+        // Coalesce with the right, then the left, neighbor.
+        if i + 1 < self.free.len() && self.free[i].end() == self.free[i + 1].offset {
+            self.free[i].len += self.free[i + 1].len;
+            self.free.remove(i + 1);
+        }
+        if i > 0 && self.free[i - 1].end() == self.free[i].offset {
+            self.free[i - 1].len += self.free[i].len;
+            self.free.remove(i);
+        }
+    }
+}
+
+/// A graph lowered into a flat, replayable instruction stream.
+///
+/// Compile once with [`ExecPlan::compile`]; replay any number of times
+/// (including concurrently — each [`ExecPlan::execute`] takes a private
+/// arena from an internal pool) with outputs bit-identical to the
+/// interpreter's.
+#[derive(Debug)]
+pub struct ExecPlan {
+    model: String,
+    records: Vec<PlanRecord>,
+    arena_len: usize,
+    input_shapes: Vec<Vec<usize>>,
+    output: BufRange,
+    output_shape: Vec<usize>,
+    graph_nodes: usize,
+    total_flops: u64,
+    total_params: u64,
+    total_bytes: u64,
+    /// Recycled arenas from finished runs (never re-zeroed: every record
+    /// fully overwrites its output range before any consumer reads it).
+    arena_pool: Mutex<Vec<Vec<f32>>>,
+    /// Allocation free-list for fallback records' intermediate tensors.
+    scratch: BufferPool,
+}
+
+impl ExecPlan {
+    /// Lowers `graph` into a plan, generating and packing weights from
+    /// `gen`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NoOutput`] when the graph has no output set.
+    pub fn compile(graph: &Graph, gen: WeightGen) -> Result<ExecPlan, PlanError> {
+        let output_id = graph.output().ok_or_else(|| PlanError::NoOutput {
+            model: graph.model.clone(),
+        })?;
+        let n = graph.len();
+
+        // Fusion pre-pass: `fused_into[a] = Some(p)` when activation `a`
+        // folds into producer `p`'s epilogue. Legality: `a` is a unary
+        // Relu/Gelu, its producer is a Conv2d/Linear, and `a` is that
+        // producer's *only* consumer (`consumer_counts` adds one for the
+        // graph output, so an output node can never be fused away).
+        let counts = graph.consumer_counts();
+        let mut fused_into: Vec<Option<usize>> = vec![None; n];
+        for (id, node) in graph.iter() {
+            if !matches!(node.op, Op::Relu | Op::Gelu) || node.inputs.len() != 1 {
+                continue;
+            }
+            let p = node.inputs[0].index();
+            let producer = graph.node(node.inputs[0]);
+            if matches!(producer.op, Op::Conv2d { .. } | Op::Linear { .. }) && counts[p] == 1 {
+                fused_into[id.index()] = Some(p);
+            }
+        }
+        let mut fused_children: Vec<Option<usize>> = vec![None; n];
+        for (a, p) in fused_into.iter().enumerate() {
+            if let Some(p) = p {
+                fused_children[*p] = Some(a);
+            }
+        }
+
+        // Lowering + liveness in one topological walk. A node's range is
+        // allocated *before* its inputs' refcounts drop, so an output can
+        // never alias a live input (kernels read inputs while storing
+        // outputs). For a fused pair the activation owns the range's
+        // lifetime: the internal producer→activation edge decrements
+        // nothing, and the activation's consumers govern the free.
+        let mut refcount = counts;
+        let mut layout = ArenaLayout::default();
+        let mut range_of: Vec<Option<BufRange>> = vec![None; n];
+        let mut records = Vec::new();
+        let mut input_pos = 0usize;
+        let mut input_shapes = Vec::new();
+        for (id, node) in graph.iter() {
+            let i = id.index();
+            if let Some(p) = fused_into[i] {
+                // Fused activation: alias the producer's (already
+                // emitted) record output; its costs were folded there.
+                range_of[i] = range_of[p];
+                continue;
+            }
+            let numel: usize = node.shape.iter().product();
+            let out = layout.alloc(numel);
+            range_of[i] = Some(out);
+            let inputs: Vec<BufRange> = node
+                .inputs
+                .iter()
+                .map(|j| range_of[j.index()].expect("topological order"))
+                .collect();
+            let in_shapes: Vec<Vec<usize>> = node
+                .inputs
+                .iter()
+                .map(|j| graph.node(*j).shape.clone())
+                .collect();
+            let fused_child = fused_children[i].map(|a| graph.node(vit_graph::NodeId::from_index(a)));
+            let epilogue = match fused_child.map(|c| &c.op) {
+                Some(Op::Relu) => Epilogue::Relu,
+                Some(Op::Gelu) => Epilogue::Gelu,
+                _ => Epilogue::None,
+            };
+            let step = match &node.op {
+                Op::Input { .. } => {
+                    input_shapes.push(node.shape.clone());
+                    input_pos += 1;
+                    Step::Input { pos: input_pos - 1 }
+                }
+                op => Self::lower_step(node, op, &in_shapes, epilogue, gen)?,
+            };
+            let mut flops = node.flops(graph);
+            let mut params = node.params(graph);
+            let mut bytes = node_io_bytes(graph, node);
+            let mut fused = Vec::new();
+            if let Some(c) = fused_child {
+                flops += c.flops(graph);
+                params += c.params(graph);
+                bytes += node_io_bytes(graph, c);
+                fused.push(c.name.clone());
+            }
+            records.push(PlanRecord {
+                name: node.name.clone(),
+                op: node.op.clone(),
+                inputs,
+                in_shapes,
+                out,
+                out_shape: node.shape.clone(),
+                fused,
+                flops,
+                params,
+                bytes,
+                step,
+            });
+            // Retire inputs whose last consumer was just lowered. The
+            // graph output holds an extra reference, so its range (and
+            // transitively the plan output) is never recycled.
+            for j in &node.inputs {
+                let jj = j.index();
+                refcount[jj] -= 1;
+                if refcount[jj] == 0 {
+                    layout.free(range_of[jj].expect("allocated"));
+                }
+            }
+        }
+
+        let output = range_of[output_id.index()].expect("output lowered");
+        let output_shape = graph.node(output_id).shape.clone();
+        Ok(ExecPlan {
+            model: graph.model.clone(),
+            total_flops: records.iter().map(|r| r.flops).sum(),
+            total_params: records.iter().map(|r| r.params).sum(),
+            total_bytes: records.iter().map(|r| r.bytes).sum(),
+            records,
+            arena_len: layout.len,
+            input_shapes,
+            output,
+            output_shape,
+            graph_nodes: n,
+            arena_pool: Mutex::new(Vec::new()),
+            scratch: BufferPool::default(),
+        })
+    }
+
+    /// Builds the step for one non-`Input` node, packing weights for the
+    /// kernels that support it.
+    fn lower_step(
+        node: &Node,
+        op: &Op,
+        in_shapes: &[Vec<usize>],
+        epilogue: Epilogue,
+        gen: WeightGen,
+    ) -> Result<Step, PlanError> {
+        let shape_refs: Vec<&[usize]> = in_shapes.iter().map(Vec::as_slice).collect();
+        let perr = |source: TensorError| PlanError::Pack {
+            node: node.name.clone(),
+            source,
+        };
+        Ok(match op {
+            Op::Conv2d {
+                stride,
+                pad,
+                groups,
+                bias,
+                ..
+            } => {
+                let w = generate_node_weights(gen, &node.name, op, &shape_refs);
+                let p = Conv2dParams {
+                    stride_h: stride.0,
+                    stride_w: stride.1,
+                    pad_h: pad.0,
+                    pad_w: pad.1,
+                    groups: *groups,
+                };
+                let b = bias.then(|| &w[1]);
+                Step::Conv(PackedConv2d::pack(&w[0], b, p, epilogue).map_err(perr)?)
+            }
+            Op::Linear { bias, .. } => {
+                let w = generate_node_weights(gen, &node.name, op, &shape_refs);
+                let b = bias.then(|| &w[1]);
+                Step::Linear(PackedLinear::pack(&w[0], b, epilogue).map_err(perr)?)
+            }
+            Op::Relu => Step::Relu,
+            Op::Gelu => Step::Gelu,
+            Op::Add => Step::Add,
+            Op::Identity => Step::Copy,
+            _ => Step::Fallback {
+                weights: generate_node_weights(gen, &node.name, op, &shape_refs),
+            },
+        })
+    }
+
+    /// Replays the plan on `inputs` (one tensor per graph input, in
+    /// declaration order).
+    ///
+    /// Threading follows `ctx.exec` via intra-kernel output tiling only —
+    /// record order is always sequential — so outputs are bit-identical to
+    /// the interpreter's at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when input count/shapes mismatch the graph
+    /// the plan was compiled from, or when a fallback kernel fails.
+    pub fn execute(&self, inputs: &[Tensor], ctx: &RunContext) -> Result<Tensor, ExecError> {
+        if inputs.len() != self.input_shapes.len() {
+            return Err(ExecError::BadInputs {
+                msg: format!(
+                    "plan `{}` has {} inputs, got {}",
+                    self.model,
+                    self.input_shapes.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        for (t, expect) in inputs.iter().zip(&self.input_shapes) {
+            if t.shape() != expect.as_slice() {
+                return Err(ExecError::BadInputs {
+                    msg: format!(
+                        "plan `{}` expects input shape {:?}, got {:?}",
+                        self.model,
+                        expect,
+                        t.shape()
+                    ),
+                });
+            }
+        }
+        let sink = ctx.sink.as_ref();
+        let enabled = sink.enabled();
+        let replay_start = sink.timestamp();
+        let mut arena = self.take_arena();
+        let pool = ctx.exec.active_pool();
+        let result = self.replay(&mut arena, inputs, pool, enabled.then_some(sink));
+        if enabled {
+            sink.record(EventKind::Phase {
+                phase: Phase::PlanReplay,
+                detail: self.model.clone(),
+                start_ns: replay_start,
+                end_ns: now_ns(),
+            });
+        }
+        let out = result.map(|()| {
+            Tensor::from_vec(
+                arena[self.output.offset..self.output.end()].to_vec(),
+                &self.output_shape,
+            )
+            .expect("output range sized by shape")
+        });
+        self.arena_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(arena);
+        out
+    }
+
+    /// Runs every record against `arena`.
+    fn replay(
+        &self,
+        arena: &mut [f32],
+        inputs: &[Tensor],
+        pool: Option<&vit_tensor::ThreadPool>,
+        sink: Option<&dyn TraceSink>,
+    ) -> Result<(), ExecError> {
+        for rec in &self.records {
+            let start_ns = sink.map_or(0, TraceSink::timestamp);
+            // The output range is disjoint from every live range, so each
+            // input lies entirely left or entirely right of it; two splits
+            // give simultaneous shared input / exclusive output borrows
+            // without `unsafe`.
+            let (left, rest) = arena.split_at_mut(rec.out.offset);
+            let (out, right) = rest.split_at_mut(rec.out.len);
+            let right_base = rec.out.end();
+            let input = |r: &BufRange| -> &[f32] {
+                if r.end() <= rec.out.offset {
+                    &left[r.offset..r.end()]
+                } else {
+                    &right[r.offset - right_base..r.end() - right_base]
+                }
+            };
+            let kctx = ExecCtx {
+                pool,
+                bufs: Some(&self.scratch),
+                sink: None,
+            };
+            match &rec.step {
+                Step::Input { pos } => out.copy_from_slice(inputs[*pos].data()),
+                Step::Conv(conv) => {
+                    conv.run(input(&rec.inputs[0]), &rec.in_shapes[0], out, &kctx);
+                }
+                Step::Linear(lin) => lin.run(input(&rec.inputs[0]), out, &kctx),
+                Step::Relu => {
+                    for (o, x) in out.iter_mut().zip(input(&rec.inputs[0])) {
+                        *o = Epilogue::Relu.apply(*x);
+                    }
+                }
+                Step::Gelu => {
+                    for (o, x) in out.iter_mut().zip(input(&rec.inputs[0])) {
+                        *o = Epilogue::Gelu.apply(*x);
+                    }
+                }
+                Step::Add => {
+                    let (a, b) = (input(&rec.inputs[0]), input(&rec.inputs[1]));
+                    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+                        *o = x + y;
+                    }
+                }
+                Step::Copy => out.copy_from_slice(input(&rec.inputs[0])),
+                Step::Fallback { weights } => {
+                    let ins: Vec<Tensor> = rec
+                        .inputs
+                        .iter()
+                        .zip(&rec.in_shapes)
+                        .map(|(r, s)| {
+                            Tensor::from_vec(input(r).to_vec(), s)
+                                .expect("range sized by shape")
+                        })
+                        .collect();
+                    let refs: Vec<&Tensor> = ins.iter().collect();
+                    let t = eval_op(&rec.name, &rec.op, weights, &refs, &kctx)?;
+                    out.copy_from_slice(t.data());
+                    for v in ins {
+                        self.scratch.recycle(v.into_vec());
+                    }
+                    self.scratch.recycle(t.into_vec());
+                }
+            }
+            if let Some(sink) = sink {
+                sink.record(EventKind::Node {
+                    name: rec.name.clone(),
+                    op: rec.op.kind_name().to_string(),
+                    start_ns,
+                    end_ns: now_ns(),
+                    flops: rec.flops,
+                    bytes: rec.bytes,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A run-private arena: recycled from a finished run when available.
+    /// Recycled arenas are *not* re-zeroed — every record fully overwrites
+    /// its output range before any consumer reads it, so no run can
+    /// observe a previous run's values.
+    fn take_arena(&self) -> Vec<f32> {
+        let recycled = self
+            .arena_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        match recycled {
+            Some(v) => v,
+            None => vec![0.0; self.arena_len],
+        }
+    }
+
+    /// Model name of the graph this plan was compiled from.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The flat record stream, in replay order.
+    pub fn records(&self) -> &[PlanRecord] {
+        &self.records
+    }
+
+    /// Arena size in `f32` elements.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+
+    /// Number of nodes in the source graph (records + fused nodes).
+    pub fn graph_nodes(&self) -> usize {
+        self.graph_nodes
+    }
+
+    /// Arena range holding the plan output after a replay.
+    pub fn output_range(&self) -> BufRange {
+        self.output
+    }
+
+    /// Shape of the plan output.
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// Shapes of the graph inputs, in declaration order.
+    pub fn input_shapes(&self) -> &[Vec<usize>] {
+        &self.input_shapes
+    }
+
+    /// Total analytical FLOPs across all records (equals the source
+    /// graph's total; `vit-verify`'s plan pass enforces this).
+    pub fn total_flops(&self) -> u64 {
+        self.total_flops
+    }
+
+    /// Total parameters across all records.
+    pub fn total_params(&self) -> u64 {
+        self.total_params
+    }
+
+    /// Total accounted DRAM bytes across all records.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of graph nodes fused into producer epilogues.
+    pub fn fused_nodes(&self) -> usize {
+        self.records.iter().map(|r| r.fused.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vit_graph::{Executor, Graph, LayerRole};
+
+    fn conv_op(out_channels: usize, kernel: usize, bias: bool) -> Op {
+        Op::Conv2d {
+            out_channels,
+            kernel: (kernel, kernel),
+            stride: (1, 1),
+            pad: (kernel / 2, kernel / 2),
+            groups: 1,
+            bias,
+        }
+    }
+
+    /// conv → relu → conv → gelu → add(residual) with a branchy consumer.
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new("plan-test");
+        let x = g.input("image", &[1, 3, 8, 8]).unwrap();
+        let c0 = g.add("c0", conv_op(4, 3, true), LayerRole::Backbone, &[x]).unwrap();
+        let r0 = g.add("c0.act", Op::Relu, LayerRole::Backbone, &[c0]).unwrap();
+        let c1 = g.add("c1", conv_op(4, 3, true), LayerRole::Other, &[r0]).unwrap();
+        let g1 = g.add("c1.act", Op::Gelu, LayerRole::Other, &[c1]).unwrap();
+        let add = g.add("res", Op::Add, LayerRole::Other, &[r0, g1]).unwrap();
+        g.set_output(add);
+        g
+    }
+
+    #[test]
+    fn fuses_sole_consumer_activations_only() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        // input, c0+relu (fused), c1+gelu (fused), add.
+        assert_eq!(plan.records().len(), 4);
+        assert_eq!(plan.fused_nodes(), 2);
+        let c0 = &plan.records()[1];
+        assert_eq!(c0.fused, vec!["c0.act".to_string()]);
+
+        // Make the relu's producer multi-consumer: fusion must not fire.
+        let mut g2 = Graph::new("plan-test-2");
+        let x = g2.input("image", &[1, 3, 8, 8]).unwrap();
+        let c0 = g2.add("c0", conv_op(4, 3, true), LayerRole::Backbone, &[x]).unwrap();
+        let r0 = g2.add("c0.act", Op::Relu, LayerRole::Backbone, &[c0]).unwrap();
+        let add = g2.add("res", Op::Add, LayerRole::Backbone, &[c0, r0]).unwrap();
+        g2.set_output(add);
+        let plan2 = ExecPlan::compile(&g2, WeightGen::new(0)).unwrap();
+        assert_eq!(plan2.fused_nodes(), 0);
+        assert_eq!(plan2.records().len(), 4);
+    }
+
+    #[test]
+    fn output_producer_activation_is_not_fused() {
+        let mut g = Graph::new("plan-out");
+        let x = g.input("image", &[1, 3, 4, 4]).unwrap();
+        let c = g.add("c", conv_op(2, 1, false), LayerRole::Backbone, &[x]).unwrap();
+        // The conv itself is the output: its relu consumer must not fold
+        // the conv's range away from the output.
+        g.set_output(c);
+        let _r = g.add("act", Op::Relu, LayerRole::Backbone, &[c]).unwrap();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        assert_eq!(plan.fused_nodes(), 0);
+    }
+
+    #[test]
+    fn plan_matches_interpreter_bitwise() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        let input = Tensor::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, 42);
+        let expect = Executor::new(0).run(&g, &[input.clone()]).unwrap();
+        let got = plan.execute(&[input], &RunContext::default()).unwrap();
+        assert_eq!(got.shape(), expect.shape());
+        assert_eq!(got.data(), expect.data());
+    }
+
+    #[test]
+    fn repeated_runs_reuse_arena_and_stay_identical() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        let a = Tensor::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, 2);
+        let ra1 = plan.execute(&[a.clone()], &RunContext::default()).unwrap();
+        // Interleave a different input so the recycled (dirty) arena would
+        // surface any stale-read bug.
+        let _rb = plan.execute(&[b], &RunContext::default()).unwrap();
+        let ra2 = plan.execute(&[a], &RunContext::default()).unwrap();
+        assert_eq!(ra1.data(), ra2.data());
+    }
+
+    #[test]
+    fn live_ranges_never_overlap() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        // Last record index reading each record's output range.
+        let recs = plan.records();
+        for (i, a) in recs.iter().enumerate() {
+            let a_last = last_reader(recs, i, plan.output_range());
+            for (j, b) in recs.iter().enumerate().skip(i + 1) {
+                let b_last = last_reader(recs, j, plan.output_range());
+                // Intervals [i, a_last] and [j, b_last] with j > i.
+                if j <= a_last && i <= b_last && a.out.overlaps(&b.out) {
+                    panic!(
+                        "records `{}` and `{}` live-overlap in the arena",
+                        a.name, b.name
+                    );
+                }
+            }
+        }
+    }
+
+    fn last_reader(recs: &[PlanRecord], idx: usize, output: BufRange) -> usize {
+        if recs[idx].out == output {
+            return recs.len();
+        }
+        recs.iter()
+            .enumerate()
+            .filter(|(_, r)| r.inputs.iter().any(|i| *i == recs[idx].out))
+            .map(|(k, _)| k)
+            .max()
+            .unwrap_or(idx)
+    }
+
+    #[test]
+    fn rejects_wrong_inputs() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        assert!(plan.execute(&[], &RunContext::default()).is_err());
+        let bad = Tensor::ones(&[1, 3, 4, 4]);
+        assert!(plan.execute(&[bad], &RunContext::default()).is_err());
+    }
+
+    #[test]
+    fn no_output_graph_is_rejected() {
+        let mut g = Graph::new("no-out");
+        g.input("image", &[1, 3, 4, 4]).unwrap();
+        assert!(matches!(
+            ExecPlan::compile(&g, WeightGen::new(0)),
+            Err(PlanError::NoOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn arena_layout_reuses_freed_ranges_best_fit() {
+        let mut l = ArenaLayout::default();
+        let a = l.alloc(100);
+        let b = l.alloc(50);
+        let c = l.alloc(10);
+        l.free(b);
+        // Best fit: a 40-element request takes the 50-range, not a bump.
+        let d = l.alloc(40);
+        assert_eq!(d.offset, b.offset);
+        assert_eq!(l.len, 160);
+        // Coalescing: freeing the remaining owners merges everything
+        // (including the 10-element remainder of `b`) into one range.
+        l.free(a);
+        l.free(d);
+        l.free(c);
+        let e = l.alloc(160);
+        assert_eq!(e.offset, 0);
+        assert_eq!(l.len, 160);
+    }
+}

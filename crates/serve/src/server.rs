@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use vit_drt::{EngineCore, EngineError};
-use vit_graph::{ExecOptions, ExecScratch, RunContext};
+use vit_graph::{ExecBackend, ExecOptions, ExecScratch, RunContext};
 use vit_resilience::ResourceKind;
 use vit_tensor::Tensor;
 use vit_trace::{now_ns, EventKind, Phase as TracePhase};
@@ -153,6 +153,12 @@ pub struct ServerConfig {
     /// is shared so concurrent inferences cooperate on the machine's cores
     /// instead of oversubscribing them `workers ×`.
     pub exec_threads: usize,
+    /// Run inferences by replaying compiled execution plans
+    /// ([`ExecBackend::Plan`]) instead of interpreting graphs. Outputs are
+    /// bit-identical either way; plans trade a one-time per-config
+    /// compilation (cached in the shared [`EngineCore`]) for lower
+    /// per-inference overhead.
+    pub use_plans: bool,
 }
 
 impl Default for ServerConfig {
@@ -163,6 +169,7 @@ impl Default for ServerConfig {
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
+            use_plans: false,
         }
     }
 }
@@ -230,7 +237,13 @@ impl Server {
     ///
     /// Panics when `config.workers` or `config.queue_depth` is zero.
     pub fn start(core: Arc<EngineCore>, calibration: Calibration, config: ServerConfig) -> Self {
-        let ctx = RunContext::default().with_exec(ExecOptions::threaded(config.exec_threads));
+        let backend = if config.use_plans {
+            ExecBackend::Plan
+        } else {
+            ExecBackend::Interpret
+        };
+        let ctx = RunContext::default()
+            .with_exec(ExecOptions::threaded(config.exec_threads).with_backend(backend));
         Self::start_with(core, calibration, config, ctx)
     }
 

@@ -3,6 +3,27 @@
 use crate::error::{invalid_argument, Result};
 use crate::tensor::Tensor;
 
+/// Scalar relu. The single definition shared by [`relu`] and the fused
+/// kernel epilogues, so a fused `conv+relu` is bit-identical to the
+/// two-pass form by construction.
+#[inline]
+pub(crate) fn relu_scalar(x: f32) -> f32 {
+    if x < 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// Scalar gelu (tanh approximation), shared by [`gelu`] and the fused
+/// kernel epilogues.
+#[inline]
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+    0.5 * x * (1.0 + inner.tanh())
+}
+
 /// Rectified linear unit, applied element-wise.
 ///
 /// # Examples
@@ -15,9 +36,7 @@ use crate::tensor::Tensor;
 pub fn relu(input: &Tensor) -> Tensor {
     let mut out = input.clone();
     for v in out.data_mut() {
-        if *v < 0.0 {
-            *v = 0.0;
-        }
+        *v = relu_scalar(*v);
     }
     out
 }
@@ -27,11 +46,8 @@ pub fn relu(input: &Tensor) -> Tensor {
 /// This is the activation used in transformer feed-forward networks.
 pub fn gelu(input: &Tensor) -> Tensor {
     let mut out = input.clone();
-    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     for v in out.data_mut() {
-        let x = *v;
-        let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
-        *v = 0.5 * x * (1.0 + inner.tanh());
+        *v = gelu_scalar(*v);
     }
     out
 }

@@ -1,6 +1,7 @@
 //! 2-D convolution kernels (standard, grouped, and depthwise).
 
 use crate::error::{invalid_argument, invalid_shape, shape_mismatch, Result};
+use crate::ops::fused::Epilogue;
 use crate::par::ExecCtx;
 use crate::tensor::Tensor;
 
@@ -108,33 +109,35 @@ pub fn conv2d(
 
 /// Geometry of one [`conv2d_ctx`] call, shared by every output chunk.
 #[derive(Clone, Copy)]
-struct ConvGeom {
-    c: usize,
-    h: usize,
-    w: usize,
-    k: usize,
-    c_per_g: usize,
-    k_per_g: usize,
-    r: usize,
-    s: usize,
-    oh: usize,
-    ow: usize,
-    p: Conv2dParams,
+pub(crate) struct ConvGeom {
+    pub(crate) c: usize,
+    pub(crate) h: usize,
+    pub(crate) w: usize,
+    pub(crate) k: usize,
+    pub(crate) c_per_g: usize,
+    pub(crate) k_per_g: usize,
+    pub(crate) r: usize,
+    pub(crate) s: usize,
+    pub(crate) oh: usize,
+    pub(crate) ow: usize,
+    pub(crate) p: Conv2dParams,
 }
 
 /// Computes output channel-planes `[row0, row0 + rows)` of the flattened
-/// `(batch, out_channel)` axis into `od` (that range's contiguous slice).
+/// `(batch, out_channel)` axis into `od` (that range's contiguous slice),
+/// applying `ep` at each element's final store.
 ///
 /// Each output element is one sequentially-accumulated dot product — the
 /// exact operation order of the single-threaded kernel — so splitting the
 /// plane range across threads cannot change a single bit of the result.
-fn conv2d_rows(
+pub(crate) fn conv2d_rows(
     xd: &[f32],
     wd: &[f32],
     bd: Option<&[f32]>,
     od: &mut [f32],
     row0: usize,
     g: ConvGeom,
+    ep: Epilogue,
 ) {
     let plane = g.oh * g.ow;
     let rows = od.len() / plane;
@@ -165,7 +168,7 @@ fn conv2d_rows(
                         }
                     }
                 }
-                od[row * plane + oy * g.ow + ox] = acc + bias_k;
+                od[row * plane + oy * g.ow + ox] = ep.apply(acc + bias_k);
             }
         }
     }
@@ -278,7 +281,7 @@ pub fn conv2d_ctx(
     };
     let plane = oh * ow;
     ctx.for_each_row_chunk(out.data_mut(), plane, |_, start, piece| {
-        conv2d_rows(xd, wd, bd, piece, start / plane.max(1), geom);
+        conv2d_rows(xd, wd, bd, piece, start / plane.max(1), geom, Epilogue::None);
     });
     Ok(out)
 }

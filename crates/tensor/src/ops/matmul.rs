@@ -1,6 +1,7 @@
 //! Matrix multiplication and linear (fully-connected) kernels.
 
 use crate::error::{invalid_shape, shape_mismatch, Result};
+use crate::ops::fused::Epilogue;
 use crate::par::ExecCtx;
 use crate::tensor::Tensor;
 
@@ -211,20 +212,39 @@ pub fn linear_ctx(
     // passes because the output starts zeroed.
     ctx.for_each_row_chunk(out.data_mut(), out_features, |_, start, piece| {
         let r0 = start / out_features.max(1);
-        for (row, orow) in piece.chunks_mut(out_features.max(1)).enumerate() {
-            let r = r0 + row;
-            let xrow = &xd[r * in_features..(r + 1) * in_features];
-            for (o, orow_o) in orow.iter_mut().enumerate() {
-                let wrow = &wd[o * in_features..(o + 1) * in_features];
-                let mut acc = 0.0;
-                for (xi, wi) in xrow.iter().zip(wrow.iter()) {
-                    acc += xi * wi;
-                }
-                *orow_o = acc + bd.map_or(0.0, |bd| bd[o]);
-            }
-        }
+        linear_rows(xd, wd, bd, piece, r0, in_features, out_features, Epilogue::None);
     });
     Ok(out)
+}
+
+/// Computes output rows `[row0, row0 + od.len() / out_features)` of a
+/// linear layer into `od`, applying `ep` at each element's final store.
+///
+/// One sequential dot product per output element, so row partitioning
+/// cannot change any result bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn linear_rows(
+    xd: &[f32],
+    wd: &[f32],
+    bd: Option<&[f32]>,
+    od: &mut [f32],
+    row0: usize,
+    in_features: usize,
+    out_features: usize,
+    ep: Epilogue,
+) {
+    for (row, orow) in od.chunks_mut(out_features.max(1)).enumerate() {
+        let r = row0 + row;
+        let xrow = &xd[r * in_features..(r + 1) * in_features];
+        for (o, orow_o) in orow.iter_mut().enumerate() {
+            let wrow = &wd[o * in_features..(o + 1) * in_features];
+            let mut acc = 0.0;
+            for (xi, wi) in xrow.iter().zip(wrow.iter()) {
+                acc += xi * wi;
+            }
+            *orow_o = ep.apply(acc + bd.map_or(0.0, |bd| bd[o]));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 mod activation;
 mod attention;
 mod conv;
+mod fused;
 mod matmul;
 mod norm;
 mod pool;
@@ -11,6 +12,7 @@ mod resize;
 pub use activation::{gelu, relu, softmax_last_dim};
 pub use attention::{multi_head_attention, AttentionWeights};
 pub use conv::{conv2d, conv2d_ctx, depthwise_conv2d, Conv2dParams};
+pub use fused::{Epilogue, PackedConv2d, PackedLinear};
 pub use matmul::{bmm, bmm_ctx, linear, linear_ctx, matmul, matmul_ctx};
 pub use norm::{batch_norm_inference, layer_norm};
 pub use pool::{adaptive_avg_pool2d, global_avg_pool, max_pool2d};

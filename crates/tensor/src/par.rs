@@ -210,8 +210,9 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Panics when any spawned job panicked (after all jobs finished, so
-    /// no borrow escapes).
+    /// Panics when any spawned job panicked, or re-raises the body's own
+    /// panic — in both cases only after all jobs finished, so no borrow
+    /// escapes.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'env>) -> R,
@@ -225,7 +226,10 @@ impl ThreadPool {
             core: Arc::clone(&core),
             _marker: PhantomData,
         };
-        let result = f(&scope);
+        // Catch a panic in the scope *body* so already-spawned jobs are
+        // still waited for below; unwinding past the drain loop would let
+        // them run against a destroyed stack frame.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         // Help until every job of THIS scope is done. Jobs popped here may
         // belong to other scopes sharing the pool; running them is still
         // progress and is what makes nested scopes deadlock-free.
@@ -246,6 +250,10 @@ impl ThreadPool {
                 j();
             }
         }
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         assert!(
             !core.panicked.load(Ordering::Acquire),
             "a task spawned on the thread pool panicked"

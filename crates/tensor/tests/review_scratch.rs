@@ -4,28 +4,31 @@ use std::sync::Arc;
 use std::time::Duration;
 use vit_tensor::par::ThreadPool;
 
-// If the closure passed to `scope` panics after spawning, does the spawned
-// job still run afterwards (i.e. after the scope frame has unwound)?
+// If the closure passed to `scope` panics after spawning, the scope must
+// still wait for every spawned job before unwinding — otherwise a job
+// borrowing the scope body's stack frame would run against freed memory.
 #[test]
-fn job_outlives_panicked_scope_body() {
+fn panicked_scope_body_waits_for_spawned_jobs() {
     let pool = ThreadPool::new(2);
-    let ran_after_unwind = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&ran_after_unwind);
-    let _ = catch_unwind(AssertUnwindSafe(|| {
+    let completed = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&completed);
+    let result = catch_unwind(AssertUnwindSafe(|| {
         let local = [1u8, 2, 3]; // stands in for borrowed stack data
         pool.scope(|s| {
             s.spawn(|_| {
                 std::thread::sleep(Duration::from_millis(100));
-                // reads `local` — by now the scope frame has unwound
+                // `local` must still be alive here: the scope frame may
+                // not unwind until this job has finished.
                 let _ = local.len();
                 flag.store(true, Ordering::SeqCst);
             });
             panic!("scope body panics after spawning");
         });
     }));
-    std::thread::sleep(Duration::from_millis(300));
+    assert!(result.is_err(), "the body's panic must propagate");
     assert!(
-        !ran_after_unwind.load(Ordering::SeqCst),
-        "job ran AFTER the scope unwound: borrowed stack data was dangling"
+        completed.load(Ordering::SeqCst),
+        "scope unwound before its spawned job completed: borrowed stack \
+         data was dangling"
     );
 }

@@ -18,6 +18,10 @@ pub enum Phase {
     QueueWait,
     /// A serving worker executing one request end to end.
     Execute,
+    /// Compiling a graph into an execution plan after a plan-cache miss.
+    PlanBuild,
+    /// One full replay of a compiled execution plan.
+    PlanReplay,
 }
 
 impl Phase {
@@ -30,6 +34,8 @@ impl Phase {
             Phase::Run => "run",
             Phase::QueueWait => "queue_wait",
             Phase::Execute => "execute",
+            Phase::PlanBuild => "plan_build",
+            Phase::PlanReplay => "plan_replay",
         }
     }
 }

@@ -7,7 +7,7 @@ use std::fmt;
 /// Every lint the verifier can emit, each with a stable code, a fixed
 /// severity, and a one-line invariant. Codes are grouped by pass:
 /// `V00x` graph well-formedness, `V01x` liveness, `V02x` cost/LUT
-/// soundness, `V03x` accelerator mapping.
+/// soundness, `V03x` accelerator mapping, `V04x` plan equivalence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Code {
     /// `V001` — a node's stored shape disagrees with re-running shape
@@ -61,11 +61,26 @@ pub enum Code {
     /// `V031` — a contraction pads the vector lanes so heavily that MAC
     /// utilization falls below the configured floor.
     VectorUnderutilized,
+    /// `V040` — a compiled plan's cost totals (FLOPs, parameters, DRAM
+    /// bytes) disagree with the graph it was lowered from.
+    PlanCostMismatch,
+    /// `V041` — plan coverage is broken: a non-input graph node is covered
+    /// by no plan record (neither as a record nor fused into one), covered
+    /// twice, or a record names a node the graph does not have.
+    PlanCoverage,
+    /// `V042` — the plan's arena layout is unsound: two simultaneously
+    /// live buffer ranges overlap, or a range exceeds the arena.
+    PlanArenaOverlap,
+    /// `V043` — a plan record's shapes or buffer wiring disagree with the
+    /// graph: an output shape differs from the node's stored shape, a
+    /// range's length differs from its shape's element count, or an input
+    /// range is not the producing record's output range.
+    PlanShapeMismatch,
 }
 
 impl Code {
     /// All codes, in code order (for documentation and exhaustive tests).
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 21] = [
         Code::ShapeMismatch,
         Code::BadTopology,
         Code::InferFailure,
@@ -83,6 +98,10 @@ impl Code {
         Code::NormOutOfRange,
         Code::EmptyTiling,
         Code::VectorUnderutilized,
+        Code::PlanCostMismatch,
+        Code::PlanCoverage,
+        Code::PlanArenaOverlap,
+        Code::PlanShapeMismatch,
     ];
 
     /// The stable diagnostic code, e.g. `V001`.
@@ -105,6 +124,10 @@ impl Code {
             Code::NormOutOfRange => "V027",
             Code::EmptyTiling => "V030",
             Code::VectorUnderutilized => "V031",
+            Code::PlanCostMismatch => "V040",
+            Code::PlanCoverage => "V041",
+            Code::PlanArenaOverlap => "V042",
+            Code::PlanShapeMismatch => "V043",
         }
     }
 
@@ -143,6 +166,10 @@ impl Code {
             Code::VectorUnderutilized => {
                 "vector-lane padding keeps MAC utilization above the floor"
             }
+            Code::PlanCostMismatch => "plan cost totals equal graph cost totals exactly",
+            Code::PlanCoverage => "every non-input graph node is covered by exactly one record",
+            Code::PlanArenaOverlap => "simultaneously live arena ranges never overlap",
+            Code::PlanShapeMismatch => "record shapes and buffer wiring match the graph",
         }
     }
 }

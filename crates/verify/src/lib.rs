@@ -18,7 +18,11 @@
 //!   monotonicity, finiteness, budget coverage, config materialization,
 //!   and serve-policy feasibility;
 //! * **pass 4, accelerator mapping** ([`verify_accel_mapping`]) — every
-//!   MAC contraction must tile the vector datapath legally.
+//!   MAC contraction must tile the vector datapath legally;
+//! * **pass 5, plan equivalence** ([`verify_plan`]) — a compiled
+//!   execution plan must be the same program as its source graph: exact
+//!   cost totals, exactly-once node coverage, a sound arena layout, and
+//!   buffer wiring that matches the graph's edges.
 //!
 //! Each finding is a [`Diagnostic`] with a stable [`Code`] (`V001`
 //! shape-mismatch, `V021` pareto-nonmonotone, ...), a severity, a span,
@@ -48,12 +52,14 @@ mod cost_pass;
 mod diag;
 mod graph_pass;
 mod lut_pass;
+mod plan_pass;
 
 pub use accel_pass::verify_accel_mapping;
 pub use cost_pass::verify_costs;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use graph_pass::verify_graph;
 pub use lut_pass::{verify_lut, LutContext};
+pub use plan_pass::verify_plan;
 
 use vit_accel::AccelConfig;
 use vit_drt::Lut;

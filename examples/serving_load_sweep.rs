@@ -62,6 +62,7 @@ fn main() {
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
+            use_plans: false,
         },
     );
 

@@ -56,6 +56,7 @@ fn server(core: &Arc<EngineCore>, workers: usize, queue_depth: usize) -> Server 
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
+            use_plans: false,
         },
     )
 }
@@ -186,6 +187,9 @@ fn concurrent_producers_under_overload_conserve_every_record() {
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 2,
+            // Replay compiled plans here so the concurrent-serving path
+            // exercises the plan backend end to end.
+            use_plans: true,
         },
     );
 
@@ -275,6 +279,7 @@ fn traced_server_records_serving_spans() {
             resource_kind: ResourceKind::GpuTime,
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
+            use_plans: false,
         },
         RunContext::default().with_sink(sink.clone() as Arc<dyn TraceSink>),
     );
