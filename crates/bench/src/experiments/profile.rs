@@ -66,7 +66,11 @@ pub fn profile(args: ProfileArgs) {
     }
     banner(&format!(
         "profile — one traced {} inference of {} at budget {:.3}x full",
-        if args.plan { "compiled-plan" } else { "interpreted" },
+        if args.plan {
+            "compiled-plan"
+        } else {
+            "interpreted"
+        },
         args.model,
         args.budget
     ));

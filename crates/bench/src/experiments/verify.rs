@@ -6,18 +6,19 @@ use crate::Table;
 use vit_accel::AccelConfig;
 use vit_drt::{DrtEngine, EngineFamily};
 use vit_graph::Graph;
+use vit_graph::SchedMeta;
+use vit_graph::WeightGen;
 use vit_models::{
     bert_base, build_bert, build_deformable_detr, build_detr, build_resnet, build_segformer,
     build_swin_upernet, build_vit, ofa_family, DetrConfig, ResNetConfig, SegFormerConfig,
     SegFormerVariant, SwinConfig, SwinVariant, VitConfig,
 };
+use vit_plan::ExecPlan;
 use vit_resilience::{swin_sweep_space, AccelResource, ResourceKind, Workload};
 use vit_serve::SchedulePolicy;
-use vit_graph::WeightGen;
-use vit_plan::ExecPlan;
 use vit_verify::{
-    verify_lut_report, verify_model_on_accelerators, verify_plan, LutContext, Report,
-    VerifyOptions,
+    audit_sources, exec_safety_summary, verify_exec_safety, verify_lut_report,
+    verify_model_on_accelerators, verify_plan, LutContext, Report, VerifyOptions,
 };
 
 /// Settings parsed from the `repro verify` command line.
@@ -27,6 +28,16 @@ pub struct VerifyArgs {
     pub json: bool,
     /// Treat warnings as failures (CI mode).
     pub deny_warnings: bool,
+    /// Print the per-artifact exec-safety detail table (what pass 6
+    /// proved: chunk counts, liveness decisions, reassociating records).
+    pub exec_safety: bool,
+}
+
+/// Maps aggregated finding counts to the process exit code — the
+/// contract `repro verify` keeps with CI: non-zero on any error, and on
+/// any warning under `--deny-warnings`.
+pub fn exit_code(errors: usize, warnings: usize, deny_warnings: bool) -> i32 {
+    i32::from(errors > 0 || (deny_warnings && warnings > 0))
 }
 
 /// The accelerator configurations every graph is checked against.
@@ -177,6 +188,7 @@ pub fn run(args: VerifyArgs) -> i32 {
     let accels = accels();
     let accel_refs: Vec<(&str, AccelConfig)> = accels.to_vec();
     let mut reports: Vec<Report> = Vec::new();
+    let mut safety_rows: Vec<(String, String)> = Vec::new();
 
     for (label, graph) in model_graphs() {
         let mut report = verify_model_on_accelerators(&graph, &accel_refs, &opts);
@@ -184,13 +196,29 @@ pub fn run(args: VerifyArgs) -> i32 {
         // are the same program. Only meaningful over a sound graph.
         if report.errors() == 0 {
             match ExecPlan::compile(&graph, WeightGen::new(0)) {
-                Ok(plan) => report.extend(verify_plan(&graph, &plan)),
+                Ok(plan) => {
+                    report.extend(verify_plan(&graph, &plan));
+                    // Pass 6: prove the plan safe to run in parallel —
+                    // chunk disjointness, reclamation soundness against
+                    // the scheduler metadata the executor would use, and
+                    // the shadow-replay cross-check.
+                    let sched = SchedMeta::of(&graph);
+                    report.extend(verify_exec_safety(&graph, &plan, &sched));
+                    if args.exec_safety {
+                        safety_rows.push((label.clone(), exec_safety_summary(&plan).to_string()));
+                    }
+                }
                 Err(e) => panic!("compiling a plan for {label} failed: {e}"),
             }
         }
         report.target = format!("{label} ({} nodes)", graph.len());
         reports.push(report);
     }
+    // The unsafe/indexing audit covers sources, not artifacts: one report
+    // for the whole workspace hot path.
+    let mut audit = Report::new("hot-path source audit (V057/V058)");
+    audit.extend(audit_sources());
+    reports.push(audit);
     for (label, lut, ctx) in engine_luts() {
         let mut report = verify_lut_report(&lut, &ctx, &opts);
         report.target = format!("LUT {label} ({} rows)", lut.len());
@@ -199,7 +227,6 @@ pub fn run(args: VerifyArgs) -> i32 {
 
     let errors: usize = reports.iter().map(Report::errors).sum();
     let warnings: usize = reports.iter().map(Report::warnings).sum();
-    let failed = errors > 0 || (args.deny_warnings && warnings > 0);
 
     if args.json {
         let mut out = String::from("[");
@@ -227,6 +254,14 @@ pub fn run(args: VerifyArgs) -> i32 {
             ]);
         }
         t.print();
+        if args.exec_safety {
+            let mut t = Table::new(&["target", "exec safety (pass 6)"]);
+            for (label, summary) in &safety_rows {
+                t.row(&[label.clone(), summary.clone()]);
+            }
+            println!();
+            t.print();
+        }
         for r in reports.iter().filter(|r| !r.diagnostics.is_empty()) {
             print!("\n{}", r.render());
         }
@@ -240,5 +275,5 @@ pub fn run(args: VerifyArgs) -> i32 {
             }
         );
     }
-    i32::from(failed)
+    exit_code(errors, warnings, args.deny_warnings)
 }

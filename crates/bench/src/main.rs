@@ -39,7 +39,8 @@ accelerator (§V/§VI):
 static analysis:
   verify      run all vit-verify passes over every built-in model + LUT
               (flags: --json machine-readable output, --deny-warnings
-               exit non-zero on warnings too)
+               exit non-zero on warnings too, --exec-safety print what
+               pass 6 proved per artifact)
 
 regression benchmarks:
   bench       sequential vs parallel wavefront executor vs compiled-plan
@@ -101,6 +102,7 @@ fn main() {
                 match flag.as_str() {
                     "--json" => args.json = true,
                     "--deny-warnings" => args.deny_warnings = true,
+                    "--exec-safety" => args.exec_safety = true,
                     other => {
                         eprintln!("unknown verify flag `{other}`\n\n{USAGE}");
                         std::process::exit(2);

@@ -12,16 +12,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use vit_accel::AccelConfig;
-use vit_graph::{ExecBackend, ExecError, ExecOptions, ExecScratch, Graph, RunContext, WeightGen};
+use vit_graph::{ExecBackend, ExecError, ExecScratch, Graph, RunContext, WeightGen};
 use vit_models::{
     build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant, SwinConfig,
     SwinVariant,
 };
+use vit_plan::{ExecPlan, PlanError};
 use vit_resilience::{
     segformer_sweep_space, sweep_segformer, sweep_segformer_on_accelerator, sweep_swin,
     AccelResource, ResourceKind, Workload,
 };
-use vit_plan::{ExecPlan, PlanError};
 use vit_tensor::Tensor;
 use vit_trace::{now_ns, EventKind, Phase as TracePhase};
 
@@ -472,74 +472,6 @@ impl EngineCore {
             met_budget,
         })
     }
-
-    /// Deprecated shim for [`EngineCore::infer`] with the default context.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
-    #[deprecated(since = "0.2.0", note = "use `infer` with a `RunContext`")]
-    pub fn infer_with(
-        &self,
-        scratch: &mut ExecScratch,
-        image: &Tensor,
-        budget: f64,
-    ) -> Result<Inference, EngineError> {
-        self.infer(scratch, image, budget, &RunContext::default())
-    }
-
-    /// Deprecated shim for [`EngineCore::infer`] with
-    /// `RunContext::default().with_exec(opts.clone())`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
-    #[deprecated(since = "0.2.0", note = "use `infer` with a `RunContext`")]
-    pub fn infer_with_opts(
-        &self,
-        scratch: &mut ExecScratch,
-        image: &Tensor,
-        budget: f64,
-        opts: &ExecOptions,
-    ) -> Result<Inference, EngineError> {
-        let ctx = RunContext::default().with_exec(opts.clone());
-        self.infer(scratch, image, budget, &ctx)
-    }
-
-    /// Deprecated shim for [`EngineCore::run`] with the default context.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
-    #[deprecated(since = "0.2.0", note = "use `run` with a `RunContext`")]
-    pub fn run_entry(
-        &self,
-        scratch: &mut ExecScratch,
-        image: &Tensor,
-        entry: LutEntry,
-        met_budget: bool,
-    ) -> Result<Inference, EngineError> {
-        self.run(scratch, image, entry, met_budget, &RunContext::default())
-    }
-
-    /// Deprecated shim for [`EngineCore::run`] with
-    /// `RunContext::default().with_exec(opts.clone())`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when graph construction or execution fails.
-    #[deprecated(since = "0.2.0", note = "use `run` with a `RunContext`")]
-    pub fn run_entry_opts(
-        &self,
-        scratch: &mut ExecScratch,
-        image: &Tensor,
-        entry: LutEntry,
-        met_budget: bool,
-        opts: &ExecOptions,
-    ) -> Result<Inference, EngineError> {
-        let ctx = RunContext::default().with_exec(opts.clone());
-        self.run(scratch, image, entry, met_budget, &ctx)
-    }
 }
 
 impl DrtEngine {
@@ -666,19 +598,6 @@ impl DrtEngine {
         &self.ctx
     }
 
-    /// Deprecated shim: replaces only the execution half of the run
-    /// context.
-    #[deprecated(since = "0.2.0", note = "use `set_run_context`")]
-    pub fn set_exec_options(&mut self, exec: ExecOptions) {
-        self.ctx.exec = exec;
-    }
-
-    /// Deprecated shim for the execution half of [`DrtEngine::run_context`].
-    #[deprecated(since = "0.2.0", note = "use `run_context`")]
-    pub fn exec_options(&self) -> &ExecOptions {
-        &self.ctx.exec
-    }
-
     /// The shared, `Send + Sync` part of this engine.
     pub fn core(&self) -> &Arc<EngineCore> {
         &self.core
@@ -718,6 +637,7 @@ impl DrtEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vit_graph::ExecOptions;
 
     fn small_engine() -> DrtEngine {
         DrtEngine::segformer(
@@ -838,12 +758,14 @@ mod tests {
         let core = e.core().clone();
         drop(e);
         let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 21);
-        let plan_ctx = RunContext::default()
-            .with_exec(ExecOptions::default().with_backend(ExecBackend::Plan));
+        let plan_ctx =
+            RunContext::default().with_exec(ExecOptions::default().with_backend(ExecBackend::Plan));
         for frac in [0.3, 1.0] {
             let budget = core.max_resource() * frac;
             let mut scratch = ExecScratch::new();
-            let interp = core.infer(&mut scratch, &img, budget, &RunContext::default()).unwrap();
+            let interp = core
+                .infer(&mut scratch, &img, budget, &RunContext::default())
+                .unwrap();
             let planned = core.infer(&mut scratch, &img, budget, &plan_ctx).unwrap();
             assert_eq!(interp.logits, planned.logits);
             assert_eq!(interp.label_map, planned.label_map);

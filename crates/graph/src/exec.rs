@@ -909,18 +909,22 @@ impl ExecScratch {
         sink: &dyn TraceSink,
     ) -> Result<Tensor, ExecError> {
         let n = graph.len();
+        // The dispatch/reclamation counters come from the same metadata
+        // object vit-verify's exec-safety pass audits against the graph's
+        // edges, so what is proved offline is what schedules here.
+        let meta = SchedMeta::of(graph);
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
         for (id, node) in graph.iter() {
-            pending.push(AtomicUsize::new(node.inputs.len()));
+            pending.push(AtomicUsize::new(meta.indegree()[id.index()]));
             for i in &node.inputs {
                 successors[i.index()].push(id.index());
             }
         }
-        let uses: Vec<AtomicUsize> = graph
-            .consumer_counts()
-            .into_iter()
-            .map(AtomicUsize::new)
+        let uses: Vec<AtomicUsize> = meta
+            .consumers()
+            .iter()
+            .map(|&c| AtomicUsize::new(c))
             .collect();
         // The output value must survive the run even when other nodes
         // consume it, so it holds one extra use.
@@ -975,6 +979,58 @@ impl ExecScratch {
             .take()
             .expect("output computed");
         Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
+    }
+}
+
+/// The wavefront scheduler's per-node counter metadata: how many inputs
+/// gate each node's dispatch (`indegree`) and how many readers gate each
+/// node's buffer reclamation (`consumers`, which counts the graph output
+/// as one extra reader so its buffer survives the run).
+///
+/// Correctness under *any* topological interleaving rests entirely on
+/// these two vectors: an indegree below the true input count lets a node
+/// dispatch before an input is ready (read-before-write), and a consumer
+/// count below the true reader count recycles a buffer while a reader is
+/// still pending (use-after-free into the buffer pool). [`SchedMeta::of`]
+/// derives both from the graph's edges — the only sound source — and the
+/// executor schedules from the same object, so vit-verify's exec-safety
+/// pass (`V054`/`V055`) can audit exactly what will run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedMeta {
+    indegree: Vec<usize>,
+    consumers: Vec<usize>,
+}
+
+impl SchedMeta {
+    /// Derives the metadata from `graph`'s edges (the sound construction).
+    pub fn of(graph: &Graph) -> Self {
+        SchedMeta {
+            indegree: graph.iter().map(|(_, n)| n.inputs.len()).collect(),
+            consumers: graph.consumer_counts(),
+        }
+    }
+
+    /// Builds metadata from explicit counter vectors **without checking
+    /// them against any graph** — the escape hatch vit-verify's tests use
+    /// to represent scheduler state that a sound constructor could never
+    /// produce. Executing a graph under metadata that disagrees with its
+    /// edges races; keep this out of execution paths.
+    pub fn from_raw_parts(indegree: Vec<usize>, consumers: Vec<usize>) -> Self {
+        SchedMeta {
+            indegree,
+            consumers,
+        }
+    }
+
+    /// Per-node count of inputs that must land before dispatch.
+    pub fn indegree(&self) -> &[usize] {
+        &self.indegree
+    }
+
+    /// Per-node count of readers that must retire before the node's
+    /// output buffer is recycled (the graph output counts as one).
+    pub fn consumers(&self) -> &[usize] {
+        &self.consumers
     }
 }
 
@@ -1130,7 +1186,9 @@ impl Wavefront<'_> {
                 return Arc::clone(w);
             }
         }
-        Arc::new(generate_node_weights(self.gen, &node.name, &node.op, in_shapes))
+        Arc::new(generate_node_weights(
+            self.gen, &node.name, &node.op, in_shapes,
+        ))
     }
 }
 

@@ -46,7 +46,7 @@ mod op;
 
 pub use exec::{
     eval_op, generate_node_weights, node_weight_shapes, ExecBackend, ExecError, ExecOptions,
-    ExecScratch, Executor, RunContext, WeightGen,
+    ExecScratch, Executor, RunContext, SchedMeta, WeightGen,
 };
 pub use graph::{Graph, Node, NodeId};
 pub use op::{GraphError, LayerRole, Op, OpClass};

@@ -82,13 +82,11 @@
 use std::fmt;
 use std::sync::Mutex;
 
-use vit_graph::{
-    eval_op, generate_node_weights, Graph, Node, Op, RunContext, WeightGen,
-};
 use vit_graph::ExecError;
+use vit_graph::{eval_op, generate_node_weights, Graph, Node, Op, RunContext, WeightGen};
 use vit_profiler::node_io_bytes;
 use vit_tensor::ops::{Conv2dParams, Epilogue, PackedConv2d, PackedLinear};
-use vit_tensor::{BufferPool, ExecCtx, Tensor, TensorError};
+use vit_tensor::{BufferPool, ExecCtx, ShadowAccess, ShadowViolation, Tensor, TensorError};
 use vit_trace::{now_ns, EventKind, Phase, TraceSink};
 
 /// A contiguous element range inside a plan's arena.
@@ -109,6 +107,80 @@ impl BufRange {
     /// Whether two ranges share any element.
     pub fn overlaps(&self, other: &BufRange) -> bool {
         self.offset < other.end() && other.offset < self.end()
+    }
+}
+
+/// How a record's kernel decomposes the write of its output range at
+/// replay time — the geometry `vit-verify`'s exec-safety pass proves
+/// disjoint and complete *before* any schedule runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecContract {
+    /// One sequential pass over the whole output range (scalar loops,
+    /// copies, fallback dispatch). Never reassociates.
+    Sequential,
+    /// Row tiling through [`vit_tensor::row_chunks`]: the output splits
+    /// into row-aligned chunks of whole `row_len`-element rows, each
+    /// written by exactly one worker with sequential per-element op order
+    /// (the bit-identity contract of `vit_tensor::par`).
+    RowTiled {
+        /// Elements per indivisible row: one output channel-plane for
+        /// convolution, one feature vector for linear.
+        row_len: usize,
+    },
+    /// An explicit chunk decomposition, offsets relative to the record's
+    /// output range. The declaration future SIMD/tiled kernels (and
+    /// vit-verify's broken-artifact tests) use; a kernel that reorders
+    /// float accumulation relative to the sequential kernel must say so
+    /// via `reassociates`, which routes the record to the tolerance tier
+    /// instead of the bit-identity tier.
+    Explicit {
+        /// Chunk ranges, offsets relative to the output range's start.
+        chunks: Vec<BufRange>,
+        /// Whether the decomposition reorders FP accumulation relative to
+        /// sequential execution.
+        reassociates: bool,
+    },
+}
+
+impl ExecContract {
+    /// Whether this decomposition may reorder float accumulation relative
+    /// to sequential execution (and therefore cannot promise bit-identity
+    /// across thread counts).
+    pub fn reassociates(&self) -> bool {
+        matches!(
+            self,
+            ExecContract::Explicit {
+                reassociates: true,
+                ..
+            }
+        )
+    }
+
+    /// The absolute arena ranges written in parallel when the record's
+    /// output is `out` and the pool exposes `threads` workers.
+    /// [`vit_tensor::row_chunks`] is the shared oracle between this method
+    /// and the kernels' dispatch, so the geometry the analyzer proves is
+    /// the geometry that executes.
+    pub fn chunk_ranges(&self, out: BufRange, threads: usize) -> Vec<BufRange> {
+        match self {
+            ExecContract::Sequential => vec![out],
+            ExecContract::RowTiled { row_len } => {
+                vit_tensor::row_chunks(out.len, *row_len, threads.max(1))
+                    .into_iter()
+                    .map(|(start, len)| BufRange {
+                        offset: out.offset + start,
+                        len,
+                    })
+                    .collect()
+            }
+            ExecContract::Explicit { chunks, .. } => chunks
+                .iter()
+                .map(|c| BufRange {
+                    offset: out.offset + c.offset,
+                    len: c.len,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -161,7 +233,52 @@ pub struct PlanRecord {
     /// (accounted as the interpreter would, so plan totals equal graph
     /// totals even though fusion eliminates the traffic physically).
     pub bytes: u64,
+    /// How the kernel decomposes the output write under parallelism.
+    pub contract: ExecContract,
+    /// Arena ranges the compile-time allocator reclaims *after* this
+    /// record runs (its inputs whose last consumer this record is): free
+    /// for reuse from the next record on. The exec-safety pass proves no
+    /// later record reads them un-redefined; shadow replay kills them
+    /// here.
+    pub frees: Vec<BufRange>,
     step: Step,
+}
+
+impl PlanRecord {
+    /// Builds a record with the given wiring and a stub execution step —
+    /// the escape hatch for assembling **analysis-only** plans via
+    /// [`ExecPlan::from_raw_parts`] that [`ExecPlan::compile`] could never
+    /// produce (vit-verify's broken-artifact tests). The contract defaults
+    /// to [`ExecContract::Sequential`] and `frees` to empty; both fields
+    /// are public, so adjust them after construction. Executing such a
+    /// record dispatches through the fallback path with no weights and
+    /// will fail for most ops.
+    pub fn from_raw_parts(
+        name: &str,
+        op: Op,
+        inputs: Vec<BufRange>,
+        in_shapes: Vec<Vec<usize>>,
+        out: BufRange,
+        out_shape: Vec<usize>,
+    ) -> PlanRecord {
+        PlanRecord {
+            name: name.to_string(),
+            op,
+            inputs,
+            in_shapes,
+            out,
+            out_shape,
+            fused: Vec::new(),
+            flops: 0,
+            params: 0,
+            bytes: 0,
+            contract: ExecContract::Sequential,
+            frees: Vec::new(),
+            step: Step::Fallback {
+                weights: Vec::new(),
+            },
+        }
+    }
 }
 
 /// Why a graph could not be lowered into a plan.
@@ -218,6 +335,14 @@ struct ArenaLayout {
 
 impl ArenaLayout {
     fn alloc(&mut self, len: usize) -> BufRange {
+        // Zero-size values (degenerate shapes) get a canonical empty
+        // range instead of splitting a free block at an arbitrary offset
+        // — best-fit would otherwise hand out a zero-length slice of
+        // whichever free block happens to be smallest, making layouts
+        // depend on free-list history for ranges that hold nothing.
+        if len == 0 {
+            return BufRange { offset: 0, len: 0 };
+        }
         // Best fit: smallest free range that holds `len`.
         let best = self
             .free
@@ -257,9 +382,7 @@ impl ArenaLayout {
         if r.len == 0 {
             return;
         }
-        let i = self
-            .free
-            .partition_point(|f| f.offset < r.offset);
+        let i = self.free.partition_point(|f| f.offset < r.offset);
         self.free.insert(i, r);
         // Coalesce with the right, then the left, neighbor.
         if i + 1 < self.free.len() && self.free[i].end() == self.free[i + 1].offset {
@@ -368,7 +491,8 @@ impl ExecPlan {
                 .iter()
                 .map(|j| graph.node(*j).shape.clone())
                 .collect();
-            let fused_child = fused_children[i].map(|a| graph.node(vit_graph::NodeId::from_index(a)));
+            let fused_child =
+                fused_children[i].map(|a| graph.node(vit_graph::NodeId::from_index(a)));
             let epilogue = match fused_child.map(|c| &c.op) {
                 Some(Op::Relu) => Epilogue::Relu,
                 Some(Op::Gelu) => Epilogue::Gelu,
@@ -381,6 +505,19 @@ impl ExecPlan {
                     Step::Input { pos: input_pos - 1 }
                 }
                 op => Self::lower_step(node, op, &in_shapes, epilogue, gen)?,
+            };
+            // The write-decomposition contract mirrors the kernels: packed
+            // conv tiles by output channel-plane, packed linear by feature
+            // vector; everything else on the replay path writes its range
+            // in one sequential pass.
+            let contract = match &step {
+                Step::Conv(_) => ExecContract::RowTiled {
+                    row_len: node.shape.iter().skip(2).product(),
+                },
+                Step::Linear(_) => ExecContract::RowTiled {
+                    row_len: node.shape.last().copied().unwrap_or(0),
+                },
+                _ => ExecContract::Sequential,
             };
             let mut flops = node.flops(graph);
             let mut params = node.params(graph);
@@ -403,18 +540,26 @@ impl ExecPlan {
                 flops,
                 params,
                 bytes,
+                contract,
+                frees: Vec::new(),
                 step,
             });
             // Retire inputs whose last consumer was just lowered. The
             // graph output holds an extra reference, so its range (and
-            // transitively the plan output) is never recycled.
+            // transitively the plan output) is never recycled. Each freed
+            // range is recorded on the retiring record so the liveness
+            // decision survives into the plan for offline audit.
+            let mut freed = Vec::new();
             for j in &node.inputs {
                 let jj = j.index();
                 refcount[jj] -= 1;
                 if refcount[jj] == 0 {
-                    layout.free(range_of[jj].expect("allocated"));
+                    let r = range_of[jj].expect("allocated");
+                    layout.free(r);
+                    freed.push(r);
                 }
             }
+            records.last_mut().expect("just pushed").frees = freed;
         }
 
         let output = range_of[output_id.index()].expect("output lowered");
@@ -603,8 +748,7 @@ impl ExecPlan {
                         .iter()
                         .zip(&rec.in_shapes)
                         .map(|(r, s)| {
-                            Tensor::from_vec(input(r).to_vec(), s)
-                                .expect("range sized by shape")
+                            Tensor::from_vec(input(r).to_vec(), s).expect("range sized by shape")
                         })
                         .collect();
                     let refs: Vec<&Tensor> = ins.iter().collect();
@@ -701,6 +845,90 @@ impl ExecPlan {
     pub fn fused_nodes(&self) -> usize {
         self.records.iter().map(|r| r.fused.len()).sum()
     }
+
+    /// Assembles a plan directly from records, **without compiling a
+    /// graph** — the escape hatch vit-verify's broken-artifact tests use
+    /// to build plans that [`ExecPlan::compile`]'s sound construction
+    /// could never emit (overlapping chunks, premature frees, bad
+    /// wiring). Totals and input shapes are derived from the records.
+    /// Such plans are for analysis and [`ExecPlan::shadow_replay`], not
+    /// execution: records built via [`PlanRecord::from_raw_parts`] carry
+    /// stub steps.
+    pub fn from_raw_parts(
+        model: &str,
+        records: Vec<PlanRecord>,
+        arena_len: usize,
+        output: BufRange,
+        output_shape: Vec<usize>,
+    ) -> ExecPlan {
+        let input_shapes = records
+            .iter()
+            .filter(|r| matches!(r.op, Op::Input { .. }))
+            .map(|r| r.out_shape.clone())
+            .collect();
+        ExecPlan {
+            model: model.to_string(),
+            total_flops: records.iter().map(|r| r.flops).sum(),
+            total_params: records.iter().map(|r| r.params).sum(),
+            total_bytes: records.iter().map(|r| r.bytes).sum(),
+            graph_nodes: records.len() + records.iter().map(|r| r.fused.len()).sum::<usize>(),
+            records,
+            arena_len,
+            input_shapes,
+            output,
+            output_shape,
+            arena_pool: Mutex::new(Vec::new()),
+            scratch: BufferPool::default(),
+        }
+    }
+
+    /// Symbolically replays the record stream against a per-element
+    /// [`ShadowAccess`] tracker at the given worker count, returning every
+    /// memory-discipline violation observed: overlapping parallel chunks
+    /// (double writes), coverage gaps and stale reads (unwritten/freed
+    /// elements), wiring breaches (wrong owner), and premature range
+    /// re-issue (write over a live range).
+    ///
+    /// This is the dynamic witness for vit-verify's static exec-safety
+    /// verdict: the chunk geometry comes from each record's
+    /// [`ExecContract`] through the same [`vit_tensor::row_chunks`] oracle
+    /// the kernels dispatch with, and the kill points come from the
+    /// compile-time liveness decisions in [`PlanRecord::frees`]. A sound
+    /// plan yields an empty list at every `threads`; the differential
+    /// suites hold that agreement at threads {1, 2, 8}.
+    ///
+    /// Debug tooling — allocation-heavy (one word per arena element) and
+    /// never on the serving path.
+    pub fn shadow_replay(&self, threads: usize) -> Vec<ShadowViolation> {
+        let mut shadow = ShadowAccess::new(self.arena_len);
+        // Live producer map: which record's output currently occupies a
+        // range. Reads resolve their expected owner tag through it; a read
+        // with no containing live producer expects an impossible tag and
+        // so always surfaces as a violation.
+        let mut live: Vec<(BufRange, u32)> = Vec::new();
+        const NO_PRODUCER: u32 = u32::MAX - 1;
+        for (r, rec) in self.records.iter().enumerate() {
+            let tag = r as u32;
+            for inp in &rec.inputs {
+                let expect = live
+                    .iter()
+                    .rev()
+                    .find(|(range, _)| range.offset <= inp.offset && inp.end() <= range.end())
+                    .map_or(NO_PRODUCER, |&(_, t)| t);
+                shadow.expect(inp.offset, inp.len, expect);
+            }
+            for c in rec.contract.chunk_ranges(rec.out, threads) {
+                shadow.define(c.offset, c.len, tag);
+            }
+            live.retain(|(range, _)| !range.overlaps(&rec.out));
+            live.push((rec.out, tag));
+            for f in &rec.frees {
+                shadow.kill(f.offset, f.len);
+                live.retain(|(range, _)| !range.overlaps(f));
+            }
+        }
+        shadow.into_violations()
+    }
 }
 
 #[cfg(test)]
@@ -723,9 +951,15 @@ mod tests {
     fn sample_graph() -> Graph {
         let mut g = Graph::new("plan-test");
         let x = g.input("image", &[1, 3, 8, 8]).unwrap();
-        let c0 = g.add("c0", conv_op(4, 3, true), LayerRole::Backbone, &[x]).unwrap();
-        let r0 = g.add("c0.act", Op::Relu, LayerRole::Backbone, &[c0]).unwrap();
-        let c1 = g.add("c1", conv_op(4, 3, true), LayerRole::Other, &[r0]).unwrap();
+        let c0 = g
+            .add("c0", conv_op(4, 3, true), LayerRole::Backbone, &[x])
+            .unwrap();
+        let r0 = g
+            .add("c0.act", Op::Relu, LayerRole::Backbone, &[c0])
+            .unwrap();
+        let c1 = g
+            .add("c1", conv_op(4, 3, true), LayerRole::Other, &[r0])
+            .unwrap();
         let g1 = g.add("c1.act", Op::Gelu, LayerRole::Other, &[c1]).unwrap();
         let add = g.add("res", Op::Add, LayerRole::Other, &[r0, g1]).unwrap();
         g.set_output(add);
@@ -745,9 +979,15 @@ mod tests {
         // Make the relu's producer multi-consumer: fusion must not fire.
         let mut g2 = Graph::new("plan-test-2");
         let x = g2.input("image", &[1, 3, 8, 8]).unwrap();
-        let c0 = g2.add("c0", conv_op(4, 3, true), LayerRole::Backbone, &[x]).unwrap();
-        let r0 = g2.add("c0.act", Op::Relu, LayerRole::Backbone, &[c0]).unwrap();
-        let add = g2.add("res", Op::Add, LayerRole::Backbone, &[c0, r0]).unwrap();
+        let c0 = g2
+            .add("c0", conv_op(4, 3, true), LayerRole::Backbone, &[x])
+            .unwrap();
+        let r0 = g2
+            .add("c0.act", Op::Relu, LayerRole::Backbone, &[c0])
+            .unwrap();
+        let add = g2
+            .add("res", Op::Add, LayerRole::Backbone, &[c0, r0])
+            .unwrap();
         g2.set_output(add);
         let plan2 = ExecPlan::compile(&g2, WeightGen::new(0)).unwrap();
         assert_eq!(plan2.fused_nodes(), 0);
@@ -758,7 +998,9 @@ mod tests {
     fn output_producer_activation_is_not_fused() {
         let mut g = Graph::new("plan-out");
         let x = g.input("image", &[1, 3, 4, 4]).unwrap();
-        let c = g.add("c", conv_op(2, 1, false), LayerRole::Backbone, &[x]).unwrap();
+        let c = g
+            .add("c", conv_op(2, 1, false), LayerRole::Backbone, &[x])
+            .unwrap();
         // The conv itself is the output: its relu consumer must not fold
         // the conv's range away from the output.
         g.set_output(c);
@@ -772,7 +1014,9 @@ mod tests {
         let g = sample_graph();
         let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
         let input = Tensor::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, 42);
-        let expect = Executor::new(0).run(&g, &[input.clone()]).unwrap();
+        let expect = Executor::new(0)
+            .run(&g, std::slice::from_ref(&input))
+            .unwrap();
         let got = plan.execute(&[input], &RunContext::default()).unwrap();
         assert_eq!(got.shape(), expect.shape());
         assert_eq!(got.data(), expect.data());
@@ -784,7 +1028,9 @@ mod tests {
         let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
         let a = Tensor::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, 1);
         let b = Tensor::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, 2);
-        let ra1 = plan.execute(&[a.clone()], &RunContext::default()).unwrap();
+        let ra1 = plan
+            .execute(std::slice::from_ref(&a), &RunContext::default())
+            .unwrap();
         // Interleave a different input so the recycled (dirty) arena would
         // surface any stale-read bug.
         let _rb = plan.execute(&[b], &RunContext::default()).unwrap();
@@ -842,6 +1088,157 @@ mod tests {
             ExecPlan::compile(&g, WeightGen::new(0)),
             Err(PlanError::NoOutput { .. })
         ));
+    }
+
+    #[test]
+    fn arena_free_coalesces_in_any_order() {
+        // Three adjacent blocks freed in every permutation must always
+        // collapse into one range covering the whole arena — the
+        // merge-order edge case: the middle block must bridge both
+        // neighbors when it lands last (right-merge then left-merge).
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for order in orders {
+            let mut l = ArenaLayout::default();
+            let blocks = [l.alloc(10), l.alloc(20), l.alloc(30)];
+            for i in order {
+                l.free(blocks[i]);
+            }
+            assert_eq!(
+                l.free,
+                vec![BufRange { offset: 0, len: 60 }],
+                "freeing order {order:?} failed to coalesce"
+            );
+            // And the coalesced range satisfies a full-size request
+            // without bump-growing the arena.
+            assert_eq!(l.alloc(60), BufRange { offset: 0, len: 60 });
+            assert_eq!(l.len, 60);
+        }
+    }
+
+    #[test]
+    fn arena_zero_size_ranges_never_perturb_layout() {
+        let mut l = ArenaLayout::default();
+        let a = l.alloc(8);
+        l.free(a);
+        // A zero-size request must not split the free block or grow the
+        // arena, and must be canonical regardless of free-list state.
+        assert_eq!(l.alloc(0), BufRange { offset: 0, len: 0 });
+        assert_eq!(l.free, vec![a]);
+        assert_eq!(l.len, 8);
+        // Freeing a zero-size range is a no-op: nothing enters the free
+        // list, so no zero-width entry can block coalescing later.
+        l.free(BufRange { offset: 3, len: 0 });
+        assert_eq!(l.free, vec![a]);
+    }
+
+    #[test]
+    fn contracts_match_kernel_tiling_and_shadow_replay_is_clean() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        for rec in plan.records() {
+            match &rec.op {
+                Op::Conv2d { .. } => {
+                    let plane: usize = rec.out_shape.iter().skip(2).product();
+                    assert_eq!(
+                        rec.contract,
+                        ExecContract::RowTiled { row_len: plane },
+                        "conv `{}`",
+                        rec.name
+                    );
+                    // Chunks partition the output range exactly.
+                    for threads in [1, 2, 8] {
+                        let chunks = rec.contract.chunk_ranges(rec.out, threads);
+                        let total: usize = chunks.iter().map(|c| c.len).sum();
+                        assert_eq!(total, rec.out.len);
+                        for w in chunks.windows(2) {
+                            assert_eq!(w[0].end(), w[1].offset);
+                            assert_eq!(w[0].offset % plane, rec.out.offset % plane);
+                        }
+                    }
+                }
+                _ => assert_eq!(rec.contract, ExecContract::Sequential),
+            }
+            assert!(!rec.contract.reassociates());
+        }
+        // Every compiled plan is shadow-clean at every sampled width.
+        for threads in [1, 2, 8] {
+            let v = plan.shadow_replay(threads);
+            assert!(v.is_empty(), "threads={threads}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn frees_record_exact_liveness_points() {
+        let g = sample_graph();
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).unwrap();
+        let recs = plan.records();
+        // Every freed range was some earlier record's output, freed at
+        // that output's last reader, and the plan output is never freed.
+        for (i, rec) in recs.iter().enumerate() {
+            for f in &rec.frees {
+                assert!(!f.overlaps(&plan.output_range()), "output freed");
+                let producer = recs[..i].iter().position(|p| p.out == *f);
+                let p = producer.expect("freed range has a producer record");
+                let last_reader = recs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.inputs.iter().any(|r2| *r2 == recs[p].out))
+                    .map(|(k, _)| k)
+                    .max()
+                    .unwrap_or(p);
+                assert_eq!(i, last_reader, "range freed away from last reader");
+            }
+        }
+        // At least one free actually happens in this graph.
+        assert!(recs.iter().any(|r| !r.frees.is_empty()));
+    }
+
+    #[test]
+    fn shadow_replay_catches_seeded_overlap() {
+        // A hand-built plan whose second record's explicit chunks overlap:
+        // shadow replay must report double writes.
+        let r0 = PlanRecord::from_raw_parts(
+            "in",
+            Op::Input { shape: vec![8] },
+            vec![],
+            vec![],
+            BufRange { offset: 0, len: 8 },
+            vec![8],
+        );
+        let mut r1 = PlanRecord::from_raw_parts(
+            "bad",
+            Op::Relu,
+            vec![BufRange { offset: 0, len: 8 }],
+            vec![vec![8]],
+            BufRange { offset: 8, len: 8 },
+            vec![8],
+        );
+        r1.contract = ExecContract::Explicit {
+            chunks: vec![
+                BufRange { offset: 0, len: 6 },
+                BufRange { offset: 4, len: 4 },
+            ],
+            reassociates: false,
+        };
+        let plan = ExecPlan::from_raw_parts(
+            "seeded",
+            vec![r0, r1],
+            16,
+            BufRange { offset: 8, len: 8 },
+            vec![8],
+        );
+        let v = plan.shadow_replay(2);
+        assert!(!v.is_empty());
+        assert!(v
+            .iter()
+            .all(|v| v.kind == vit_tensor::ShadowViolationKind::DoubleWrite));
     }
 
     #[test]

@@ -21,14 +21,32 @@ use vit_tensor::Tensor;
 const THREADS: [usize; 3] = [1, 2, 8];
 
 /// Compiles the graph and asserts plan replay matches the sequential
-/// interpreter exactly, at every thread count.
+/// interpreter exactly, at every thread count. Also holds the exec-safety
+/// agreement: the static verdict (vit-verify pass 6) and the dynamic
+/// shadow-access replay must both be clean on every compiled plan, at
+/// every sampled thread count — neither witness may see a hazard the
+/// other misses.
 fn assert_plan_bit_identical(g: &Graph, input: Tensor, seed: u64) {
     let inputs = std::slice::from_ref(&input);
     let seq = Executor::new(seed)
         .run_opts(g, inputs, &ExecOptions::sequential())
         .unwrap();
     let plan = ExecPlan::compile(g, WeightGen::new(seed)).unwrap();
+    let static_diags = vit_verify::verify_plan_exec(&plan);
+    assert!(
+        static_diags.is_empty(),
+        "exec-safety pass flagged a compiled plan for `{}`: {static_diags:?}",
+        g.model
+    );
     for threads in THREADS {
+        let violations = plan.shadow_replay(threads);
+        assert!(
+            violations.is_empty(),
+            "shadow replay for `{}` at {} threads disagrees with the clean \
+             static verdict: {violations:?}",
+            g.model,
+            threads
+        );
         let ctx = RunContext::default().with_exec(ExecOptions::threaded(threads));
         let replayed = plan.execute(inputs, &ctx).unwrap();
         assert_eq!(

@@ -72,19 +72,6 @@ impl Calibration {
         )
     }
 
-    /// [`Calibration::measure`] under explicit [`ExecOptions`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] when a calibration inference fails.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `measure_with` with a `RunContext` instead"
-    )]
-    pub fn measure_opts(core: &Arc<EngineCore>, exec: &ExecOptions) -> Result<Self, EngineError> {
-        Self::measure_with(core, &RunContext::default().with_exec(exec.clone()))
-    }
-
     /// Builds a calibration by averaging `runs` invocations of
     /// `timed_run` (each returning one measured duration in seconds) over
     /// an execution path costing `resource_units`. Split out from

@@ -31,8 +31,10 @@ mod error;
 pub mod ops;
 pub mod par;
 pub mod quant;
+pub mod shadow;
 mod tensor;
 
 pub use error::{Result, TensorError};
-pub use par::{BufferPool, BufferPoolStats, ExecCtx, ThreadPool};
+pub use par::{row_chunks, BufferPool, BufferPoolStats, ExecCtx, ThreadPool};
+pub use shadow::{ShadowAccess, ShadowViolation, ShadowViolationKind};
 pub use tensor::Tensor;

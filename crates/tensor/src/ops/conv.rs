@@ -281,7 +281,15 @@ pub fn conv2d_ctx(
     };
     let plane = oh * ow;
     ctx.for_each_row_chunk(out.data_mut(), plane, |_, start, piece| {
-        conv2d_rows(xd, wd, bd, piece, start / plane.max(1), geom, Epilogue::None);
+        conv2d_rows(
+            xd,
+            wd,
+            bd,
+            piece,
+            start / plane.max(1),
+            geom,
+            Epilogue::None,
+        );
     });
     Ok(out)
 }

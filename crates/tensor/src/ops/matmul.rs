@@ -212,7 +212,16 @@ pub fn linear_ctx(
     // passes because the output starts zeroed.
     ctx.for_each_row_chunk(out.data_mut(), out_features, |_, start, piece| {
         let r0 = start / out_features.max(1);
-        linear_rows(xd, wd, bd, piece, r0, in_features, out_features, Epilogue::None);
+        linear_rows(
+            xd,
+            wd,
+            bd,
+            piece,
+            r0,
+            in_features,
+            out_features,
+            Epilogue::None,
+        );
     });
     Ok(out)
 }

@@ -38,6 +38,56 @@ use crate::tensor::Tensor;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The exact chunk decomposition [`ThreadPool::for_each_row_chunk`] uses
+/// for a buffer of `total_len` elements in rows of `row_len`, split into
+/// at most `chunks` pieces: successive `(start, len)` ranges, row-aligned,
+/// covering `[0, total_len)` exactly once.
+///
+/// This is *the* tiling oracle: the executor derives its piece size from
+/// the same arithmetic, so a static analyzer (vit-verify's exec-safety
+/// pass) that consumes these ranges reasons about the identical chunks
+/// the kernels will write at run time — the two cannot drift apart.
+///
+/// Degenerate inputs are handled the way the executor handles them:
+/// `row_len == 0` or an empty buffer yields one full-buffer chunk
+/// (nothing to split), and `total_len` not being a multiple of `row_len`
+/// is the *caller's* contract violation (the executor debug-asserts it);
+/// this function still row-aligns every boundary so a misaligned tail is
+/// visible to the analyzer as a short final chunk.
+///
+/// # Examples
+///
+/// ```
+/// use vit_tensor::par::row_chunks;
+/// // 6 rows of 2 elements over 4 threads: ceil(6/4)=2 rows per piece.
+/// assert_eq!(row_chunks(12, 2, 4), vec![(0, 4), (4, 4), (8, 4)]);
+/// // One thread: a single chunk.
+/// assert_eq!(row_chunks(12, 2, 1), vec![(0, 12)]);
+/// ```
+pub fn row_chunks(total_len: usize, row_len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if total_len == 0 {
+        return vec![(0, 0)];
+    }
+    if row_len == 0 {
+        return vec![(0, total_len)];
+    }
+    let rows = total_len / row_len;
+    let chunks = chunks.clamp(1, rows.max(1));
+    if chunks <= 1 {
+        return vec![(0, total_len)];
+    }
+    let rows_per = rows.div_ceil(chunks);
+    let piece = rows_per * row_len;
+    let mut out = Vec::with_capacity(total_len.div_ceil(piece));
+    let mut start = 0;
+    while start < total_len {
+        let len = piece.min(total_len - start);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
 struct PoolState {
     queue: VecDeque<Job>,
     shutdown: bool,
@@ -276,16 +326,18 @@ impl ThreadPool {
         F: Fn(usize, usize, &mut [T]) + Send + Sync,
     {
         debug_assert_eq!(data.len() % chunk_len.max(1), 0);
-        let rows = data.len() / chunk_len.max(1);
-        let chunks = chunks.clamp(1, rows.max(1));
-        if chunks <= 1 || data.is_empty() {
+        // The decomposition is computed by the same oracle the static
+        // exec-safety analyzer consults (`row_chunks`), so the proved
+        // chunk geometry is the executed chunk geometry.
+        let plan = row_chunks(data.len(), chunk_len, chunks);
+        if plan.len() <= 1 || data.is_empty() {
             f(0, 0, data);
             return;
         }
-        let rows_per = rows.div_ceil(chunks);
-        let piece = rows_per * chunk_len;
+        let piece = plan[0].1;
         self.scope(|s| {
             for (i, part) in data.chunks_mut(piece).enumerate() {
+                debug_assert_eq!((i * piece, part.len()), plan[i]);
                 let f = &f;
                 s.spawn(move |_| f(i, i * piece, part));
             }
@@ -582,6 +634,60 @@ mod tests {
         });
         let expect: Vec<u32> = (1..=24).collect();
         assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn row_chunks_partition_exactly() {
+        for (total, row, threads) in [
+            (24usize, 2usize, 4usize),
+            (24, 2, 1),
+            (24, 24, 8),
+            (7, 7, 3),
+            (30, 5, 4),
+            (64, 4, 8),
+            (0, 4, 8),
+            (12, 0, 2),
+        ] {
+            let plan = row_chunks(total, row, threads);
+            // Chunks are contiguous, in order, and cover [0, total) exactly.
+            let mut cursor = 0;
+            for &(start, len) in &plan {
+                assert_eq!(
+                    start, cursor,
+                    "gap/overlap at {start} ({total},{row},{threads})"
+                );
+                cursor += len;
+            }
+            assert_eq!(cursor, total);
+            // Row alignment: no boundary splits a row (when rows divide).
+            if row > 0 && total % row == 0 {
+                for &(start, _) in &plan {
+                    assert_eq!(start % row, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_chunks_match_executor_dispatch() {
+        let pool = ThreadPool::new(4);
+        for (rows, row_len) in [(6usize, 2usize), (17, 3), (1, 5), (8, 1)] {
+            let total = rows * row_len;
+            let plan = row_chunks(total, row_len, pool.threads());
+            let seen = Mutex::new(Vec::new());
+            let mut data = vec![0u8; total];
+            pool.for_each_row_chunk(&mut data, row_len, pool.threads(), |i, start, piece| {
+                seen.lock().unwrap().push((i, start, piece.len()));
+            });
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            let expect: Vec<(usize, usize, usize)> = plan
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, l))| (i, s, l))
+                .collect();
+            assert_eq!(seen, expect, "rows={rows} row_len={row_len}");
+        }
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Shadow-access checking: a per-element write/read/free tracker that
+//! cross-validates, at replay time, the memory discipline a static
+//! analyzer proved offline.
+//!
+//! The exec-safety pass in `vit-verify` proves three things about a
+//! compiled plan *statically*: every parallel chunk writes a disjoint
+//! slice of its record's output range, every input range still holds its
+//! producer's value when it is read, and the arena free-list never
+//! re-issues a range while a reader is pending. [`ShadowAccess`] is the
+//! dynamic witness for those verdicts: `vit-plan`'s shadowed replay mode
+//! drives one tracker element-for-element alongside the real arena and
+//! reports every discipline violation as a typed [`ShadowViolation`].
+//! A sound static verdict implies an empty violation list on every
+//! schedule; the differential test suites hold that agreement at threads
+//! {1, 2, 8}.
+//!
+//! The tracker is allocation-heavy (one `u32` per arena element) and
+//! strictly debug tooling — nothing on the serving path constructs one.
+//!
+//! # Examples
+//!
+//! ```
+//! use vit_tensor::shadow::{ShadowAccess, ShadowViolationKind};
+//!
+//! let mut shadow = ShadowAccess::new(8);
+//! // Record 0 writes [0, 4) in two disjoint chunks: fine.
+//! assert!(shadow.define(0, 2, 0).is_empty());
+//! assert!(shadow.define(2, 2, 0).is_empty());
+//! // Record 1 reads record 0's output: fine.
+//! assert!(shadow.expect(0, 4, 0).is_empty());
+//! // A second write of element 3 by the same tag is a double write.
+//! let v = shadow.define(3, 1, 0);
+//! assert_eq!(v[0].kind, ShadowViolationKind::DoubleWrite);
+//! ```
+
+use std::fmt;
+
+/// Owner tag meaning "never written since the range was (re)issued".
+const FREE: u32 = u32::MAX;
+
+/// At most this many violations are recorded per [`ShadowAccess`]; element
+/// granularity means one bad chunk boundary could otherwise report
+/// thousands of identical findings.
+const MAX_VIOLATIONS: usize = 32;
+
+/// What kind of memory-discipline breach a shadow check observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowViolationKind {
+    /// An element was written twice under the same tag — two parallel
+    /// chunks of one record overlap.
+    DoubleWrite,
+    /// An element was written while still owned by a *different* live tag
+    /// — a range was re-issued before its previous owner died.
+    WriteOverLive,
+    /// An element was read expecting one owner but found another — the
+    /// buffer wiring and the arena contents disagree.
+    ReadWrongOwner,
+    /// An element was read after being freed (or before ever being
+    /// written) — a reclamation ran while a reader was still pending, or
+    /// a chunk decomposition left a gap.
+    ReadUnwritten,
+}
+
+impl fmt::Display for ShadowViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShadowViolationKind::DoubleWrite => "double write",
+            ShadowViolationKind::WriteOverLive => "write over live range",
+            ShadowViolationKind::ReadWrongOwner => "read of wrong owner",
+            ShadowViolationKind::ReadUnwritten => "read of unwritten/freed element",
+        })
+    }
+}
+
+/// One element-level breach of the write/read/free discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowViolation {
+    /// What went wrong.
+    pub kind: ShadowViolationKind,
+    /// Element index in the tracked buffer.
+    pub element: usize,
+    /// The tag performing the access.
+    pub tag: u32,
+    /// The owner tag found at the element (`None` when free/unwritten).
+    pub found: Option<u32>,
+}
+
+impl fmt::Display for ShadowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at element {} by tag {}",
+            self.kind, self.element, self.tag
+        )?;
+        match self.found {
+            Some(o) => write!(f, " (owned by tag {o})"),
+            None => write!(f, " (element free)"),
+        }
+    }
+}
+
+/// A per-element ownership map over one linear buffer (e.g. a plan
+/// arena): every element is either free or owned by the `u32` tag that
+/// last wrote it.
+///
+/// The caller drives it with the schedule's events — [`define`] on every
+/// chunk write, [`expect`] on every read, [`kill`] on every reclamation —
+/// and collects violations at the end. See the module docs for the
+/// discipline being checked.
+///
+/// [`define`]: ShadowAccess::define
+/// [`expect`]: ShadowAccess::expect
+/// [`kill`]: ShadowAccess::kill
+#[derive(Debug)]
+pub struct ShadowAccess {
+    owner: Vec<u32>,
+    violations: Vec<ShadowViolation>,
+    truncated: bool,
+}
+
+impl ShadowAccess {
+    /// A tracker for a buffer of `len` elements, all initially free.
+    pub fn new(len: usize) -> Self {
+        ShadowAccess {
+            owner: vec![FREE; len],
+            violations: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Number of tracked elements.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the tracker covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    fn push(&mut self, v: ShadowViolation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// Records a write of `[start, start + len)` by `tag`, flagging
+    /// elements already owned by `tag` (overlapping chunks of one record)
+    /// or by another live tag (premature range re-issue). Returns the
+    /// violations found by *this* call.
+    pub fn define(&mut self, start: usize, len: usize, tag: u32) -> Vec<ShadowViolation> {
+        let before = self.violations.len();
+        for e in start..(start + len).min(self.owner.len()) {
+            match self.owner[e] {
+                FREE => {}
+                o if o == tag => self.push(ShadowViolation {
+                    kind: ShadowViolationKind::DoubleWrite,
+                    element: e,
+                    tag,
+                    found: Some(o),
+                }),
+                o => self.push(ShadowViolation {
+                    kind: ShadowViolationKind::WriteOverLive,
+                    element: e,
+                    tag,
+                    found: Some(o),
+                }),
+            }
+            self.owner[e] = tag;
+        }
+        self.violations[before..].to_vec()
+    }
+
+    /// Records a read of `[start, start + len)` expecting every element to
+    /// be owned by `tag`, flagging free elements (stale read after a
+    /// reclamation, or a coverage gap) and elements owned by someone else
+    /// (wiring/aliasing breach). Returns the violations found by *this*
+    /// call.
+    pub fn expect(&mut self, start: usize, len: usize, tag: u32) -> Vec<ShadowViolation> {
+        let before = self.violations.len();
+        for e in start..(start + len).min(self.owner.len()) {
+            match self.owner[e] {
+                o if o == tag => {}
+                FREE => self.push(ShadowViolation {
+                    kind: ShadowViolationKind::ReadUnwritten,
+                    element: e,
+                    tag,
+                    found: None,
+                }),
+                o => self.push(ShadowViolation {
+                    kind: ShadowViolationKind::ReadWrongOwner,
+                    element: e,
+                    tag,
+                    found: Some(o),
+                }),
+            }
+        }
+        self.violations[before..].to_vec()
+    }
+
+    /// Marks `[start, start + len)` free again — the tracked schedule
+    /// reclaimed the range. Subsequent reads of these elements (without a
+    /// fresh [`ShadowAccess::define`]) are violations.
+    pub fn kill(&mut self, start: usize, len: usize) {
+        for e in start..(start + len).min(self.owner.len()) {
+            self.owner[e] = FREE;
+        }
+    }
+
+    /// All violations observed so far (capped; see
+    /// [`ShadowAccess::is_truncated`]).
+    pub fn violations(&self) -> &[ShadowViolation] {
+        &self.violations
+    }
+
+    /// Whether violations beyond the reporting cap were dropped.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Consumes the tracker, returning every recorded violation.
+    pub fn into_violations(self) -> Vec<ShadowViolation> {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_chunk_writes_and_wired_reads_are_clean() {
+        let mut s = ShadowAccess::new(10);
+        assert!(s.define(0, 3, 7).is_empty());
+        assert!(s.define(3, 3, 7).is_empty());
+        assert!(s.expect(0, 6, 7).is_empty());
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn overlapping_chunks_are_double_writes() {
+        let mut s = ShadowAccess::new(10);
+        s.define(0, 4, 1);
+        let v = s.define(2, 4, 1);
+        assert_eq!(v.len(), 2); // elements 2 and 3
+        assert!(v.iter().all(|v| v.kind == ShadowViolationKind::DoubleWrite));
+    }
+
+    #[test]
+    fn reissue_before_death_is_write_over_live() {
+        let mut s = ShadowAccess::new(4);
+        s.define(0, 4, 1);
+        let v = s.define(1, 2, 2);
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .all(|v| v.kind == ShadowViolationKind::WriteOverLive));
+        assert_eq!(v[0].found, Some(1));
+    }
+
+    #[test]
+    fn read_after_kill_and_coverage_gap_are_flagged() {
+        let mut s = ShadowAccess::new(6);
+        s.define(0, 3, 1); // chunk decomposition left [3, 6) unwritten
+        let v = s.expect(0, 6, 1);
+        assert_eq!(v.len(), 3);
+        assert!(v
+            .iter()
+            .all(|v| v.kind == ShadowViolationKind::ReadUnwritten));
+        s.kill(0, 3);
+        let v = s.expect(0, 1, 1);
+        assert_eq!(v[0].kind, ShadowViolationKind::ReadUnwritten);
+    }
+
+    #[test]
+    fn wrong_owner_read_is_flagged() {
+        let mut s = ShadowAccess::new(4);
+        s.define(0, 4, 1);
+        s.kill(0, 4);
+        s.define(0, 4, 2);
+        let v = s.expect(0, 2, 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].kind, ShadowViolationKind::ReadWrongOwner);
+        assert_eq!(v[0].found, Some(2));
+    }
+
+    #[test]
+    fn violation_cap_truncates() {
+        let mut s = ShadowAccess::new(100);
+        s.define(0, 100, 1);
+        s.define(0, 100, 1); // 100 double writes, cap is lower
+        assert!(s.is_truncated());
+        assert!(s.violations().len() <= 32);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = ShadowAccess::new(2);
+        s.define(0, 1, 3);
+        let v = s.define(0, 1, 3);
+        let text = v[0].to_string();
+        assert!(text.contains("double write"), "{text}");
+        assert!(text.contains("element 0"), "{text}");
+    }
+}

@@ -7,7 +7,9 @@ use std::fmt;
 /// Every lint the verifier can emit, each with a stable code, a fixed
 /// severity, and a one-line invariant. Codes are grouped by pass:
 /// `V00x` graph well-formedness, `V01x` liveness, `V02x` cost/LUT
-/// soundness, `V03x` accelerator mapping, `V04x` plan equivalence.
+/// soundness, `V03x` accelerator mapping, `V04x` plan equivalence,
+/// `V05x` exec safety (parallel write-disjointness, reclamation
+/// soundness, FP-determinism hazards, unsafe/indexing audit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Code {
     /// `V001` — a node's stored shape disagrees with re-running shape
@@ -76,11 +78,50 @@ pub enum Code {
     /// range's length differs from its shape's element count, or an input
     /// range is not the producing record's output range.
     PlanShapeMismatch,
+    /// `V050` — a record's parallel chunk decomposition writes the same
+    /// arena element from two chunks (write-write race under any pool
+    /// with more than one worker).
+    ChunkOverlap,
+    /// `V051` — a record's chunk decomposition does not cover its whole
+    /// output range, or a chunk escapes it: some elements are never
+    /// written (stale reads downstream) or clobber a neighbor.
+    ChunkGap,
+    /// `V052` — a record's output range overlaps one of its own input
+    /// ranges: the kernel would read elements it is concurrently
+    /// overwriting (read-write race even single-threaded).
+    ExecAlias,
+    /// `V053` — the plan's recorded liveness frees a range before its
+    /// last reader, frees the plan output, or frees a range no earlier
+    /// record owns: reclamation could re-issue live memory.
+    PrematureFree,
+    /// `V054` — the wavefront scheduler's in-degree counter for a node
+    /// disagrees with the graph's edges: the node can dispatch before an
+    /// input is ready (read-before-write under some interleaving).
+    SchedIndegree,
+    /// `V055` — the wavefront scheduler's consumer counter for a node
+    /// disagrees with the graph's reader count (+1 for the output): a
+    /// buffer can be recycled while a reader is pending, or never
+    /// recycled at all.
+    SchedConsumers,
+    /// `V056` — a record's decomposition declares FP reassociation, so
+    /// its outputs are not bit-identical across thread counts and it must
+    /// be compared in the tolerance tier, never the bit-identity tier.
+    FpReassociation,
+    /// `V057` — an `unsafe` block in a `vit-tensor`/`vit-plan` hot path
+    /// carries no `// SAFETY:` justification.
+    UndocumentedUnsafe,
+    /// `V058` — unchecked indexing (`get_unchecked`/`unwrap_unchecked`)
+    /// in a hot path: out-of-bounds becomes UB instead of a panic.
+    UncheckedIndex,
+    /// `V059` — the debug shadow-access replay observed a violation the
+    /// static exec-safety verdict did not predict (or vice versa): the
+    /// analyzer and the runtime disagree about the plan's discipline.
+    ShadowDivergence,
 }
 
 impl Code {
     /// All codes, in code order (for documentation and exhaustive tests).
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 31] = [
         Code::ShapeMismatch,
         Code::BadTopology,
         Code::InferFailure,
@@ -102,6 +143,16 @@ impl Code {
         Code::PlanCoverage,
         Code::PlanArenaOverlap,
         Code::PlanShapeMismatch,
+        Code::ChunkOverlap,
+        Code::ChunkGap,
+        Code::ExecAlias,
+        Code::PrematureFree,
+        Code::SchedIndegree,
+        Code::SchedConsumers,
+        Code::FpReassociation,
+        Code::UndocumentedUnsafe,
+        Code::UncheckedIndex,
+        Code::ShadowDivergence,
     ];
 
     /// The stable diagnostic code, e.g. `V001`.
@@ -128,6 +179,16 @@ impl Code {
             Code::PlanCoverage => "V041",
             Code::PlanArenaOverlap => "V042",
             Code::PlanShapeMismatch => "V043",
+            Code::ChunkOverlap => "V050",
+            Code::ChunkGap => "V051",
+            Code::ExecAlias => "V052",
+            Code::PrematureFree => "V053",
+            Code::SchedIndegree => "V054",
+            Code::SchedConsumers => "V055",
+            Code::FpReassociation => "V056",
+            Code::UndocumentedUnsafe => "V057",
+            Code::UncheckedIndex => "V058",
+            Code::ShadowDivergence => "V059",
         }
     }
 
@@ -139,7 +200,10 @@ impl Code {
             | Code::DeadNode
             | Code::BudgetGap
             | Code::NormOutOfRange
-            | Code::VectorUnderutilized => Severity::Warning,
+            | Code::VectorUnderutilized
+            | Code::FpReassociation
+            | Code::UndocumentedUnsafe
+            | Code::UncheckedIndex => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -170,6 +234,18 @@ impl Code {
             Code::PlanCoverage => "every non-input graph node is covered by exactly one record",
             Code::PlanArenaOverlap => "simultaneously live arena ranges never overlap",
             Code::PlanShapeMismatch => "record shapes and buffer wiring match the graph",
+            Code::ChunkOverlap => "parallel chunks of one record never write the same element",
+            Code::ChunkGap => "chunk decompositions partition the output range exactly",
+            Code::ExecAlias => "a record's output range never overlaps its inputs",
+            Code::PrematureFree => "a range is freed only after its last reader",
+            Code::SchedIndegree => "scheduler in-degrees equal the graph's input counts",
+            Code::SchedConsumers => "scheduler consumer counts equal reader counts plus output",
+            Code::FpReassociation => {
+                "reassociating decompositions are declared and tolerance-tiered"
+            }
+            Code::UndocumentedUnsafe => "every hot-path unsafe block carries a SAFETY comment",
+            Code::UncheckedIndex => "hot paths use checked indexing only",
+            Code::ShadowDivergence => "shadow replay agrees with the static exec-safety verdict",
         }
     }
 }
@@ -220,6 +296,13 @@ pub enum Span {
         /// The policy the diagnostic is about.
         policy: String,
     },
+    /// A source location in the workspace (unsafe/indexing audit lints).
+    Source {
+        /// Workspace-relative file path.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl fmt::Display for Span {
@@ -229,6 +312,7 @@ impl fmt::Display for Span {
             Span::Node { index, name } => write!(f, "node {index} `{name}`"),
             Span::Entry { index } => write!(f, "LUT entry {index}"),
             Span::Policy { policy } => write!(f, "policy {policy}"),
+            Span::Source { file, line } => write!(f, "{file}:{line}"),
         }
     }
 }
@@ -388,6 +472,10 @@ fn span_json(span: &Span) -> String {
         Span::Policy { policy } => {
             format!("{{\"kind\": \"policy\", \"policy\": {}}}", json_str(policy))
         }
+        Span::Source { file, line } => format!(
+            "{{\"kind\": \"source\", \"file\": {}, \"line\": {line}}}",
+            json_str(file)
+        ),
     }
 }
 

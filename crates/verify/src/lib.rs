@@ -22,7 +22,15 @@
 //! * **pass 5, plan equivalence** ([`verify_plan`]) — a compiled
 //!   execution plan must be the same program as its source graph: exact
 //!   cost totals, exactly-once node coverage, a sound arena layout, and
-//!   buffer wiring that matches the graph's edges.
+//!   buffer wiring that matches the graph's edges;
+//! * **pass 6, exec safety** ([`verify_exec_safety`]) — the plan must be
+//!   safe to run in parallel: every record's chunk decomposition
+//!   partitions its output range with no overlap, recorded liveness
+//!   never frees a range a reader still needs, the wavefront scheduler's
+//!   counters match the graph's edges under any interleaving, FP
+//!   reassociation is declared and tolerance-tiered, and hot-path
+//!   `unsafe`/unchecked indexing is audited ([`audit_sources`]); a debug
+//!   shadow-access replay cross-validates the static verdict.
 //!
 //! Each finding is a [`Diagnostic`] with a stable [`Code`] (`V001`
 //! shape-mismatch, `V021` pareto-nonmonotone, ...), a severity, a span,
@@ -50,6 +58,7 @@
 mod accel_pass;
 mod cost_pass;
 mod diag;
+mod exec_pass;
 mod graph_pass;
 mod lut_pass;
 mod plan_pass;
@@ -57,6 +66,10 @@ mod plan_pass;
 pub use accel_pass::verify_accel_mapping;
 pub use cost_pass::verify_costs;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use exec_pass::{
+    audit_source, audit_sources, exec_safety_summary, verify_exec_safety, verify_plan_exec,
+    verify_sched_meta, verify_shadow, ExecSafetySummary,
+};
 pub use graph_pass::verify_graph;
 pub use lut_pass::{verify_lut, LutContext};
 pub use plan_pass::verify_plan;

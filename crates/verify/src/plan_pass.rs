@@ -235,7 +235,9 @@ mod tests {
                 &[x],
             )
             .unwrap();
-        let act = g.add("stem.act", Op::Relu, LayerRole::Backbone, &[conv]).unwrap();
+        let act = g
+            .add("stem.act", Op::Relu, LayerRole::Backbone, &[conv])
+            .unwrap();
         let proj = g
             .add(
                 "head",

@@ -7,12 +7,15 @@ use std::sync::OnceLock;
 use vit_accel::AccelConfig;
 use vit_drt::{DrtEngine, EngineFamily, Lut};
 use vit_graph::{Graph, LayerRole, NodeId, Op};
+use vit_graph::{SchedMeta, WeightGen};
+use vit_plan::{BufRange, ExecContract, ExecPlan, PlanRecord};
 use vit_profiler::Profile;
 use vit_resilience::{ResourceKind, Workload};
 use vit_serve::SchedulePolicy;
 use vit_verify::{
-    verify_accel_mapping, verify_costs, verify_graph, verify_lut, Code, Diagnostic, LutContext,
-    Severity, VerifyOptions,
+    audit_source, verify_accel_mapping, verify_costs, verify_exec_safety, verify_graph, verify_lut,
+    verify_plan_exec, verify_sched_meta, verify_shadow, Code, Diagnostic, LutContext, Severity,
+    VerifyOptions,
 };
 
 fn has(diags: &[Diagnostic], code: Code) -> bool {
@@ -328,6 +331,268 @@ fn v031_vector_underutilized_fires_on_degenerate_conv() {
         .find(|d| d.code == Code::VectorUnderutilized)
         .expect("V031 fires");
     assert_eq!(d.severity, Severity::Warning);
+}
+
+/// A minimal sound two-record plan (input -> relu) built through the
+/// escape hatches, which the V05x tests then break one invariant at a
+/// time. Arena: input writes [0, 8), relu reads it and writes [8, 16).
+fn sound_exec_plan() -> ExecPlan {
+    let r0 = PlanRecord::from_raw_parts(
+        "in",
+        Op::Input { shape: vec![8] },
+        vec![],
+        vec![],
+        BufRange { offset: 0, len: 8 },
+        vec![8],
+    );
+    let r1 = PlanRecord::from_raw_parts(
+        "relu",
+        Op::Relu,
+        vec![BufRange { offset: 0, len: 8 }],
+        vec![vec![8]],
+        BufRange { offset: 8, len: 8 },
+        vec![8],
+    );
+    ExecPlan::from_raw_parts(
+        "exec-test",
+        vec![r0, r1],
+        16,
+        BufRange { offset: 8, len: 8 },
+        vec![8],
+    )
+}
+
+fn break_relu(f: impl FnOnce(&mut PlanRecord)) -> ExecPlan {
+    let plan = sound_exec_plan();
+    let mut records = plan.records().to_vec();
+    f(&mut records[1]);
+    ExecPlan::from_raw_parts(
+        plan.model(),
+        records,
+        plan.arena_len(),
+        plan.output_range(),
+        plan.output_shape().to_vec(),
+    )
+}
+
+#[test]
+fn v050_chunk_overlap_fires_on_overlapping_explicit_chunks() {
+    let broken = break_relu(|r| {
+        r.contract = ExecContract::Explicit {
+            chunks: vec![
+                BufRange { offset: 0, len: 6 },
+                BufRange { offset: 4, len: 4 },
+            ],
+            reassociates: false,
+        };
+    });
+    let diags = verify_plan_exec(&broken);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::ChunkOverlap)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+    assert!(verify_plan_exec(&sound_exec_plan()).is_empty());
+}
+
+#[test]
+fn v051_chunk_gap_fires_on_uncovered_output() {
+    let broken = break_relu(|r| {
+        r.contract = ExecContract::Explicit {
+            chunks: vec![
+                BufRange { offset: 0, len: 3 },
+                BufRange { offset: 5, len: 3 },
+            ],
+            reassociates: false,
+        };
+    });
+    let diags = verify_plan_exec(&broken);
+    assert_eq!(
+        diags.iter().filter(|d| d.code == Code::ChunkGap).count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn v052_exec_alias_fires_on_in_place_record() {
+    // The relu now writes over the very range it reads.
+    let broken = break_relu(|r| {
+        r.out = BufRange { offset: 0, len: 8 };
+    });
+    let diags = verify_plan_exec(&broken);
+    assert_eq!(
+        diags.iter().filter(|d| d.code == Code::ExecAlias).count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn v053_premature_free_fires_on_freed_range_with_pending_reader() {
+    // A third record still reads the input range, but the relu's
+    // recorded liveness already freed it.
+    let plan = sound_exec_plan();
+    let mut records = plan.records().to_vec();
+    records[1].frees = vec![BufRange { offset: 0, len: 8 }];
+    records.push(PlanRecord::from_raw_parts(
+        "late-reader",
+        Op::Gelu,
+        vec![BufRange { offset: 0, len: 8 }],
+        vec![vec![8]],
+        BufRange { offset: 16, len: 8 },
+        vec![8],
+    ));
+    let broken = ExecPlan::from_raw_parts(
+        "exec-test",
+        records,
+        24,
+        BufRange { offset: 16, len: 8 },
+        vec![8],
+    );
+    let diags = verify_plan_exec(&broken);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::PrematureFree)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn v054_sched_indegree_fires_on_undercounted_dispatch() {
+    let g = small_graph();
+    let truth = SchedMeta::of(&g);
+    // The relu's in-degree drops to 0: it could dispatch before the conv.
+    let mut indegree = truth.indegree().to_vec();
+    indegree[2] = 0;
+    let broken = SchedMeta::from_raw_parts(indegree, truth.consumers().to_vec());
+    let diags = verify_sched_meta(&g, &broken);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::SchedIndegree)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+    assert!(verify_sched_meta(&g, &truth).is_empty());
+}
+
+#[test]
+fn v055_sched_consumers_fires_on_undercounted_reclamation() {
+    let g = small_graph();
+    let truth = SchedMeta::of(&g);
+    // The conv's buffer would be recycled while the relu still reads it.
+    let mut consumers = truth.consumers().to_vec();
+    consumers[1] = 0;
+    let broken = SchedMeta::from_raw_parts(truth.indegree().to_vec(), consumers);
+    let diags = verify_sched_meta(&g, &broken);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::SchedConsumers)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn v056_fp_reassociation_fires_and_is_a_warning() {
+    // A well-formed decomposition that declares reassociation: no
+    // overlap/gap lints, just the tolerance-tier routing flag.
+    let broken = break_relu(|r| {
+        r.contract = ExecContract::Explicit {
+            chunks: vec![
+                BufRange { offset: 0, len: 4 },
+                BufRange { offset: 4, len: 4 },
+            ],
+            reassociates: true,
+        };
+    });
+    let diags = verify_plan_exec(&broken);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == Code::FpReassociation)
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(!diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn v057_undocumented_unsafe_fires_without_safety_comment() {
+    let dirty = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let diags = audit_source("test.rs", dirty);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::UndocumentedUnsafe)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+    let documented = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees `p` is valid.\n    unsafe { *p }\n}\n";
+    assert!(audit_source("test.rs", documented).is_empty());
+    // Identifier containing the word must not count.
+    assert!(audit_source("test.rs", "let unsafe_flag = 1;\n").is_empty());
+}
+
+#[test]
+fn v058_unchecked_index_fires() {
+    let dirty = "// SAFETY: in bounds by construction.\nlet x = unsafe { v.get_unchecked(3) };\n";
+    let diags = audit_source("test.rs", dirty);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::UncheckedIndex)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn v059_shadow_divergence_fires_when_runtime_contradicts_static() {
+    // The relu reads a range no record ever writes: statically invisible
+    // to the plan-local exec checks (nothing is freed, nothing aliases),
+    // but the shadow replay observes the unwritten read.
+    let plan = sound_exec_plan();
+    let mut records = plan.records().to_vec();
+    records[1].inputs = vec![BufRange { offset: 16, len: 8 }];
+    let broken = ExecPlan::from_raw_parts(
+        "exec-test",
+        records,
+        24,
+        BufRange { offset: 8, len: 8 },
+        vec![8],
+    );
+    let static_diags = verify_plan_exec(&broken);
+    assert!(static_diags.is_empty(), "{static_diags:?}");
+    let diags = verify_shadow(&broken, &static_diags, &[1, 2, 8]);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == Code::ShadowDivergence)
+            .count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn exec_safety_pass_is_clean_on_a_compiled_plan() {
+    let g = small_graph();
+    let plan = ExecPlan::compile(&g, WeightGen::new(0)).expect("compiles");
+    let sched = SchedMeta::of(&g);
+    let diags = verify_exec_safety(&g, &plan, &sched);
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]
