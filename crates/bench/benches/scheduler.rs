@@ -68,12 +68,7 @@ fn bench_scheduler(c: &mut Criterion) {
         12,
         9,
     );
-    let config = SimConfig {
-        workers: 4,
-        queue_depth: 16,
-        policy: SchedulePolicy::DrtDynamic,
-        secs_per_unit: 1.0,
-    };
+    let config = SimConfig::new(4, 16, SchedulePolicy::DrtDynamic, 1.0);
     g.sample_size(10);
     g.bench_function("simulate_operating_point", |bench| {
         bench.iter(|| simulate(&core, config, black_box(&arrivals)))

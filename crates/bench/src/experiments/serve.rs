@@ -20,7 +20,7 @@ const WORKERS: usize = 4;
 const QUEUE_DEPTH: usize = 16;
 const SEED: u64 = 42;
 
-fn build_core() -> Arc<EngineCore> {
+pub(crate) fn build_core() -> Arc<EngineCore> {
     let engine = DrtEngine::segformer(
         SegFormerVariant::b0(),
         Workload::SegFormerAde,
@@ -49,13 +49,8 @@ fn operating_point(core: &EngineCore, load_x: f64, seed: u64) -> (ServerMetrics,
         3 * WORKERS,
         seed,
     );
-    let config = |policy| SimConfig {
-        workers: WORKERS,
-        queue_depth: QUEUE_DEPTH,
-        policy,
-        // LUT resources for GpuTime are already seconds.
-        secs_per_unit: 1.0,
-    };
+    // LUT resources for GpuTime are already seconds.
+    let config = |policy| SimConfig::new(WORKERS, QUEUE_DEPTH, policy, 1.0);
     let drt = simulate(core, config(SchedulePolicy::DrtDynamic), &arrivals);
     let stat = simulate(core, config(SchedulePolicy::static_full()), &arrivals);
     (drt, stat)

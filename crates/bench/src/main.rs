@@ -27,6 +27,14 @@ engine (§IV):
   crossover   when to switch to retrained models
   serve       deadline-aware DRT serving vs static baseline (load sweep)
 
+robustness:
+  chaos       self-healing degraded-retry serving vs fail-fast vs a static
+              full-model server under swept deterministic fault injection,
+              with measured fidelity of the degraded completions; exits
+              non-zero on any invariant violation
+              (flags: --json write BENCH_chaos.json,
+               --quick fewer rates + shorter trace for CI smoke runs)
+
 accelerator (§V/§VI):
   fig9        accelerator organization + sample mapping
   fig10       SegFormer time/energy distribution on accelerator_A
@@ -110,6 +118,20 @@ fn main() {
                 }
             }
             std::process::exit(verify::run(args));
+        }
+        "chaos" => {
+            let mut args = chaos::ChaosArgs::default();
+            for flag in std::env::args().skip(2) {
+                match flag.as_str() {
+                    "--json" => args.json = true,
+                    "--quick" => args.quick = true,
+                    other => {
+                        eprintln!("unknown chaos flag `{other}`\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            std::process::exit(chaos::run(args));
         }
         "bench" => {
             let mut args = parallel::BenchArgs::default();

@@ -1,0 +1,99 @@
+//! The `repro chaos` exit-code contract, held against the real binary:
+//! exit code zero when every invariant holds (with `--json` writing a
+//! parseable `BENCH_chaos.json` whose `violations` array is empty), exit
+//! code 2 on unknown flags before any work starts, and the same
+//! [`exit_code`] mapping `repro verify` uses for the violation count.
+
+use std::process::Command;
+use vit_bench::experiments::verify::exit_code;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A scratch directory so the artifact never lands in the source tree.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chaos-contract-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn quick_run_exits_zero_and_writes_a_clean_artifact() {
+    let dir = scratch_dir("quick");
+    let out = repro()
+        .args(["chaos", "--quick", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("repro chaos runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean chaos run must exit zero:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("degraded-retry") && stdout.contains("fail-fast"),
+        "table names the compared policies:\n{stdout}"
+    );
+
+    let text = std::fs::read_to_string(dir.join("BENCH_chaos.json")).expect("artifact written");
+    let doc = vit_drt::json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(doc.get("benchmark").and_then(|b| b.as_str()), Some("chaos"));
+    assert_eq!(
+        doc.get("violations")
+            .and_then(|v| v.as_arr())
+            .map(<[_]>::len),
+        Some(0),
+        "clean run records no violations"
+    );
+    let points = doc.get("points").and_then(|p| p.as_arr()).unwrap();
+    assert!(!points.is_empty());
+    for point in points {
+        let policies = point.get("policies").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(policies.len(), 3, "three policies per fault rate");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_flag_exits_two_without_running() {
+    let dir = scratch_dir("flag");
+    let out = repro()
+        .args(["chaos", "--bogus"])
+        .current_dir(&dir)
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "bad flags are a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown chaos flag `--bogus`"),
+        "names the offending flag:\n{stderr}"
+    );
+    assert!(
+        !dir.join("BENCH_chaos.json").exists(),
+        "usage errors must not write artifacts"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_lists_the_chaos_subcommand() {
+    let out = repro().output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("chaos"), "usage mentions chaos:\n{stderr}");
+    assert!(stderr.contains("--quick"), "usage documents --quick");
+}
+
+/// `repro chaos` maps its violation count through the same helper as
+/// `repro verify`: any violation is an error-severity failure, never a
+/// deniable warning.
+#[test]
+fn violation_count_maps_to_the_shared_exit_code() {
+    assert_eq!(exit_code(0, 0, false), 0);
+    for violations in [1, 2, 17] {
+        assert_eq!(exit_code(violations, 0, false), 1);
+        assert_eq!(exit_code(violations, 0, true), 1);
+    }
+}

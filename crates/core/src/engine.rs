@@ -12,7 +12,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use vit_accel::AccelConfig;
-use vit_graph::{ExecBackend, ExecError, ExecScratch, Graph, RunContext, WeightGen};
+use vit_fault::FaultError;
+use vit_graph::{
+    check_node_guard, ExecBackend, ExecError, ExecScratch, Graph, RunContext, WeightGen,
+};
 use vit_models::{
     build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerVariant, SwinConfig,
     SwinVariant,
@@ -46,6 +49,9 @@ pub enum EngineError {
     Plan(PlanError),
     /// The engine's LUT is empty.
     EmptyLut,
+    /// An injected fault killed the run, or an output guard caught a
+    /// corrupted result before it could be returned.
+    Fault(FaultError),
 }
 
 impl fmt::Display for EngineError {
@@ -55,11 +61,24 @@ impl fmt::Display for EngineError {
             EngineError::Exec(e) => write!(f, "engine execution error: {e}"),
             EngineError::Plan(e) => write!(f, "engine plan compilation error: {e}"),
             EngineError::EmptyLut => write!(f, "engine LUT has no execution paths"),
+            EngineError::Fault(e) => write!(f, "engine fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// The fault behind this error, when it is a fault — the signal the
+    /// serving recovery loop classifies retries on.
+    pub fn as_fault(&self) -> Option<&FaultError> {
+        match self {
+            EngineError::Fault(e) => Some(e),
+            EngineError::Exec(ExecError::Fault { source, .. }) => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<ModelError> for EngineError {
     fn from(e: ModelError) -> Self {
@@ -69,7 +88,12 @@ impl From<ModelError> for EngineError {
 
 impl From<ExecError> for EngineError {
     fn from(e: ExecError) -> Self {
-        EngineError::Exec(e)
+        match e {
+            // Surface fault-layer errors as faults so recovery policies can
+            // classify them without digging through the exec error.
+            ExecError::Fault { source, .. } => EngineError::Fault(source),
+            other => EngineError::Exec(other),
+        }
     }
 }
 
@@ -387,6 +411,15 @@ impl EngineCore {
     ) -> Result<Inference, EngineError> {
         let sink = ctx.sink.as_ref();
         let enabled = sink.enabled();
+        // Injected hard failures (crash; poisoned plan replay under the Plan
+        // backend) kill the attempt before any kernel runs.
+        if let Some(f) = ctx
+            .fault
+            .injected_failure(ctx.exec.backend() == ExecBackend::Plan)
+        {
+            return Err(EngineError::Fault(f));
+        }
+        let exec_began = std::time::Instant::now();
         let logits = match ctx.exec.backend() {
             ExecBackend::Interpret => {
                 let build_start = sink.timestamp();
@@ -460,6 +493,20 @@ impl EngineCore {
                 logits
             }
         };
+        // Always-on result guard (when a guard is configured): no NaN/Inf
+        // or over-magnitude logit map is ever returned to a caller.
+        if let Some(g) = ctx.fault.output_guard() {
+            check_node_guard("logits", &logits, g)?;
+        }
+        // An injected stall slows the whole execution by the plan's factor;
+        // values are untouched, only wall-clock suffers (what the serving
+        // watchdog is keyed to).
+        if let Some(m) = ctx.fault.stall_multiplier() {
+            let extra = exec_began.elapsed().mul_f64(m - 1.0);
+            if !extra.is_zero() {
+                std::thread::sleep(extra);
+            }
+        }
         let label_map = logits
             .argmax_channels()
             .expect("segmentation output is NCHW");

@@ -11,7 +11,7 @@ use std::fmt;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -30,7 +30,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// The value under `key`, if this is an object containing it.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -38,7 +38,7 @@ impl Json {
     }
 
     /// This value as a float (integers widen).
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Int(i) => Some(*i as f64),
             Json::Num(n) => Some(*n),
@@ -47,7 +47,7 @@ impl Json {
     }
 
     /// This value as a non-negative integer.
-    pub(crate) fn as_usize(&self) -> Option<usize> {
+    pub fn as_usize(&self) -> Option<usize> {
         match self {
             Json::Int(i) if *i >= 0 => Some(*i as usize),
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
@@ -58,7 +58,7 @@ impl Json {
     }
 
     /// This value as a string slice.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -66,7 +66,7 @@ impl Json {
     }
 
     /// This value's array elements.
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
             _ => None,
@@ -92,7 +92,7 @@ impl fmt::Display for JsonParseError {
 impl std::error::Error for JsonParseError {}
 
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
-pub(crate) fn parse(input: &str) -> Result<Json, JsonParseError> {
+pub fn parse(input: &str) -> Result<Json, JsonParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
@@ -307,7 +307,7 @@ impl Parser<'_> {
 }
 
 /// Pretty-prints a value with 2-space indentation.
-pub(crate) fn write_pretty(value: &Json) -> String {
+pub fn write_pretty(value: &Json) -> String {
     let mut out = String::new();
     fmt_value(value, 0, &mut out);
     out

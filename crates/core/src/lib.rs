@@ -39,7 +39,7 @@
 pub mod baselines;
 pub mod budget;
 pub mod engine;
-mod json;
+pub mod json;
 pub mod lut;
 
 pub use baselines::{EarlyExitBaseline, StaticModel, TrainedFamily};

@@ -16,6 +16,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use vit_fault::{check_guard, FaultCtx, FaultError, GuardConfig};
 use vit_tensor::par::Scope;
 use vit_tensor::{ops, BufferPool, ExecCtx, Tensor, TensorError, ThreadPool};
 use vit_trace::{now_ns, null_sink, EventKind, Phase as TracePhase, TraceSink};
@@ -134,6 +135,10 @@ pub struct RunContext {
     /// Destination for trace events; [`vit_trace::NullSink`] (the default)
     /// keeps the run untraced and free of tracing cost.
     pub sink: Arc<dyn TraceSink>,
+    /// Fault injection and detection scope ([`vit_fault::FaultCtx`]); the
+    /// default is fully inert. Serving arms this per chaos attempt so every
+    /// injected fault is a pure function of `(seed, request, attempt)`.
+    pub fault: FaultCtx,
 }
 
 impl Default for RunContext {
@@ -141,6 +146,7 @@ impl Default for RunContext {
         RunContext {
             exec: ExecOptions::sequential(),
             sink: null_sink(),
+            fault: FaultCtx::default(),
         }
     }
 }
@@ -162,6 +168,13 @@ impl RunContext {
     #[must_use]
     pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Replaces the fault injection/detection scope.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultCtx) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -202,6 +215,7 @@ fn node_trace_bytes(graph: &Graph, node: &crate::graph::Node) -> u64 {
 
 /// Error from graph execution.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ExecError {
     /// A kernel rejected its inputs.
     Kernel {
@@ -215,6 +229,14 @@ pub enum ExecError {
         /// Human-readable description.
         msg: String,
     },
+    /// An injected fault killed the run, or a detection guard caught a
+    /// corrupted activation.
+    Fault {
+        /// Node (or plan record) where the fault surfaced.
+        node: String,
+        /// The fault or guard trip.
+        source: FaultError,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -224,6 +246,9 @@ impl fmt::Display for ExecError {
                 write!(f, "execution failed at `{node}`: {source}")
             }
             ExecError::BadInputs { msg } => write!(f, "bad graph inputs: {msg}"),
+            ExecError::Fault { node, source } => {
+                write!(f, "fault at `{node}`: {source}")
+            }
         }
     }
 }
@@ -233,6 +258,7 @@ impl std::error::Error for ExecError {
         match self {
             ExecError::Kernel { source, .. } => Some(source),
             ExecError::BadInputs { .. } => None,
+            ExecError::Fault { source, .. } => Some(source),
         }
     }
 }
@@ -719,6 +745,7 @@ impl ExecScratch {
         let ctx = RunContext {
             exec: opts.clone(),
             sink: null_sink(),
+            fault: FaultCtx::default(),
         };
         self.run_with(gen, graph, inputs, &ctx)
     }
@@ -789,8 +816,8 @@ impl ExecScratch {
         }
         let run_start = sink.timestamp();
         let result = match ctx.exec.active_pool() {
-            Some(pool) => self.run_wavefront(gen, graph, inputs, output, pool, sink),
-            None => self.run_sequential(gen, graph, inputs, output, sink),
+            Some(pool) => self.run_wavefront(gen, graph, inputs, output, pool, sink, &ctx.fault),
+            None => self.run_sequential(gen, graph, inputs, output, sink, &ctx.fault),
         };
         if enabled {
             sink.record(EventKind::Phase {
@@ -821,6 +848,7 @@ impl ExecScratch {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_sequential(
         &mut self,
         gen: WeightGen,
@@ -828,7 +856,11 @@ impl ExecScratch {
         inputs: &[Tensor],
         output: NodeId,
         sink: &dyn TraceSink,
+        fault: &FaultCtx,
     ) -> Result<Tensor, ExecError> {
+        // Resolved once per run so injection is independent of node order.
+        let flip_at = fault.flip_node(graph.len());
+        let node_guard = fault.node_guard();
         let mut refcounts = graph.consumer_counts();
         // Reuse the value buffer across runs (per-request allocation
         // matters on the serving hot path).
@@ -839,7 +871,7 @@ impl ExecScratch {
         let mut input_iter = inputs.iter();
         for (id, node) in graph.iter() {
             let node_start = sink.timestamp();
-            let out = if matches!(node.op, Op::Input { .. }) {
+            let mut out = if matches!(node.op, Op::Input { .. }) {
                 input_iter.next().expect("validated count").clone()
             } else {
                 let in_shapes: Vec<&[usize]> = node
@@ -860,6 +892,12 @@ impl ExecScratch {
                 };
                 eval_node(node, weights.as_slice(), &in_tensors, &ctx)?
             };
+            if flip_at == Some(id.index()) {
+                fault.corrupt(out.data_mut());
+            }
+            if let Some(g) = node_guard {
+                check_node_guard(&node.name, &out, g)?;
+            }
             if enabled {
                 sink.record(EventKind::Node {
                     name: node.name.clone(),
@@ -899,6 +937,7 @@ impl ExecScratch {
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_wavefront(
         &self,
         gen: WeightGen,
@@ -907,6 +946,7 @@ impl ExecScratch {
         output: NodeId,
         pool: &ThreadPool,
         sink: &dyn TraceSink,
+        fault: &FaultCtx,
     ) -> Result<Tensor, ExecError> {
         let n = graph.len();
         // The dispatch/reclamation counters come from the same metadata
@@ -948,6 +988,9 @@ impl ExecScratch {
             successors,
             err: Mutex::new(None),
             abort: AtomicBool::new(false),
+            fault,
+            flip_at: fault.flip_node(n),
+            node_guard: fault.node_guard(),
             sink,
             trace,
             spawn_ns: (0..if trace { n } else { 0 })
@@ -1050,6 +1093,12 @@ struct Wavefront<'g> {
     successors: Vec<Vec<usize>>,
     err: Mutex<Option<ExecError>>,
     abort: AtomicBool,
+    /// Fault scope of this run (for deterministic corruption).
+    fault: &'g FaultCtx,
+    /// Node whose output this run's injected bit-flip strikes, if any.
+    flip_at: Option<usize>,
+    /// Per-node output guard; `Some` only when injection is armed.
+    node_guard: Option<GuardConfig>,
     sink: &'g dyn TraceSink,
     /// `sink.enabled()`, hoisted: the one flag every per-node trace action
     /// gates on.
@@ -1135,6 +1184,17 @@ impl Wavefront<'_> {
                 bytes: node_trace_bytes(self.graph, node),
             });
         }
+        // Injection + node guard happen before the slot store, so a
+        // corrupted tensor can never become a downstream input unchecked.
+        let result = result.and_then(|mut out| {
+            if self.flip_at == Some(idx) {
+                self.fault.corrupt(out.data_mut());
+            }
+            if let Some(g) = self.node_guard {
+                check_node_guard(&node.name, &out, g)?;
+            }
+            Ok(out)
+        });
         match result {
             Ok(out) => {
                 debug_assert_eq!(
@@ -1190,6 +1250,20 @@ impl Wavefront<'_> {
             self.gen, &node.name, &node.op, in_shapes,
         ))
     }
+}
+
+/// Scans one node output against the armed-mode guard, converting a trip
+/// into an [`ExecError::Fault`] anchored at the node. Both executor paths
+/// (and `vit-plan`'s replay loop) call this, which is what makes the
+/// "corruption is caught at its source" property backend-independent.
+pub fn check_node_guard(node: &str, out: &Tensor, guard: GuardConfig) -> Result<(), ExecError> {
+    check_guard(out.data(), guard).map_err(|trip| ExecError::Fault {
+        node: node.to_string(),
+        source: FaultError::GuardTripped {
+            site: node.to_string(),
+            trip,
+        },
+    })
 }
 
 /// Evaluates one non-[`Op::Input`] node on already-computed input tensors.

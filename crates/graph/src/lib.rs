@@ -45,8 +45,8 @@ mod graph;
 mod op;
 
 pub use exec::{
-    eval_op, generate_node_weights, node_weight_shapes, ExecBackend, ExecError, ExecOptions,
-    ExecScratch, Executor, RunContext, SchedMeta, WeightGen,
+    check_node_guard, eval_op, generate_node_weights, node_weight_shapes, ExecBackend, ExecError,
+    ExecOptions, ExecScratch, Executor, RunContext, SchedMeta, WeightGen,
 };
 pub use graph::{Graph, Node, NodeId};
 pub use op::{GraphError, LayerRole, Op, OpClass};

@@ -82,6 +82,7 @@
 use std::fmt;
 use std::sync::Mutex;
 
+use vit_fault::{check_guard, FaultCtx, FaultError};
 use vit_graph::ExecError;
 use vit_graph::{eval_op, generate_node_weights, Graph, Node, Op, RunContext, WeightGen};
 use vit_profiler::node_io_bytes;
@@ -667,7 +668,13 @@ impl ExecPlan {
         let replay_start = sink.timestamp();
         let mut arena = self.take_arena();
         let pool = ctx.exec.active_pool();
-        let result = self.replay(&mut arena, inputs, pool, enabled.then_some(sink));
+        let result = self.replay(
+            &mut arena,
+            inputs,
+            pool,
+            enabled.then_some(sink),
+            &ctx.fault,
+        );
         if enabled {
             sink.record(EventKind::Phase {
                 phase: Phase::PlanReplay,
@@ -697,8 +704,13 @@ impl ExecPlan {
         inputs: &[Tensor],
         pool: Option<&vit_tensor::ThreadPool>,
         sink: Option<&dyn TraceSink>,
+        fault: &FaultCtx,
     ) -> Result<(), ExecError> {
-        for rec in &self.records {
+        // Records replay in a fixed order, so addressing the injected
+        // bit-flip by record index is deterministic per (seed, run, attempt).
+        let flip_at = fault.flip_node(self.records.len());
+        let node_guard = fault.node_guard();
+        for (rec_idx, rec) in self.records.iter().enumerate() {
             let start_ns = sink.map_or(0, TraceSink::timestamp);
             // The output range is disjoint from every live range, so each
             // input lies entirely left or entirely right of it; two splits
@@ -758,6 +770,20 @@ impl ExecPlan {
                         self.scratch.recycle(v.into_vec());
                     }
                     self.scratch.recycle(t.into_vec());
+                }
+            }
+            if flip_at == Some(rec_idx) {
+                fault.corrupt(out);
+            }
+            if let Some(g) = node_guard {
+                if let Err(trip) = check_guard(out, g) {
+                    return Err(ExecError::Fault {
+                        node: rec.name.clone(),
+                        source: FaultError::GuardTripped {
+                            site: rec.name.clone(),
+                            trip,
+                        },
+                    });
                 }
             }
             if let Some(sink) = sink {

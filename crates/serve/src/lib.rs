@@ -59,12 +59,16 @@ pub mod metrics;
 pub mod policy;
 pub mod queue;
 pub mod request;
+pub mod scenario;
 pub mod server;
 pub mod sim;
 
 pub use metrics::{percentile, ServerMetrics};
-pub use policy::{admissible, budget_for, SchedulePolicy};
+pub use policy::{admissible, budget_for, RecoveryPolicy, SchedulePolicy};
 pub use queue::{EdfQueue, PopResult, PushError};
-pub use request::{InferenceRequest, Outcome, RequestRecord, ShedReason};
+pub use request::{
+    FailureReason, FailureRecord, InferenceRequest, Outcome, RequestRecord, ShedReason,
+};
+pub use scenario::{ChaosScenario, ScenarioError};
 pub use server::{Calibration, Server, ServerConfig, SubmitError, CALIBRATION_RUNS};
-pub use sim::{simulate, SimArrival, SimConfig};
+pub use sim::{simulate, simulate_outcomes, SimArrival, SimConfig};

@@ -1,6 +1,6 @@
 //! Aggregate serving metrics.
 
-use crate::request::{Outcome, RequestRecord, ShedReason};
+use crate::request::{FailureReason, Outcome, RequestRecord, ShedReason};
 use vit_drt::LutConfig;
 
 /// Nearest-rank percentile (`p` in `[0, 100]`) of an unsorted sample.
@@ -30,6 +30,22 @@ pub struct ServerMetrics {
     pub shed_no_slack: usize,
     /// Requests shed at dispatch after their slack expired in-queue.
     pub shed_late: usize,
+    /// Requests that dispatched but failed every allowed attempt (faults
+    /// exhausted the recovery policy). Accounted separately from deadline
+    /// misses and sheds.
+    pub fault_failures: usize,
+    /// Fault-failure tally by final [`FailureReason`], most-common first.
+    pub failure_histogram: Vec<(FailureReason, usize)>,
+    /// Faults observed across all requests and attempts (including faults
+    /// that recovery subsequently absorbed).
+    pub faults_seen: usize,
+    /// Retry attempts made across all requests.
+    pub retries: usize,
+    /// Completed requests that needed at least one retry — the
+    /// self-healing path's degraded completions.
+    pub degraded_completions: usize,
+    /// Mean LUT-estimate accuracy of degraded completions (0 when none).
+    pub mean_degraded_accuracy: f64,
     /// Completed requests that finished after their deadline.
     pub deadline_misses: usize,
     /// Median completion latency.
@@ -46,9 +62,17 @@ pub struct ServerMetrics {
     pub p95_queue_wait: f64,
     /// 99th-percentile submission → dispatch wait.
     pub p99_queue_wait: f64,
-    /// `deadline_misses + all sheds` over `submitted`: the fraction of
-    /// offered requests that did NOT produce an on-time result.
+    /// 99.9th-percentile submission → dispatch wait (tail of the tail —
+    /// where retry-induced queueing shows up first).
+    pub p999_queue_wait: f64,
+    /// `deadline_misses + all sheds + fault failures` over `submitted`:
+    /// the fraction of offered requests that did NOT produce an on-time
+    /// result.
     pub deadline_miss_rate: f64,
+    /// On-time completions over `submitted` — the complement of
+    /// `deadline_miss_rate`, reported directly because it is the headline
+    /// number of the chaos experiment.
+    pub goodput: f64,
     /// All sheds over `submitted`.
     pub shed_rate: f64,
     /// Mean *delivered* accuracy over all submitted requests: the LUT
@@ -67,7 +91,7 @@ impl ServerMetrics {
             .iter()
             .filter_map(|o| match o {
                 Outcome::Completed(r) => Some(r),
-                Outcome::Shed(_) => None,
+                _ => None,
             })
             .collect();
         let shed_count = |reason: ShedReason| {
@@ -81,6 +105,41 @@ impl ServerMetrics {
         let shed_late = shed_count(ShedReason::SlackExhausted);
         let sheds = shed_queue_full + shed_no_slack + shed_late;
         let deadline_misses = records.iter().filter(|r| !r.met_deadline).count();
+
+        let failures: Vec<&crate::request::FailureRecord> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Failed(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        let fault_failures = failures.len();
+        let mut failure_histogram: Vec<(FailureReason, usize)> = Vec::new();
+        for f in &failures {
+            match failure_histogram.iter_mut().find(|(r, _)| *r == f.reason) {
+                Some((_, n)) => *n += 1,
+                None => failure_histogram.push((f.reason, 1)),
+            }
+        }
+        failure_histogram.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let faults_seen = records
+            .iter()
+            .map(|r| r.faults_seen as usize)
+            .sum::<usize>()
+            + failures
+                .iter()
+                .map(|f| f.faults_seen as usize)
+                .sum::<usize>();
+        let retries = records.iter().map(|r| r.retries as usize).sum::<usize>()
+            + failures.iter().map(|f| f.retries as usize).sum::<usize>();
+        let degraded: Vec<&&RequestRecord> = records.iter().filter(|r| r.is_degraded()).collect();
+        let degraded_completions = degraded.len();
+        let mean_degraded_accuracy = if degraded.is_empty() {
+            0.0
+        } else {
+            degraded.iter().map(|r| r.accuracy).sum::<f64>() / degraded.len() as f64
+        };
+        let on_time = records.iter().filter(|r| r.met_deadline).count();
 
         let latencies: Vec<f64> = records.iter().map(|r| r.latency).collect();
         let queue_waits: Vec<f64> = records.iter().map(|r| r.queue_wait).collect();
@@ -113,6 +172,12 @@ impl ServerMetrics {
             shed_queue_full,
             shed_no_slack,
             shed_late,
+            fault_failures,
+            failure_histogram,
+            faults_seen,
+            retries,
+            degraded_completions,
+            mean_degraded_accuracy,
             deadline_misses,
             p50_latency: percentile(&latencies, 50.0),
             p95_latency: percentile(&latencies, 95.0),
@@ -121,7 +186,9 @@ impl ServerMetrics {
             p50_queue_wait: percentile(&queue_waits, 50.0),
             p95_queue_wait: percentile(&queue_waits, 95.0),
             p99_queue_wait: percentile(&queue_waits, 99.0),
-            deadline_miss_rate: frac(deadline_misses + sheds),
+            p999_queue_wait: percentile(&queue_waits, 99.9),
+            deadline_miss_rate: frac(deadline_misses + sheds + fault_failures),
+            goodput: frac(on_time),
             shed_rate: frac(sheds),
             mean_delivered_accuracy: if submitted == 0 {
                 0.0
@@ -137,9 +204,11 @@ impl ServerMetrics {
         self.shed_queue_full + self.shed_no_slack + self.shed_late
     }
 
-    /// `completed + shed() == submitted` — no request vanished.
+    /// `completed + shed() + fault_failures == submitted` — no request
+    /// vanished, and none is double-counted across the three terminal
+    /// states.
     pub fn accounts_for_all_submissions(&self) -> bool {
-        self.completed + self.shed() == self.submitted
+        self.completed + self.shed() + self.fault_failures == self.submitted
     }
 }
 
@@ -161,6 +230,8 @@ mod tests {
             met_deadline: met,
             accuracy,
             config: config(),
+            retries: 0,
+            faults_seen: 0,
         })
     }
 
@@ -202,5 +273,54 @@ mod tests {
         assert_eq!(m.p95_queue_wait, 0.250);
         assert_eq!(m.p99_queue_wait, 0.250);
         assert!((m.mean_queue_wait - (0.005 + 0.010 + 0.250) / 3.0).abs() < 1e-12);
+        // No chaos in this fixture.
+        assert_eq!(m.fault_failures, 0);
+        assert_eq!(m.faults_seen, 0);
+        assert_eq!(m.degraded_completions, 0);
+        assert!((m.goodput - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_failures_are_accounted_separately_from_misses_and_sheds() {
+        use crate::request::{FailureReason, FailureRecord};
+        let mut degraded = match record(0.030, true, 0.7) {
+            Outcome::Completed(r) => r,
+            _ => unreachable!(),
+        };
+        degraded.retries = 1;
+        degraded.faults_seen = 1;
+        let outcomes = vec![
+            record(0.010, true, 0.9),
+            Outcome::Completed(degraded),
+            Outcome::Failed(FailureRecord {
+                reason: FailureReason::Crash,
+                retries: 2,
+                faults_seen: 3,
+            }),
+            Outcome::Failed(FailureRecord {
+                reason: FailureReason::GuardTripped,
+                retries: 0,
+                faults_seen: 1,
+            }),
+            Outcome::Shed(ShedReason::QueueFull),
+        ];
+        let m = ServerMetrics::from_outcomes(&outcomes);
+        assert_eq!(m.submitted, 5);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.fault_failures, 2);
+        assert_eq!(m.shed(), 1);
+        assert!(m.accounts_for_all_submissions());
+        assert_eq!(m.deadline_misses, 0);
+        // 0 misses + 1 shed + 2 fault failures out of 5.
+        assert!((m.deadline_miss_rate - 0.6).abs() < 1e-12);
+        assert!((m.goodput - 0.4).abs() < 1e-12);
+        assert_eq!(m.faults_seen, 1 + 3 + 1);
+        assert_eq!(m.retries, 1 + 2);
+        assert_eq!(m.degraded_completions, 1);
+        assert!((m.mean_degraded_accuracy - 0.7).abs() < 1e-12);
+        assert_eq!(
+            m.failure_histogram,
+            vec![(FailureReason::Crash, 1), (FailureReason::GuardTripped, 1)]
+        );
     }
 }

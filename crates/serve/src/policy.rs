@@ -28,6 +28,49 @@ impl SchedulePolicy {
     }
 }
 
+/// How the server reacts when an execution attempt fails (injected fault,
+/// guard trip, or watchdog abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryPolicy {
+    /// Fail the request on its first fault — no retry, the request is
+    /// lost. How a conventional server without fault handling behaves.
+    FailFast,
+    /// The self-healing policy: retry the request with its *remaining*
+    /// slack as a tighter budget, so the Pareto LUT picks a cheaper
+    /// configuration for the retry (the serving analog of the paper's
+    /// graceful degradation), falling back `Plan → Interpret` after a
+    /// plan-replay failure.
+    DegradedRetry {
+        /// Maximum re-attempts after the first failed one.
+        max_retries: u32,
+    },
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::DegradedRetry { max_retries: 2 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Stable lower-snake name, used in report keys and trace details.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::FailFast => "fail_fast",
+            RecoveryPolicy::DegradedRetry { .. } => "degraded_retry",
+        }
+    }
+
+    /// Re-attempts allowed after a failed one (0 under fail-fast).
+    pub fn max_retries(self) -> u32 {
+        match self {
+            RecoveryPolicy::FailFast => 0,
+            RecoveryPolicy::DegradedRetry { max_retries } => max_retries,
+        }
+    }
+}
+
 /// Admission control: a request is admissible only when its remaining
 /// slack (in LUT resource units) can still cover the cheapest execution
 /// path. Shedding an inadmissible request immediately is strictly better

@@ -51,6 +51,55 @@ impl fmt::Display for ShedReason {
     }
 }
 
+/// Why a request ultimately failed (after exhausting any retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FailureReason {
+    /// An injected worker crash killed the attempt.
+    Crash,
+    /// An output guard caught a corrupted (non-finite or absurd-magnitude)
+    /// activation before it could reach the client.
+    GuardTripped,
+    /// A compiled-plan replay failure (and retries, if any, also failed).
+    PlanReplay,
+    /// The execution watchdog aborted an attempt that overran its
+    /// slack-derived allowance.
+    Watchdog,
+    /// Any other engine error.
+    Engine,
+}
+
+impl FailureReason {
+    /// Stable lower-snake name, used in log lines and trace event details.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureReason::Crash => "crash",
+            FailureReason::GuardTripped => "guard_tripped",
+            FailureReason::PlanReplay => "plan_replay",
+            FailureReason::Watchdog => "watchdog",
+            FailureReason::Engine => "engine",
+        }
+    }
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The terminal record of a request that dispatched but never produced a
+/// result — every attempt the recovery policy allowed faulted.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Why the final attempt failed.
+    pub reason: FailureReason,
+    /// Re-attempts made after the first failed one.
+    pub retries: u32,
+    /// Faults observed across all attempts of this request.
+    pub faults_seen: u32,
+}
+
 /// What finally happened to one completed (executed) request.
 #[derive(Debug, Clone)]
 pub struct RequestRecord {
@@ -64,6 +113,11 @@ pub struct RequestRecord {
     pub accuracy: f64,
     /// The execution path that ran.
     pub config: LutConfig,
+    /// Re-attempts it took to complete (0 = clean first attempt; > 0 means
+    /// this is a *degraded* completion produced by fault recovery).
+    pub retries: u32,
+    /// Faults observed across all attempts of this request.
+    pub faults_seen: u32,
 }
 
 impl RequestRecord {
@@ -79,6 +133,13 @@ impl RequestRecord {
     }
 }
 
+impl RequestRecord {
+    /// Whether fault recovery degraded this request to a retry attempt.
+    pub fn is_degraded(&self) -> bool {
+        self.retries > 0
+    }
+}
+
 /// The terminal state of one submitted request.
 #[derive(Debug, Clone)]
 pub enum Outcome {
@@ -86,4 +147,6 @@ pub enum Outcome {
     Completed(RequestRecord),
     /// The request was shed without executing.
     Shed(ShedReason),
+    /// The request dispatched but every allowed attempt faulted.
+    Failed(FailureRecord),
 }

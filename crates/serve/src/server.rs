@@ -2,20 +2,24 @@
 //! over one shared [`EngineCore`].
 
 use crate::metrics::ServerMetrics;
-use crate::policy::{admissible, budget_for, SchedulePolicy};
+use crate::policy::{admissible, budget_for, RecoveryPolicy, SchedulePolicy};
 use crate::queue::{EdfQueue, PopResult, PushError};
-use crate::request::{InferenceRequest, Outcome, RequestRecord, ShedReason};
+use crate::request::{
+    FailureReason, FailureRecord, InferenceRequest, Outcome, RequestRecord, ShedReason,
+};
 use crossbeam::channel::{self, TrySendError};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use vit_drt::{EngineCore, EngineError};
+use vit_fault::{FaultCtx, FaultError, FaultPlan, GuardConfig};
 use vit_graph::{ExecBackend, ExecOptions, ExecScratch, RunContext};
 use vit_resilience::ResourceKind;
 use vit_tensor::Tensor;
-use vit_trace::{now_ns, EventKind, Phase as TracePhase};
+use vit_trace::{now_ns, EventKind, Phase as TracePhase, RecoveryAction};
 
 /// Maps the LUT's abstract resource units onto wall-clock seconds on this
 /// machine, so absolute deadlines can be converted into LUT budgets.
@@ -146,6 +150,25 @@ pub struct ServerConfig {
     /// compilation (cached in the shared [`EngineCore`]) for lower
     /// per-inference overhead.
     pub use_plans: bool,
+    /// Deterministic fault injection plan. `None` (the default) serves
+    /// cleanly — workers still run the output guard, but no faults are
+    /// drawn. With a plan, every attempt is armed with
+    /// `(plan, request seq, attempt)` so a chaos run replays byte-for-byte
+    /// regardless of thread interleaving.
+    pub fault: Option<FaultPlan>,
+    /// What workers do when an attempt faults.
+    pub recovery: RecoveryPolicy,
+    /// Watchdog allowance as a multiple of the selected entry's expected
+    /// execution time. The threaded server cannot abort a running
+    /// inference, so an overrun is *observed* (a `watchdog` detection
+    /// event) rather than enforced; the discrete-event simulator models
+    /// the true abort.
+    pub watchdog_grace: f64,
+    /// Consecutive failures on one worker that open its circuit breaker.
+    /// An open breaker forces that worker onto the conservative
+    /// [`ExecBackend::Interpret`] path until a success closes it; when
+    /// every worker's breaker is open, [`Server::submit`] refuses new work.
+    pub breaker_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +180,10 @@ impl Default for ServerConfig {
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
             use_plans: false,
+            fault: None,
+            recovery: RecoveryPolicy::default(),
+            watchdog_grace: 4.0,
+            breaker_threshold: 3,
         }
     }
 }
@@ -174,6 +201,12 @@ pub enum SubmitError {
         /// Kind the request carried.
         got: ResourceKind,
     },
+    /// Every worker's circuit breaker is open: the server is refusing new
+    /// work until at least one worker completes a request cleanly.
+    AllWorkersUnhealthy {
+        /// The server's worker count (all with open breakers).
+        workers: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -182,6 +215,10 @@ impl fmt::Display for SubmitError {
             SubmitError::WrongResourceKind { expected, got } => write!(
                 f,
                 "request resource kind {got:?} does not match server LUT kind {expected:?}"
+            ),
+            SubmitError::AllWorkersUnhealthy { workers } => write!(
+                f,
+                "all {workers} worker circuit breakers are open; refusing new work"
             ),
         }
     }
@@ -196,6 +233,9 @@ struct Submitted {
     /// Trace-epoch stamp of the submission, for queue-wait spans. Zero
     /// when tracing is disabled (never recorded in that case).
     submitted_ns: u64,
+    /// Submission sequence number — the deterministic `run` identity for
+    /// fault draws, independent of which worker dispatches the request.
+    seq: u64,
 }
 
 /// A running deadline-aware inference server.
@@ -213,6 +253,8 @@ pub struct Server {
     calibration: Calibration,
     config: ServerConfig,
     ctx: RunContext,
+    next_seq: AtomicU64,
+    open_breakers: Arc<AtomicUsize>,
 }
 
 impl Server {
@@ -274,16 +316,21 @@ impl Server {
         // One execution pool shared (via `Arc`) by every worker: cloning
         // the `RunContext` clones the pool handle and the sink handle, not
         // the threads or the sink's buffer.
+        let open_breakers: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
         let workers = (0..config.workers)
             .map(|_| {
                 let queue = queue.clone();
                 let outcomes = outcomes.clone();
                 let core = core.clone();
-                let policy = config.policy;
                 let spu = calibration.secs_per_unit;
                 let ctx = ctx.clone();
+                let open_breakers = open_breakers.clone();
                 std::thread::spawn(move || {
                     let mut scratch = ExecScratch::new();
+                    // Per-worker health: consecutive failures and whether
+                    // this worker's circuit breaker is currently open.
+                    let mut consecutive_failures: usize = 0;
+                    let mut breaker_open = false;
                     while let PopResult::Item((deadline, sub)) = queue.pop() {
                         let now = Instant::now();
                         let traced = ctx.trace_enabled();
@@ -296,39 +343,25 @@ impl Server {
                             });
                         }
                         let queue_wait = now.duration_since(sub.submitted_at).as_secs_f64();
-                        // Signed remaining slack: negative once past due.
-                        let slack_secs = if deadline >= now {
-                            deadline.duration_since(now).as_secs_f64()
-                        } else {
-                            -now.duration_since(deadline).as_secs_f64()
-                        };
-                        let slack_units = slack_secs / spu;
-                        if !admissible(slack_units, core.min_resource()) {
-                            if traced {
-                                ctx.sink.record(EventKind::Instant {
-                                    name: "shed".to_string(),
-                                    detail: ShedReason::SlackExhausted.name().to_string(),
-                                    at_ns: now_ns(),
-                                });
-                            }
-                            outcomes
-                                .lock()
-                                .push(Outcome::Shed(ShedReason::SlackExhausted));
-                            continue;
-                        }
-                        let budget = budget_for(policy, &core, slack_units);
-                        let (entry, _fits) = core.select(budget);
-                        let inference = core
-                            .run(&mut scratch, &sub.image, entry, true, &ctx)
-                            .expect("worker inference failed");
-                        let finish = Instant::now();
-                        outcomes.lock().push(Outcome::Completed(RequestRecord {
-                            latency: finish.duration_since(sub.submitted_at).as_secs_f64(),
+                        serve_request(
+                            &core,
+                            &ctx,
+                            &config,
+                            &mut scratch,
+                            &outcomes,
+                            &open_breakers,
+                            &mut consecutive_failures,
+                            &mut breaker_open,
+                            spu,
+                            deadline,
+                            &sub,
                             queue_wait,
-                            met_deadline: finish <= deadline,
-                            accuracy: inference.norm_miou_estimate,
-                            config: inference.config,
-                        }));
+                        );
+                    }
+                    // A worker that exits with its breaker open must not
+                    // leave the shared count pinned.
+                    if breaker_open {
+                        open_breakers.fetch_sub(1, Ordering::Relaxed);
                     }
                 })
             })
@@ -343,12 +376,19 @@ impl Server {
             calibration,
             config,
             ctx,
+            next_seq: AtomicU64::new(0),
+            open_breakers,
         }
     }
 
     /// The shared engine core this server runs on.
     pub fn core(&self) -> &Arc<EngineCore> {
         &self.core
+    }
+
+    /// How many workers currently have an open circuit breaker.
+    pub fn open_breakers(&self) -> usize {
+        self.open_breakers.load(Ordering::Relaxed)
     }
 
     /// The wall-clock calibration in use.
@@ -376,6 +416,11 @@ impl Server {
                 got: request.resource_kind,
             });
         }
+        if self.open_breakers.load(Ordering::Relaxed) >= self.config.workers {
+            return Err(SubmitError::AllWorkersUnhealthy {
+                workers: self.config.workers,
+            });
+        }
         let now = Instant::now();
         let traced = self.ctx.trace_enabled();
         let slack_secs = request
@@ -401,6 +446,7 @@ impl Server {
             deadline: request.deadline,
             submitted_at: now,
             submitted_ns: self.ctx.sink.timestamp(),
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
         };
         match self
             .ingress
@@ -446,6 +492,180 @@ impl Server {
         }
         let outcomes = self.outcomes.lock();
         ServerMetrics::from_outcomes(&outcomes)
+    }
+}
+
+/// The terminal failure reason for an engine error, classified through
+/// [`EngineError::as_fault`].
+fn failure_reason(err: &EngineError) -> FailureReason {
+    match err.as_fault() {
+        Some(FaultError::InjectedCrash { .. }) => FailureReason::Crash,
+        Some(FaultError::InjectedReplayFailure { .. }) => FailureReason::PlanReplay,
+        Some(FaultError::GuardTripped { .. }) => FailureReason::GuardTripped,
+        _ => FailureReason::Engine,
+    }
+}
+
+/// Serves one dequeued request to its terminal [`Outcome`]: the
+/// per-attempt loop that arms fault injection, re-checks admissibility and
+/// re-derives a (tighter) budget before each attempt, runs the engine
+/// under the output guard, observes watchdog overruns, and maintains this
+/// worker's circuit breaker. Pushes exactly one outcome.
+#[allow(clippy::too_many_arguments)]
+fn serve_request(
+    core: &Arc<EngineCore>,
+    ctx: &RunContext,
+    config: &ServerConfig,
+    scratch: &mut ExecScratch,
+    outcomes: &Mutex<Vec<Outcome>>,
+    open_breakers: &AtomicUsize,
+    consecutive_failures: &mut usize,
+    breaker_open: &mut bool,
+    spu: f64,
+    deadline: Instant,
+    sub: &Submitted,
+    queue_wait: f64,
+) {
+    let traced = ctx.trace_enabled();
+    let fault_event = |action: RecoveryAction, detail: String| {
+        if traced {
+            ctx.sink.record(EventKind::Fault {
+                action,
+                detail,
+                at_ns: now_ns(),
+            });
+        }
+    };
+    let mut attempt: u32 = 0;
+    let mut faults_seen: u32 = 0;
+    let mut interpret_fallback = false;
+    let mut last_reason = FailureReason::Engine;
+    loop {
+        let now = Instant::now();
+        // Signed remaining slack: negative once past due. Re-derived per
+        // attempt, so a retry sees only what the fault left it — the LUT
+        // then degrades the retry to a cheaper configuration by itself.
+        let slack_secs = if deadline >= now {
+            deadline.duration_since(now).as_secs_f64()
+        } else {
+            -now.duration_since(deadline).as_secs_f64()
+        };
+        let slack_units = slack_secs / spu;
+        if !admissible(slack_units, core.min_resource()) {
+            if attempt == 0 {
+                if traced {
+                    ctx.sink.record(EventKind::Instant {
+                        name: "shed".to_string(),
+                        detail: ShedReason::SlackExhausted.name().to_string(),
+                        at_ns: now_ns(),
+                    });
+                }
+                outcomes
+                    .lock()
+                    .push(Outcome::Shed(ShedReason::SlackExhausted));
+            } else {
+                // Slack ran out while recovering: the fault, not the
+                // queue, cost this request its deadline.
+                fault_event(
+                    RecoveryAction::FailFast,
+                    format!("slack exhausted recovering from {last_reason}"),
+                );
+                outcomes.lock().push(Outcome::Failed(FailureRecord {
+                    reason: last_reason,
+                    retries: attempt,
+                    faults_seen,
+                }));
+            }
+            return;
+        }
+        let budget = budget_for(config.policy, core, slack_units);
+        let (entry, _fits) = core.select(budget);
+        let expected_secs = entry.resource * spu;
+
+        let mut actx = ctx.clone();
+        if (*breaker_open || interpret_fallback) && actx.exec.backend() == ExecBackend::Plan {
+            let exec = actx.exec.clone().with_backend(ExecBackend::Interpret);
+            actx = actx.with_exec(exec);
+        }
+        let mut fctx = FaultCtx::new().with_guard(GuardConfig::default());
+        if let Some(plan) = config.fault {
+            fctx = fctx.armed(plan, sub.seq, attempt);
+        }
+        let actx = actx.with_fault(fctx);
+
+        let began = Instant::now();
+        match core.run(scratch, &sub.image, entry, true, &actx) {
+            Ok(inference) => {
+                let finish = Instant::now();
+                let elapsed = finish.duration_since(began).as_secs_f64();
+                // The threaded server cannot abort a running inference, so
+                // the watchdog is observational here: an attempt that
+                // overran its allowance is recorded as a detection (the
+                // simulator models the true abort).
+                let allowance = slack_secs
+                    .max(0.0)
+                    .min(config.watchdog_grace * expected_secs);
+                if elapsed > allowance {
+                    fault_event(
+                        RecoveryAction::Detected,
+                        format!("watchdog: ran {elapsed:.6}s, allowance {allowance:.6}s"),
+                    );
+                }
+                if *breaker_open {
+                    *breaker_open = false;
+                    open_breakers.fetch_sub(1, Ordering::Relaxed);
+                    fault_event(RecoveryAction::CircuitClose, String::new());
+                }
+                *consecutive_failures = 0;
+                if attempt > 0 {
+                    fault_event(RecoveryAction::Degraded, format!("retries={attempt}"));
+                }
+                outcomes.lock().push(Outcome::Completed(RequestRecord {
+                    latency: finish.duration_since(sub.submitted_at).as_secs_f64(),
+                    queue_wait,
+                    met_deadline: finish <= deadline,
+                    accuracy: inference.norm_miou_estimate,
+                    config: inference.config,
+                    retries: attempt,
+                    faults_seen,
+                }));
+                return;
+            }
+            Err(err) => {
+                faults_seen += 1;
+                *consecutive_failures += 1;
+                let reason = failure_reason(&err);
+                last_reason = reason;
+                fault_event(RecoveryAction::Detected, format!("{reason}: {err}"));
+                if *consecutive_failures >= config.breaker_threshold && !*breaker_open {
+                    *breaker_open = true;
+                    open_breakers.fetch_add(1, Ordering::Relaxed);
+                    fault_event(
+                        RecoveryAction::CircuitOpen,
+                        format!("{} consecutive failures", *consecutive_failures),
+                    );
+                }
+                if attempt >= config.recovery.max_retries() {
+                    fault_event(RecoveryAction::FailFast, reason.name().to_string());
+                    outcomes.lock().push(Outcome::Failed(FailureRecord {
+                        reason,
+                        retries: attempt,
+                        faults_seen,
+                    }));
+                    return;
+                }
+                if reason == FailureReason::PlanReplay && !interpret_fallback {
+                    interpret_fallback = true;
+                    fault_event(
+                        RecoveryAction::BackendFallback,
+                        "plan -> interpret".to_string(),
+                    );
+                } else {
+                    fault_event(RecoveryAction::Retry, reason.name().to_string());
+                }
+                attempt += 1;
+            }
+        }
     }
 }
 

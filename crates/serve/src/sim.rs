@@ -10,14 +10,15 @@
 //! estimate), which keeps sweeping hundreds of operating points cheap.
 
 use crate::metrics::ServerMetrics;
-use crate::policy::{admissible, budget_for, SchedulePolicy};
-use crate::request::{Outcome, RequestRecord, ShedReason};
+use crate::policy::{admissible, budget_for, RecoveryPolicy, SchedulePolicy};
+use crate::request::{FailureReason, FailureRecord, Outcome, RequestRecord, ShedReason};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vit_drt::EngineCore;
+use vit_fault::{FaultKind, FaultPlan};
 
 /// One request arrival in virtual time.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimArrival {
     /// Arrival (submission) time in virtual seconds.
     pub time: f64,
@@ -36,7 +37,59 @@ pub struct SimConfig {
     pub policy: SchedulePolicy,
     /// Virtual seconds one LUT resource unit takes to execute.
     pub secs_per_unit: f64,
+    /// Deterministic fault injection plan (`None` = clean runs). Draws are
+    /// keyed by the request's admission sequence number and attempt, so a
+    /// simulated chaos run is exactly reproducible.
+    pub fault: Option<FaultPlan>,
+    /// What a worker does when an attempt faults.
+    pub recovery: RecoveryPolicy,
+    /// Watchdog allowance as a multiple of the selected entry's expected
+    /// service time. Unlike the threaded server (which can only observe an
+    /// overrun after the fact), the simulator models the real abort: a
+    /// stalled attempt is killed at the allowance and handed to recovery.
+    pub watchdog_grace: f64,
 }
+
+impl SimConfig {
+    /// A clean (fault-free) simulation configuration with the default
+    /// recovery policy and watchdog grace — the common case; chaos runs
+    /// layer [`SimConfig::with_fault`] on top.
+    pub fn new(
+        workers: usize,
+        queue_depth: usize,
+        policy: SchedulePolicy,
+        secs_per_unit: f64,
+    ) -> Self {
+        SimConfig {
+            workers,
+            queue_depth,
+            policy,
+            secs_per_unit,
+            fault: None,
+            recovery: RecoveryPolicy::default(),
+            watchdog_grace: 4.0,
+        }
+    }
+
+    /// Arms fault injection.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// Fraction of the expected service time a crashed attempt burns before
+/// dying (a crash is detected mid-flight, not at the end of service).
+const CRASH_BURN: f64 = 0.5;
+/// Fraction of the expected service time a failed plan replay burns
+/// before the executor reports it (replay validation fails fast).
+const REPLAY_BURN: f64 = 0.05;
 
 /// Totally ordered f64 for use as a heap key (virtual times are finite).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +123,22 @@ struct QueuedReq {
 /// Panics when `config.workers` or `config.queue_depth` is zero, or when
 /// `config.secs_per_unit` is not positive.
 pub fn simulate(core: &EngineCore, config: SimConfig, arrivals: &[SimArrival]) -> ServerMetrics {
+    ServerMetrics::from_outcomes(&simulate_outcomes(core, config, arrivals))
+}
+
+/// Like [`simulate`], but returns the raw per-request [`Outcome`]s instead
+/// of aggregating them — callers that need distributions the aggregate
+/// metrics do not carry (e.g. which configurations the *degraded*
+/// completions ran, for fidelity measurement) post-process these.
+///
+/// # Panics
+///
+/// Same contract as [`simulate`].
+pub fn simulate_outcomes(
+    core: &EngineCore,
+    config: SimConfig,
+    arrivals: &[SimArrival],
+) -> Vec<Outcome> {
     assert!(config.workers > 0, "simulation needs at least one worker");
     assert!(config.queue_depth > 0, "simulation needs queue capacity");
     assert!(
@@ -152,28 +221,108 @@ pub fn simulate(core: &EngineCore, config: SimConfig, arrivals: &[SimArrival]) -
         let req = queued[seq as usize];
         workers.pop();
         let start = free_at.max(req.arrival);
-        let slack_units = (req.deadline - start) / spu;
-        if !admissible(slack_units, min_cost) {
-            // Slack expired while waiting: shed at dispatch, worker stays
-            // free at the same instant.
-            workers.push(Reverse(OrdF64(free_at)));
-            outcomes.push(Outcome::Shed(ShedReason::SlackExhausted));
-            continue;
+        let fault_plan = config.fault.filter(|p| p.is_active());
+
+        // Per-attempt recovery loop mirroring the threaded worker: each
+        // attempt re-checks admissibility against the time already burned
+        // and re-selects against the *remaining* slack, so a retry
+        // degrades to a cheaper configuration by construction.
+        let mut t = start;
+        let mut attempt: u32 = 0;
+        let mut faults_seen: u32 = 0;
+        let mut interpret_fallback = false;
+        let mut last_reason = FailureReason::Engine;
+        loop {
+            let slack_units = (req.deadline - t) / spu;
+            if !admissible(slack_units, min_cost) {
+                if attempt == 0 {
+                    // Slack expired while waiting: shed at dispatch,
+                    // worker stays free at the same instant.
+                    workers.push(Reverse(OrdF64(free_at)));
+                    outcomes.push(Outcome::Shed(ShedReason::SlackExhausted));
+                } else {
+                    // Slack ran out mid-recovery: the fault cost this
+                    // request its deadline, and the worker its time.
+                    workers.push(Reverse(OrdF64(t)));
+                    outcomes.push(Outcome::Failed(FailureRecord {
+                        reason: last_reason,
+                        retries: attempt,
+                        faults_seen,
+                    }));
+                }
+                break;
+            }
+            let budget = budget_for(config.policy, core, slack_units);
+            let (entry, _fits) = core.select(budget);
+            let expected = entry.resource * spu;
+
+            let drawn = match fault_plan.and_then(|p| p.decide(seq, attempt)) {
+                // Replay faults stop arising once recovery fell back to
+                // the interpreting backend.
+                Some(FaultKind::PlanReplay) if interpret_fallback => None,
+                d => d,
+            };
+            let (burned, result) = match drawn {
+                Some(FaultKind::Crash) => (CRASH_BURN * expected, Err(FailureReason::Crash)),
+                // Corruption runs to completion; the output guard catches
+                // it there, so a full service time is burned.
+                Some(FaultKind::BitFlip) => (expected, Err(FailureReason::GuardTripped)),
+                Some(FaultKind::Stall) => {
+                    let factor = fault_plan.expect("drawn implies a plan").stall_factor;
+                    let actual = expected * factor.max(1.0);
+                    let allowance = expected * config.watchdog_grace;
+                    if actual > allowance {
+                        // The watchdog aborts the stalled attempt at its
+                        // allowance instead of letting it run out.
+                        (allowance, Err(FailureReason::Watchdog))
+                    } else {
+                        (actual, Ok(()))
+                    }
+                }
+                Some(FaultKind::PlanReplay) => {
+                    (REPLAY_BURN * expected, Err(FailureReason::PlanReplay))
+                }
+                // No fault (or an unknown future kind): clean service.
+                _ => (expected, Ok(())),
+            };
+            match result {
+                Ok(()) => {
+                    let finish = t + burned;
+                    workers.push(Reverse(OrdF64(finish)));
+                    outcomes.push(Outcome::Completed(RequestRecord {
+                        latency: finish - req.arrival,
+                        queue_wait: start - req.arrival,
+                        met_deadline: finish <= req.deadline,
+                        accuracy: entry.norm_miou,
+                        config: entry.config,
+                        retries: attempt,
+                        faults_seen,
+                    }));
+                    break;
+                }
+                Err(reason) => {
+                    t += burned;
+                    faults_seen += 1;
+                    last_reason = reason;
+                    if reason == FailureReason::PlanReplay {
+                        interpret_fallback = true;
+                    }
+                    if attempt >= config.recovery.max_retries() {
+                        workers.push(Reverse(OrdF64(t)));
+                        outcomes.push(Outcome::Failed(FailureRecord {
+                            reason,
+                            retries: attempt,
+                            faults_seen,
+                        }));
+                        break;
+                    }
+                    attempt += 1;
+                }
+            }
         }
-        let budget = budget_for(config.policy, core, slack_units);
-        let (entry, _fits) = core.select(budget);
-        let finish = start + entry.resource * spu;
-        workers.push(Reverse(OrdF64(finish)));
-        outcomes.push(Outcome::Completed(RequestRecord {
-            latency: finish - req.arrival,
-            queue_wait: start - req.arrival,
-            met_deadline: finish <= req.deadline,
-            accuracy: entry.norm_miou,
-            config: entry.config,
-        }));
     }
 
-    ServerMetrics::from_outcomes(&outcomes)
+    outcomes
 }
 
 #[cfg(test)]
@@ -224,12 +373,7 @@ mod tests {
         let core = test_core();
         let m = simulate(
             &core,
-            SimConfig {
-                workers: 2,
-                queue_depth: 16,
-                policy: SchedulePolicy::DrtDynamic,
-                secs_per_unit: 1.0,
-            },
+            SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0),
             // One arrival every 4s on 2 workers; service <= 4s: no queueing.
             &uniform_arrivals(20, 4.0, 8.0),
         );
@@ -244,12 +388,7 @@ mod tests {
     #[test]
     fn overload_degrades_accuracy_instead_of_missing() {
         let core = test_core();
-        let cfg = |policy| SimConfig {
-            workers: 1,
-            queue_depth: 8,
-            policy,
-            secs_per_unit: 1.0,
-        };
+        let cfg = |policy| SimConfig::new(1, 8, policy, 1.0);
         // Offered load 2x capacity of the full model (arrival every 2s,
         // full service 4s), with slack that fits the full model only when
         // the queue is empty.
@@ -272,12 +411,7 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let core = test_core();
-        let cfg = SimConfig {
-            workers: 3,
-            queue_depth: 8,
-            policy: SchedulePolicy::DrtDynamic,
-            secs_per_unit: 0.01,
-        };
+        let cfg = SimConfig::new(3, 8, SchedulePolicy::DrtDynamic, 0.01);
         let arrivals = uniform_arrivals(100, 0.013, 0.07);
         let a = simulate(&core, cfg, &arrivals);
         let b = simulate(&core, cfg, &arrivals);
@@ -289,16 +423,114 @@ mod tests {
     }
 
     #[test]
+    fn chaos_is_deterministic_and_conserves_requests() {
+        let core = test_core();
+        let plan = FaultPlan {
+            seed: 7,
+            crash_rate: 0.1,
+            bitflip_rate: 0.08,
+            stall_rate: 0.08,
+            stall_factor: 6.0,
+            replay_rate: 0.04,
+        };
+        let cfg = SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0).with_fault(plan);
+        let arrivals = uniform_arrivals(200, 2.1, 9.0);
+        let a = simulate(&core, cfg, &arrivals);
+        let b = simulate(&core, cfg, &arrivals);
+        assert!(a.accounts_for_all_submissions());
+        assert!(a.faults_seen > 0, "rates this high must draw faults");
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.fault_failures, b.fault_failures);
+        assert_eq!(a.faults_seen, b.faults_seen);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.p99_latency, b.p99_latency);
+        assert_eq!(a.failure_histogram, b.failure_histogram);
+    }
+
+    #[test]
+    fn degraded_retry_beats_fail_fast_on_goodput_under_faults() {
+        let core = test_core();
+        let plan = FaultPlan {
+            seed: 11,
+            crash_rate: 0.15,
+            bitflip_rate: 0.10,
+            stall_rate: 0.0,
+            stall_factor: 1.0,
+            replay_rate: 0.0,
+        };
+        let arrivals = uniform_arrivals(300, 2.5, 10.0);
+        let cfg = |rec| {
+            SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0)
+                .with_fault(plan)
+                .with_recovery(rec)
+        };
+        let healing = simulate(
+            &core,
+            cfg(RecoveryPolicy::DegradedRetry { max_retries: 2 }),
+            &arrivals,
+        );
+        let brittle = simulate(&core, cfg(RecoveryPolicy::FailFast), &arrivals);
+        assert!(healing.accounts_for_all_submissions());
+        assert!(brittle.accounts_for_all_submissions());
+        assert!(
+            healing.goodput > brittle.goodput,
+            "degraded retry {} vs fail fast {}",
+            healing.goodput,
+            brittle.goodput
+        );
+        assert!(healing.degraded_completions > 0);
+        assert_eq!(brittle.retries, 0, "fail fast never retries");
+    }
+
+    #[test]
+    fn watchdog_aborts_hopeless_stalls() {
+        let core = test_core();
+        // Every request stalls 10x; grace 4x means every first attempt is
+        // aborted by the watchdog at 4x expected.
+        let plan = FaultPlan {
+            seed: 3,
+            crash_rate: 0.0,
+            bitflip_rate: 0.0,
+            stall_rate: 1.0,
+            stall_factor: 10.0,
+            replay_rate: 0.0,
+        };
+        let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0)
+            .with_fault(plan)
+            .with_recovery(RecoveryPolicy::FailFast);
+        let m = simulate(&core, cfg, &uniform_arrivals(10, 50.0, 40.0));
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.fault_failures, 10);
+        assert_eq!(m.failure_histogram, vec![(FailureReason::Watchdog, 10)]);
+    }
+
+    #[test]
+    fn replay_failure_falls_back_to_interpreter() {
+        let core = test_core();
+        // Replay always fails; the fallback must land every request on a
+        // successful (interpreted) retry.
+        let plan = FaultPlan {
+            seed: 5,
+            crash_rate: 0.0,
+            bitflip_rate: 0.0,
+            stall_rate: 0.0,
+            stall_factor: 1.0,
+            replay_rate: 1.0,
+        };
+        let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0).with_fault(plan);
+        let m = simulate(&core, cfg, &uniform_arrivals(10, 50.0, 40.0));
+        assert_eq!(m.completed, 10);
+        assert_eq!(m.fault_failures, 0);
+        assert_eq!(m.degraded_completions, 10, "every completion retried once");
+        assert_eq!(m.faults_seen, 10);
+    }
+
+    #[test]
     fn impossible_slack_is_shed_at_admission() {
         let core = test_core();
         let m = simulate(
             &core,
-            SimConfig {
-                workers: 1,
-                queue_depth: 4,
-                policy: SchedulePolicy::DrtDynamic,
-                secs_per_unit: 1.0,
-            },
+            SimConfig::new(1, 4, SchedulePolicy::DrtDynamic, 1.0),
             // Slack 0.5 < cheapest cost 1.0: nothing can ever be served.
             &uniform_arrivals(10, 1.0, 0.5),
         );

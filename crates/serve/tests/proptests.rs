@@ -5,9 +5,13 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use vit_drt::{EngineCore, EngineFamily, Lut};
+use vit_fault::FaultPlan;
 use vit_models::{SegFormerDynamic, SegFormerVariant};
 use vit_resilience::{DynConfig, TradeoffPoint};
-use vit_serve::{admissible, simulate, EdfQueue, PopResult, SchedulePolicy, SimArrival, SimConfig};
+use vit_serve::{
+    admissible, simulate, EdfQueue, PopResult, RecoveryPolicy, SchedulePolicy, SimArrival,
+    SimConfig,
+};
 
 /// A synthetic core whose LUT costs 1/2/4 units.
 fn tiny_core() -> EngineCore {
@@ -85,12 +89,7 @@ proptest! {
             .collect();
         let metrics = simulate(
             &core,
-            SimConfig {
-                workers,
-                queue_depth,
-                policy: SchedulePolicy::DrtDynamic,
-                secs_per_unit: 1.0,
-            },
+            SimConfig::new(workers, queue_depth, SchedulePolicy::DrtDynamic, 1.0),
             &arrivals,
         );
         prop_assert_eq!(metrics.submitted, arrivals.len());
@@ -108,5 +107,82 @@ proptest! {
         for (config, _) in &metrics.config_histogram {
             prop_assert!(core.lut().entries().iter().any(|e| e.config == *config));
         }
+    }
+
+    /// Queue-edge discipline: a request whose slack expires while it waits
+    /// in the queue is dropped at dispatch (shed, never executed) and is
+    /// counted exactly once — even with retries in flight on other
+    /// requests, conservation holds and `goodput + deadline_miss_rate`
+    /// always partitions the offered load.
+    #[test]
+    fn in_queue_expiry_is_counted_once_even_under_chaos(
+        raw in vec((0.0f64..30.0, 0.9f64..6.0), 1..60),
+        crash in 0.0f64..0.5,
+        bitflip in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let core = tiny_core();
+        let arrivals: Vec<SimArrival> = raw
+            .iter()
+            .map(|(time, slack)| SimArrival { time: *time, slack: *slack })
+            .collect();
+        // One slow worker + tight slacks: some admitted requests expire
+        // in-queue, while injected faults force retries on others.
+        let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0)
+            .with_fault(FaultPlan {
+                seed,
+                crash_rate: crash,
+                bitflip_rate: bitflip,
+                stall_rate: 0.0,
+                stall_factor: 1.0,
+                replay_rate: 0.0,
+            })
+            .with_recovery(RecoveryPolicy::DegradedRetry { max_retries: 2 });
+        let m = simulate(&core, cfg, &arrivals);
+        prop_assert_eq!(m.submitted, arrivals.len());
+        // Exactly-once accounting: completed + shed + fault-failed
+        // partitions the submissions — an in-queue expiry can never also
+        // appear as a completion or failure, and a retried request still
+        // lands in exactly one bucket.
+        prop_assert!(m.accounts_for_all_submissions());
+        // Each retry was caused by an observed fault.
+        prop_assert!(m.faults_seen >= m.retries);
+        // Every fault-failure observed at least one fault.
+        prop_assert!(m.faults_seen >= m.fault_failures);
+        prop_assert!(m.degraded_completions <= m.completed);
+        // goodput and miss-rate partition the offered load exactly.
+        prop_assert!((m.goodput + m.deadline_miss_rate - 1.0).abs() < 1e-9);
+    }
+
+    /// A chaos run is a pure function of (plan seed, arrivals): two
+    /// simulations with identical inputs agree on every counter.
+    #[test]
+    fn chaos_simulation_is_replayable(
+        raw in vec((0.0f64..20.0, 1.0f64..8.0), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let core = tiny_core();
+        let arrivals: Vec<SimArrival> = raw
+            .iter()
+            .map(|(time, slack)| SimArrival { time: *time, slack: *slack })
+            .collect();
+        let cfg = SimConfig::new(2, 8, SchedulePolicy::DrtDynamic, 1.0)
+            .with_fault(FaultPlan {
+                seed,
+                crash_rate: 0.2,
+                bitflip_rate: 0.1,
+                stall_rate: 0.1,
+                stall_factor: 8.0,
+                replay_rate: 0.05,
+            });
+        let a = simulate(&core, cfg, &arrivals);
+        let b = simulate(&core, cfg, &arrivals);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.fault_failures, b.fault_failures);
+        prop_assert_eq!(a.faults_seen, b.faults_seen);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.degraded_completions, b.degraded_completions);
+        prop_assert_eq!(a.p99_latency, b.p99_latency);
+        prop_assert_eq!(a.failure_histogram, b.failure_histogram);
     }
 }

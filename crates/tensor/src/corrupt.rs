@@ -1,0 +1,107 @@
+//! Deterministic activation corruption for fault-injection experiments.
+//!
+//! Models a transient single-event upset: one exponent bit of one `f32`
+//! element flips mid-run. The hook is deliberately biased toward
+//! *detectable* upsets — it scans for an element whose flipped value lands
+//! beyond a caller-supplied magnitude threshold (or goes non-finite), so a
+//! downstream NaN/Inf + magnitude guard is guaranteed to be able to catch
+//! the corruption. Silent sub-threshold data corruption is out of scope of
+//! this fault model.
+
+/// The exponent bit [`flip_detectable`] upsets. Bit 30 is the most
+/// significant exponent bit of an IEEE-754 `f32`: flipping it multiplies a
+/// normal value's magnitude by `2^128` (overflowing to huge or infinity
+/// for any |v| > ~5.9e-39), which no plausible activation survives.
+pub const FLIP_BIT: u32 = 30;
+
+/// Record of one applied bit-flip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitFlip {
+    /// Flat element index that was corrupted.
+    pub index: usize,
+    /// Bit position that was flipped (always [`FLIP_BIT`]).
+    pub bit: u32,
+    /// Value before the flip.
+    pub before: f32,
+    /// Value after the flip.
+    pub after: f32,
+}
+
+/// Flips [`FLIP_BIT`] of the first element at or after `start`
+/// (wrapping) whose flipped value a guard with magnitude limit
+/// `threshold` would catch (non-finite or `|v| > threshold`).
+///
+/// Returns `None` — leaving `data` untouched — when `data` is empty or no
+/// element yields a detectable flip (e.g. an all-subnormal tensor); the
+/// injected upset then simply "misses".
+pub fn flip_detectable(data: &mut [f32], start: usize, threshold: f32) -> Option<BitFlip> {
+    if data.is_empty() {
+        return None;
+    }
+    let start = start % data.len();
+    for offset in 0..data.len() {
+        let index = (start + offset) % data.len();
+        let before = data[index];
+        if before.is_nan() {
+            continue;
+        }
+        let after = f32::from_bits(before.to_bits() ^ (1u32 << FLIP_BIT));
+        if !after.is_finite() || after.abs() > threshold {
+            data[index] = after;
+            return Some(BitFlip {
+                index,
+                bit: FLIP_BIT,
+                before,
+                after,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plausible_activations_always_flip_detectably() {
+        let mut data: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) / 100.0).collect();
+        let flip = flip_detectable(&mut data, 37, 1e6).expect("flip lands");
+        assert_eq!(flip.bit, FLIP_BIT);
+        assert!(!flip.after.is_finite() || flip.after.abs() > 1e6);
+        assert_eq!(data[flip.index], flip.after);
+    }
+
+    #[test]
+    fn scan_wraps_and_skips_undetectable_elements() {
+        // |v| >= 2 shrinks under a bit-30 flip; only index 1 is flippable
+        // past the threshold, and the scan must wrap around to find it.
+        let mut data = vec![4.0f32, 0.5, 8.0, 16.0];
+        let flip = flip_detectable(&mut data, 2, 1e6).expect("wraps to index 1");
+        assert_eq!(flip.index, 1);
+        assert_eq!(flip.before, 0.5);
+        assert_eq!(data, vec![4.0, flip.after, 8.0, 16.0]);
+    }
+
+    #[test]
+    fn hopeless_tensors_miss() {
+        let mut empty: Vec<f32> = vec![];
+        assert_eq!(flip_detectable(&mut empty, 0, 1e6), None);
+        // NaNs are skipped; large values shrink under the flip.
+        let mut data = vec![f32::NAN, 1.0e20f32];
+        assert_eq!(flip_detectable(&mut data, 0, f32::MAX), None);
+        assert!(data[0].is_nan());
+        assert_eq!(data[1], 1.0e20);
+    }
+
+    #[test]
+    fn flip_is_deterministic_in_start() {
+        let base: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let fa = flip_detectable(&mut a, 9, 1e6);
+        let fb = flip_detectable(&mut b, 9, 1e6);
+        assert_eq!(fa, fb);
+        assert_eq!(a, b);
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corrupt;
 mod error;
 pub mod ops;
 pub mod par;

@@ -117,6 +117,61 @@ pub enum EventKind {
         /// When it happened, nanoseconds since the trace epoch.
         at_ns: u64,
     },
+    /// A fault-handling decision: a detected fault, a recovery step, or a
+    /// circuit-breaker transition (point event).
+    Fault {
+        /// What the fault layer decided (see [`RecoveryAction`]).
+        action: RecoveryAction,
+        /// Free-form detail (fault kind, request seq, attempt, …).
+        detail: String,
+        /// When it happened, nanoseconds since the trace epoch.
+        at_ns: u64,
+    },
+}
+
+/// A fault-handling decision carried by [`EventKind::Fault`], covering the
+/// detect → recover state machine in `vit-serve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RecoveryAction {
+    /// A fault (injected or real) was detected on an execution attempt.
+    Detected,
+    /// The request is being retried with its remaining slack as a tighter
+    /// budget (degraded retry).
+    Retry,
+    /// The retry additionally falls back `Plan → Interpret` after a
+    /// plan-replay failure.
+    BackendFallback,
+    /// A worker's consecutive-failure circuit breaker opened.
+    CircuitOpen,
+    /// A worker's circuit breaker closed again after a success.
+    CircuitClose,
+    /// The request failed without retry (fail-fast policy or retries
+    /// exhausted).
+    FailFast,
+    /// A degraded retry completed and was delivered.
+    Degraded,
+}
+
+impl RecoveryAction {
+    /// Stable lower-snake name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryAction::Detected => "detected",
+            RecoveryAction::Retry => "retry",
+            RecoveryAction::BackendFallback => "backend_fallback",
+            RecoveryAction::CircuitOpen => "circuit_open",
+            RecoveryAction::CircuitClose => "circuit_close",
+            RecoveryAction::FailFast => "fail_fast",
+            RecoveryAction::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// One recorded event: a logical sequence number (unique per sink,
@@ -150,7 +205,7 @@ impl TraceEvent {
             EventKind::Sched {
                 spawn_ns, start_ns, ..
             } => Some((*spawn_ns, *start_ns)),
-            EventKind::Counter { .. } | EventKind::Instant { .. } => None,
+            EventKind::Counter { .. } | EventKind::Instant { .. } | EventKind::Fault { .. } => None,
         }
     }
 
@@ -160,7 +215,9 @@ impl TraceEvent {
         match &self.kind {
             EventKind::Node { start_ns, .. } | EventKind::Phase { start_ns, .. } => *start_ns,
             EventKind::Sched { spawn_ns, .. } => *spawn_ns,
-            EventKind::Counter { at_ns, .. } | EventKind::Instant { at_ns, .. } => *at_ns,
+            EventKind::Counter { at_ns, .. }
+            | EventKind::Instant { at_ns, .. }
+            | EventKind::Fault { at_ns, .. } => *at_ns,
         }
     }
 }

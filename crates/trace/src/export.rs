@@ -291,6 +291,20 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 esc(detail),
                 e.seq
             ),
+            EventKind::Fault {
+                action,
+                detail,
+                at_ns,
+            } => format!(
+                "{{\"name\": \"{}\", \"cat\": \"fault\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"detail\": \"{}\", \
+                 \"seq\": {}}}}}",
+                action.name(),
+                us(*at_ns),
+                e.thread,
+                esc(detail),
+                e.seq
+            ),
         };
         s.push_str("    ");
         s.push_str(&line);

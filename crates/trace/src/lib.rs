@@ -49,6 +49,6 @@ mod event;
 mod export;
 mod sink;
 
-pub use event::{validate, EventKind, Phase, TraceEvent, TraceFormatError};
+pub use event::{validate, EventKind, Phase, RecoveryAction, TraceEvent, TraceFormatError};
 pub use export::{chrome_trace_json, Agg, AggRow, FlameSummary};
 pub use sink::{now_ns, null_sink, thread_ord, NullSink, RingBufferSink, StatsSink, TraceSink};

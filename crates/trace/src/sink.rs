@@ -299,6 +299,11 @@ impl TraceSink for StatsSink {
                 };
                 *st.counters.entry(key).or_insert(0) += 1;
             }
+            EventKind::Fault { action, .. } => {
+                *st.counters
+                    .entry(format!("fault.{}", action.name()))
+                    .or_insert(0) += 1;
+            }
         }
     }
 }

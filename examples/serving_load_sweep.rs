@@ -63,6 +63,7 @@ fn main() {
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
             use_plans: false,
+            ..ServerConfig::default()
         },
     );
 
@@ -114,12 +115,7 @@ fn main() {
             12,
             42,
         );
-        let cfg = |policy| SimConfig {
-            workers: 4,
-            queue_depth: 16,
-            policy,
-            secs_per_unit: 1.0,
-        };
+        let cfg = |policy| SimConfig::new(4, 16, policy, 1.0);
         let drt = simulate(&core, cfg(SchedulePolicy::DrtDynamic), &arrivals);
         let stat = simulate(&core, cfg(SchedulePolicy::static_full()), &arrivals);
         println!(

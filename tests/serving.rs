@@ -57,6 +57,7 @@ fn server(core: &Arc<EngineCore>, workers: usize, queue_depth: usize) -> Server 
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
             use_plans: false,
+            ..ServerConfig::default()
         },
     )
 }
@@ -190,6 +191,7 @@ fn concurrent_producers_under_overload_conserve_every_record() {
             // Replay compiled plans here so the concurrent-serving path
             // exercises the plan backend end to end.
             use_plans: true,
+            ..ServerConfig::default()
         },
     );
 
@@ -280,6 +282,7 @@ fn traced_server_records_serving_spans() {
             policy: SchedulePolicy::DrtDynamic,
             exec_threads: 1,
             use_plans: false,
+            ..ServerConfig::default()
         },
         RunContext::default().with_sink(sink.clone() as Arc<dyn TraceSink>),
     );
