@@ -5,8 +5,17 @@
 //! counts, and by replaying a compiled [`ExecPlan`]; asserts every
 //! variant's outputs are bit-identical to the sequential interpreter's,
 //! and (with `--json`) writes the numbers — including per-op-class
-//! GFLOP/s from a traced run — to `BENCH_parallel_exec.json` so later PRs
-//! have a perf trajectory to compare against.
+//! GFLOP/s from best-of-N traced runs — to `BENCH_parallel_exec.json` so
+//! later PRs have a perf trajectory to compare against.
+//!
+//! `--json` is also a **throughput ratchet**: before overwriting the
+//! committed `BENCH_parallel_exec.json`, the per-(model, op-class)
+//! GFLOP/s it records are compared against the fresh run, and any class
+//! regressing by more than `RATCHET_TOLERANCE` (15%) fails the run with exit
+//! code 1 (a non-required CI signal — wall clocks on shared boxes are
+//! noisy, so the gate is advisory, but the committed baseline makes the
+//! regression visible and datable). Classes whose self-time is under the
+//! `MIN_RATCHET_MS` noise floor are reported but never ratcheted.
 //!
 //! The report records the machine's hardware parallelism: speedups are
 //! only physically possible when the machine has more than one core, and
@@ -159,40 +168,58 @@ fn class_label(class: OpClass) -> &'static str {
     }
 }
 
-/// Per-op-class FLOPs and wall time from one traced sequential run:
-/// analytical GFLOP/s (MAC convention) per compute class.
-fn class_rates(scratch: &mut ExecScratch, gen: WeightGen, case: &Case) -> Vec<ClassRate> {
+/// Per-op-class FLOPs and wall time from `reps` traced sequential runs,
+/// keeping each class's **best** (minimum) total time: analytical
+/// GFLOP/s (MAC convention) per compute class. A single traced run is
+/// too noisy to ratchet against — on a shared box one scheduling hiccup
+/// inside a sub-millisecond class shifts its rate by 2–3× — and the
+/// minimum is the standard wall-clock noise filter (same policy as the
+/// timing cells).
+fn class_rates(
+    scratch: &mut ExecScratch,
+    gen: WeightGen,
+    case: &Case,
+    reps: usize,
+) -> Vec<ClassRate> {
     let classes: HashMap<&str, OpClass> = case
         .graph
         .iter()
         .map(|(_, n)| (n.name.as_str(), n.op.class()))
         .collect();
-    let ring = Arc::new(RingBufferSink::new(1 << 20));
-    let ctx = RunContext::default().with_sink(ring.clone() as Arc<dyn TraceSink>);
-    scratch
-        .run_with(gen, &case.graph, std::slice::from_ref(&case.image), &ctx)
-        .expect("bench graph runs");
     let order = ["conv", "matmul", "attention", "norm", "other"];
-    let mut agg: HashMap<&str, (u64, u64)> = HashMap::new();
-    for e in ring.take() {
-        if let EventKind::Node {
-            name,
-            start_ns,
-            end_ns,
-            flops,
-            ..
-        } = e.kind
-        {
-            let label = class_label(classes[name.as_str()]);
-            let slot = agg.entry(label).or_insert((0, 0));
-            slot.0 += flops;
-            slot.1 += end_ns - start_ns;
+    // Per class: FLOPs (identical every run) and the best total time.
+    let mut best: HashMap<&str, (u64, u64)> = HashMap::new();
+    for _ in 0..reps.max(1) {
+        let ring = Arc::new(RingBufferSink::new(1 << 20));
+        let ctx = RunContext::default().with_sink(ring.clone() as Arc<dyn TraceSink>);
+        scratch
+            .run_with(gen, &case.graph, std::slice::from_ref(&case.image), &ctx)
+            .expect("bench graph runs");
+        let mut agg: HashMap<&str, (u64, u64)> = HashMap::new();
+        for e in ring.take() {
+            if let EventKind::Node {
+                name,
+                start_ns,
+                end_ns,
+                flops,
+                ..
+            } = e.kind
+            {
+                let label = class_label(classes[name.as_str()]);
+                let slot = agg.entry(label).or_insert((0, 0));
+                slot.0 += flops;
+                slot.1 += end_ns - start_ns;
+            }
+        }
+        for (label, (flops, ns)) in agg {
+            let slot = best.entry(label).or_insert((flops, ns));
+            slot.1 = slot.1.min(ns);
         }
     }
     order
         .iter()
         .map(|&class| {
-            let (flops, ns) = agg.get(class).copied().unwrap_or((0, 0));
+            let (flops, ns) = best.get(class).copied().unwrap_or((0, 0));
             ClassRate {
                 class,
                 flops,
@@ -287,7 +314,7 @@ pub fn bench(args: BenchArgs) {
             arena_elems: plan.arena_len(),
         };
 
-        let classes = class_rates(&mut scratch, gen, &case);
+        let classes = class_rates(&mut scratch, gen, &case, reps);
         results.push(CaseResult {
             name: case.name,
             seq_ms,
@@ -323,14 +350,40 @@ pub fn bench(args: BenchArgs) {
             ]);
         }
     }
-    println!("\nper-op-class throughput (traced sequential run, MAC convention):");
+    println!("\nper-op-class throughput (best of {reps} traced sequential runs, MAC convention):");
     ct.print();
 
     if args.json {
         let path = "BENCH_parallel_exec.json";
+        let baseline = std::fs::read_to_string(path)
+            .ok()
+            .map(|s| parse_baseline_rates(&s));
         std::fs::write(path, render_json(cores, reps, args.quick, &results))
             .expect("write benchmark JSON");
         println!("\nwrote {path}");
+        match baseline {
+            Some(base) => {
+                let violations = ratchet_violations(&base, &results);
+                if violations.is_empty() {
+                    println!(
+                        "throughput ratchet: every op class within {:.0}% of the \
+                         committed baseline",
+                        RATCHET_TOLERANCE * 1e2
+                    );
+                } else {
+                    eprintln!(
+                        "throughput ratchet: op classes regressed more than {:.0}% \
+                         vs the committed {path}:",
+                        RATCHET_TOLERANCE * 1e2
+                    );
+                    for v in &violations {
+                        eprintln!("  {v}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            None => println!("throughput ratchet: no committed {path} to compare against"),
+        }
     }
 
     if let Some(path) = &args.trace {
@@ -509,6 +562,85 @@ fn trace_section(gen: WeightGen, quick: bool, path: &str) {
     );
 }
 
+/// Fractional per-op-class GFLOP/s regression the `--json` ratchet
+/// tolerates before failing. Wall clocks on shared machines jitter by a
+/// few percent; 15% is far outside that but far inside the ≥3× jumps the
+/// kernel work targets.
+const RATCHET_TOLERANCE: f64 = 0.15;
+
+/// Classes whose fresh best-of-N self-time is under this many
+/// milliseconds are too small to ratchet: at sub-millisecond scale the
+/// measured rate is dominated by timer and scheduling granularity, not
+/// kernel throughput, and the absolute cost of any real regression is
+/// bounded by the floor itself.
+const MIN_RATCHET_MS: f64 = 1.0;
+
+/// Extracts `(model, op class, GFLOP/s)` rows from a committed
+/// `BENCH_parallel_exec.json`. A hand-rolled line scan over the exact
+/// shape [`render_json`] emits — one `"model"` field per result object,
+/// then one `"class"`/`"gflops"` pair per line — so the bench binary
+/// needs no JSON dependency. Unrecognized lines are skipped, so a
+/// hand-edited or truncated baseline degrades to fewer comparisons, not
+/// a parse failure.
+fn parse_baseline_rates(json: &str) -> Vec<(String, String, f64)> {
+    fn quoted_after(line: &str, key: &str) -> Option<String> {
+        let rest = &line[line.find(key)? + key.len()..];
+        Some(rest[..rest.find('"')?].to_string())
+    }
+    fn number_after(line: &str, key: &str) -> Option<f64> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    let mut rows = Vec::new();
+    let mut model = String::new();
+    for line in json.lines() {
+        if let Some(m) = quoted_after(line, "\"model\": \"") {
+            model = m;
+        } else if let (Some(class), Some(g)) = (
+            quoted_after(line, "\"class\": \""),
+            number_after(line, "\"gflops\": "),
+        ) {
+            rows.push((model.clone(), class, g));
+        }
+    }
+    rows
+}
+
+/// Per-(model, op-class) GFLOP/s comparisons that regressed beyond
+/// [`RATCHET_TOLERANCE`]. Classes with zero throughput on either side
+/// (nothing ran, or a class absent from the baseline) or under the
+/// [`MIN_RATCHET_MS`] noise floor are not comparable and never fail the
+/// ratchet.
+fn ratchet_violations(baseline: &[(String, String, f64)], results: &[CaseResult]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in results {
+        for c in &r.classes {
+            if c.ms < MIN_RATCHET_MS {
+                continue;
+            }
+            let fresh = gflops(c.flops, c.ms);
+            let old = baseline
+                .iter()
+                .find(|(m, cl, _)| m == r.name && cl == c.class)
+                .map(|&(_, _, g)| g);
+            if let Some(old) = old {
+                if old > 0.0 && fresh > 0.0 && fresh < old * (1.0 - RATCHET_TOLERANCE) {
+                    violations.push(format!(
+                        "{} {}: {fresh:.3} GFLOP/s vs committed {old:.3} ({:+.1}%)",
+                        r.name,
+                        c.class,
+                        (fresh / old - 1.0) * 1e2
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
 fn render_json(cores: usize, reps: usize, quick: bool, results: &[CaseResult]) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"parallel_exec\",\n");
@@ -562,4 +694,124 @@ fn render_json(cores: usize, reps: usize, quick: bool, results: &[CaseResult]) -
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &'static str, classes: Vec<ClassRate>) -> CaseResult {
+        CaseResult {
+            name,
+            seq_ms: 1.0,
+            parallel: Vec::new(),
+            plan: PlanPoint {
+                compile_ms: 0.0,
+                ms: 1.0,
+                bit_identical: true,
+                records: 0,
+                fused: 0,
+                arena_elems: 0,
+            },
+            classes,
+        }
+    }
+
+    #[test]
+    fn baseline_parse_round_trips_render_json() {
+        let results = [case(
+            "segformer-b0",
+            vec![
+                ClassRate {
+                    class: "conv",
+                    flops: 2_000_000_000,
+                    ms: 4.0,
+                },
+                ClassRate {
+                    class: "matmul",
+                    flops: 1_000_000_000,
+                    ms: 2.0,
+                },
+            ],
+        )];
+        let rows = parse_baseline_rates(&render_json(1, 3, false, &results));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "segformer-b0");
+        assert_eq!(rows[0].1, "conv");
+        assert!((rows[0].2 - 500.0).abs() < 1e-6);
+        assert_eq!(rows[1].1, "matmul");
+        assert!((rows[1].2 - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratchet_fires_only_beyond_the_tolerance() {
+        let baseline = vec![
+            ("m".to_string(), "conv".to_string(), 10.0),
+            ("m".to_string(), "matmul".to_string(), 10.0),
+            ("m".to_string(), "norm".to_string(), 0.0),
+        ];
+        // conv regressed 20% (fires), matmul regressed 10% (within
+        // tolerance), norm has a zero baseline (not comparable), and
+        // attention is absent from the baseline entirely.
+        let results = [case(
+            "m",
+            vec![
+                ClassRate {
+                    class: "conv",
+                    flops: 8_000_000,
+                    ms: 1.0,
+                },
+                ClassRate {
+                    class: "matmul",
+                    flops: 9_000_000,
+                    ms: 1.0,
+                },
+                ClassRate {
+                    class: "norm",
+                    flops: 1_000_000,
+                    ms: 1.0,
+                },
+                ClassRate {
+                    class: "attention",
+                    flops: 1_000_000,
+                    ms: 1.0,
+                },
+            ],
+        )];
+        let v = ratchet_violations(&baseline, &results);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("conv"), "{v:?}");
+    }
+
+    #[test]
+    fn ratchet_skips_classes_under_the_noise_floor() {
+        let baseline = vec![("m".to_string(), "norm".to_string(), 10.0)];
+        // 5x regression, but only 0.4 ms of self-time: noise-dominated.
+        let results = [case(
+            "m",
+            vec![ClassRate {
+                class: "norm",
+                flops: 800_000,
+                ms: 0.4,
+            }],
+        )];
+        assert!(ratchet_violations(&baseline, &results).is_empty());
+    }
+
+    #[test]
+    fn ratchet_ignores_unknown_models_and_improvements() {
+        let baseline = vec![("other-model".to_string(), "conv".to_string(), 10.0)];
+        let results = [case(
+            "m",
+            vec![ClassRate {
+                class: "conv",
+                flops: 1_000_000,
+                ms: 1.0,
+            }],
+        )];
+        assert!(ratchet_violations(&baseline, &results).is_empty());
+        // A 10x improvement never fires.
+        let baseline = vec![("m".to_string(), "conv".to_string(), 0.1)];
+        assert!(ratchet_violations(&baseline, &results).is_empty());
+    }
 }

@@ -54,7 +54,9 @@ regression benchmarks:
   bench       sequential vs parallel wavefront executor vs compiled-plan
               replay on full model paths; asserts bit-identical outputs
               and reports per-op-class GFLOP/s
-              (flags: --json write BENCH_parallel_exec.json,
+              (flags: --json write BENCH_parallel_exec.json and ratchet
+               per-op-class GFLOP/s against the committed baseline
+               (exit 1 on >15% regression),
                --quick fewer reps/threads for CI smoke runs,
                --trace <path> gate disabled-tracing overhead and write a
                validated chrome-trace JSON)

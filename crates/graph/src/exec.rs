@@ -54,6 +54,7 @@ pub enum ExecBackend {
 pub struct ExecOptions {
     pool: Option<Arc<ThreadPool>>,
     backend: ExecBackend,
+    reference: bool,
 }
 
 impl ExecOptions {
@@ -70,7 +71,7 @@ impl ExecOptions {
         } else {
             ExecOptions {
                 pool: Some(Arc::new(ThreadPool::new(threads))),
-                backend: ExecBackend::default(),
+                ..Self::default()
             }
         }
     }
@@ -79,7 +80,7 @@ impl ExecOptions {
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
         ExecOptions {
             pool: Some(pool),
-            backend: ExecBackend::default(),
+            ..Self::default()
         }
     }
 
@@ -87,6 +88,22 @@ impl ExecOptions {
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Routes interpreter runs to the naive reference oracle kernels
+    /// ([`vit_tensor::ops::reference`]) instead of the packed
+    /// micro-kernels. The tolerance tier's model-level differentials use
+    /// this to replay a whole network against the oracle; it applies to
+    /// the [`ExecBackend::Interpret`] backend only (compiled plans are
+    /// packed by construction).
+    pub fn with_reference_kernels(mut self, reference: bool) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Whether interpreter runs use the reference oracle kernels.
+    pub fn reference_kernels(&self) -> bool {
+        self.reference
     }
 
     /// The selected execution backend.
@@ -815,9 +832,12 @@ impl ExecScratch {
             });
         }
         let run_start = sink.timestamp();
+        let reference = ctx.exec.reference_kernels();
         let result = match ctx.exec.active_pool() {
-            Some(pool) => self.run_wavefront(gen, graph, inputs, output, pool, sink, &ctx.fault),
-            None => self.run_sequential(gen, graph, inputs, output, sink, &ctx.fault),
+            Some(pool) => self.run_wavefront(
+                gen, graph, inputs, output, pool, sink, &ctx.fault, reference,
+            ),
+            None => self.run_sequential(gen, graph, inputs, output, sink, &ctx.fault, reference),
         };
         if enabled {
             sink.record(EventKind::Phase {
@@ -857,6 +877,7 @@ impl ExecScratch {
         output: NodeId,
         sink: &dyn TraceSink,
         fault: &FaultCtx,
+        reference: bool,
     ) -> Result<Tensor, ExecError> {
         // Resolved once per run so injection is independent of node order.
         let flip_at = fault.flip_node(graph.len());
@@ -889,6 +910,7 @@ impl ExecScratch {
                     pool: None,
                     bufs: Some(&self.bufs),
                     sink: enabled.then_some(sink),
+                    reference,
                 };
                 eval_node(node, weights.as_slice(), &in_tensors, &ctx)?
             };
@@ -938,6 +960,7 @@ impl ExecScratch {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn run_wavefront(
         &self,
         gen: WeightGen,
@@ -947,6 +970,7 @@ impl ExecScratch {
         pool: &ThreadPool,
         sink: &dyn TraceSink,
         fault: &FaultCtx,
+        reference: bool,
     ) -> Result<Tensor, ExecError> {
         let n = graph.len();
         // The dispatch/reclamation counters come from the same metadata
@@ -1000,6 +1024,7 @@ impl ExecScratch {
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             ready: AtomicUsize::new(0),
+            reference,
         };
         pool.scope(|s| {
             // Seed the wavefront with zero-input nodes; completions cascade
@@ -1111,6 +1136,9 @@ struct Wavefront<'g> {
     spawn_depth: Vec<AtomicU64>,
     /// Nodes spawned but not yet started (the scheduler's ready set).
     ready: AtomicUsize,
+    /// Route kernels to the reference oracle (see
+    /// [`ExecOptions::with_reference_kernels`]).
+    reference: bool,
 }
 
 impl Wavefront<'_> {
@@ -1171,6 +1199,7 @@ impl Wavefront<'_> {
                 pool: Some(self.pool),
                 bufs: Some(self.bufs),
                 sink: self.trace.then_some(self.sink),
+                reference: self.reference,
             };
             eval_node(node, weights.as_slice(), &in_refs, &ctx)
         };

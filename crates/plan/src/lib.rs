@@ -121,12 +121,21 @@ pub enum ExecContract {
     Sequential,
     /// Row tiling through [`vit_tensor::row_chunks`]: the output splits
     /// into row-aligned chunks of whole `row_len`-element rows, each
-    /// written by exactly one worker with sequential per-element op order
-    /// (the bit-identity contract of `vit_tensor::par`).
+    /// written by exactly one worker with a blocking geometry that depends
+    /// only on shapes (the thread-invariance contract of
+    /// `vit_tensor::par`).
     RowTiled {
         /// Elements per indivisible row: one output channel-plane for
         /// convolution, one feature vector for linear.
         row_len: usize,
+        /// Whether the kernel may reorder FP accumulation relative to the
+        /// reference oracle (`vit_tensor::ops::reference`). True routes
+        /// the record to the tolerance tier: packed GEMM-backed records
+        /// declare it so the registered per-op-class ULP budget is
+        /// reserved, even while the current micro-kernel keeps each
+        /// element's k-chain sequential. Thread-count invariance is
+        /// unaffected either way.
+        reassociates: bool,
     },
     /// An explicit chunk decomposition, offsets relative to the record's
     /// output range. The declaration future SIMD/tiled kernels (and
@@ -145,12 +154,17 @@ pub enum ExecContract {
 
 impl ExecContract {
     /// Whether this decomposition may reorder float accumulation relative
-    /// to sequential execution (and therefore cannot promise bit-identity
-    /// across thread counts).
+    /// to the reference oracle. Such records claim the **tolerance tier**
+    /// (`vit_tensor::ops::reference::tolerance`) instead of bit-identity
+    /// against the oracle; vit-verify's V056 checks each one maps to a
+    /// registered kernel class.
     pub fn reassociates(&self) -> bool {
         matches!(
             self,
             ExecContract::Explicit {
+                reassociates: true,
+                ..
+            } | ExecContract::RowTiled {
                 reassociates: true,
                 ..
             }
@@ -165,7 +179,7 @@ impl ExecContract {
     pub fn chunk_ranges(&self, out: BufRange, threads: usize) -> Vec<BufRange> {
         match self {
             ExecContract::Sequential => vec![out],
-            ExecContract::RowTiled { row_len } => {
+            ExecContract::RowTiled { row_len, .. } => {
                 vit_tensor::row_chunks(out.len, *row_len, threads.max(1))
                     .into_iter()
                     .map(|(start, len)| BufRange {
@@ -510,13 +524,18 @@ impl ExecPlan {
             // The write-decomposition contract mirrors the kernels: packed
             // conv tiles by output channel-plane, packed linear by feature
             // vector; everything else on the replay path writes its range
-            // in one sequential pass.
+            // in one sequential pass. GEMM-backed steps declare FP
+            // reassociation (tolerance tier): packed linear always, conv
+            // only on its im2col path — the direct single-input-channel
+            // path is bit-identical to the reference oracle.
             let contract = match &step {
-                Step::Conv(_) => ExecContract::RowTiled {
+                Step::Conv(pc) => ExecContract::RowTiled {
                     row_len: node.shape.iter().skip(2).product(),
+                    reassociates: pc.reassociates(),
                 },
                 Step::Linear(_) => ExecContract::RowTiled {
                     row_len: node.shape.last().copied().unwrap_or(0),
+                    reassociates: true,
                 },
                 _ => ExecContract::Sequential,
             };
@@ -730,6 +749,7 @@ impl ExecPlan {
                 pool,
                 bufs: Some(&self.scratch),
                 sink: None,
+                reference: false,
             };
             match &rec.step {
                 Step::Input { pos } => out.copy_from_slice(inputs[*pos].data()),
@@ -1172,12 +1192,18 @@ mod tests {
             match &rec.op {
                 Op::Conv2d { .. } => {
                     let plane: usize = rec.out_shape.iter().skip(2).product();
+                    // Multi-input-channel convs run the im2col GEMM path,
+                    // which declares FP reassociation (tolerance tier).
                     assert_eq!(
                         rec.contract,
-                        ExecContract::RowTiled { row_len: plane },
+                        ExecContract::RowTiled {
+                            row_len: plane,
+                            reassociates: true
+                        },
                         "conv `{}`",
                         rec.name
                     );
+                    assert!(rec.contract.reassociates());
                     // Chunks partition the output range exactly.
                     for threads in [1, 2, 8] {
                         let chunks = rec.contract.chunk_ranges(rec.out, threads);
@@ -1189,9 +1215,11 @@ mod tests {
                         }
                     }
                 }
-                _ => assert_eq!(rec.contract, ExecContract::Sequential),
+                _ => {
+                    assert_eq!(rec.contract, ExecContract::Sequential);
+                    assert!(!rec.contract.reassociates());
+                }
             }
-            assert!(!rec.contract.reassociates());
         }
         // Every compiled plan is shadow-clean at every sampled width.
         for threads in [1, 2, 8] {

@@ -297,6 +297,18 @@ fn segformer_b0_plan_geometry_is_pinned() {
     assert_eq!(plan.arena_len(), 1_257_472);
     assert_eq!(plan.total_flops(), g.total_flops());
     assert_eq!(plan.total_params(), g.total_params());
+    assert_eq!(reassociating_records(&plan), 64);
+}
+
+/// Records whose contract routes them to the tolerance tier — the
+/// GEMM-backed packed-weight kernels (multi-input-channel convs and
+/// linears). The count is part of the pinned geometry: a record silently
+/// moving between tiers changes which differential holds it.
+fn reassociating_records(plan: &ExecPlan) -> usize {
+    plan.records()
+        .iter()
+        .filter(|r| r.contract.reassociates())
+        .count()
 }
 
 #[test]
@@ -313,4 +325,5 @@ fn swin_tiny_plan_geometry_is_pinned() {
     assert_eq!(plan.arena_len(), 1_291_648);
     assert_eq!(plan.total_flops(), g.total_flops());
     assert_eq!(plan.total_params(), g.total_params());
+    assert_eq!(reassociating_records(&plan), 89);
 }

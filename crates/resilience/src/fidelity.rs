@@ -10,7 +10,7 @@
 //! reference.
 
 use vit_data::{mean_iou, Dataset, SceneGenerator};
-use vit_graph::{ExecError, Executor, Graph};
+use vit_graph::{ExecError, ExecOptions, Executor, Graph};
 use vit_models::{
     build_segformer, build_swin_upernet, ModelError, SegFormerConfig, SegFormerDynamic,
     SegFormerVariant, SwinConfig, SwinDynamic, SwinVariant,
@@ -114,6 +114,41 @@ pub fn segformer_fidelity(
     measure(&full, &pruned, classes, settings)
 }
 
+/// Measured mIoU between the packed production kernels and the naive
+/// reference oracle (`vit_tensor::ops::reference`) on the *same* full
+/// model — the semantic leg of the two-tier kernel contract: the
+/// registered ULP/relative tolerance bounds must be invisible at the
+/// task level, so this returns 1.0 unless a kernel change spends enough
+/// headroom to move an argmax.
+///
+/// # Errors
+///
+/// Returns [`FidelityError`] when the graph cannot be built or executed.
+pub fn segformer_kernel_tier_fidelity(
+    variant: &SegFormerVariant,
+    settings: &FidelitySettings,
+) -> Result<f64, FidelityError> {
+    let classes = 150;
+    let base = SegFormerConfig::ade20k(*variant).with_image(settings.image.0, settings.image.1);
+    let full = build_segformer(&base)?;
+    let gen = SceneGenerator::new(Dataset::Ade20k, settings.seed);
+    let mut exec_packed = Executor::new(settings.seed);
+    let mut exec_oracle = Executor::new(settings.seed);
+    let packed = ExecOptions::sequential();
+    let oracle = ExecOptions::sequential().with_reference_kernels(true);
+    let mut total = 0.0;
+    for i in 0..settings.samples {
+        let scene = gen.sample_sized(i as u64, settings.image.0, settings.image.1);
+        let inputs = std::slice::from_ref(&scene.image);
+        let p = exec_packed.run_opts(&full, inputs, &packed)?;
+        let o = exec_oracle.run_opts(&full, inputs, &oracle)?;
+        let p_map = p.argmax_channels().expect("segmentation output is NCHW");
+        let o_map = o.argmax_channels().expect("segmentation output is NCHW");
+        total += mean_iou(&p_map, &o_map, classes);
+    }
+    Ok(total / settings.samples as f64)
+}
+
 /// Measured fidelity mIoU of a pruned Swin + UPerNet against the full model.
 ///
 /// # Errors
@@ -166,6 +201,15 @@ mod tests {
             f_mild > 0.2,
             "mild pruning should retain substantial agreement, got {f_mild:.3}"
         );
+    }
+
+    #[test]
+    fn packed_kernels_are_semantically_invisible() {
+        // The whole-model oracle replay: packed GEMM/conv kernels vs the
+        // naive reference loops must agree perfectly at the task level.
+        let v = SegFormerVariant::b0();
+        let f = segformer_kernel_tier_fidelity(&v, &fast()).unwrap();
+        assert!((f - 1.0).abs() < 1e-12, "got {f}");
     }
 
     #[test]

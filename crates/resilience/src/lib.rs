@@ -36,6 +36,9 @@ pub use config::{
     table2_ade, table2_cityscapes, table3_swin_base, trained_segformer_ade,
     trained_segformer_cityscapes, trained_swin_ade, PaperPoint, TrainedModelPoint, Workload,
 };
-pub use fidelity::{segformer_fidelity, swin_fidelity, FidelityError, FidelitySettings};
+pub use fidelity::{
+    segformer_fidelity, segformer_kernel_tier_fidelity, swin_fidelity, FidelityError,
+    FidelitySettings,
+};
 pub use pareto::{dominates, pareto_front};
 pub use sweep::{sweep_segformer, sweep_swin, DynConfig, ResourceKind, TradeoffPoint};

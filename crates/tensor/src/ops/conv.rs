@@ -1,8 +1,26 @@
 //! 2-D convolution kernels (standard, grouped, and depthwise).
+//!
+//! Two production paths, chosen per call by geometry:
+//!
+//! * `c_per_g == 1` (depthwise and fully-grouped convs): a **direct**
+//!   tap-accumulation kernel. It replays the reference oracle's exact
+//!   per-element operation order (taps ascending `(ry, sx)`,
+//!   out-of-bounds taps skipped, never materialized as zeros), so it is
+//!   bit-identical to [`crate::ops::reference::conv2d`] — exact tier.
+//! * otherwise: **im2col into panel layout + packed GEMM**. The input
+//!   window for one `(batch, group)` pair is gathered straight into the
+//!   `NR`-wide column-panel layout the micro-kernel consumes (padding
+//!   taps become explicit `0.0` entries), and the weight tensor is the
+//!   GEMM's row-major left operand as stored. Materializing padding as
+//!   `0.0 * w` terms is a reassociation of the oracle's tap-skip, so
+//!   this path claims the tolerance tier
+//!   ([`crate::ops::reference::tolerance`], class `Conv`).
 
 use crate::error::{invalid_argument, invalid_shape, shape_mismatch, Result};
 use crate::ops::fused::Epilogue;
-use crate::par::ExecCtx;
+use crate::ops::pack::{gemm_rows, packed_len, GemmBias, Panels, NR};
+use crate::ops::reference;
+use crate::par::{BufferPool, ExecCtx};
 use crate::tensor::Tensor;
 
 /// Convolution hyper-parameters.
@@ -123,71 +141,15 @@ pub(crate) struct ConvGeom {
     pub(crate) p: Conv2dParams,
 }
 
-/// Computes output channel-planes `[row0, row0 + rows)` of the flattened
-/// `(batch, out_channel)` axis into `od` (that range's contiguous slice),
-/// applying `ep` at each element's final store.
-///
-/// Each output element is one sequentially-accumulated dot product — the
-/// exact operation order of the single-threaded kernel — so splitting the
-/// plane range across threads cannot change a single bit of the result.
-pub(crate) fn conv2d_rows(
-    xd: &[f32],
-    wd: &[f32],
-    bd: Option<&[f32]>,
-    od: &mut [f32],
-    row0: usize,
-    g: ConvGeom,
-    ep: Epilogue,
-) {
-    let plane = g.oh * g.ow;
-    let rows = od.len() / plane;
-    for row in 0..rows {
-        let (b, ko) = ((row0 + row) / g.k, (row0 + row) % g.k);
-        let c_start = (ko / g.k_per_g) * g.c_per_g;
-        let bias_k = bd.map_or(0.0, |bd| bd[ko]);
-        for oy in 0..g.oh {
-            for ox in 0..g.ow {
-                let mut acc = 0.0f32;
-                for ci in 0..g.c_per_g {
-                    let cin = c_start + ci;
-                    for ry in 0..g.r {
-                        let iy = oy * g.p.stride_h + ry;
-                        if iy < g.p.pad_h || iy >= g.h + g.p.pad_h {
-                            continue;
-                        }
-                        let iy = iy - g.p.pad_h;
-                        let wrow = (ko * g.c_per_g + ci) * g.r + ry;
-                        for sx in 0..g.s {
-                            let ix = ox * g.p.stride_w + sx;
-                            if ix < g.p.pad_w || ix >= g.w + g.p.pad_w {
-                                continue;
-                            }
-                            let ix = ix - g.p.pad_w;
-                            acc +=
-                                xd[((b * g.c + cin) * g.h + iy) * g.w + ix] * wd[wrow * g.s + sx];
-                        }
-                    }
-                }
-                od[row * plane + oy * g.ow + ox] = ep.apply(acc + bias_k);
-            }
-        }
-    }
-}
-
-/// [`conv2d`] with an execution context: output channel-planes are tiled
-/// across the context's thread pool and the output buffer is drawn from
-/// its buffer pool. Bit-identical to [`conv2d`] at any thread count.
-///
-/// # Errors
-///
-/// Returns the same validation errors as [`conv2d`].
-pub fn conv2d_ctx(
+/// Validates one convolution call and computes its [`ConvGeom`] plus the
+/// batch count. Shared by the production kernel, the packed-plan wrapper,
+/// and the reference oracle so every path agrees on legality.
+pub(crate) fn conv_geometry(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     p: Conv2dParams,
-    ctx: &ExecCtx<'_>,
-) -> Result<Tensor> {
+) -> Result<(ConvGeom, usize)> {
     if input.rank() != 4 || weight.rank() != 4 {
         return Err(invalid_shape(
             "conv2d",
@@ -262,10 +224,6 @@ pub fn conv2d_ctx(
         }
     }
     let (oh, ow) = p.out_size(h, w, r, s);
-    let mut out = ctx.alloc_zeroed(&[n, k, oh, ow]);
-    let xd = input.data();
-    let wd = weight.data();
-    let bd = bias.map(Tensor::data);
     let geom = ConvGeom {
         c,
         h,
@@ -279,17 +237,207 @@ pub fn conv2d_ctx(
         ow,
         p,
     };
-    let plane = oh * ow;
-    ctx.for_each_row_chunk(out.data_mut(), plane, |_, start, piece| {
-        conv2d_rows(
-            xd,
+    Ok((geom, n))
+}
+
+/// The valid `ox` range `[lo, hi)` for a given kernel column `sx`: the
+/// output columns whose tap `ox * stride_w + sx` lands inside the
+/// unpadded input. Computing the range up front replaces the oracle's
+/// per-tap bounds branch without changing which taps contribute.
+fn valid_ox_range(sx: usize, g: &ConvGeom) -> (usize, usize) {
+    let sw = g.p.stride_w;
+    let lo = if sx >= g.p.pad_w {
+        0
+    } else {
+        (g.p.pad_w - sx).div_ceil(sw)
+    };
+    let hi = if g.w + g.p.pad_w > sx {
+        ((g.w + g.p.pad_w - 1 - sx) / sw + 1).min(g.ow)
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
+/// Direct single-input-channel kernel for one output plane: replays the
+/// oracle's per-element tap order exactly (taps ascending `(ry, sx)`,
+/// out-of-bounds taps skipped), so the result is bit-identical to
+/// [`reference::conv2d_rows`].
+fn direct_plane_rows(
+    xd: &[f32],
+    wd: &[f32],
+    bd: Option<&[f32]>,
+    od: &mut [f32],
+    row0: usize,
+    g: ConvGeom,
+    ep: Epilogue,
+) {
+    let plane = g.oh * g.ow;
+    for (row, orow) in od.chunks_mut(plane).enumerate() {
+        let (b, ko) = ((row0 + row) / g.k, (row0 + row) % g.k);
+        let cin = ko / g.k_per_g;
+        let chan = &xd[(b * g.c + cin) * g.h * g.w..][..g.h * g.w];
+        // The plan arena is not pre-zeroed; accumulation starts at 0.0
+        // exactly as the oracle's per-element accumulator does.
+        orow.fill(0.0);
+        for ry in 0..g.r {
+            for sx in 0..g.s {
+                let wv = wd[(ko * g.r + ry) * g.s + sx];
+                let (ox_lo, ox_hi) = valid_ox_range(sx, &g);
+                for oy in 0..g.oh {
+                    let iy = oy * g.p.stride_h + ry;
+                    if iy < g.p.pad_h || iy >= g.h + g.p.pad_h {
+                        continue;
+                    }
+                    let iy = iy - g.p.pad_h;
+                    let xrow = &chan[iy * g.w..(iy + 1) * g.w];
+                    let orow_y = &mut orow[oy * g.ow..(oy + 1) * g.ow];
+                    for ox in ox_lo..ox_hi {
+                        orow_y[ox] += wv * xrow[ox * g.p.stride_w + sx - g.p.pad_w];
+                    }
+                }
+            }
+        }
+        match bd {
+            Some(bd) => {
+                let bias_k = bd[ko];
+                for v in orow.iter_mut() {
+                    *v = ep.apply(*v + bias_k);
+                }
+            }
+            None => {
+                for v in orow.iter_mut() {
+                    *v = ep.apply(*v);
+                }
+            }
+        }
+    }
+}
+
+/// Gathers the im2col matrix for one `(batch, group)` pair directly into
+/// panel layout: column `t` of the `[crs, plane]` im2col matrix (an
+/// output pixel) becomes lane `t % NR` of panel `t / NR`; padding taps
+/// are explicit zeros.
+fn im2col_panels(xd: &[f32], b: usize, g_idx: usize, g: &ConvGeom, col: &mut [f32]) {
+    let crs = g.c_per_g * g.r * g.s;
+    col.fill(0.0);
+    let mut kk = 0;
+    for ci in 0..g.c_per_g {
+        let cin = g_idx * g.c_per_g + ci;
+        let chan = &xd[(b * g.c + cin) * g.h * g.w..][..g.h * g.w];
+        for ry in 0..g.r {
+            for sx in 0..g.s {
+                let (ox_lo, ox_hi) = valid_ox_range(sx, g);
+                for oy in 0..g.oh {
+                    let iy = oy * g.p.stride_h + ry;
+                    if iy < g.p.pad_h || iy >= g.h + g.p.pad_h {
+                        continue;
+                    }
+                    let iy = iy - g.p.pad_h;
+                    let xrow = &chan[iy * g.w..(iy + 1) * g.w];
+                    for ox in ox_lo..ox_hi {
+                        let t = oy * g.ow + ox;
+                        col[((t / NR) * crs + kk) * NR + (t % NR)] =
+                            xrow[ox * g.p.stride_w + sx - g.p.pad_w];
+                    }
+                }
+                kk += 1;
+            }
+        }
+    }
+}
+
+/// Computes output channel-planes `[row0, row0 + rows)` of the flattened
+/// `(batch, out_channel)` axis into `od` (that range's contiguous slice),
+/// applying `ep` at each element's final store.
+///
+/// Dispatches between the direct exact-tier path and the im2col +
+/// packed-GEMM tolerance-tier path (see the module docs). Both choose
+/// their geometry from shapes alone, so splitting the plane range across
+/// threads cannot change a single bit of the result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_rows(
+    xd: &[f32],
+    wd: &[f32],
+    bd: Option<&[f32]>,
+    od: &mut [f32],
+    row0: usize,
+    g: ConvGeom,
+    ep: Epilogue,
+    bufs: Option<&BufferPool>,
+) {
+    let plane = g.oh * g.ow;
+    if plane == 0 {
+        return;
+    }
+    if g.c_per_g == 1 {
+        direct_plane_rows(xd, wd, bd, od, row0, g, ep);
+        return;
+    }
+    let rows = od.len() / plane;
+    let crs = g.c_per_g * g.r * g.s;
+    let col_len = packed_len(crs, plane);
+    let mut col = match bufs {
+        Some(pool) => pool.take_zeroed(col_len),
+        None => vec![0.0f32; col_len],
+    };
+    let mut row = 0;
+    while row < rows {
+        let (b, ko) = ((row0 + row) / g.k, (row0 + row) % g.k);
+        let g_idx = ko / g.k_per_g;
+        // Rows of this chunk sharing the (batch, group) im2col matrix.
+        let seg = ((g_idx + 1) * g.k_per_g - ko).min(rows - row);
+        im2col_panels(xd, b, g_idx, &g, &mut col);
+        gemm_rows(
             wd,
-            bd,
-            piece,
-            start / plane.max(1),
-            geom,
-            Epilogue::None,
+            crs,
+            ko,
+            Panels {
+                data: &col,
+                k: crs,
+                n: plane,
+            },
+            &mut od[row * plane..(row + seg) * plane],
+            bd.map_or(GemmBias::None, |bd| GemmBias::PerRow(&bd[ko..ko + seg])),
+            ep,
         );
+        row += seg;
+    }
+    if let Some(pool) = bufs {
+        pool.recycle(col);
+    }
+}
+
+/// [`conv2d`] with an execution context: output channel-planes are tiled
+/// across the context's thread pool and scratch (output and im2col
+/// panels) is drawn from its buffer pool. Bit-identical to [`conv2d`] at
+/// any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`conv2d`].
+pub fn conv2d_ctx(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor> {
+    let (geom, n) = conv_geometry(input, weight, bias, p)?;
+    let mut out = ctx.alloc_zeroed(&[n, geom.k, geom.oh, geom.ow]);
+    let xd = input.data();
+    let wd = weight.data();
+    let bd = bias.map(Tensor::data);
+    let plane = geom.oh * geom.ow;
+    let reference = ctx.reference;
+    let bufs = ctx.bufs;
+    ctx.for_each_row_chunk(out.data_mut(), plane, |_, start, piece| {
+        let row0 = start / plane.max(1);
+        if reference {
+            reference::conv2d_rows(xd, wd, bd, piece, row0, geom, Epilogue::None);
+        } else {
+            conv2d_rows(xd, wd, bd, piece, row0, geom, Epilogue::None, bufs);
+        }
     });
     Ok(out)
 }
@@ -426,5 +574,37 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "pixel {pix} channel {ch}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn depthwise_path_is_bitwise_equal_to_reference() {
+        // The direct single-input-channel kernel claims the EXACT tier.
+        let x = Tensor::rand_uniform(&[2, 3, 9, 7], -1.0, 1.0, 31);
+        let w = Tensor::rand_uniform(&[3, 1, 3, 3], -1.0, 1.0, 32);
+        let b = Tensor::rand_uniform(&[3], -1.0, 1.0, 33);
+        for p in [
+            Conv2dParams::new().pad(1),
+            Conv2dParams::new().stride(2).pad(1),
+            Conv2dParams::new(),
+        ] {
+            let got = depthwise_conv2d(&x, &w, Some(&b), p).unwrap();
+            let want = crate::ops::reference::conv2d(&x, &w, Some(&b), p.groups(3)).unwrap();
+            assert_eq!(got.data(), want.data());
+        }
+    }
+
+    #[test]
+    fn grouped_im2col_path_matches_reference_within_tolerance() {
+        use crate::ops::reference::{tolerance, within_tolerance, KernelClass};
+        let x = Tensor::rand_uniform(&[1, 8, 6, 5], -1.0, 1.0, 41);
+        let w = Tensor::rand_uniform(&[6, 4, 3, 3], -1.0, 1.0, 42);
+        let p = Conv2dParams::new().pad(1).groups(2);
+        let got = conv2d(&x, &w, None, p).unwrap();
+        let want = crate::ops::reference::conv2d(&x, &w, None, p).unwrap();
+        assert!(within_tolerance(
+            got.data(),
+            want.data(),
+            tolerance(KernelClass::Conv)
+        ));
     }
 }

@@ -5,17 +5,23 @@
 //! elementwise [`Epilogue`] at each element's *final store*, and a
 //! [`PackedConv2d`]/[`PackedLinear`] owns its weights in one contiguous
 //! kernel-friendly buffer so replaying a plan touches no weight caches.
+//! [`PackedLinear`] is `vit-plan`'s pack hook for the GEMM micro-kernel:
+//! its weight is laid out in [`crate::ops::pack::PackedB`] column panels
+//! **once at plan-compile time**, so plan replay never re-packs.
 //!
 //! Bit-identity: the epilogue scalar functions are the *same definitions*
 //! the standalone [`crate::ops::relu`]/[`crate::ops::gelu`] passes use,
 //! and `Epilogue::None.apply(x)` returns `x` unchanged, so a fused
 //! `conv → relu` equals the two-pass result bit for bit — each element is
-//! computed once as `ep.apply(acc + bias)` in the same operation order.
+//! computed once as `ep.apply(acc + bias)` in the same operation order as
+//! the unfused kernel. Which *tier* a packed kernel claims against the
+//! reference oracle is a separate contract: see
+//! [`PackedConv2d::reassociates`] and [`crate::ops::reference`].
 
 use crate::error::{invalid_shape, shape_mismatch, Result};
 use crate::ops::activation::{gelu_scalar, relu_scalar};
 use crate::ops::conv::{conv2d_rows, ConvGeom};
-use crate::ops::matmul::linear_rows;
+use crate::ops::pack::{gemm_rows, GemmBias, PackedB};
 use crate::ops::Conv2dParams;
 use crate::par::ExecCtx;
 use crate::tensor::Tensor;
@@ -48,7 +54,9 @@ impl Epilogue {
 /// contiguous buffer at plan time, plus a fused [`Epilogue`].
 ///
 /// Layout: weight `[k, c/groups, r, s]` row-major, immediately followed by
-/// the bias `[k]` when present.
+/// the bias `[k]` when present. Row-major weight is already the layout the
+/// im2col GEMM consumes as its left operand, so no further packing is
+/// needed here.
 #[derive(Debug, Clone)]
 pub struct PackedConv2d {
     data: Box<[f32]>,
@@ -125,10 +133,21 @@ impl PackedConv2d {
         self.epilogue
     }
 
+    /// Whether this kernel's execution may reassociate floating-point
+    /// accumulation relative to the reference oracle, i.e. whether it
+    /// claims the tolerance tier instead of the exact tier. True for the
+    /// im2col + packed-GEMM path (`c/groups > 1`, where padding taps
+    /// become explicit `0.0` terms); false for the direct
+    /// single-input-channel path, which is bit-identical to the oracle.
+    pub fn reassociates(&self) -> bool {
+        self.c_per_g > 1
+    }
+
     /// Runs the convolution from `input` (NCHW, shape `in_shape`) into
     /// `out`, which must hold exactly `out_shape(in_shape)` elements.
-    /// Output channel-planes are tiled across the context's thread pool;
-    /// bit-identical at any thread count.
+    /// Output channel-planes are tiled across the context's thread pool
+    /// and im2col scratch is drawn from its buffer pool; bit-identical at
+    /// any thread count.
     pub fn run(&self, input: &[f32], in_shape: &[usize], out: &mut [f32], ctx: &ExecCtx<'_>) {
         let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
         let (oh, ow) = self.params.out_size(h, w, self.r, self.s);
@@ -152,24 +171,25 @@ impl PackedConv2d {
         let bd = self.has_bias.then(|| &self.data[wlen..]);
         let plane = oh * ow;
         let ep = self.epilogue;
+        let bufs = ctx.bufs;
         ctx.for_each_row_chunk(out, plane, |_, start, piece| {
-            conv2d_rows(input, wd, bd, piece, start / plane.max(1), geom, ep);
+            conv2d_rows(input, wd, bd, piece, start / plane.max(1), geom, ep, bufs);
         });
     }
 }
 
-/// A linear layer with weights (and optional bias) packed into one
-/// contiguous buffer at plan time, plus a fused [`Epilogue`].
+/// A linear layer packed for the GEMM micro-kernel at plan time, plus a
+/// fused [`Epilogue`].
 ///
-/// Layout: weight `[out_features, in_features]` row-major (PyTorch
-/// convention), immediately followed by the bias `[out_features]` when
-/// present.
+/// The weight `[out_features, in_features]` (PyTorch convention) is
+/// stored as its transpose in [`PackedB`] column-panel layout — the
+/// exact operand format the register-blocked kernel streams — followed
+/// by the bias `[out_features]` when present. Packing happens once here;
+/// replay never touches the row-major weight again.
 #[derive(Debug, Clone)]
 pub struct PackedLinear {
-    data: Box<[f32]>,
-    out_features: usize,
-    in_features: usize,
-    has_bias: bool,
+    weight: PackedB,
+    bias: Option<Box<[f32]>>,
     epilogue: Epilogue,
 }
 
@@ -197,23 +217,16 @@ impl PackedLinear {
                 ));
             }
         }
-        let mut data = Vec::with_capacity(weight.numel() + bias.map_or(0, Tensor::numel));
-        data.extend_from_slice(weight.data());
-        if let Some(b) = bias {
-            data.extend_from_slice(b.data());
-        }
         Ok(PackedLinear {
-            data: data.into_boxed_slice(),
-            out_features,
-            in_features,
-            has_bias: bias.is_some(),
+            weight: PackedB::pack_transposed(weight.data(), out_features, in_features),
+            bias: bias.map(|b| b.data().to_vec().into_boxed_slice()),
             epilogue,
         })
     }
 
     /// Output feature count.
     pub fn out_features(&self) -> usize {
-        self.out_features
+        self.weight.n()
     }
 
     /// The fused epilogue.
@@ -226,14 +239,21 @@ impl PackedLinear {
     /// across the context's thread pool; bit-identical at any thread
     /// count.
     pub fn run(&self, input: &[f32], out: &mut [f32], ctx: &ExecCtx<'_>) {
-        debug_assert_eq!(input.len() % self.in_features.max(1), 0);
-        debug_assert_eq!(out.len() % self.out_features.max(1), 0);
-        let wlen = self.out_features * self.in_features;
-        let wd = &self.data[..wlen];
-        let bd = self.has_bias.then(|| &self.data[wlen..]);
-        let (inf, outf, ep) = (self.in_features, self.out_features, self.epilogue);
+        let (inf, outf) = (self.weight.k(), self.weight.n());
+        debug_assert_eq!(input.len() % inf.max(1), 0);
+        debug_assert_eq!(out.len() % outf.max(1), 0);
+        let bd = self.bias.as_deref();
+        let ep = self.epilogue;
         ctx.for_each_row_chunk(out, outf, |_, start, piece| {
-            linear_rows(input, wd, bd, piece, start / outf.max(1), inf, outf, ep);
+            gemm_rows(
+                input,
+                inf,
+                start / outf.max(1),
+                self.weight.panels(),
+                piece,
+                bd.map_or(GemmBias::None, GemmBias::PerCol),
+                ep,
+            );
         });
     }
 }
@@ -288,6 +308,7 @@ mod tests {
             pool: Some(&pool),
             bufs: None,
             sink: None,
+            reference: false,
         };
         let x = Tensor::rand_uniform(&[2, 4, 6, 6], -1.0, 1.0, 31);
         let w = Tensor::rand_uniform(&[8, 4, 3, 3], -0.5, 0.5, 32);
@@ -299,6 +320,17 @@ mod tests {
         packed.run(x.data(), x.shape(), &mut seq, &ExecCtx::default());
         packed.run(x.data(), x.shape(), &mut par, &ctx);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn conv_reassociation_follows_geometry() {
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        let packed = PackedConv2d::pack(&w, None, Conv2dParams::new(), Epilogue::None).unwrap();
+        assert!(packed.reassociates(), "im2col GEMM path reassociates");
+        let dw = Tensor::zeros(&[4, 1, 3, 3]);
+        let packed =
+            PackedConv2d::pack(&dw, None, Conv2dParams::new().groups(4), Epilogue::None).unwrap();
+        assert!(!packed.reassociates(), "direct depthwise path is exact");
     }
 
     #[test]

@@ -1,63 +1,20 @@
 //! Matrix multiplication and linear (fully-connected) kernels.
+//!
+//! The production path packs the right operand into `NR`-wide column
+//! panels ([`crate::ops::pack::PackedB`]) and runs the register-blocked
+//! micro-kernel; [`crate::par::ExecCtx::reference`] reroutes every entry
+//! point to the naive oracle loops in [`crate::ops::reference`] so whole
+//! models can be replayed against the tolerance tier's oracle.
 
 use crate::error::{invalid_shape, shape_mismatch, Result};
 use crate::ops::fused::Epilogue;
+use crate::ops::pack::{gemm_rows, GemmBias, PackedB};
+use crate::ops::reference;
 use crate::par::ExecCtx;
 use crate::tensor::Tensor;
 
-/// Computes output rows of one `[m, k] x [k, n]` product into `od`, the
-/// contiguous slice for rows `[row0, row0 + od.len() / n)`.
-///
-/// The per-row loop (including the zero-skip) is byte-for-byte the
-/// sequential kernel's, so row partitioning cannot change any result bit.
-fn matmul_rows(ad: &[f32], bd: &[f32], od: &mut [f32], row0: usize, k: usize, n: usize) {
-    let rows = od.len() / n.max(1);
-    for row in 0..rows {
-        let i = row0 + row;
-        for kk in 0..k {
-            let av = ad[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            let orow = &mut od[row * n..(row + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
-    }
-}
-
-/// Multiplies two 2-D matrices: `a` is `[m, k]`, `b` is `[k, n]`, the result
-/// is `[m, n]`.
-///
-/// # Errors
-///
-/// Returns [`crate::TensorError::ShapeMismatch`] when the inner dimensions
-/// disagree or either input is not rank 2.
-///
-/// # Examples
-///
-/// ```
-/// use vit_tensor::{Tensor, ops};
-/// # fn main() -> Result<(), vit_tensor::TensorError> {
-/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
-/// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
-/// assert_eq!(ops::matmul(&a, &id)?, a);
-/// # Ok(())
-/// # }
-/// ```
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    matmul_ctx(a, b, &ExecCtx::default())
-}
-
-/// [`matmul`] with an execution context: output rows are tiled across the
-/// context's thread pool. Bit-identical to [`matmul`] at any thread count.
-///
-/// # Errors
-///
-/// Returns the same validation errors as [`matmul`].
-pub fn matmul_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
+/// Validates a `[m, k] x [k, n]` product, returning `(m, k, n)`.
+pub(crate) fn validate_matmul(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
     if a.rank() != 2 || b.rank() != 2 {
         return Err(invalid_shape(
             "matmul",
@@ -77,34 +34,11 @@ pub fn matmul_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
             format!("{:?} x {:?}", a.shape(), b.shape()),
         ));
     }
-    let mut out = ctx.alloc_zeroed(&[m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    // i-k-j loop order for stride-1 inner access on both b and out.
-    ctx.for_each_row_chunk(out.data_mut(), n, |_, start, piece| {
-        matmul_rows(ad, bd, piece, start / n.max(1), k, n);
-    });
-    Ok(out)
+    Ok((m, k, n))
 }
 
-/// Batched matrix multiplication over the leading dimension:
-/// `a` is `[b, m, k]`, `b` is `[b, k, n]`, the result is `[b, m, n]`.
-///
-/// # Errors
-///
-/// Returns [`crate::TensorError::ShapeMismatch`] when batch or inner
-/// dimensions disagree.
-pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    bmm_ctx(a, b, &ExecCtx::default())
-}
-
-/// [`bmm`] with an execution context: batches are tiled across the
-/// context's thread pool. Bit-identical to [`bmm`] at any thread count.
-///
-/// # Errors
-///
-/// Returns the same validation errors as [`bmm`].
-pub fn bmm_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
+/// Validates a batched product, returning `(batch, m, k, n)`.
+pub(crate) fn validate_bmm(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize, usize)> {
     if a.rank() != 3 || b.rank() != 3 || a.shape()[0] != b.shape()[0] {
         return Err(shape_mismatch(
             "bmm",
@@ -121,57 +55,16 @@ pub fn bmm_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
             format!("{:?} x {:?}", a.shape(), b.shape()),
         ));
     }
-    let mut out = ctx.alloc_zeroed(&[batch, m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let per = m * n;
-    // Chunk on whole batches; each batch is an independent [m, k] x [k, n]
-    // product computed directly on the input slices (same values and
-    // operation order as the per-batch copies the sequential path used).
-    ctx.for_each_row_chunk(out.data_mut(), per, |_, start, piece| {
-        let b0 = start / per.max(1);
-        for (off, opiece) in piece.chunks_mut(per.max(1)).enumerate() {
-            let bi = b0 + off;
-            matmul_rows(
-                &ad[bi * m * k..(bi + 1) * m * k],
-                &bd[bi * k * n..(bi + 1) * k * n],
-                opiece,
-                0,
-                k,
-                n,
-            );
-        }
-    });
-    Ok(out)
+    Ok((batch, m, k, n))
 }
 
-/// Applies a linear (fully-connected) layer to the last dimension.
-///
-/// `input` is `[..., in_features]`, `weight` is
-/// `[out_features, in_features]` (PyTorch convention), `bias` is
-/// `[out_features]` or `None`. The result replaces the last dimension with
-/// `out_features`.
-///
-/// # Errors
-///
-/// Returns [`crate::TensorError::ShapeMismatch`] when `in_features` or the
-/// bias length disagree.
-pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
-    linear_ctx(input, weight, bias, &ExecCtx::default())
-}
-
-/// [`linear`] with an execution context: output rows are tiled across the
-/// context's thread pool. Bit-identical to [`linear`] at any thread count.
-///
-/// # Errors
-///
-/// Returns the same validation errors as [`linear`].
-pub fn linear_ctx(
+/// Validates a linear layer, returning the output shape and
+/// `(in_features, out_features)`.
+pub(crate) fn validate_linear(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
-    ctx: &ExecCtx<'_>,
-) -> Result<Tensor> {
+) -> Result<(Vec<usize>, usize, usize)> {
     if weight.rank() != 2 {
         return Err(invalid_shape(
             "linear",
@@ -203,57 +96,190 @@ pub fn linear_ctx(
     }
     let mut out_shape = input.shape().to_vec();
     *out_shape.last_mut().expect("non-empty shape") = out_features;
-    let mut out = ctx.alloc_zeroed(&out_shape);
-    let xd = input.data();
-    let wd = weight.data();
-    let bd = bias.map(Tensor::data);
-    // Chunk on output rows. Folding the bias into each row's final store
-    // (`acc + bias`) is bitwise identical to the former write-then-add
-    // passes because the output starts zeroed.
-    ctx.for_each_row_chunk(out.data_mut(), out_features, |_, start, piece| {
-        let r0 = start / out_features.max(1);
-        linear_rows(
-            xd,
-            wd,
-            bd,
+    Ok((out_shape, in_features, out_features))
+}
+
+/// Multiplies two 2-D matrices: `a` is `[m, k]`, `b` is `[k, n]`, the result
+/// is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::ShapeMismatch`] when the inner dimensions
+/// disagree or either input is not rank 2.
+///
+/// # Examples
+///
+/// ```
+/// use vit_tensor::{Tensor, ops};
+/// # fn main() -> Result<(), vit_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(ops::matmul(&a, &id)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_ctx(a, b, &ExecCtx::default())
+}
+
+/// [`matmul`] with an execution context: `b` is panel-packed once, then
+/// output rows are tiled across the context's thread pool. Blocking
+/// geometry depends only on shapes, so the result is bit-identical to
+/// [`matmul`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`matmul`].
+pub fn matmul_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
+    let (m, k, n) = validate_matmul(a, b)?;
+    let mut out = ctx.alloc_zeroed(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    if ctx.reference {
+        ctx.for_each_row_chunk(out.data_mut(), n, |_, start, piece| {
+            reference::matmul_rows(ad, bd, piece, start / n.max(1), k, n);
+        });
+        return Ok(out);
+    }
+    let packed = PackedB::pack(bd, k, n);
+    ctx.for_each_row_chunk(out.data_mut(), n, |_, start, piece| {
+        gemm_rows(
+            ad,
+            k,
+            start / n.max(1),
+            packed.panels(),
             piece,
-            r0,
-            in_features,
-            out_features,
+            GemmBias::None,
             Epilogue::None,
         );
     });
     Ok(out)
 }
 
-/// Computes output rows `[row0, row0 + od.len() / out_features)` of a
-/// linear layer into `od`, applying `ep` at each element's final store.
+/// Batched matrix multiplication over the leading dimension:
+/// `a` is `[b, m, k]`, `b` is `[b, k, n]`, the result is `[b, m, n]`.
 ///
-/// One sequential dot product per output element, so row partitioning
-/// cannot change any result bit.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn linear_rows(
-    xd: &[f32],
-    wd: &[f32],
-    bd: Option<&[f32]>,
-    od: &mut [f32],
-    row0: usize,
-    in_features: usize,
-    out_features: usize,
-    ep: Epilogue,
-) {
-    for (row, orow) in od.chunks_mut(out_features.max(1)).enumerate() {
-        let r = row0 + row;
-        let xrow = &xd[r * in_features..(r + 1) * in_features];
-        for (o, orow_o) in orow.iter_mut().enumerate() {
-            let wrow = &wd[o * in_features..(o + 1) * in_features];
-            let mut acc = 0.0;
-            for (xi, wi) in xrow.iter().zip(wrow.iter()) {
-                acc += xi * wi;
+/// # Errors
+///
+/// Returns [`crate::TensorError::ShapeMismatch`] when batch or inner
+/// dimensions disagree.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bmm_ctx(a, b, &ExecCtx::default())
+}
+
+/// [`bmm`] with an execution context: batches are tiled across the
+/// context's thread pool, each packing and multiplying its own `b`
+/// slice. Per-batch packing depends only on shapes, so the result is
+/// bit-identical to [`bmm`] at any thread count.
+///
+/// Products with a tiny inner dimension (`k < NR`) skip packing and run
+/// the naive row loop instead: the register tile's fixed setup/store
+/// cost cannot amortize over so few inner iterations (measured ~2.5x
+/// slower on the spatial-reduction attention's `attn @ v` shapes). The
+/// two kernels compute every output element through the identical
+/// k-ascending add chain, so the dispatch — a pure function of shapes —
+/// is bitwise invisible.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`bmm`].
+pub fn bmm_ctx(a: &Tensor, b: &Tensor, ctx: &ExecCtx<'_>) -> Result<Tensor> {
+    let (batch, m, k, n) = validate_bmm(a, b)?;
+    let _ = batch;
+    let mut out = ctx.alloc_zeroed(&[batch, m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let per = m * n;
+    let naive = ctx.reference || k < crate::ops::pack::NR;
+    // Chunk on whole batches; each batch is an independent [m, k] x [k, n]
+    // product computed directly on the input slices.
+    ctx.for_each_row_chunk(out.data_mut(), per, |_, start, piece| {
+        let b0 = start / per.max(1);
+        for (off, opiece) in piece.chunks_mut(per.max(1)).enumerate() {
+            let bi = b0 + off;
+            let abatch = &ad[bi * m * k..(bi + 1) * m * k];
+            let bbatch = &bd[bi * k * n..(bi + 1) * k * n];
+            if naive {
+                reference::matmul_rows(abatch, bbatch, opiece, 0, k, n);
+            } else {
+                let packed = PackedB::pack(bbatch, k, n);
+                gemm_rows(
+                    abatch,
+                    k,
+                    0,
+                    packed.panels(),
+                    opiece,
+                    GemmBias::None,
+                    Epilogue::None,
+                );
             }
-            *orow_o = ep.apply(acc + bd.map_or(0.0, |bd| bd[o]));
         }
+    });
+    Ok(out)
+}
+
+/// Applies a linear (fully-connected) layer to the last dimension.
+///
+/// `input` is `[..., in_features]`, `weight` is
+/// `[out_features, in_features]` (PyTorch convention), `bias` is
+/// `[out_features]` or `None`. The result replaces the last dimension with
+/// `out_features`.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::ShapeMismatch`] when `in_features` or the
+/// bias length disagree.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    linear_ctx(input, weight, bias, &ExecCtx::default())
+}
+
+/// [`linear`] with an execution context: the weight is packed as `W^T`
+/// column panels once, then output rows are tiled across the context's
+/// thread pool. Bit-identical to [`linear`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`linear`].
+pub fn linear_ctx(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Tensor> {
+    let (out_shape, in_features, out_features) = validate_linear(input, weight, bias)?;
+    let mut out = ctx.alloc_zeroed(&out_shape);
+    let xd = input.data();
+    let wd = weight.data();
+    let bd = bias.map(Tensor::data);
+    if ctx.reference {
+        ctx.for_each_row_chunk(out.data_mut(), out_features, |_, start, piece| {
+            let r0 = start / out_features.max(1);
+            reference::linear_rows(
+                xd,
+                wd,
+                bd,
+                piece,
+                r0,
+                in_features,
+                out_features,
+                Epilogue::None,
+            );
+        });
+        return Ok(out);
     }
+    let packed = PackedB::pack_transposed(wd, out_features, in_features);
+    ctx.for_each_row_chunk(out.data_mut(), out_features, |_, start, piece| {
+        gemm_rows(
+            xd,
+            in_features,
+            start / out_features.max(1),
+            packed.panels(),
+            piece,
+            bd.map_or(GemmBias::None, GemmBias::PerCol),
+            Epilogue::None,
+        );
+    });
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -334,5 +360,18 @@ mod tests {
         let w = Tensor::zeros(&[2, 4]);
         let b = Tensor::zeros(&[3]);
         assert!(linear(&x, &w, Some(&b)).is_err());
+    }
+
+    #[test]
+    fn reference_ctx_reroutes_to_oracle() {
+        let a = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, 21);
+        let b = Tensor::rand_uniform(&[7, 6], -1.0, 1.0, 22);
+        let ref_ctx = ExecCtx {
+            reference: true,
+            ..ExecCtx::default()
+        };
+        let via_ctx = matmul_ctx(&a, &b, &ref_ctx).unwrap();
+        let oracle = crate::ops::reference::matmul(&a, &b).unwrap();
+        assert_eq!(via_ctx.data(), oracle.data());
     }
 }

@@ -1,0 +1,335 @@
+//! Packed-panel layouts and the register-blocked f32 GEMM micro-kernel.
+//!
+//! This is the production back end behind [`crate::ops::matmul`],
+//! [`crate::ops::bmm`], [`crate::ops::linear`], and the im2col path of
+//! [`crate::ops::conv2d`]. The design is the classic panel-packed GEMM:
+//!
+//! * **B packing** ([`PackedB`]): the right operand `[k, n]` is laid out
+//!   as `NR`-wide column panels, k-major inside each panel and
+//!   zero-padded in the tail panel, so the micro-kernel streams one
+//!   contiguous `NR`-float row per k step. Model weights are packed once
+//!   at plan-compile time (`PackedLinear`), activations per call.
+//! * **A packing**: for each block of up to `MR` output rows, the left
+//!   operand rows are interleaved into one contiguous k-major panel, so
+//!   the k loop reads both operands at stride 1 with no index math.
+//! * **micro-kernel** ([`micro`]): an `MR x NR` register accumulator
+//!   updated by rank-1 steps over k. The loops are written over
+//!   `chunks_exact` so bounds checks vanish and the `NR`-wide inner loop
+//!   autovectorizes.
+//!
+//! # Numerics
+//!
+//! Each output element accumulates its k terms **sequentially in k
+//! order** in a single register chain — blocking reorders the loop nest,
+//! not any element's additions — so on finite inputs this kernel is
+//! bit-identical to the naive oracle in [`crate::ops::reference`]. The
+//! kernels still *claim* only the tolerance tier
+//! ([`crate::ops::reference::tolerance`]): the contract reserves the
+//! right to spend the registered ULP budget on k-split SIMD reductions or
+//! FMA contraction later without renegotiating every differential test.
+//! Blocking geometry depends only on shapes and the constants below,
+//! never on the thread count, so exact-tier claims *between runs of this
+//! kernel* (sequential vs threaded, interpreter vs plan) are unaffected.
+
+use crate::ops::fused::Epilogue;
+
+/// Register-tile height: output rows accumulated at once.
+pub const MR: usize = 4;
+/// Register-tile width: output columns per packed B panel.
+pub const NR: usize = 8;
+/// Nominal k-blocking depth. The micro-kernel keeps one accumulator
+/// chain per element across the whole k extent (no partial spills), so
+/// `KC` has no numeric effect; it only bounds the A-panel working set
+/// used per packing pass and is exposed for shape generators in tests.
+pub const KC: usize = 256;
+
+/// The right-hand GEMM operand packed into `NR`-wide column panels.
+///
+/// Layout: panel `p` covers columns `[p*NR, (p+1)*NR)` and occupies
+/// `k * NR` consecutive floats, k-major: element `(kk, j)` of the panel
+/// lives at `p*k*NR + kk*NR + j`. Columns past `n` in the tail panel are
+/// zero and stay zero (the store loop never reads them back).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    data: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+/// Borrowed view of panel-packed data, so callers (the im2col path) can
+/// fill a pooled scratch buffer in panel layout without an owning
+/// [`PackedB`].
+#[derive(Clone, Copy)]
+pub(crate) struct Panels<'a> {
+    pub(crate) data: &'a [f32],
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+}
+
+/// Number of floats panel-packing a `[k, n]` operand occupies.
+pub(crate) fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+impl PackedB {
+    /// Packs a row-major `[k, n]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bd.len() != k * n`.
+    pub fn pack(bd: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(bd.len(), k * n, "PackedB::pack shape mismatch");
+        let mut data = vec![0.0f32; packed_len(k, n)];
+        for kk in 0..k {
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (j, &v) in brow.iter().enumerate() {
+                data[(j / NR) * k * NR + kk * NR + (j % NR)] = v;
+            }
+        }
+        PackedB { data, k, n }
+    }
+
+    /// Packs the **transpose** of a row-major `[rows, cols]` matrix, i.e.
+    /// the packed operand is `[k = cols, n = rows]`. This is the linear
+    /// layer's weight `[out, in]` consumed as `B = W^T` without
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wd.len() != rows * cols`.
+    pub fn pack_transposed(wd: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(wd.len(), rows * cols, "PackedB::pack_transposed mismatch");
+        let (k, n) = (cols, rows);
+        let mut data = vec![0.0f32; packed_len(k, n)];
+        // Element (kk, j) of B is wd[j * cols + kk]: walk wd row-major so
+        // the large operand streams sequentially.
+        for (j, wrow) in wd.chunks_exact(cols.max(1)).enumerate() {
+            let panel = (j / NR) * k * NR + (j % NR);
+            for (kk, &v) in wrow.iter().enumerate() {
+                data[panel + kk * NR] = v;
+            }
+        }
+        PackedB { data, k, n }
+    }
+
+    /// The packed operand's inner (reduction) extent.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The packed operand's column count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Recovers the row-major `[k, n]` matrix. Packing stores every
+    /// element exactly once and padding is never written back, so
+    /// `PackedB::pack(bd, k, n).unpack() == bd` bit-for-bit.
+    pub fn unpack(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.k * self.n];
+        for kk in 0..self.k {
+            for j in 0..self.n {
+                out[kk * self.n + j] = self.data[(j / NR) * self.k * NR + kk * NR + (j % NR)];
+            }
+        }
+        out
+    }
+
+    pub(crate) fn panels(&self) -> Panels<'_> {
+        Panels {
+            data: &self.data,
+            k: self.k,
+            n: self.n,
+        }
+    }
+}
+
+/// How the epilogue store folds a bias into each element.
+#[derive(Clone, Copy)]
+pub(crate) enum GemmBias<'a> {
+    /// No bias: the accumulator is stored as-is (never `+ 0.0`, which
+    /// would canonicalize `-0.0`).
+    None,
+    /// One bias per output column, indexed by absolute column (linear).
+    PerCol(&'a [f32]),
+    /// One bias per output row, indexed by row local to `od` (conv:
+    /// rows are output channels).
+    PerRow(&'a [f32]),
+}
+
+/// The register micro-kernel: accumulates `M x NR` outputs over one
+/// packed A panel (k-major, `M` interleaved rows) and one packed B panel
+/// (k-major, `NR` columns). `M` is const so the compiler fully unrolls
+/// the row loop and keeps `acc` in registers.
+#[inline]
+fn micro<const M: usize>(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]]) {
+    let acc: &mut [[f32; NR]; M] = (&mut acc[..M]).try_into().expect("acc holds M rows");
+    for (arow, brow) in apanel.chunks_exact(M).zip(bpanel.chunks_exact(NR)) {
+        for m in 0..M {
+            let av = arow[m];
+            for j in 0..NR {
+                acc[m][j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// Computes output rows `[row0, row0 + od.len() / b.n)` of `A x B` into
+/// `od`, with `a` row-major at leading dimension `lda` (so `a` may be a
+/// taller matrix the caller offsets into — conv passes the whole weight
+/// tensor). Bias and activation run inside the tile write-back.
+pub(crate) fn gemm_rows(
+    a: &[f32],
+    lda: usize,
+    row0: usize,
+    b: Panels<'_>,
+    od: &mut [f32],
+    bias: GemmBias<'_>,
+    ep: Epilogue,
+) {
+    let (k, n) = (b.k, b.n);
+    if n == 0 {
+        return;
+    }
+    let rows = od.len() / n;
+    let np = n.div_ceil(NR);
+    let mut apanel = vec![0.0f32; k * MR];
+    let mut i0 = 0;
+    while i0 < rows {
+        let mr = MR.min(rows - i0);
+        // Interleave the next `mr` A rows k-major: panel[kk*mr + m].
+        for m in 0..mr {
+            let arow = &a[(row0 + i0 + m) * lda..(row0 + i0 + m) * lda + k];
+            for (kk, &v) in arow.iter().enumerate() {
+                apanel[kk * mr + m] = v;
+            }
+        }
+        let ap = &apanel[..k * mr];
+        for p in 0..np {
+            let bpanel = &b.data[p * k * NR..(p + 1) * k * NR];
+            let col0 = p * NR;
+            let nc = NR.min(n - col0);
+            let mut acc = [[0.0f32; NR]; MR];
+            match mr {
+                4 => micro::<4>(ap, bpanel, &mut acc),
+                3 => micro::<3>(ap, bpanel, &mut acc),
+                2 => micro::<2>(ap, bpanel, &mut acc),
+                _ => micro::<1>(ap, bpanel, &mut acc),
+            }
+            for m in 0..mr {
+                let orow = &mut od[(i0 + m) * n + col0..(i0 + m) * n + col0 + nc];
+                for (j, out) in orow.iter_mut().enumerate() {
+                    let v = acc[m][j];
+                    let v = match bias {
+                        GemmBias::None => v,
+                        GemmBias::PerCol(bd) => v + bd[col0 + j],
+                        GemmBias::PerRow(bd) => v + bd[i0 + m],
+                    };
+                    *out = ep.apply(v);
+                }
+            }
+        }
+        i0 += mr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::reference;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn pack_unpack_roundtrips_exactly() {
+        for (k, n) in [(1, 1), (3, 5), (7, 8), (9, 17), (256, 8), (300, 33)] {
+            let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, (k * 31 + n) as u64);
+            let packed = PackedB::pack(b.data(), k, n);
+            assert_eq!(packed.unpack(), b.data(), "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_transposed_matches_explicit_transpose() {
+        let w = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, 11);
+        let wt = w.transpose2().unwrap();
+        assert_eq!(
+            PackedB::pack_transposed(w.data(), 5, 7),
+            PackedB::pack(wt.data(), 7, 5),
+        );
+    }
+
+    #[test]
+    fn gemm_rows_matches_reference_bitwise_on_awkward_shapes() {
+        // Non-multiples of MR/NR, degenerate rows/cols, and a k crossing KC.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 3, 9),
+            (7, 17, 23),
+            (3, KC + 5, 11),
+            (6, 2, 1),
+        ] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, (m * 7 + n) as u64);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, (k * 13 + n) as u64);
+            let packed = PackedB::pack(b.data(), k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_rows(
+                a.data(),
+                k,
+                0,
+                packed.panels(),
+                &mut got,
+                GemmBias::None,
+                Epilogue::None,
+            );
+            let want = reference::matmul(&a, &b).unwrap();
+            assert_eq!(got, want.data(), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn gemm_rows_row_offset_and_biases() {
+        let (m, k, n) = (6, 5, 10);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, 3);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, 4);
+        let packed = PackedB::pack(b.data(), k, n);
+        let full = reference::matmul(&a, &b).unwrap();
+
+        // Rows [2, 5) with a per-column bias and ReLU in the write-back.
+        let colb: Vec<f32> = (0..n).map(|j| j as f32 - 4.0).collect();
+        let mut got = vec![0.0f32; 3 * n];
+        gemm_rows(
+            a.data(),
+            k,
+            2,
+            packed.panels(),
+            &mut got,
+            GemmBias::PerCol(&colb),
+            Epilogue::Relu,
+        );
+        for r in 0..3 {
+            for j in 0..n {
+                let want = Epilogue::Relu.apply(full.data()[(r + 2) * n + j] + colb[j]);
+                assert_eq!(got[r * n + j], want);
+            }
+        }
+
+        // Per-row bias, local indexing.
+        let rowb = [0.5f32, -0.5, 1.5];
+        let mut got = vec![0.0f32; 3 * n];
+        gemm_rows(
+            a.data(),
+            k,
+            2,
+            packed.panels(),
+            &mut got,
+            GemmBias::PerRow(&rowb),
+            Epilogue::None,
+        );
+        for r in 0..3 {
+            for j in 0..n {
+                assert_eq!(got[r * n + j], full.data()[(r + 2) * n + j] + rowb[r]);
+            }
+        }
+    }
+}

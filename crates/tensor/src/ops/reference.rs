@@ -1,0 +1,393 @@
+//! Reference (oracle) kernels and the per-op-class tolerance registry.
+//!
+//! The production GEMM/conv kernels (`ops/pack.rs` and `ops/conv.rs`)
+//! are cache-blocked and register-tiled. Blocking is
+//! *allowed* to reorder floating-point accumulation relative to a naive
+//! triple loop, so those kernels are held to a **tolerance contract**
+//! against the oracles in this module instead of a bit-identity contract:
+//!
+//! * **exact tier** — claims between two runs of the *same* kernel
+//!   (sequential vs threaded, interpreter vs compiled plan). These remain
+//!   bit-identity claims: blocking geometry depends only on shapes and
+//!   compile-time constants, never on the thread count.
+//! * **tolerance tier** — claims between a production kernel and the
+//!   reference oracle here. Each kernel class registers a
+//!   [`Tolerance`] bound via [`tolerance`]; the differential suites
+//!   assert `max_ulp`/relative error within that bound, and golden pins
+//!   in `crates/tensor/tests/kernel_tiers.rs` freeze the *measured*
+//!   error so a kernel change that widens it fails loudly.
+//!
+//! The oracles are the pre-blocking naive loops with two deliberate
+//! semantic fixes, both of which make the oracle *stricter* about IEEE
+//! edge cases:
+//!
+//! * the historical `matmul` zero-skip (`if av == 0.0 { continue; }`) is
+//!   gone: skipping suppresses NaN/Inf propagation from the other operand
+//!   (`0.0 * inf = NaN`, but a skipped term contributes nothing), which
+//!   can hide exactly the corruptions the fault-detection output guards
+//!   exist to catch;
+//! * a missing bias no longer contributes a literal `+ 0.0`: the no-bias
+//!   path stores the raw accumulator, so each output element is exactly
+//!   the sequential dot-product chain the packed kernels' register
+//!   accumulators compute — the exact-tier bitwise claims are provable
+//!   term-for-term instead of holding only up to an extra identity add.
+
+use crate::error::Result;
+use crate::ops::conv::{conv_geometry, ConvGeom};
+use crate::ops::fused::Epilogue;
+use crate::ops::Conv2dParams;
+use crate::tensor::Tensor;
+
+/// The kernel classes the tolerance tier registers bounds for. A plan
+/// record whose [`ExecContract`] declares FP reassociation must map to
+/// one of these classes or `vit-verify`'s V056 lint fires: reassociation
+/// outside the tolerance tier has no oracle and no bound.
+///
+/// [`ExecContract`]: https://docs.rs/vit-plan
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Packed-panel matrix multiplication: `matmul`, `bmm`, `linear`
+    /// (and the plan-time `PackedLinear`).
+    Gemm,
+    /// im2col + packed GEMM convolution (the `PackedConv2d` GEMM path;
+    /// the direct single-input-channel path is exact-tier).
+    Conv,
+}
+
+/// The error bound one kernel class is held to against its oracle.
+///
+/// A comparison passes when **either** bound holds per element: ULP
+/// distance covers the normal range, the relative bound covers the
+/// near-zero range where a fixed ULP count is vacuously tight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum units-in-the-last-place distance per element.
+    pub max_ulp: u32,
+    /// Maximum relative error per element.
+    pub max_rel: f32,
+}
+
+/// The registered per-op-class tolerance bound.
+///
+/// These are *contractual headroom* for blocked kernels, not measured
+/// error: the current kernels keep each output element's accumulation
+/// k-sequential (blocking reorders loops, not per-element adds), so the
+/// measured distance is 0 ULP on finite inputs and the golden pins in
+/// `kernel_tiers.rs` hold it there. The bound is what a future kernel
+/// (k-split SIMD reductions, FMA contraction) may legally spend.
+pub fn tolerance(class: KernelClass) -> Tolerance {
+    match class {
+        KernelClass::Gemm => Tolerance {
+            max_ulp: 4,
+            max_rel: 1e-6,
+        },
+        KernelClass::Conv => Tolerance {
+            max_ulp: 8,
+            max_rel: 1e-6,
+        },
+    }
+}
+
+/// ULP distance between two `f32`s: the absolute difference of their
+/// lexicographic encodings (sign-magnitude mapped to a monotone integer
+/// line), so adjacent floats differ by 1 and `-0.0`/`+0.0` — numerically
+/// equal — are distance 0.
+///
+/// Two NaNs are distance 0 (both kernels agree the value is invalid); a
+/// NaN against a non-NaN is `u32::MAX` (never within any tolerance).
+pub fn ulp_diff(a: f32, b: f32) -> u32 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => return 0,
+        (false, false) => {}
+        _ => return u32::MAX,
+    }
+    let lex = |x: f32| {
+        let bits = x.to_bits() as i32;
+        // Map sign-magnitude to a monotone line: negative floats flip to
+        // descending-below-zero, so ordering matches numeric ordering.
+        (if bits < 0 { i32::MIN - bits } else { bits }) as i64
+    };
+    let d = (lex(a) - lex(b)).unsigned_abs();
+    u32::try_from(d).unwrap_or(u32::MAX)
+}
+
+/// The maximum [`ulp_diff`] over two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices' lengths differ — a shape mismatch is a test
+/// bug, not a numeric difference.
+pub fn max_ulp(a: &[f32], b: &[f32]) -> u32 {
+    assert_eq!(a.len(), b.len(), "max_ulp over mismatched lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ulp_diff(x, y))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Whether every element pair is within `tol` (ULP **or** relative
+/// bound; see [`Tolerance`]).
+pub fn within_tolerance(a: &[f32], b: &[f32], tol: Tolerance) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(&x, &y)| {
+            ulp_diff(x, y) <= tol.max_ulp || {
+                let denom = x.abs().max(y.abs());
+                denom.is_finite() && denom > 0.0 && (x - y).abs() / denom <= tol.max_rel
+            }
+        })
+}
+
+/// Computes output rows of one `[m, k] x [k, n]` product into `od`, the
+/// contiguous slice for rows `[row0, row0 + od.len() / n)` — the naive
+/// i-k-j oracle loop. No zero-skip: a `0.0` in `a` still multiplies its
+/// `b` row, so NaN/Inf corruption in either operand propagates.
+pub(crate) fn matmul_rows(ad: &[f32], bd: &[f32], od: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = od.len() / n.max(1);
+    for row in 0..rows {
+        let i = row0 + row;
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[row * n..(row + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// Computes output rows `[row0, row0 + od.len() / out_features)` of a
+/// linear layer into `od` — one sequential dot product per output
+/// element, `ep` applied at the final store. A missing bias contributes
+/// nothing (not `+ 0.0`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn linear_rows(
+    xd: &[f32],
+    wd: &[f32],
+    bd: Option<&[f32]>,
+    od: &mut [f32],
+    row0: usize,
+    in_features: usize,
+    out_features: usize,
+    ep: Epilogue,
+) {
+    for (row, orow) in od.chunks_mut(out_features.max(1)).enumerate() {
+        let r = row0 + row;
+        let xrow = &xd[r * in_features..(r + 1) * in_features];
+        for (o, orow_o) in orow.iter_mut().enumerate() {
+            let wrow = &wd[o * in_features..(o + 1) * in_features];
+            let mut acc = 0.0;
+            for (xi, wi) in xrow.iter().zip(wrow.iter()) {
+                acc += xi * wi;
+            }
+            let v = match bd {
+                Some(bd) => acc + bd[o],
+                None => acc,
+            };
+            *orow_o = ep.apply(v);
+        }
+    }
+}
+
+/// Computes output channel-planes `[row0, row0 + rows)` of the flattened
+/// `(batch, out_channel)` axis into `od` — the naive oracle loop: one
+/// sequentially-accumulated dot product per output element in
+/// `(ci, ry, sx)` order, out-of-bounds taps skipped (never materialized
+/// as zeros), `ep` applied at the final store.
+pub(crate) fn conv2d_rows(
+    xd: &[f32],
+    wd: &[f32],
+    bd: Option<&[f32]>,
+    od: &mut [f32],
+    row0: usize,
+    g: ConvGeom,
+    ep: Epilogue,
+) {
+    let plane = g.oh * g.ow;
+    if plane == 0 {
+        return;
+    }
+    let rows = od.len() / plane;
+    for row in 0..rows {
+        let (b, ko) = ((row0 + row) / g.k, (row0 + row) % g.k);
+        let c_start = (ko / g.k_per_g) * g.c_per_g;
+        for oy in 0..g.oh {
+            for ox in 0..g.ow {
+                let mut acc = 0.0f32;
+                for ci in 0..g.c_per_g {
+                    let cin = c_start + ci;
+                    for ry in 0..g.r {
+                        let iy = oy * g.p.stride_h + ry;
+                        if iy < g.p.pad_h || iy >= g.h + g.p.pad_h {
+                            continue;
+                        }
+                        let iy = iy - g.p.pad_h;
+                        let wrow = (ko * g.c_per_g + ci) * g.r + ry;
+                        for sx in 0..g.s {
+                            let ix = ox * g.p.stride_w + sx;
+                            if ix < g.p.pad_w || ix >= g.w + g.p.pad_w {
+                                continue;
+                            }
+                            let ix = ix - g.p.pad_w;
+                            acc +=
+                                xd[((b * g.c + cin) * g.h + iy) * g.w + ix] * wd[wrow * g.s + sx];
+                        }
+                    }
+                }
+                let v = match bd {
+                    Some(bd) => acc + bd[ko],
+                    None => acc,
+                };
+                od[row * plane + oy * g.ow + ox] = ep.apply(v);
+            }
+        }
+    }
+}
+
+/// Reference `[m, k] x [k, n]` matrix product (sequential naive loop).
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`crate::ops::matmul`].
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = crate::ops::matmul::validate_matmul(a, b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_rows(a.data(), b.data(), out.data_mut(), 0, k, n);
+    Ok(out)
+}
+
+/// Reference batched matrix product (sequential naive loop).
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`crate::ops::bmm`].
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (batch, m, k, n) = crate::ops::matmul::validate_bmm(a, b)?;
+    let mut out = Tensor::zeros(&[batch, m, n]);
+    let (per_a, per_b, per_o) = (m * k, k * n, m * n);
+    for bi in 0..batch {
+        matmul_rows(
+            &a.data()[bi * per_a..(bi + 1) * per_a],
+            &b.data()[bi * per_b..(bi + 1) * per_b],
+            &mut out.data_mut()[bi * per_o..(bi + 1) * per_o],
+            0,
+            k,
+            n,
+        );
+    }
+    Ok(out)
+}
+
+/// Reference linear layer (sequential naive dot products).
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`crate::ops::linear`].
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    let (out_shape, in_features, out_features) =
+        crate::ops::matmul::validate_linear(input, weight, bias)?;
+    let mut out = Tensor::zeros(&out_shape);
+    linear_rows(
+        input.data(),
+        weight.data(),
+        bias.map(Tensor::data),
+        out.data_mut(),
+        0,
+        in_features,
+        out_features,
+        Epilogue::None,
+    );
+    Ok(out)
+}
+
+/// Reference 2-D convolution (sequential naive accumulation).
+///
+/// # Errors
+///
+/// Returns the same validation errors as [`crate::ops::conv2d`].
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    let (geom, n) = conv_geometry(input, weight, bias, p)?;
+    let mut out = Tensor::zeros(&[n, geom.k, geom.oh, geom.ow]);
+    conv2d_rows(
+        input.data(),
+        weight.data(),
+        bias.map(Tensor::data),
+        out.data_mut(),
+        0,
+        geom,
+        Epilogue::None,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_diff_orders_the_float_line() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(-0.0, 0.0), 0);
+        assert_eq!(ulp_diff(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(-1.0, f32::from_bits((-1.0f32).to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(f32::NAN, f32::NAN), 0);
+        assert_eq!(ulp_diff(f32::NAN, 1.0), u32::MAX);
+        // Symmetric.
+        assert_eq!(ulp_diff(2.5, -3.75), ulp_diff(-3.75, 2.5));
+    }
+
+    #[test]
+    fn within_tolerance_accepts_either_bound() {
+        let tol = Tolerance {
+            max_ulp: 2,
+            max_rel: 1e-6,
+        };
+        let a = [1.0f32, 1e20];
+        let next = f32::from_bits(1.0f32.to_bits() + 1);
+        // 1 ULP passes via the ULP bound; a 1e-7 relative error at 1e20 is
+        // astronomically many ULPs but passes via the relative bound.
+        let b = [next, 1e20 * (1.0 + 1e-7)];
+        assert!(within_tolerance(&a, &b, tol));
+        assert!(!within_tolerance(&a, &[next, 2e20], tol));
+        assert!(!within_tolerance(&a, &[1.0], tol));
+    }
+
+    #[test]
+    fn registry_covers_every_class() {
+        for class in [KernelClass::Gemm, KernelClass::Conv] {
+            let t = tolerance(class);
+            assert!(t.max_ulp > 0 && t.max_rel > 0.0);
+        }
+    }
+
+    #[test]
+    fn reference_matmul_propagates_nan_through_zero_rows() {
+        // The historical zero-skip hid this: 0.0 * inf must be NaN, not a
+        // skipped term. See the corruption regression in kernel_tiers.rs.
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::INFINITY, 1.0, 1.0, 1.0], &[2, 2]).unwrap();
+        let y = matmul(&a, &b).unwrap();
+        assert!(y.data()[0].is_nan(), "0 * inf row must surface as NaN");
+        assert_eq!(y.data()[1], 0.0);
+    }
+
+    #[test]
+    fn reference_linear_propagates_inf_times_zero() {
+        // The dot-product chain must evaluate every term: 0.0 * inf is
+        // NaN and poisons the whole accumulation, with no bias add to
+        // launder it.
+        let x = Tensor::from_vec(vec![0.0, 2.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![f32::INFINITY, 1.0], &[1, 2]).unwrap();
+        let y = linear(&x, &w, None).unwrap();
+        assert!(
+            y.data()[0].is_nan(),
+            "0 * inf term must poison the dot product"
+        );
+    }
+}

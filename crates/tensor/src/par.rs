@@ -482,6 +482,11 @@ pub struct ExecCtx<'a> {
     /// records nothing. Kernels must gate all tracing work on
     /// [`ExecCtx::trace_enabled`].
     pub sink: Option<&'a dyn TraceSink>,
+    /// Route GEMM-backed kernels to the naive oracle loops in
+    /// [`crate::ops::reference`] instead of the packed micro-kernels.
+    /// Used by the tolerance tier to replay whole models against the
+    /// oracle; production paths leave this `false`.
+    pub reference: bool,
 }
 
 impl<'a> ExecCtx<'a> {

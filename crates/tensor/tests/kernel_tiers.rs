@@ -1,0 +1,257 @@
+//! The two-tier kernel differential suite.
+//!
+//! **Exact tier** — packed micro-kernels whose per-element accumulation
+//! replays the oracle's operation chain term-for-term must match the
+//! reference kernels *bitwise*, at every thread count: matmul/bmm/linear
+//! (panel packing reorders loops, never a single element's k-chain) and
+//! the direct depthwise conv path (same tap order as the oracle).
+//!
+//! **Tolerance tier** — kernels that legally reorder or extend per-element
+//! arithmetic are held to the per-op-class bound registered in
+//! `vit_tensor::ops::reference::tolerance`. Today that is the im2col conv
+//! GEMM path, whose materialized `0.0 * w` padding taps the oracle never
+//! evaluates.
+//!
+//! Golden pins at the bottom freeze the *measured* ULP error per class so
+//! a kernel change that spends tolerance headroom fails loudly instead of
+//! silently drifting toward the registered bound.
+
+use proptest::prelude::*;
+use vit_tensor::ops::reference::{self, max_ulp, tolerance, within_tolerance, KernelClass};
+use vit_tensor::ops::{self, Conv2dParams, PackedB, KC, MR, NR};
+use vit_tensor::{corrupt, ExecCtx, Tensor, ThreadPool};
+
+/// Thread counts every differential claim is proved at — the same sample
+/// the exec-safety pass and the plan differentials use.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn with_ctx<R>(threads: usize, f: impl FnOnce(&ExecCtx) -> R) -> R {
+    if threads <= 1 {
+        f(&ExecCtx::default())
+    } else {
+        let pool = ThreadPool::new(threads);
+        f(&ExecCtx {
+            pool: Some(&pool),
+            ..ExecCtx::default()
+        })
+    }
+}
+
+/// Inner dimensions that cross every blocking boundary: unit, non-unit
+/// remainders of the MR/NR register tile, and the KC cache-block edge.
+fn awkward_k() -> impl Strategy<Value = usize> {
+    prop::sample::select((1..=2 * NR + 1).chain(KC - 1..=KC + 2).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- exact tier -------------------------------------------------
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_reference(
+        m in 1usize..=2 * MR + 1,
+        k in awkward_k(),
+        n in 1usize..=2 * NR + 1,
+        seed in any::<u64>(),
+    ) {
+        let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, seed);
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, seed.wrapping_add(1));
+        let want = reference::matmul(&a, &b).unwrap();
+        for threads in THREADS {
+            let got = with_ctx(threads, |ctx| ops::matmul_ctx(&a, &b, ctx).unwrap());
+            prop_assert_eq!(
+                got.data(), want.data(),
+                "packed matmul diverged from the oracle at {} thread(s)", threads
+            );
+        }
+    }
+
+    #[test]
+    fn packed_bmm_is_bit_identical_to_reference(
+        (batch, m, k, n) in (1usize..4, 1usize..=MR + 1, 1usize..20, 1usize..=NR + 3),
+        seed in any::<u64>(),
+    ) {
+        let a = Tensor::rand_uniform(&[batch, m, k], -2.0, 2.0, seed);
+        let b = Tensor::rand_uniform(&[batch, k, n], -2.0, 2.0, seed.wrapping_add(1));
+        let want = reference::bmm(&a, &b).unwrap();
+        for threads in THREADS {
+            let got = with_ctx(threads, |ctx| ops::bmm_ctx(&a, &b, ctx).unwrap());
+            prop_assert_eq!(got.data(), want.data());
+        }
+    }
+
+    #[test]
+    fn packed_linear_is_bit_identical_to_reference(
+        rows in 1usize..=2 * MR,
+        in_features in awkward_k(),
+        out_features in 1usize..=2 * NR + 3,
+        with_bias in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let x = Tensor::rand_uniform(&[rows, in_features], -2.0, 2.0, seed);
+        let w = Tensor::rand_uniform(&[out_features, in_features], -2.0, 2.0, seed.wrapping_add(1));
+        let b = with_bias
+            .then(|| Tensor::rand_uniform(&[out_features], -1.0, 1.0, seed.wrapping_add(2)));
+        let want = reference::linear(&x, &w, b.as_ref()).unwrap();
+        for threads in THREADS {
+            let got = with_ctx(threads, |ctx| ops::linear_ctx(&x, &w, b.as_ref(), ctx).unwrap());
+            prop_assert_eq!(got.data(), want.data());
+        }
+    }
+
+    #[test]
+    fn depthwise_conv_direct_path_is_bit_identical_to_reference(
+        (c, h, w) in (1usize..5, 3usize..9, 3usize..9),
+        (r, s, pad, stride) in (1usize..4, 1usize..4, 0usize..2, 1usize..3),
+        seed in any::<u64>(),
+    ) {
+        // groups == channels: one input channel per filter, the direct
+        // path replays the oracle's tap order exactly.
+        let x = Tensor::rand_uniform(&[1, c, h, w], -2.0, 2.0, seed);
+        let k = Tensor::rand_uniform(&[c, 1, r, s], -2.0, 2.0, seed.wrapping_add(1));
+        let p = Conv2dParams::new().pad(pad).stride(stride).groups(c);
+        let want = reference::conv2d(&x, &k, None, p).unwrap();
+        for threads in THREADS {
+            let got = with_ctx(threads, |ctx| ops::conv2d_ctx(&x, &k, None, p, ctx).unwrap());
+            prop_assert_eq!(got.data(), want.data());
+        }
+    }
+
+    // ---- tolerance tier ---------------------------------------------
+
+    #[test]
+    fn im2col_conv_is_within_the_conv_class_tolerance(
+        (groups, c_per_g, k_per_g) in (1usize..3, 2usize..4, 1usize..4),
+        (r, s, pad, stride) in (1usize..4, 1usize..4, 0usize..2, 1usize..3),
+        (h_extra, w_extra) in (0usize..5, 0usize..5),
+        with_bias in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (c, k) = (groups * c_per_g, groups * k_per_g);
+        let (h, w) = (r + h_extra, s + w_extra);
+        let x = Tensor::rand_uniform(&[1, c, h, w], -2.0, 2.0, seed);
+        let wt = Tensor::rand_uniform(&[k, c_per_g, r, s], -2.0, 2.0, seed.wrapping_add(1));
+        let b = with_bias.then(|| Tensor::rand_uniform(&[k], -1.0, 1.0, seed.wrapping_add(2)));
+        let p = Conv2dParams::new().pad(pad).stride(stride).groups(groups);
+        let want = reference::conv2d(&x, &wt, b.as_ref(), p).unwrap();
+        let tol = tolerance(KernelClass::Conv);
+        for threads in THREADS {
+            let got = with_ctx(threads, |ctx| ops::conv2d_ctx(&x, &wt, b.as_ref(), p, ctx).unwrap());
+            prop_assert!(
+                within_tolerance(got.data(), want.data(), tol),
+                "conv GEMM path exceeded the Conv tolerance at {} thread(s): {} ULP",
+                threads, max_ulp(got.data(), want.data())
+            );
+        }
+    }
+
+    // ---- packing ----------------------------------------------------
+
+    #[test]
+    fn pack_then_unpack_is_the_identity(
+        k in awkward_k(),
+        n in 1usize..=3 * NR + 5,
+        seed in any::<u64>(),
+    ) {
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, seed);
+        let packed = PackedB::pack(b.data(), k, n);
+        prop_assert_eq!(packed.unpack(), b.data().to_vec());
+    }
+
+    #[test]
+    fn pack_transposed_then_unpack_is_the_transpose(
+        rows in 1usize..=2 * NR + 3,
+        cols in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let w = Tensor::rand_uniform(&[rows, cols], -2.0, 2.0, seed);
+        let packed = PackedB::pack_transposed(w.data(), rows, cols);
+        let got = packed.unpack();
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert_eq!(got[j * rows + i].to_bits(), w.data()[i * cols + j].to_bits());
+            }
+        }
+    }
+}
+
+// ---- golden pins ----------------------------------------------------
+
+/// The measured max-ULP error of each kernel class against its oracle on
+/// a fixed workload. The contract is `measured <= pin <= registered
+/// bound`: the pin freezes today's error (the blocked kernels keep every
+/// element's accumulation k-sequential, so it is zero), the registered
+/// bound is what a future kernel may legally spend — and widening the pin
+/// is an explicit, reviewed act.
+const GOLDEN_MAX_ULP_GEMM: u32 = 0;
+const GOLDEN_MAX_ULP_CONV: u32 = 0;
+
+#[test]
+// The pins are currently 0, which makes `measured <= pin` and `pin <=
+// bound` trivially shaped — but `<=` is the ratchet's contract and must
+// survive a future nonzero pin unchanged.
+#[allow(clippy::absurd_extreme_comparisons)]
+fn golden_ulp_pin_gemm_class() {
+    let a = Tensor::rand_uniform(&[13, KC + 7], -2.0, 2.0, 11);
+    let b = Tensor::rand_uniform(&[KC + 7, 3 * NR + 5], -2.0, 2.0, 12);
+    let got = ops::matmul_ctx(&a, &b, &ExecCtx::default()).unwrap();
+    let want = reference::matmul(&a, &b).unwrap();
+    let measured = max_ulp(got.data(), want.data());
+    assert!(
+        measured <= GOLDEN_MAX_ULP_GEMM,
+        "Gemm kernel error grew: measured {measured} ULP > pinned {GOLDEN_MAX_ULP_GEMM}"
+    );
+    assert!(GOLDEN_MAX_ULP_GEMM <= tolerance(KernelClass::Gemm).max_ulp);
+}
+
+#[test]
+#[allow(clippy::absurd_extreme_comparisons)]
+fn golden_ulp_pin_conv_class() {
+    let x = Tensor::rand_uniform(&[2, 6, 9, 9], -2.0, 2.0, 21);
+    let w = Tensor::rand_uniform(&[8, 3, 3, 3], -2.0, 2.0, 22);
+    let bias = Tensor::rand_uniform(&[8], -1.0, 1.0, 23);
+    let p = Conv2dParams::new().pad(1).groups(2);
+    let got = ops::conv2d_ctx(&x, &w, Some(&bias), p, &ExecCtx::default()).unwrap();
+    let want = reference::conv2d(&x, &w, Some(&bias), p).unwrap();
+    let measured = max_ulp(got.data(), want.data());
+    assert!(
+        measured <= GOLDEN_MAX_ULP_CONV,
+        "Conv kernel error grew: measured {measured} ULP > pinned {GOLDEN_MAX_ULP_CONV}"
+    );
+    assert!(GOLDEN_MAX_ULP_CONV <= tolerance(KernelClass::Conv).max_ulp);
+}
+
+// ---- corruption regression ------------------------------------------
+
+/// Regression for the historical `matmul` zero-skip: with `a` all zeros
+/// the old kernel skipped every term and an Inf upset in `b` vanished
+/// from the output. Both tiers must now surface it as NaN (`0 * inf`).
+#[test]
+fn injected_inf_propagates_through_zero_rows_in_both_tiers() {
+    let (m, k, n) = (3, 8, 4);
+    let a = Tensor::zeros(&[m, k]);
+    let mut b = Tensor::full(&[k, n], 1.0);
+    // 1.0 has exponent 127; flipping bit 30 lands exactly on +inf.
+    let flip = corrupt::flip_detectable(b.data_mut(), 5, 1e6).expect("flip lands");
+    assert!(flip.after.is_infinite());
+    let col = flip.index % n;
+
+    let want = reference::matmul(&a, &b).unwrap();
+    for threads in THREADS {
+        let got = with_ctx(threads, |ctx| ops::matmul_ctx(&a, &b, ctx).unwrap());
+        for i in 0..m {
+            for j in 0..n {
+                let v = got.data()[i * n + j];
+                if j == col {
+                    assert!(v.is_nan(), "0 * inf at ({i}, {j}) must surface as NaN");
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+        // Bit-identity holds through the corruption too: NaN agrees with
+        // NaN (ULP distance 0), finite elements agree exactly.
+        assert_eq!(max_ulp(got.data(), want.data()), 0);
+    }
+}

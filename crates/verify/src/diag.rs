@@ -103,9 +103,10 @@ pub enum Code {
     /// buffer can be recycled while a reader is pending, or never
     /// recycled at all.
     SchedConsumers,
-    /// `V056` — a record's decomposition declares FP reassociation, so
-    /// its outputs are not bit-identical across thread counts and it must
-    /// be compared in the tolerance tier, never the bit-identity tier.
+    /// `V056` — a record's decomposition declares FP reassociation, but
+    /// its op maps to no kernel class with a registered tolerance bound
+    /// (`vit_tensor::ops::reference::tolerance`): the record has left the
+    /// bit-identity tier with no differential oracle to land on.
     FpReassociation,
     /// `V057` — an `unsafe` block in a `vit-tensor`/`vit-plan` hot path
     /// carries no `// SAFETY:` justification.
@@ -241,7 +242,7 @@ impl Code {
             Code::SchedIndegree => "scheduler in-degrees equal the graph's input counts",
             Code::SchedConsumers => "scheduler consumer counts equal reader counts plus output",
             Code::FpReassociation => {
-                "reassociating decompositions are declared and tolerance-tiered"
+                "every reassociating decomposition maps to a registered tolerance class"
             }
             Code::UndocumentedUnsafe => "every hot-path unsafe block carries a SAFETY comment",
             Code::UncheckedIndex => "hot paths use checked indexing only",

@@ -21,12 +21,15 @@
 //!   counters — which alone decide dispatch and buffer recycling under
 //!   *any* topological interleaving — equal the graph's edge counts
 //!   (`V054`, `V055`);
-//! * **FP-determinism hazards** — a decomposition that declares float
-//!   reassociation is flagged so it is compared in the tolerance tier,
-//!   never the bit-identity tier (`V056`);
+//! * **FP-reassociation routing** — a decomposition that declares float
+//!   reassociation must map to a kernel class with a registered tolerance
+//!   bound (`vit_tensor::ops::reference::tolerance`); a reassociating
+//!   record whose op has no tolerance class has left the exact tier with
+//!   no oracle to land on, and is flagged (`V056`);
 //! * **unsafe/indexing audit** — `unsafe` blocks without a `// SAFETY:`
 //!   justification (`V057`) and unchecked indexing (`V058`) in the
-//!   `vit-tensor`/`vit-plan` hot paths.
+//!   `vit-tensor`/`vit-plan` hot paths, including the packed GEMM and
+//!   reference-oracle kernel modules.
 //!
 //! [`verify_shadow`] is the dynamic cross-check: it drives the plan's
 //! debug shadow-access replay and reports `V059` when the runtime
@@ -93,7 +96,9 @@ pub fn verify_plan_exec(plan: &ExecPlan) -> Vec<Diagnostic> {
         // range exactly at every sampled worker count. One diagnostic
         // per record per code, reporting the narrowest failing width.
         let max_chunks = match &rec.contract {
-            vit_plan::ExecContract::RowTiled { row_len } if *row_len > 0 => rec.out.len / *row_len,
+            vit_plan::ExecContract::RowTiled { row_len, .. } if *row_len > 0 => {
+                rec.out.len / *row_len
+            }
             _ => 0,
         };
         let mut overlap = None;
@@ -151,18 +156,26 @@ pub fn verify_plan_exec(plan: &ExecPlan) -> Vec<Diagnostic> {
             );
         }
 
-        // V056: reassociation is legal only outside the bit-identity
-        // contract; flag it so comparisons route to the tolerance tier.
-        if rec.contract.reassociates() {
+        // V056: reassociation is legal only inside the tolerance tier. A
+        // record may leave the exact tier (bit-identity against the
+        // reference oracle) only if its op maps to a kernel class with a
+        // registered tolerance bound; otherwise nothing defines how far
+        // its outputs may drift and no differential can hold it.
+        if rec.contract.reassociates() && tolerance_class(&rec.op).is_none() {
             diags.push(
                 Diagnostic::new(
                     Code::FpReassociation,
                     span(),
-                    "decomposition declares FP reassociation: outputs are not \
-                     bit-identical across thread counts"
-                        .to_string(),
+                    format!(
+                        "decomposition declares FP reassociation, but op `{}` \
+                         maps to no registered tolerance class",
+                        rec.op.kind_name()
+                    ),
                 )
-                .with_help("compare this record's outputs in the tolerance tier"),
+                .with_help(
+                    "register a tolerance bound in vit_tensor::ops::reference \
+                     or keep the kernel in the exact tier",
+                ),
             );
         }
     }
@@ -232,6 +245,19 @@ pub fn verify_plan_exec(plan: &ExecPlan) -> Vec<Diagnostic> {
     }
 
     diags
+}
+
+/// The kernel class whose registered tolerance bound
+/// ([`vit_tensor::ops::reference::tolerance`]) governs `op`'s outputs in
+/// the tolerance tier, or `None` when the op has no class and must stay
+/// in the exact (bit-identity) tier.
+pub fn tolerance_class(op: &vit_graph::Op) -> Option<vit_tensor::ops::reference::KernelClass> {
+    use vit_tensor::ops::reference::KernelClass;
+    match op {
+        vit_graph::Op::Conv2d { .. } => Some(KernelClass::Conv),
+        vit_graph::Op::Linear { .. } => Some(KernelClass::Gemm),
+        _ => None,
+    }
 }
 
 /// The first record after `ri` that reads into the freed range `f`
@@ -348,7 +374,7 @@ pub fn verify_shadow(
 
 /// One audited hot-path source file, embedded at compile time so the
 /// audit runs anywhere the verifier runs.
-const AUDITED_SOURCES: [(&str, &str); 4] = [
+const AUDITED_SOURCES: [(&str, &str); 6] = [
     (
         "crates/tensor/src/par.rs",
         include_str!("../../tensor/src/par.rs"),
@@ -360,6 +386,14 @@ const AUDITED_SOURCES: [(&str, &str); 4] = [
     (
         "crates/tensor/src/ops/fused.rs",
         include_str!("../../tensor/src/ops/fused.rs"),
+    ),
+    (
+        "crates/tensor/src/ops/pack.rs",
+        include_str!("../../tensor/src/ops/pack.rs"),
+    ),
+    (
+        "crates/tensor/src/ops/reference.rs",
+        include_str!("../../tensor/src/ops/reference.rs"),
     ),
     (
         "crates/plan/src/lib.rs",

@@ -505,8 +505,9 @@ fn v055_sched_consumers_fires_on_undercounted_reclamation() {
 
 #[test]
 fn v056_fp_reassociation_fires_and_is_a_warning() {
-    // A well-formed decomposition that declares reassociation: no
-    // overlap/gap lints, just the tolerance-tier routing flag.
+    // A well-formed decomposition that declares reassociation on an op
+    // with no registered tolerance class (Relu): the record has left the
+    // exact tier with no differential oracle to bound it.
     let broken = break_relu(|r| {
         r.contract = ExecContract::Explicit {
             chunks: vec![
@@ -524,6 +525,30 @@ fn v056_fp_reassociation_fires_and_is_a_warning() {
     assert_eq!(hits.len(), 1, "{diags:?}");
     assert_eq!(hits[0].severity, Severity::Warning);
     assert!(!diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn v056_is_silent_when_the_op_has_a_tolerance_class() {
+    // The same reassociating decomposition on a Linear record is legal:
+    // the Gemm tolerance class bounds its outputs in the tolerance tier.
+    let routed = break_relu(|r| {
+        r.op = Op::Linear {
+            out_features: 8,
+            bias: false,
+        };
+        r.contract = ExecContract::Explicit {
+            chunks: vec![
+                BufRange { offset: 0, len: 4 },
+                BufRange { offset: 4, len: 4 },
+            ],
+            reassociates: true,
+        };
+    });
+    let diags = verify_plan_exec(&routed);
+    assert!(
+        !diags.iter().any(|d| d.code == Code::FpReassociation),
+        "{diags:?}"
+    );
 }
 
 #[test]
