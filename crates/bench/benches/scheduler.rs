@@ -71,7 +71,7 @@ fn bench_scheduler(c: &mut Criterion) {
     let config = SimConfig::new(4, 16, SchedulePolicy::DrtDynamic, 1.0);
     g.sample_size(10);
     g.bench_function("simulate_operating_point", |bench| {
-        bench.iter(|| simulate(&core, config, black_box(&arrivals)))
+        bench.iter(|| simulate(&core, &config, black_box(&arrivals)))
     });
 
     g.finish();

@@ -127,7 +127,7 @@ struct RatePoint {
 }
 
 fn run_cell(core: &EngineCore, arrivals: &[SimArrival], policy: &'static str, rate: f64) -> Cell {
-    let outcomes = simulate_outcomes(core, sim_config(policy, rate), arrivals);
+    let outcomes = simulate_outcomes(core, &sim_config(policy, rate), arrivals);
     let mut degraded_configs: Vec<(LutConfig, usize)> = Vec::new();
     for outcome in &outcomes {
         if let Outcome::Completed(r) = outcome {

@@ -2,11 +2,13 @@
 //!
 //! Open-loop means arrivals are generated independently of how fast the
 //! server drains them — the realistic overload regime, where a slow server
-//! faces a growing queue instead of a politely waiting client.
+//! faces a growing queue instead of a politely waiting client. Every
+//! generator here is a pure function of its seed, so fleet-scale sweeps
+//! replay byte-identically.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vit_serve::SimArrival;
+use vit_serve::{SimArrival, TenantId};
 
 /// A seeded Poisson process: exponential inter-arrival gaps at `rate_hz`
 /// mean arrivals per (virtual) second, until `duration` seconds. Every
@@ -26,7 +28,7 @@ pub fn poisson(rate_hz: f64, duration: f64, slack: f64, seed: u64) -> Vec<SimArr
         if t >= duration {
             return arrivals;
         }
-        arrivals.push(SimArrival { time: t, slack });
+        arrivals.push(SimArrival::new(t, slack));
     }
 }
 
@@ -46,9 +48,101 @@ pub fn poisson_with_bursts(
     let mut t = burst_every;
     while t < duration {
         for _ in 0..burst_size {
-            arrivals.push(SimArrival { time: t, slack });
+            arrivals.push(SimArrival::new(t, slack));
         }
         t += burst_every;
+    }
+    arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
+    arrivals
+}
+
+/// A diurnal (sinusoidal-rate) non-homogeneous Poisson process via
+/// thinning: the instantaneous rate swings between `base_rate_hz *
+/// (1 ± swing)` over `period` seconds, peaking mid-cycle. The mean rate
+/// over a whole number of cycles is `base_rate_hz`, so a `load_x`
+/// calibrated for [`poisson`] carries over while the peaks push the fleet
+/// into its overload regime and the troughs let it drain.
+pub fn diurnal(
+    base_rate_hz: f64,
+    swing: f64,
+    period: f64,
+    duration: f64,
+    slack: f64,
+    seed: u64,
+) -> Vec<SimArrival> {
+    assert!(
+        (0.0..=1.0).contains(&swing),
+        "swing is a fraction of the base rate"
+    );
+    assert!(period > 0.0, "need a positive diurnal period");
+    let peak = base_rate_hz * (1.0 + swing);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        t += -(1.0 - u).ln() / peak;
+        if t >= duration {
+            return arrivals;
+        }
+        // Thinning: keep the candidate with probability rate(t) / peak.
+        let phase = (t / period) * std::f64::consts::TAU;
+        let rate = base_rate_hz * (1.0 + swing * (phase - std::f64::consts::FRAC_PI_2).sin());
+        let keep: f64 = rng.gen_range(0.0..1.0);
+        if keep < rate / peak {
+            arrivals.push(SimArrival::new(t, slack));
+        }
+    }
+}
+
+/// Tags each arrival with a tenant drawn from `weights` (one weight per
+/// tenant id, starting at 0), deterministically from `seed`. Heavier
+/// weights receive proportionally more of the trace.
+pub fn assign_tenants(
+    mut arrivals: Vec<SimArrival>,
+    weights: &[f64],
+    seed: u64,
+) -> Vec<SimArrival> {
+    assert!(!weights.is_empty(), "need at least one tenant weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "tenant weights must sum positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for a in &mut arrivals {
+        let mut draw: f64 = rng.gen_range(0.0..total);
+        let mut id = 0u32;
+        for (i, w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw < 0.0 {
+                id = i as u32;
+                break;
+            }
+        }
+        a.tenant = TenantId(id);
+    }
+    arrivals
+}
+
+/// An adversarial two-tenant mix: tenant 0 offers a steady, well-behaved
+/// Poisson load while tenant 1 floods the fleet with dense bursts —
+/// `flood_size` back-to-back requests every `flood_every` seconds. Without
+/// per-tenant quotas the flood monopolizes the bounded queue and starves
+/// tenant 0; with them, the flood is shed at admission instead.
+pub fn adversarial(
+    steady_rate_hz: f64,
+    duration: f64,
+    slack: f64,
+    flood_every: f64,
+    flood_size: usize,
+    seed: u64,
+) -> Vec<SimArrival> {
+    assert!(flood_every > 0.0, "need a positive flood period");
+    let mut arrivals = poisson(steady_rate_hz, duration, slack, seed);
+    let mut t = flood_every;
+    while t < duration {
+        for _ in 0..flood_size {
+            arrivals.push(SimArrival::new(t, slack).with_tenant(TenantId(1)));
+        }
+        t += flood_every;
     }
     arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
     arrivals
@@ -88,5 +182,56 @@ mod tests {
         assert_eq!(bursty.len(), base.len() + 24);
         assert!(bursty.windows(2).all(|w| w[0].time <= w[1].time));
         assert_eq!(bursty.iter().filter(|a| a.time == 2.5).count(), 8);
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_and_peaks_mid_cycle() {
+        let a = diurnal(200.0, 0.8, 20.0, 40.0, 0.1, 5);
+        let b = diurnal(200.0, 0.8, 20.0, 40.0, 0.1, 5);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.time == y.time));
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        // Mean over whole cycles tracks the base rate (loose 4-sigma band).
+        assert!((7000..9000).contains(&a.len()), "got {}", a.len());
+        // The peak half of each cycle must carry more arrivals than the
+        // trough half: [0.25, 0.75) of a period vs the rest.
+        let in_peak = |t: f64| {
+            let frac = (t / 20.0).fract();
+            (0.25..0.75).contains(&frac)
+        };
+        let peak = a.iter().filter(|x| in_peak(x.time)).count();
+        assert!(
+            peak * 2 > a.len() * 5 / 4,
+            "peak half {} of {} is not dominant",
+            peak,
+            a.len()
+        );
+    }
+
+    #[test]
+    fn tenant_assignment_tracks_weights() {
+        let a = assign_tenants(poisson(500.0, 10.0, 0.1, 3), &[3.0, 1.0], 9);
+        let t0 = a.iter().filter(|x| x.tenant == TenantId(0)).count();
+        let t1 = a.iter().filter(|x| x.tenant == TenantId(1)).count();
+        assert_eq!(t0 + t1, a.len());
+        // 75/25 split within a generous band.
+        let share = t0 as f64 / a.len() as f64;
+        assert!((0.70..0.80).contains(&share), "tenant0 share {share}");
+        // Deterministic under the same seed.
+        let b = assign_tenants(poisson(500.0, 10.0, 0.1, 3), &[3.0, 1.0], 9);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.tenant == y.tenant));
+    }
+
+    #[test]
+    fn adversarial_floods_come_from_the_heavy_tenant() {
+        let mix = adversarial(20.0, 10.0, 0.2, 2.0, 16, 11);
+        let floods = mix.iter().filter(|a| a.tenant == TenantId(1)).count();
+        // Floods at t = 2, 4, 6, 8.
+        assert_eq!(floods, 4 * 16);
+        assert!(mix
+            .iter()
+            .filter(|a| a.tenant == TenantId(0))
+            .all(|a| a.time >= 0.0));
+        assert!(mix.windows(2).all(|w| w[0].time <= w[1].time));
     }
 }

@@ -25,7 +25,12 @@ engine (§IV):
   earlyexit   deadline misses of input-dependent early exit
   accel-lut   the engine keyed by accelerator cycles
   crossover   when to switch to retrained models
-  serve       deadline-aware DRT serving vs static baseline (load sweep)
+  serve       fleet-scale continuous-batching sweep: batched DRT vs
+              unbatched DRT vs static full model over burst / diurnal /
+              adversarial multi-tenant mixes; exits non-zero on any
+              invariant violation
+              (flags: --json write BENCH_serve.json,
+               --quick smaller fleet + shorter trace for CI smoke runs)
 
 robustness:
   chaos       self-healing degraded-retry serving vs fail-fast vs a static
@@ -98,7 +103,20 @@ fn main() {
         "earlyexit" => engine::early_exit(),
         "accel-lut" => engine::accel_lut(),
         "crossover" => engine::crossover(),
-        "serve" => serve::serve(),
+        "serve" => {
+            let mut args = serve::ServeArgs::default();
+            for flag in std::env::args().skip(2) {
+                match flag.as_str() {
+                    "--json" => args.json = true,
+                    "--quick" => args.quick = true,
+                    other => {
+                        eprintln!("unknown serve flag `{other}`\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            std::process::exit(serve::run(args));
+        }
         "fig9" => accelerator::fig9(),
         "fig10" => accelerator::fig10(),
         "fig11" => accelerator::fig11(),

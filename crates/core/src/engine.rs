@@ -169,8 +169,11 @@ pub struct EngineCore {
     image: (usize, usize),
     lut: Lut,
     weight_gen: WeightGen,
-    graph_cache: RwLock<HashMap<LutConfig, Arc<Graph>>>,
-    plan_cache: RwLock<HashMap<LutConfig, Arc<ExecPlan>>>,
+    // Keyed by (config, batch): a batch-N execution compiles its own graph
+    // and plan (arena sizing and tiling contracts scale with N), cached
+    // beside the batch-1 entries so coalesced serving reuses them.
+    graph_cache: RwLock<HashMap<(LutConfig, usize), Arc<Graph>>>,
+    plan_cache: RwLock<HashMap<(LutConfig, usize), Arc<ExecPlan>>>,
 }
 
 impl EngineCore {
@@ -269,13 +272,33 @@ impl EngineCore {
     ///
     /// Returns [`EngineError`] when graph construction fails.
     pub fn graph(&self, config: LutConfig) -> Result<Arc<Graph>, EngineError> {
-        Ok(self.graph_for(config)?.0)
+        Ok(self.graph_for(config, 1)?.0)
     }
 
-    /// The built graph for `config`, from the concurrent cache; the flag
-    /// reports whether this call was served from the cache.
-    fn graph_for(&self, config: LutConfig) -> Result<(Arc<Graph>, bool), EngineError> {
-        if let Some(g) = self.graph_cache.read().get(&config) {
+    /// The built batch-`batch` execution graph for `config`, from the
+    /// concurrent cache. Batch-N graphs carry a leading batch dimension on
+    /// every activation; coalesced serving runs them via
+    /// [`EngineCore::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction fails.
+    pub fn graph_batched(
+        &self,
+        config: LutConfig,
+        batch: usize,
+    ) -> Result<Arc<Graph>, EngineError> {
+        Ok(self.graph_for(config, batch)?.0)
+    }
+
+    /// The built graph for `(config, batch)`, from the concurrent cache; the
+    /// flag reports whether this call was served from the cache.
+    fn graph_for(
+        &self,
+        config: LutConfig,
+        batch: usize,
+    ) -> Result<(Arc<Graph>, bool), EngineError> {
+        if let Some(g) = self.graph_cache.read().get(&(config, batch)) {
             return Ok((g.clone(), true));
         }
         // Build outside any lock: graph construction is the expensive part
@@ -290,7 +313,7 @@ impl EngineCore {
                     variant,
                     num_classes: self.num_classes,
                     image: self.image,
-                    batch: 1,
+                    batch,
                     dynamic: d,
                 })?
             }
@@ -300,7 +323,7 @@ impl EngineCore {
                     variant,
                     num_classes: self.num_classes,
                     image: self.image,
-                    batch: 1,
+                    batch,
                     dynamic: d,
                 })?
             }
@@ -316,7 +339,7 @@ impl EngineCore {
             g.check_invariants().unwrap_err()
         );
         let mut cache = self.graph_cache.write();
-        Ok((cache.entry(config).or_insert(g).clone(), false))
+        Ok((cache.entry((config, batch)).or_insert(g).clone(), false))
     }
 
     /// The compiled execution plan for `config`, from the concurrent plan
@@ -330,22 +353,42 @@ impl EngineCore {
     /// Returns [`EngineError`] when graph construction or plan lowering
     /// fails.
     pub fn plan(&self, config: LutConfig) -> Result<Arc<ExecPlan>, EngineError> {
-        Ok(self.plan_for(config)?.0)
+        Ok(self.plan_for(config, 1)?.0)
     }
 
-    /// The compiled plan for `config`, from the concurrent cache; the flag
-    /// reports whether this call was served from the cache.
-    fn plan_for(&self, config: LutConfig) -> Result<(Arc<ExecPlan>, bool), EngineError> {
-        if let Some(p) = self.plan_cache.read().get(&config) {
+    /// The compiled batch-`batch` plan for `config`, from the concurrent
+    /// plan cache — arena sizing, tiling contracts, and record shapes all
+    /// reflect the leading batch dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when graph construction or plan lowering
+    /// fails.
+    pub fn plan_batched(
+        &self,
+        config: LutConfig,
+        batch: usize,
+    ) -> Result<Arc<ExecPlan>, EngineError> {
+        Ok(self.plan_for(config, batch)?.0)
+    }
+
+    /// The compiled plan for `(config, batch)`, from the concurrent cache;
+    /// the flag reports whether this call was served from the cache.
+    fn plan_for(
+        &self,
+        config: LutConfig,
+        batch: usize,
+    ) -> Result<(Arc<ExecPlan>, bool), EngineError> {
+        if let Some(p) = self.plan_cache.read().get(&(config, batch)) {
             return Ok((p.clone(), true));
         }
         // Like `graph_for`, compile outside any lock; racing workers keep
         // the first insert. Compilation packs every weight tensor, so a
         // plan-cache miss subsumes the interpreter's weight materialization.
-        let (graph, _) = self.graph_for(config)?;
+        let (graph, _) = self.graph_for(config, batch)?;
         let p = Arc::new(ExecPlan::compile(&graph, self.weight_gen)?);
         let mut cache = self.plan_cache.write();
-        Ok((cache.entry(config).or_insert(p).clone(), false))
+        Ok((cache.entry((config, batch)).or_insert(p).clone(), false))
     }
 
     /// Runs one dynamic inference using the caller's scratch: picks the
@@ -423,7 +466,7 @@ impl EngineCore {
         let logits = match ctx.exec.backend() {
             ExecBackend::Interpret => {
                 let build_start = sink.timestamp();
-                let (graph, cache_hit) = self.graph_for(entry.config)?;
+                let (graph, cache_hit) = self.graph_for(entry.config, 1)?;
                 if enabled {
                     let at_ns = now_ns();
                     sink.record(EventKind::Counter {
@@ -459,7 +502,7 @@ impl EngineCore {
             }
             ExecBackend::Plan => {
                 let build_start = sink.timestamp();
-                let (plan, cache_hit) = self.plan_for(entry.config)?;
+                let (plan, cache_hit) = self.plan_for(entry.config, 1)?;
                 if enabled {
                     let at_ns = now_ns();
                     sink.record(EventKind::Counter {
@@ -518,6 +561,161 @@ impl EngineCore {
             resource_estimate: entry.resource,
             met_budget,
         })
+    }
+
+    /// Runs one LUT entry over a coalesced batch of single-sample images in
+    /// a single batch-N execution, returning one [`Inference`] per input in
+    /// order.
+    ///
+    /// The images are stacked along the leading axis, executed through the
+    /// batch-N graph (or compiled plan, under [`ExecBackend::Plan`]) cached
+    /// for `(config, N)`, and the logits split back per sample. Batch-N
+    /// kernels tile conv over per-sample channel planes and linear/attention
+    /// over per-row/per-batch-entry chunks, so each sample's FP op order is
+    /// identical to its own batch-1 run — per-request outputs are
+    /// bit-identical to running the N requests sequentially (the
+    /// batch-differential tests pin this).
+    ///
+    /// A batch of one delegates to [`EngineCore::run`] and is exactly the
+    /// unbatched path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when `images` is empty, or when graph
+    /// construction, plan lowering, or execution fails. A guard trip
+    /// anywhere in the batched logits fails the whole batch (callers
+    /// re-serve the members individually to isolate the fault).
+    pub fn run_batch(
+        &self,
+        scratch: &mut ExecScratch,
+        images: &[Tensor],
+        entry: LutEntry,
+        met_budget: bool,
+        ctx: &RunContext,
+    ) -> Result<Vec<Inference>, EngineError> {
+        if images.len() == 1 {
+            return Ok(vec![self.run(scratch, &images[0], entry, met_budget, ctx)?]);
+        }
+        let batch = images.len();
+        let batched = Tensor::stack_batch(images).map_err(|e| {
+            EngineError::Exec(ExecError::Kernel {
+                node: "batch_stack".to_string(),
+                source: e,
+            })
+        })?;
+        let sink = ctx.sink.as_ref();
+        let enabled = sink.enabled();
+        if let Some(f) = ctx
+            .fault
+            .injected_failure(ctx.exec.backend() == ExecBackend::Plan)
+        {
+            return Err(EngineError::Fault(f));
+        }
+        let exec_began = std::time::Instant::now();
+        let logits = match ctx.exec.backend() {
+            ExecBackend::Interpret => {
+                let build_start = sink.timestamp();
+                let (graph, cache_hit) = self.graph_for(entry.config, batch)?;
+                if enabled {
+                    let at_ns = now_ns();
+                    sink.record(EventKind::Counter {
+                        name: if cache_hit {
+                            "graph_cache.hits".to_string()
+                        } else {
+                            "graph_cache.misses".to_string()
+                        },
+                        value: 1,
+                        at_ns,
+                    });
+                    if !cache_hit {
+                        sink.record(EventKind::Phase {
+                            phase: TracePhase::GraphBuild,
+                            detail: format!("{:?} batch={batch}", entry.config),
+                            start_ns: build_start,
+                            end_ns: at_ns,
+                        });
+                    }
+                }
+                let exec_start = sink.timestamp();
+                let logits = scratch.run_with(
+                    self.weight_gen,
+                    &graph,
+                    std::slice::from_ref(&batched),
+                    ctx,
+                )?;
+                if enabled {
+                    sink.record(EventKind::Phase {
+                        phase: TracePhase::Execute,
+                        detail: format!("{} batch={batch}", graph.model),
+                        start_ns: exec_start,
+                        end_ns: now_ns(),
+                    });
+                }
+                logits
+            }
+            ExecBackend::Plan => {
+                let build_start = sink.timestamp();
+                let (plan, cache_hit) = self.plan_for(entry.config, batch)?;
+                if enabled {
+                    let at_ns = now_ns();
+                    sink.record(EventKind::Counter {
+                        name: if cache_hit {
+                            "plan_cache.hits".to_string()
+                        } else {
+                            "plan_cache.misses".to_string()
+                        },
+                        value: 1,
+                        at_ns,
+                    });
+                    if !cache_hit {
+                        sink.record(EventKind::Phase {
+                            phase: TracePhase::PlanBuild,
+                            detail: format!("{:?} batch={batch}", entry.config),
+                            start_ns: build_start,
+                            end_ns: at_ns,
+                        });
+                    }
+                }
+                let exec_start = sink.timestamp();
+                let logits = plan.execute(std::slice::from_ref(&batched), ctx)?;
+                if enabled {
+                    sink.record(EventKind::Phase {
+                        phase: TracePhase::Execute,
+                        detail: format!("{} batch={batch}", plan.model()),
+                        start_ns: exec_start,
+                        end_ns: now_ns(),
+                    });
+                }
+                logits
+            }
+        };
+        if let Some(g) = ctx.fault.output_guard() {
+            check_node_guard("logits", &logits, g)?;
+        }
+        if let Some(m) = ctx.fault.stall_multiplier() {
+            let extra = exec_began.elapsed().mul_f64(m - 1.0);
+            if !extra.is_zero() {
+                std::thread::sleep(extra);
+            }
+        }
+        let label_maps = logits
+            .argmax_channels()
+            .expect("segmentation output is NCHW")
+            .split_batch()
+            .expect("label map has a batch axis");
+        let per_sample = logits.split_batch().expect("logits have a batch axis");
+        Ok(per_sample
+            .into_iter()
+            .zip(label_maps)
+            .map(|(logits, label_map)| Inference {
+                logits,
+                label_map,
+                config: entry.config,
+                norm_miou_estimate: entry.norm_miou,
+                resource_estimate: entry.resource,
+                met_budget,
+            })
+            .collect())
     }
 }
 
@@ -826,6 +1024,64 @@ mod tests {
         core.infer(&mut scratch, &img, core.max_resource(), &plan_ctx)
             .unwrap();
         assert_eq!(core.cached_plans(), before);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs_bitwise() {
+        let e = small_engine();
+        let core = e.core().clone();
+        drop(e);
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 30 + i))
+            .collect();
+        let (entry, met) = core.select(core.max_resource());
+        for ctx in [
+            RunContext::default(),
+            RunContext::default().with_exec(ExecOptions::default().with_backend(ExecBackend::Plan)),
+        ] {
+            let mut scratch = ExecScratch::new();
+            let batched = core
+                .run_batch(&mut scratch, &images, entry.clone(), met, &ctx)
+                .unwrap();
+            assert_eq!(batched.len(), images.len());
+            for (img, out) in images.iter().zip(&batched) {
+                let solo = core
+                    .run(&mut scratch, img, entry.clone(), met, &ctx)
+                    .unwrap();
+                assert_eq!(out.logits, solo.logits, "batch-N diverged from N=1");
+                assert_eq!(out.label_map, solo.label_map);
+                assert_eq!(out.config, solo.config);
+            }
+        }
+        // Batch-3 and batch-1 paths cache separate graphs for one config.
+        assert_eq!(core.cached_graphs(), 2);
+        assert_eq!(core.cached_plans(), 2);
+    }
+
+    #[test]
+    fn run_batch_of_one_is_the_unbatched_path() {
+        let e = small_engine();
+        let core = e.core().clone();
+        drop(e);
+        let img = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 40);
+        let (entry, met) = core.select(core.max_resource());
+        let mut scratch = ExecScratch::new();
+        let outs = core
+            .run_batch(
+                &mut scratch,
+                std::slice::from_ref(&img),
+                entry.clone(),
+                met,
+                &RunContext::default(),
+            )
+            .unwrap();
+        let solo = core
+            .run(&mut scratch, &img, entry, met, &RunContext::default())
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].logits, solo.logits);
+        // Only the batch-1 graph exists: a singleton never compiles batch-N.
+        assert_eq!(core.cached_graphs(), 1);
     }
 
     #[test]

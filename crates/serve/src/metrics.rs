@@ -1,6 +1,6 @@
 //! Aggregate serving metrics.
 
-use crate::request::{FailureReason, Outcome, RequestRecord, ShedReason};
+use crate::request::{FailureReason, Outcome, RequestRecord, ShedReason, TenantId};
 use vit_drt::LutConfig;
 
 /// Nearest-rank percentile (`p` in `[0, 100]`) of an unsorted sample.
@@ -13,6 +13,34 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// One tenant's slice of a serving run. The three rates partition the
+/// tenant's submissions: `goodput + miss_rate + shed_rate == 1` (up to
+/// float rounding), where a *miss* is a late completion or a fault
+/// failure and a *shed* never executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantMetrics {
+    /// Requests this tenant offered.
+    pub submitted: usize,
+    /// Requests that executed (possibly late).
+    pub completed: usize,
+    /// On-time completions.
+    pub on_time: usize,
+    /// Requests shed for any reason (admission, quota, queue, in-queue
+    /// expiry).
+    pub shed: usize,
+    /// Requests shed specifically because this tenant was over its queue
+    /// quota (a subset of `shed`).
+    pub shed_over_quota: usize,
+    /// Requests that dispatched but failed every allowed attempt.
+    pub fault_failures: usize,
+    /// On-time completions over submitted.
+    pub goodput: f64,
+    /// Late completions + fault failures, over submitted.
+    pub miss_rate: f64,
+    /// All sheds over submitted.
+    pub shed_rate: f64,
 }
 
 /// Aggregated results of a serving run (threaded server or simulation).
@@ -30,6 +58,8 @@ pub struct ServerMetrics {
     pub shed_no_slack: usize,
     /// Requests shed at dispatch after their slack expired in-queue.
     pub shed_late: usize,
+    /// Requests shed because their tenant exceeded its queue quota.
+    pub shed_over_quota: usize,
     /// Requests that dispatched but failed every allowed attempt (faults
     /// exhausted the recovery policy). Accounted separately from deadline
     /// misses and sheds.
@@ -46,6 +76,11 @@ pub struct ServerMetrics {
     pub degraded_completions: usize,
     /// Mean LUT-estimate accuracy of degraded completions (0 when none).
     pub mean_degraded_accuracy: f64,
+    /// Completed requests served by a coalesced batch pass
+    /// (`batch_size > 1`).
+    pub batched_completions: usize,
+    /// Mean batch size over completed requests (1.0 when nothing batched).
+    pub mean_batch_size: f64,
     /// Completed requests that finished after their deadline.
     pub deadline_misses: usize,
     /// Median completion latency.
@@ -81,6 +116,9 @@ pub struct ServerMetrics {
     pub mean_delivered_accuracy: f64,
     /// How often each LUT configuration was selected, most-used first.
     pub config_histogram: Vec<(LutConfig, usize)>,
+    /// Per-tenant breakdown, ordered by tenant id. A single-tenant run
+    /// has one entry for the default tenant.
+    pub per_tenant: Vec<(TenantId, TenantMetrics)>,
 }
 
 impl ServerMetrics {
@@ -97,13 +135,14 @@ impl ServerMetrics {
         let shed_count = |reason: ShedReason| {
             outcomes
                 .iter()
-                .filter(|o| matches!(o, Outcome::Shed(r) if *r == reason))
+                .filter(|o| matches!(o, Outcome::Shed(r) if r.reason == reason))
                 .count()
         };
         let shed_queue_full = shed_count(ShedReason::QueueFull);
         let shed_no_slack = shed_count(ShedReason::SlackBelowCheapest);
         let shed_late = shed_count(ShedReason::SlackExhausted);
-        let sheds = shed_queue_full + shed_no_slack + shed_late;
+        let shed_over_quota = shed_count(ShedReason::OverQuota);
+        let sheds = shed_queue_full + shed_no_slack + shed_late + shed_over_quota;
         let deadline_misses = records.iter().filter(|r| !r.met_deadline).count();
 
         let failures: Vec<&crate::request::FailureRecord> = outcomes
@@ -139,6 +178,12 @@ impl ServerMetrics {
         } else {
             degraded.iter().map(|r| r.accuracy).sum::<f64>() / degraded.len() as f64
         };
+        let batched_completions = records.iter().filter(|r| r.batch_size > 1).count();
+        let mean_batch_size = if records.is_empty() {
+            1.0
+        } else {
+            records.iter().map(|r| r.batch_size as f64).sum::<f64>() / records.len() as f64
+        };
         let on_time = records.iter().filter(|r| r.met_deadline).count();
 
         let latencies: Vec<f64> = records.iter().map(|r| r.latency).collect();
@@ -159,6 +204,8 @@ impl ServerMetrics {
         }
         histogram.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
 
+        let per_tenant = tenant_breakdown(outcomes);
+
         let frac = |n: usize| {
             if submitted == 0 {
                 0.0
@@ -172,12 +219,15 @@ impl ServerMetrics {
             shed_queue_full,
             shed_no_slack,
             shed_late,
+            shed_over_quota,
             fault_failures,
             failure_histogram,
             faults_seen,
             retries,
             degraded_completions,
             mean_degraded_accuracy,
+            batched_completions,
+            mean_batch_size,
             deadline_misses,
             p50_latency: percentile(&latencies, 50.0),
             p95_latency: percentile(&latencies, 95.0),
@@ -196,12 +246,13 @@ impl ServerMetrics {
                 delivered / submitted as f64
             },
             config_histogram: histogram,
+            per_tenant,
         }
     }
 
     /// Total requests shed for any reason.
     pub fn shed(&self) -> usize {
-        self.shed_queue_full + self.shed_no_slack + self.shed_late
+        self.shed_queue_full + self.shed_no_slack + self.shed_late + self.shed_over_quota
     }
 
     /// `completed + shed() + fault_failures == submitted` — no request
@@ -210,11 +261,81 @@ impl ServerMetrics {
     pub fn accounts_for_all_submissions(&self) -> bool {
         self.completed + self.shed() + self.fault_failures == self.submitted
     }
+
+    /// This run's metrics for one tenant, when it submitted anything.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantMetrics> {
+        self.per_tenant
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Splits outcomes by tenant and computes each tenant's partition rates.
+fn tenant_breakdown(outcomes: &[Outcome]) -> Vec<(TenantId, TenantMetrics)> {
+    let mut tenants: Vec<TenantId> = outcomes
+        .iter()
+        .map(|o| match o {
+            Outcome::Completed(r) => r.tenant,
+            Outcome::Shed(s) => s.tenant,
+            Outcome::Failed(f) => f.tenant,
+        })
+        .collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    tenants
+        .into_iter()
+        .map(|tenant| {
+            let mut m = TenantMetrics {
+                submitted: 0,
+                completed: 0,
+                on_time: 0,
+                shed: 0,
+                shed_over_quota: 0,
+                fault_failures: 0,
+                goodput: 0.0,
+                miss_rate: 0.0,
+                shed_rate: 0.0,
+            };
+            for o in outcomes {
+                match o {
+                    Outcome::Completed(r) if r.tenant == tenant => {
+                        m.submitted += 1;
+                        m.completed += 1;
+                        if r.met_deadline {
+                            m.on_time += 1;
+                        }
+                    }
+                    Outcome::Shed(s) if s.tenant == tenant => {
+                        m.submitted += 1;
+                        m.shed += 1;
+                        if s.reason == ShedReason::OverQuota {
+                            m.shed_over_quota += 1;
+                        }
+                    }
+                    Outcome::Failed(f) if f.tenant == tenant => {
+                        m.submitted += 1;
+                        m.fault_failures += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if m.submitted > 0 {
+                let n = m.submitted as f64;
+                let late = m.completed - m.on_time;
+                m.goodput = m.on_time as f64 / n;
+                m.miss_rate = (late + m.fault_failures) as f64 / n;
+                m.shed_rate = m.shed as f64 / n;
+            }
+            (tenant, m)
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::ShedRecord;
 
     fn config() -> LutConfig {
         LutConfig::Swin {
@@ -224,6 +345,10 @@ mod tests {
     }
 
     fn record(latency: f64, met: bool, accuracy: f64) -> Outcome {
+        record_for(latency, met, accuracy, TenantId::default())
+    }
+
+    fn record_for(latency: f64, met: bool, accuracy: f64, tenant: TenantId) -> Outcome {
         Outcome::Completed(RequestRecord {
             latency,
             queue_wait: latency / 2.0,
@@ -232,7 +357,14 @@ mod tests {
             config: config(),
             retries: 0,
             faults_seen: 0,
+            tenant,
+            ticket: None,
+            batch_size: 1,
         })
+    }
+
+    fn shed(reason: ShedReason) -> Outcome {
+        Outcome::Shed(ShedRecord::at_admission(reason, TenantId::default()))
     }
 
     #[test]
@@ -252,8 +384,8 @@ mod tests {
             record(0.010, true, 0.9),
             record(0.020, true, 1.0),
             record(0.500, false, 1.0), // late: delivers 0
-            Outcome::Shed(ShedReason::QueueFull),
-            Outcome::Shed(ShedReason::SlackBelowCheapest),
+            shed(ShedReason::QueueFull),
+            shed(ShedReason::SlackBelowCheapest),
         ];
         let m = ServerMetrics::from_outcomes(&outcomes);
         assert_eq!(m.submitted, 5);
@@ -273,11 +405,18 @@ mod tests {
         assert_eq!(m.p95_queue_wait, 0.250);
         assert_eq!(m.p99_queue_wait, 0.250);
         assert!((m.mean_queue_wait - (0.005 + 0.010 + 0.250) / 3.0).abs() < 1e-12);
-        // No chaos in this fixture.
+        // No chaos or batching in this fixture.
         assert_eq!(m.fault_failures, 0);
         assert_eq!(m.faults_seen, 0);
         assert_eq!(m.degraded_completions, 0);
+        assert_eq!(m.batched_completions, 0);
+        assert!((m.mean_batch_size - 1.0).abs() < 1e-12);
         assert!((m.goodput - 0.4).abs() < 1e-12);
+        // Single-tenant run: one per-tenant entry mirroring the totals.
+        assert_eq!(m.per_tenant.len(), 1);
+        let t = m.tenant(TenantId::default()).unwrap();
+        assert_eq!(t.submitted, 5);
+        assert!((t.goodput + t.miss_rate + t.shed_rate - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -289,20 +428,21 @@ mod tests {
         };
         degraded.retries = 1;
         degraded.faults_seen = 1;
+        let fail = |reason, retries, faults_seen| {
+            Outcome::Failed(FailureRecord {
+                reason,
+                retries,
+                faults_seen,
+                tenant: TenantId::default(),
+                ticket: None,
+            })
+        };
         let outcomes = vec![
             record(0.010, true, 0.9),
             Outcome::Completed(degraded),
-            Outcome::Failed(FailureRecord {
-                reason: FailureReason::Crash,
-                retries: 2,
-                faults_seen: 3,
-            }),
-            Outcome::Failed(FailureRecord {
-                reason: FailureReason::GuardTripped,
-                retries: 0,
-                faults_seen: 1,
-            }),
-            Outcome::Shed(ShedReason::QueueFull),
+            fail(FailureReason::Crash, 2, 3),
+            fail(FailureReason::GuardTripped, 0, 1),
+            shed(ShedReason::QueueFull),
         ];
         let m = ServerMetrics::from_outcomes(&outcomes);
         assert_eq!(m.submitted, 5);
@@ -322,5 +462,47 @@ mod tests {
             m.failure_histogram,
             vec![(FailureReason::Crash, 1), (FailureReason::GuardTripped, 1)]
         );
+        // The fault failures land in the default tenant's miss_rate.
+        let t = m.tenant(TenantId::default()).unwrap();
+        assert!((t.miss_rate - 0.4).abs() < 1e-12);
+        assert!((t.goodput + t.miss_rate + t.shed_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_tenant_rates_partition_each_tenants_submissions() {
+        let a = TenantId(1);
+        let b = TenantId(2);
+        let outcomes = vec![
+            record_for(0.010, true, 0.9, a),
+            record_for(0.900, false, 0.9, a), // late
+            record_for(0.010, true, 0.8, b),
+            Outcome::Shed(ShedRecord::at_admission(ShedReason::OverQuota, b)),
+            Outcome::Shed(ShedRecord::at_admission(ShedReason::QueueFull, b)),
+        ];
+        let m = ServerMetrics::from_outcomes(&outcomes);
+        assert_eq!(m.shed_over_quota, 1);
+        assert_eq!(m.per_tenant.len(), 2);
+        let ma = m.tenant(a).unwrap();
+        assert_eq!((ma.submitted, ma.on_time), (2, 1));
+        assert!((ma.goodput - 0.5).abs() < 1e-12);
+        assert!((ma.miss_rate - 0.5).abs() < 1e-12);
+        assert!((ma.shed_rate - 0.0).abs() < 1e-12);
+        let mb = m.tenant(b).unwrap();
+        assert_eq!((mb.submitted, mb.shed, mb.shed_over_quota), (3, 2, 1));
+        assert!((mb.goodput + mb.miss_rate + mb.shed_rate - 1.0).abs() < 1e-12);
+        assert!(m.tenant(TenantId(9)).is_none());
+    }
+
+    #[test]
+    fn batch_sizes_aggregate_over_completions() {
+        let mut batched = match record(0.010, true, 0.9) {
+            Outcome::Completed(r) => r,
+            _ => unreachable!(),
+        };
+        batched.batch_size = 4;
+        let outcomes = vec![Outcome::Completed(batched), record(0.020, true, 0.9)];
+        let m = ServerMetrics::from_outcomes(&outcomes);
+        assert_eq!(m.batched_completions, 1);
+        assert!((m.mean_batch_size - 2.5).abs() < 1e-12);
     }
 }

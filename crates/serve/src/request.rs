@@ -6,6 +6,32 @@ use vit_drt::LutConfig;
 use vit_resilience::ResourceKind;
 use vit_tensor::Tensor;
 
+/// Identifies the tenant a request belongs to for quota accounting and
+/// weighted-fair scheduling. Tenant `0` is the default tenant; a server
+/// with no explicit tenancy configuration treats all traffic as tenant 0
+/// and degenerates to pure EDF scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// The correlation handle [`crate::Server::submit`] returns for an admitted
+/// request. The same ticket appears on the request's terminal
+/// [`RequestRecord`] / [`FailureRecord`] / in-queue [`ShedRecord`], so
+/// callers can match completions back to submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestTicket(pub u64);
+
+impl fmt::Display for RequestTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket{}", self.0)
+    }
+}
+
 /// One inference request submitted to a [`crate::Server`].
 #[derive(Debug)]
 pub struct InferenceRequest {
@@ -18,6 +44,27 @@ pub struct InferenceRequest {
     /// kind the server's LUT was swept with; a mismatched request is
     /// rejected at submission.
     pub resource_kind: ResourceKind,
+    /// The submitting tenant, for quota and fair-share accounting.
+    pub tenant: TenantId,
+}
+
+impl InferenceRequest {
+    /// A request from the default tenant.
+    pub fn new(image: Tensor, deadline: Instant, resource_kind: ResourceKind) -> Self {
+        InferenceRequest {
+            image,
+            deadline,
+            resource_kind,
+            tenant: TenantId::default(),
+        }
+    }
+
+    /// Re-tags the request with an explicit tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
 }
 
 /// Why a request was shed instead of executed.
@@ -32,6 +79,9 @@ pub enum ShedReason {
     /// Slack ran out while the request waited in the queue; detected at
     /// dispatch, before wasting worker time on a hopeless request.
     SlackExhausted,
+    /// The submitting tenant already holds its full queue share; admitting
+    /// more would let one tenant starve the rest.
+    OverQuota,
 }
 
 impl ShedReason {
@@ -41,6 +91,7 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::SlackBelowCheapest => "slack_below_cheapest",
             ShedReason::SlackExhausted => "slack_exhausted",
+            ShedReason::OverQuota => "over_quota",
         }
     }
 }
@@ -48,6 +99,30 @@ impl ShedReason {
 impl fmt::Display for ShedReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// The terminal record of a shed request.
+#[derive(Debug, Clone)]
+pub struct ShedRecord {
+    /// Why the request was shed.
+    pub reason: ShedReason,
+    /// The tenant whose request was shed.
+    pub tenant: TenantId,
+    /// The admission ticket, for requests that were admitted and later
+    /// shed in-queue ([`ShedReason::SlackExhausted`]). `None` for requests
+    /// refused at submission, which never received a ticket.
+    pub ticket: Option<RequestTicket>,
+}
+
+impl ShedRecord {
+    /// A shed refused at submission (no ticket, default tenant).
+    pub fn at_admission(reason: ShedReason, tenant: TenantId) -> Self {
+        ShedRecord {
+            reason,
+            tenant,
+            ticket: None,
+        }
     }
 }
 
@@ -98,6 +173,10 @@ pub struct FailureRecord {
     pub retries: u32,
     /// Faults observed across all attempts of this request.
     pub faults_seen: u32,
+    /// The tenant that submitted the request.
+    pub tenant: TenantId,
+    /// The admission ticket, for correlating with the submission.
+    pub ticket: Option<RequestTicket>,
 }
 
 /// What finally happened to one completed (executed) request.
@@ -118,6 +197,13 @@ pub struct RequestRecord {
     pub retries: u32,
     /// Faults observed across all attempts of this request.
     pub faults_seen: u32,
+    /// The tenant that submitted the request.
+    pub tenant: TenantId,
+    /// The admission ticket, for correlating with the submission.
+    pub ticket: Option<RequestTicket>,
+    /// How many requests shared the engine pass that served this one
+    /// (1 = unbatched; > 1 = coalesced into a batch-N execution).
+    pub batch_size: u32,
 }
 
 impl RequestRecord {
@@ -146,7 +232,7 @@ pub enum Outcome {
     /// The request executed (possibly late).
     Completed(RequestRecord),
     /// The request was shed without executing.
-    Shed(ShedReason),
+    Shed(ShedRecord),
     /// The request dispatched but every allowed attempt faulted.
     Failed(FailureRecord),
 }

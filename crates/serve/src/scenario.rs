@@ -8,7 +8,9 @@
 //! Serialization uses the workspace's own dependency-free
 //! [`vit_drt::json`] module.
 
+use crate::config::TenantSpec;
 use crate::policy::{RecoveryPolicy, SchedulePolicy};
+use crate::request::TenantId;
 use crate::sim::{SimArrival, SimConfig};
 use std::fmt;
 use vit_drt::json::{parse, write_pretty, Json, JsonParseError};
@@ -192,7 +194,11 @@ fn fault_from_json(j: &Json) -> Result<FaultPlan, ScenarioError> {
 
 impl ChaosScenario {
     /// Serializes the scenario as pretty-printed JSON (stable layout: the
-    /// same scenario always produces the same bytes).
+    /// same scenario always produces the same bytes). Fleet-scale fields
+    /// introduced after the format froze (`max_batch`, `batch_marginal`,
+    /// `replicas`, `tenants`) are encoded only when they differ from their
+    /// defaults, so scenarios committed before they existed re-encode to
+    /// the identical bytes.
     pub fn to_json(&self) -> String {
         let config = &self.config;
         let fault = match &config.fault {
@@ -203,33 +209,66 @@ impl ChaosScenario {
             self.arrivals
                 .iter()
                 .map(|a| {
-                    Json::Obj(vec![
+                    let mut fields = vec![
                         ("time".to_string(), Json::Num(a.time)),
                         ("slack".to_string(), Json::Num(a.slack)),
-                    ])
+                    ];
+                    if a.tenant != TenantId::default() {
+                        fields.push(("tenant".to_string(), Json::Int(i64::from(a.tenant.0))));
+                    }
+                    Json::Obj(fields)
                 })
                 .collect(),
         );
+        let mut config_fields = vec![
+            ("workers".to_string(), Json::Int(config.workers as i64)),
+            (
+                "queue_depth".to_string(),
+                Json::Int(config.queue_depth as i64),
+            ),
+            ("policy".to_string(), policy_to_json(config.policy)),
+            ("secs_per_unit".to_string(), Json::Num(config.secs_per_unit)),
+            ("recovery".to_string(), recovery_to_json(config.recovery)),
+            (
+                "watchdog_grace".to_string(),
+                Json::Num(config.watchdog_grace),
+            ),
+            ("fault".to_string(), fault),
+        ];
+        let defaults = SimConfig::new(1, 1, SchedulePolicy::DrtDynamic, 1.0);
+        if config.max_batch != defaults.max_batch {
+            config_fields.push(("max_batch".to_string(), Json::Int(config.max_batch as i64)));
+        }
+        if config.batch_marginal != defaults.batch_marginal {
+            config_fields.push((
+                "batch_marginal".to_string(),
+                Json::Num(config.batch_marginal),
+            ));
+        }
+        if config.replicas != defaults.replicas {
+            config_fields.push(("replicas".to_string(), Json::Int(config.replicas as i64)));
+        }
+        if !config.tenants.is_empty() {
+            config_fields.push((
+                "tenants".to_string(),
+                Json::Arr(
+                    config
+                        .tenants
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("id".to_string(), Json::Int(i64::from(t.id.0))),
+                                ("weight".to_string(), Json::Num(t.weight)),
+                                ("max_queue_share".to_string(), Json::Num(t.max_queue_share)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         let doc = Json::Obj(vec![
             ("name".to_string(), Json::Str(self.name.clone())),
-            (
-                "config".to_string(),
-                Json::Obj(vec![
-                    ("workers".to_string(), Json::Int(config.workers as i64)),
-                    (
-                        "queue_depth".to_string(),
-                        Json::Int(config.queue_depth as i64),
-                    ),
-                    ("policy".to_string(), policy_to_json(config.policy)),
-                    ("secs_per_unit".to_string(), Json::Num(config.secs_per_unit)),
-                    ("recovery".to_string(), recovery_to_json(config.recovery)),
-                    (
-                        "watchdog_grace".to_string(),
-                        Json::Num(config.watchdog_grace),
-                    ),
-                    ("fault".to_string(), fault),
-                ]),
-            ),
+            ("config".to_string(), Json::Obj(config_fields)),
             ("arrivals".to_string(), arrivals),
         ]);
         let mut out = write_pretty(&doc);
@@ -265,18 +304,60 @@ impl ChaosScenario {
             recovery_from_json(need(cfg, "recovery").map_err(|_| malformed("config.recovery"))?)?;
         config.watchdog_grace =
             need_f64(cfg, "watchdog_grace").map_err(|_| malformed("config.watchdog_grace"))?;
+        // Fleet-scale fields are optional: absent means the pre-fleet
+        // defaults, keeping old committed scenarios decodable.
+        if cfg.get("max_batch").is_some() {
+            config.max_batch =
+                need_usize(cfg, "max_batch").map_err(|_| malformed("config.max_batch"))?;
+        }
+        if cfg.get("batch_marginal").is_some() {
+            config.batch_marginal =
+                need_f64(cfg, "batch_marginal").map_err(|_| malformed("config.batch_marginal"))?;
+        }
+        if cfg.get("replicas").is_some() {
+            config.replicas =
+                need_usize(cfg, "replicas").map_err(|_| malformed("config.replicas"))?;
+        }
+        if let Some(tenants) = cfg.get("tenants") {
+            config.tenants = tenants
+                .as_arr()
+                .ok_or_else(|| malformed("config.tenants"))?
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let id = need_usize(t, "id")
+                        .ok()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| malformed(&format!("config.tenants[{i}].id")))?;
+                    Ok(TenantSpec::new(TenantId(id))
+                        .with_weight(
+                            need_f64(t, "weight")
+                                .map_err(|_| malformed(&format!("config.tenants[{i}].weight")))?,
+                        )
+                        .with_queue_share(need_f64(t, "max_queue_share").map_err(|_| {
+                            malformed(&format!("config.tenants[{i}].max_queue_share"))
+                        })?))
+                })
+                .collect::<Result<Vec<_>, ScenarioError>>()?;
+        }
         let arrivals = need(&doc, "arrivals")?
             .as_arr()
             .ok_or_else(|| malformed("arrivals"))?
             .iter()
             .enumerate()
             .map(|(i, a)| {
-                Ok(SimArrival {
-                    time: need_f64(a, "time")
-                        .map_err(|_| malformed(&format!("arrivals[{i}].time")))?,
-                    slack: need_f64(a, "slack")
-                        .map_err(|_| malformed(&format!("arrivals[{i}].slack")))?,
-                })
+                let mut arrival = SimArrival::new(
+                    need_f64(a, "time").map_err(|_| malformed(&format!("arrivals[{i}].time")))?,
+                    need_f64(a, "slack").map_err(|_| malformed(&format!("arrivals[{i}].slack")))?,
+                );
+                if let Some(t) = a.get("tenant") {
+                    let id = t
+                        .as_usize()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| malformed(&format!("arrivals[{i}].tenant")))?;
+                    arrival = arrival.with_tenant(TenantId(id));
+                }
+                Ok(arrival)
             })
             .collect::<Result<Vec<_>, ScenarioError>>()?;
         Ok(ChaosScenario {
@@ -304,16 +385,7 @@ mod tests {
                     replay_rate: 0.02,
                 })
                 .with_recovery(RecoveryPolicy::DegradedRetry { max_retries: 2 }),
-            arrivals: vec![
-                SimArrival {
-                    time: 0.0,
-                    slack: 5.0,
-                },
-                SimArrival {
-                    time: 1.5,
-                    slack: 4.25,
-                },
-            ],
+            arrivals: vec![SimArrival::new(0.0, 5.0), SimArrival::new(1.5, 4.25)],
         }
     }
 
@@ -344,6 +416,45 @@ mod tests {
         assert!(text.contains("\"fault\": null"));
         let back = ChaosScenario::from_json(&text).unwrap();
         assert_eq!(back.config.fault, None);
+    }
+
+    #[test]
+    fn default_fleet_fields_are_not_encoded() {
+        // Scenarios predating batching/tenancy must re-encode to the same
+        // bytes: the new fields appear only when non-default.
+        let text = scenario().to_json();
+        for frozen in ["max_batch", "batch_marginal", "replicas", "tenants"] {
+            assert!(!text.contains(frozen), "default {frozen} leaked into JSON");
+        }
+    }
+
+    #[test]
+    fn fleet_fields_round_trip_when_set() {
+        let mut s = scenario();
+        s.config = s
+            .config
+            .with_batching(8)
+            .with_batch_marginal(0.5)
+            .with_replicas(4)
+            .with_tenants(vec![
+                TenantSpec::new(TenantId(1))
+                    .with_weight(2.0)
+                    .with_queue_share(0.5),
+                TenantSpec::new(TenantId(2)),
+            ]);
+        s.arrivals = vec![
+            SimArrival::new(0.0, 5.0).with_tenant(TenantId(1)),
+            SimArrival::new(1.0, 5.0).with_tenant(TenantId(2)),
+            SimArrival::new(2.0, 5.0),
+        ];
+        let text = s.to_json();
+        let back = ChaosScenario::from_json(&text).unwrap();
+        assert_eq!(back.config.max_batch, 8);
+        assert_eq!(back.config.batch_marginal, 0.5);
+        assert_eq!(back.config.replicas, 4);
+        assert_eq!(back.config.tenants, s.config.tenants);
+        assert_eq!(back.arrivals, s.arrivals);
+        assert_eq!(back.to_json(), text, "non-default encoding is stable too");
     }
 
     #[test]
@@ -421,7 +532,7 @@ mod fixture {
         assert_eq!(s.to_json(), FIXTURE, "encoding is byte-stable");
 
         let core = tiny_core();
-        let m = simulate(&core, s.config, &s.arrivals);
+        let m = simulate(&core, &s.config, &s.arrivals);
         assert!(m.accounts_for_all_submissions());
         assert_eq!(m.submitted, 40);
         assert_eq!(m.completed, 29);

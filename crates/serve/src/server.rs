@@ -1,23 +1,24 @@
-//! The threaded serving loop: bounded ingress, EDF scheduler, worker pool
-//! over one shared [`EngineCore`].
+//! The threaded serving loop: weighted-fair multi-tenant dispatch queue,
+//! continuous batching, worker pool over one shared [`EngineCore`].
 
+use crate::config::ServerConfig;
+use crate::fair::{CoalescePop, DispatchPushError, SharedDispatchQueue};
 use crate::metrics::ServerMetrics;
-use crate::policy::{admissible, budget_for, RecoveryPolicy, SchedulePolicy};
-use crate::queue::{EdfQueue, PopResult, PushError};
+use crate::policy::{admissible, budget_for};
+use crate::queue::PopResult;
 use crate::request::{
-    FailureReason, FailureRecord, InferenceRequest, Outcome, RequestRecord, ShedReason,
+    FailureReason, FailureRecord, InferenceRequest, Outcome, RequestRecord, RequestTicket,
+    ShedReason, ShedRecord, TenantId,
 };
-use crossbeam::channel::{self, TrySendError};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
-use vit_drt::{EngineCore, EngineError};
-use vit_fault::{FaultCtx, FaultError, FaultPlan, GuardConfig};
+use std::time::{Duration, Instant};
+use vit_drt::{EngineCore, EngineError, LutEntry};
+use vit_fault::{FaultCtx, FaultError, GuardConfig};
 use vit_graph::{ExecBackend, ExecOptions, ExecScratch, RunContext};
-use vit_resilience::ResourceKind;
 use vit_tensor::Tensor;
 use vit_trace::{now_ns, EventKind, Phase as TracePhase, RecoveryAction};
 
@@ -126,68 +127,6 @@ impl Calibration {
     }
 }
 
-/// Server topology and scheduling configuration.
-#[derive(Debug, Clone, Copy)]
-pub struct ServerConfig {
-    /// Worker threads sharing the engine core.
-    pub workers: usize,
-    /// Capacity of the ingress channel and of the EDF queue (each stage
-    /// holds at most this many requests).
-    pub queue_depth: usize,
-    /// The resource dimension deadlines are stated in; requests with a
-    /// different kind are rejected.
-    pub resource_kind: ResourceKind,
-    /// How budgets are chosen.
-    pub policy: SchedulePolicy,
-    /// Total threads of the intra-inference execution pool shared by all
-    /// workers (1 = each worker runs its inference sequentially). One pool
-    /// is shared so concurrent inferences cooperate on the machine's cores
-    /// instead of oversubscribing them `workers ×`.
-    pub exec_threads: usize,
-    /// Run inferences by replaying compiled execution plans
-    /// ([`ExecBackend::Plan`]) instead of interpreting graphs. Outputs are
-    /// bit-identical either way; plans trade a one-time per-config
-    /// compilation (cached in the shared [`EngineCore`]) for lower
-    /// per-inference overhead.
-    pub use_plans: bool,
-    /// Deterministic fault injection plan. `None` (the default) serves
-    /// cleanly — workers still run the output guard, but no faults are
-    /// drawn. With a plan, every attempt is armed with
-    /// `(plan, request seq, attempt)` so a chaos run replays byte-for-byte
-    /// regardless of thread interleaving.
-    pub fault: Option<FaultPlan>,
-    /// What workers do when an attempt faults.
-    pub recovery: RecoveryPolicy,
-    /// Watchdog allowance as a multiple of the selected entry's expected
-    /// execution time. The threaded server cannot abort a running
-    /// inference, so an overrun is *observed* (a `watchdog` detection
-    /// event) rather than enforced; the discrete-event simulator models
-    /// the true abort.
-    pub watchdog_grace: f64,
-    /// Consecutive failures on one worker that open its circuit breaker.
-    /// An open breaker forces that worker onto the conservative
-    /// [`ExecBackend::Interpret`] path until a success closes it; when
-    /// every worker's breaker is open, [`Server::submit`] refuses new work.
-    pub breaker_threshold: usize,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            workers: 4,
-            queue_depth: 64,
-            resource_kind: ResourceKind::GpuTime,
-            policy: SchedulePolicy::DrtDynamic,
-            exec_threads: 1,
-            use_plans: false,
-            fault: None,
-            recovery: RecoveryPolicy::default(),
-            watchdog_grace: 4.0,
-            breaker_threshold: 3,
-        }
-    }
-}
-
 /// Error from [`Server::submit`] for requests the server cannot interpret
 /// (as opposed to load shedding, which is a recorded outcome, not an
 /// error).
@@ -197,9 +136,9 @@ pub enum SubmitError {
     /// The request's resource kind does not match the server's LUT.
     WrongResourceKind {
         /// Kind the server was configured with.
-        expected: ResourceKind,
+        expected: vit_resilience::ResourceKind,
         /// Kind the request carried.
-        got: ResourceKind,
+        got: vit_resilience::ResourceKind,
     },
     /// Every worker's circuit breaker is open: the server is refusing new
     /// work until at least one worker completes a request cleanly.
@@ -226,6 +165,36 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// What [`Server::submit`] decided about a well-formed request: admitted
+/// (with a correlation ticket) or shed (with the reason, also recorded in
+/// the metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request was admitted and queued. The ticket reappears on the
+    /// request's terminal record, so the caller can correlate completions.
+    Admitted {
+        /// The correlation handle for this submission.
+        ticket: RequestTicket,
+    },
+    /// The request was shed without queueing.
+    Shed(ShedReason),
+}
+
+impl Admission {
+    /// Whether the request was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted { .. })
+    }
+
+    /// The ticket of an admitted request.
+    pub fn ticket(&self) -> Option<RequestTicket> {
+        match self {
+            Admission::Admitted { ticket } => Some(*ticket),
+            Admission::Shed(_) => None,
+        }
+    }
+}
+
 struct Submitted {
     image: Tensor,
     deadline: Instant,
@@ -235,18 +204,28 @@ struct Submitted {
     submitted_ns: u64,
     /// Submission sequence number — the deterministic `run` identity for
     /// fault draws, independent of which worker dispatches the request.
+    /// Doubles as the [`RequestTicket`] value.
     seq: u64,
+    tenant: TenantId,
+}
+
+impl Submitted {
+    fn ticket(&self) -> RequestTicket {
+        RequestTicket(self.seq)
+    }
 }
 
 /// A running deadline-aware inference server.
 ///
-/// Requests flow `submit` → bounded ingress channel → EDF queue → worker
+/// Requests flow `submit` → weighted-fair multi-tenant EDF queue → worker
 /// pool. Admission control sheds requests that cannot possibly meet their
-/// deadline; the bounded stages shed on overload; every submitted request
-/// ends up in exactly one [`Outcome`].
+/// deadline (and tenants that exceed their queue quota); the bounded queue
+/// sheds on overload; every submitted request ends up in exactly one
+/// [`Outcome`]. Workers coalesce queued requests that resolve to the same
+/// LUT configuration into single batch-N engine passes when
+/// `config.batching` enables it.
 pub struct Server {
-    ingress: Option<channel::Sender<Submitted>>,
-    scheduler: Option<JoinHandle<()>>,
+    queue: Arc<SharedDispatchQueue<Instant, Submitted>>,
     workers: Vec<JoinHandle<()>>,
     outcomes: Arc<Mutex<Vec<Outcome>>>,
     core: Arc<EngineCore>,
@@ -258,14 +237,22 @@ pub struct Server {
 }
 
 impl Server {
-    /// Spawns the scheduler and worker threads and starts serving, with
-    /// the intra-inference execution pool sized by `config.exec_threads`
-    /// and tracing disabled.
+    /// Spawns the worker threads and starts serving, with the
+    /// intra-inference execution pool sized by `config.exec_threads` and
+    /// tracing disabled. Accepts the nested [`ServerConfig`] or (during
+    /// the deprecation window) the flat
+    /// [`FlatServerConfig`](crate::FlatServerConfig) shim.
     ///
     /// # Panics
     ///
-    /// Panics when `config.workers` or `config.queue_depth` is zero.
-    pub fn start(core: Arc<EngineCore>, calibration: Calibration, config: ServerConfig) -> Self {
+    /// Panics when the configuration fails [`ServerConfig::validate`] —
+    /// configs built through [`ServerConfig::builder`] never do.
+    pub fn start(
+        core: Arc<EngineCore>,
+        calibration: Calibration,
+        config: impl Into<ServerConfig>,
+    ) -> Self {
+        let config: ServerConfig = config.into();
         let backend = if config.use_plans {
             ExecBackend::Plan
         } else {
@@ -285,33 +272,21 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics when `config.workers` or `config.queue_depth` is zero.
+    /// Panics when the configuration fails [`ServerConfig::validate`].
     pub fn start_with(
         core: Arc<EngineCore>,
         calibration: Calibration,
-        config: ServerConfig,
+        config: impl Into<ServerConfig>,
         ctx: RunContext,
     ) -> Self {
-        assert!(config.workers > 0, "server needs at least one worker");
-        let (tx, rx) = channel::bounded::<Submitted>(config.queue_depth);
-        let queue: Arc<EdfQueue<Instant, Submitted>> =
-            Arc::new(EdfQueue::bounded(config.queue_depth));
+        let config: ServerConfig = config.into();
+        config
+            .validate()
+            .expect("server started with an invalid configuration");
+        let queue: Arc<SharedDispatchQueue<Instant, Submitted>> = Arc::new(
+            SharedDispatchQueue::bounded(config.queue_depth, &config.tenancy.tenants),
+        );
         let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
-
-        // Scheduler: moves admitted requests from the ingress channel into
-        // the EDF queue (blocking when the queue is full, which backs
-        // pressure up into the bounded channel and from there into sheds).
-        let scheduler = {
-            let queue = queue.clone();
-            std::thread::spawn(move || {
-                while let Ok(sub) = rx.recv() {
-                    if matches!(queue.push(sub.deadline, sub), Err(PushError::Closed)) {
-                        break;
-                    }
-                }
-                queue.close();
-            })
-        };
 
         // One execution pool shared (via `Arc`) by every worker: cloning
         // the `RunContext` clones the pool handle and the sink handle, not
@@ -324,52 +299,16 @@ impl Server {
                 let core = core.clone();
                 let spu = calibration.secs_per_unit;
                 let ctx = ctx.clone();
+                let config = config.clone();
                 let open_breakers = open_breakers.clone();
                 std::thread::spawn(move || {
-                    let mut scratch = ExecScratch::new();
-                    // Per-worker health: consecutive failures and whether
-                    // this worker's circuit breaker is currently open.
-                    let mut consecutive_failures: usize = 0;
-                    let mut breaker_open = false;
-                    while let PopResult::Item((deadline, sub)) = queue.pop() {
-                        let now = Instant::now();
-                        let traced = ctx.trace_enabled();
-                        if traced {
-                            ctx.sink.record(EventKind::Phase {
-                                phase: TracePhase::QueueWait,
-                                detail: String::new(),
-                                start_ns: sub.submitted_ns,
-                                end_ns: now_ns(),
-                            });
-                        }
-                        let queue_wait = now.duration_since(sub.submitted_at).as_secs_f64();
-                        serve_request(
-                            &core,
-                            &ctx,
-                            &config,
-                            &mut scratch,
-                            &outcomes,
-                            &open_breakers,
-                            &mut consecutive_failures,
-                            &mut breaker_open,
-                            spu,
-                            deadline,
-                            &sub,
-                            queue_wait,
-                        );
-                    }
-                    // A worker that exits with its breaker open must not
-                    // leave the shared count pinned.
-                    if breaker_open {
-                        open_breakers.fetch_sub(1, Ordering::Relaxed);
-                    }
+                    worker_loop(&queue, &outcomes, &core, &ctx, &config, &open_breakers, spu)
                 })
             })
             .collect();
 
         Server {
-            ingress: Some(tx),
-            scheduler: Some(scheduler),
+            queue,
             workers,
             outcomes,
             core,
@@ -396,20 +335,27 @@ impl Server {
         self.calibration
     }
 
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
     /// The execution context (options + trace sink) the workers run with.
     pub fn run_context(&self) -> &RunContext {
         &self.ctx
     }
 
-    /// Offers a request. Returns `Ok(true)` when the request was admitted
-    /// and queued, `Ok(false)` when it was shed (recorded in the metrics
-    /// with its reason).
+    /// Offers a request. Returns the typed [`Admission`] decision:
+    /// [`Admission::Admitted`] carries the ticket that reappears on the
+    /// request's terminal record; [`Admission::Shed`] names the reason
+    /// (also recorded in the metrics).
     ///
     /// # Errors
     ///
-    /// Returns [`SubmitError`] for a request whose resource kind does not
-    /// match the server's LUT; such a request is *not* counted as shed.
-    pub fn submit(&self, request: InferenceRequest) -> Result<bool, SubmitError> {
+    /// Returns [`SubmitError`] for a request the server cannot interpret
+    /// (wrong resource kind, or every worker unhealthy); such a request is
+    /// *not* counted as shed.
+    pub fn submit(&self, request: InferenceRequest) -> Result<Admission, SubmitError> {
         if request.resource_kind != self.config.resource_kind {
             return Err(SubmitError::WrongResourceKind {
                 expected: self.config.resource_kind,
@@ -423,23 +369,27 @@ impl Server {
         }
         let now = Instant::now();
         let traced = self.ctx.trace_enabled();
+        let tenant = request.tenant;
+        let shed = |reason: ShedReason| {
+            if traced {
+                self.ctx.sink.record(EventKind::Instant {
+                    name: "shed".to_string(),
+                    detail: reason.name().to_string(),
+                    at_ns: now_ns(),
+                });
+            }
+            self.outcomes
+                .lock()
+                .push(Outcome::Shed(ShedRecord::at_admission(reason, tenant)));
+            Ok(Admission::Shed(reason))
+        };
         let slack_secs = request
             .deadline
             .saturating_duration_since(now)
             .as_secs_f64();
         let slack_units = self.calibration.units(slack_secs);
         if !admissible(slack_units, self.core.min_resource()) {
-            if traced {
-                self.ctx.sink.record(EventKind::Instant {
-                    name: "shed".to_string(),
-                    detail: ShedReason::SlackBelowCheapest.name().to_string(),
-                    at_ns: now_ns(),
-                });
-            }
-            self.outcomes
-                .lock()
-                .push(Outcome::Shed(ShedReason::SlackBelowCheapest));
-            return Ok(false);
+            return shed(ShedReason::SlackBelowCheapest);
         }
         let sub = Submitted {
             image: request.image,
@@ -447,13 +397,10 @@ impl Server {
             submitted_at: now,
             submitted_ns: self.ctx.sink.timestamp(),
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            tenant,
         };
-        match self
-            .ingress
-            .as_ref()
-            .expect("ingress open until shutdown")
-            .try_send(sub)
-        {
+        let ticket = sub.ticket();
+        match self.queue.try_push(tenant, sub.deadline, sub) {
             Ok(()) => {
                 if traced {
                     self.ctx.sink.record(EventKind::Instant {
@@ -462,36 +409,190 @@ impl Server {
                         at_ns: now_ns(),
                     });
                 }
-                Ok(true)
+                Ok(Admission::Admitted { ticket })
             }
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                if traced {
-                    self.ctx.sink.record(EventKind::Instant {
-                        name: "shed".to_string(),
-                        detail: ShedReason::QueueFull.name().to_string(),
-                        at_ns: now_ns(),
-                    });
-                }
-                self.outcomes
-                    .lock()
-                    .push(Outcome::Shed(ShedReason::QueueFull));
-                Ok(false)
-            }
+            Err(DispatchPushError::OverQuota) => shed(ShedReason::OverQuota),
+            Err(DispatchPushError::Full | DispatchPushError::Closed) => shed(ShedReason::QueueFull),
         }
     }
 
     /// Stops accepting requests, drains everything already queued, joins
     /// all threads, and returns the aggregated metrics.
     pub fn shutdown(mut self) -> ServerMetrics {
-        drop(self.ingress.take()); // scheduler's recv() ends, queue closes
-        if let Some(s) = self.scheduler.take() {
-            s.join().expect("scheduler thread panicked");
-        }
+        self.queue.close();
         for w in self.workers.drain(..) {
             w.join().expect("worker thread panicked");
         }
         let outcomes = self.outcomes.lock();
         ServerMetrics::from_outcomes(&outcomes)
+    }
+
+    /// Like [`Server::shutdown`], but also returns the raw per-request
+    /// [`Outcome`]s — the threaded counterpart of
+    /// [`crate::simulate_outcomes`], for callers that correlate admission
+    /// tickets or need distributions the aggregate metrics do not carry.
+    pub fn shutdown_outcomes(mut self) -> (ServerMetrics, Vec<Outcome>) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        let outcomes = std::mem::take(&mut *self.outcomes.lock());
+        (ServerMetrics::from_outcomes(&outcomes), outcomes)
+    }
+}
+
+/// Signed remaining slack in seconds: negative once past due.
+fn signed_slack(deadline: Instant, now: Instant) -> f64 {
+    if deadline >= now {
+        deadline.duration_since(now).as_secs_f64()
+    } else {
+        -now.duration_since(deadline).as_secs_f64()
+    }
+}
+
+/// One dequeued request plus its dispatch-time bookkeeping.
+struct Dispatched {
+    deadline: Instant,
+    sub: Submitted,
+    queue_wait: f64,
+}
+
+/// The worker thread body: pop under the weighted-fair EDF discipline,
+/// coalesce same-config admissible requests into a batch when batching is
+/// enabled, execute, record outcomes. Per-worker health (consecutive
+/// failures, circuit breaker) lives here.
+fn worker_loop(
+    queue: &SharedDispatchQueue<Instant, Submitted>,
+    outcomes: &Mutex<Vec<Outcome>>,
+    core: &Arc<EngineCore>,
+    ctx: &RunContext,
+    config: &ServerConfig,
+    open_breakers: &AtomicUsize,
+    spu: f64,
+) {
+    let mut scratch = ExecScratch::new();
+    let mut consecutive_failures: usize = 0;
+    let mut breaker_open = false;
+    // Batching is disabled while a fault plan is armed: fault draws are
+    // keyed per (request, attempt), and a shared batched pass would
+    // entangle the members' draw histories — chaos replay stays
+    // per-request and byte-identical.
+    let batching = config.batching.enabled() && config.fault_tolerance.fault.is_none();
+    while let PopResult::Item((_, deadline, sub)) = queue.pop() {
+        let leader = dispatched(ctx, deadline, sub);
+        if !batching {
+            serve_request(
+                core,
+                ctx,
+                config,
+                &mut scratch,
+                outcomes,
+                open_breakers,
+                &mut consecutive_failures,
+                &mut breaker_open,
+                spu,
+                &leader,
+            );
+            continue;
+        }
+        // Leader resolves its configuration now; followers join only
+        // while they resolve to the same one.
+        let now = Instant::now();
+        let slack_units = signed_slack(leader.deadline, now) / spu;
+        if !admissible(slack_units, core.min_resource()) {
+            // Hopeless leader: the per-request path sheds or fails it.
+            serve_request(
+                core,
+                ctx,
+                config,
+                &mut scratch,
+                outcomes,
+                open_breakers,
+                &mut consecutive_failures,
+                &mut breaker_open,
+                spu,
+                &leader,
+            );
+            continue;
+        }
+        let budget = budget_for(config.policy, core, slack_units);
+        let (entry, _) = core.select(budget);
+        let window_end = now + Duration::from_secs_f64(config.batching.window);
+        let mut batch = vec![leader];
+        let mut earliest = deadline;
+        while batch.len() < config.batching.max_batch {
+            // A batch must never turn a met deadline into a miss: every
+            // member finishes with the shared pass, so the batch only
+            // grows while the projected finish — conservatively linear in
+            // members on this substrate — still meets the earliest
+            // deadline on board, and the candidate's own.
+            let grown = Duration::from_secs_f64((batch.len() + 1) as f64 * entry.resource * spu);
+            let now = Instant::now();
+            let projected = now + grown;
+            if projected > earliest {
+                break;
+            }
+            let remaining = window_end.saturating_duration_since(now);
+            let picked = queue.pop_if_timeout(remaining, |cand| {
+                let cand_slack = signed_slack(cand.deadline, Instant::now()) / spu;
+                projected <= cand.deadline
+                    && admissible(cand_slack, core.min_resource())
+                    && core
+                        .select(budget_for(config.policy, core, cand_slack))
+                        .0
+                        .config
+                        == entry.config
+            });
+            match picked {
+                CoalescePop::Item((_, d, s)) => {
+                    earliest = earliest.min(d);
+                    batch.push(dispatched(ctx, d, s));
+                }
+                CoalescePop::Mismatch | CoalescePop::Closed => break,
+                CoalescePop::Empty => {
+                    if window_end <= Instant::now() {
+                        break;
+                    }
+                }
+            }
+        }
+        serve_batch(
+            core,
+            ctx,
+            config,
+            &mut scratch,
+            outcomes,
+            open_breakers,
+            &mut consecutive_failures,
+            &mut breaker_open,
+            spu,
+            batch,
+            entry.clone(),
+        );
+    }
+    // A worker that exits with its breaker open must not leave the
+    // shared count pinned.
+    if breaker_open {
+        open_breakers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Stamps a freshly-popped request with its queue wait (and trace span).
+fn dispatched(ctx: &RunContext, deadline: Instant, sub: Submitted) -> Dispatched {
+    let now = Instant::now();
+    if ctx.trace_enabled() {
+        ctx.sink.record(EventKind::Phase {
+            phase: TracePhase::QueueWait,
+            detail: String::new(),
+            start_ns: sub.submitted_ns,
+            end_ns: now_ns(),
+        });
+    }
+    let queue_wait = now.duration_since(sub.submitted_at).as_secs_f64();
+    Dispatched {
+        deadline,
+        sub,
+        queue_wait,
     }
 }
 
@@ -503,6 +604,102 @@ fn failure_reason(err: &EngineError) -> FailureReason {
         Some(FaultError::InjectedReplayFailure { .. }) => FailureReason::PlanReplay,
         Some(FaultError::GuardTripped { .. }) => FailureReason::GuardTripped,
         _ => FailureReason::Engine,
+    }
+}
+
+/// Runs one coalesced batch through a single batch-N engine pass and
+/// records one [`Outcome`] per member. Falls back to the per-request
+/// serving path (which owns retries, breakers, and shed accounting) when
+/// the batched pass fails — a batch is an optimization, never a new way
+/// to lose requests.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    core: &Arc<EngineCore>,
+    ctx: &RunContext,
+    config: &ServerConfig,
+    scratch: &mut ExecScratch,
+    outcomes: &Mutex<Vec<Outcome>>,
+    open_breakers: &AtomicUsize,
+    consecutive_failures: &mut usize,
+    breaker_open: &mut bool,
+    spu: f64,
+    batch: Vec<Dispatched>,
+    entry: LutEntry,
+) {
+    if batch.len() == 1 {
+        // Window expired with a lone request: exactly the unbatched path.
+        let only = &batch[0];
+        serve_request(
+            core,
+            ctx,
+            config,
+            scratch,
+            outcomes,
+            open_breakers,
+            consecutive_failures,
+            breaker_open,
+            spu,
+            only,
+        );
+        return;
+    }
+    let mut actx = ctx.clone();
+    if *breaker_open && actx.exec.backend() == ExecBackend::Plan {
+        let exec = actx.exec.clone().with_backend(ExecBackend::Interpret);
+        actx = actx.with_exec(exec);
+    }
+    let actx = actx.with_fault(FaultCtx::new().with_guard(GuardConfig::default()));
+    let images: Vec<Tensor> = batch.iter().map(|d| d.sub.image.clone()).collect();
+    match core.run_batch(scratch, &images, entry, true, &actx) {
+        Ok(inferences) => {
+            let finish = Instant::now();
+            if *breaker_open {
+                *breaker_open = false;
+                open_breakers.fetch_sub(1, Ordering::Relaxed);
+            }
+            *consecutive_failures = 0;
+            let n = batch.len() as u32;
+            let mut out = outcomes.lock();
+            for (d, inf) in batch.iter().zip(inferences) {
+                out.push(Outcome::Completed(RequestRecord {
+                    latency: finish.duration_since(d.sub.submitted_at).as_secs_f64(),
+                    queue_wait: d.queue_wait,
+                    met_deadline: finish <= d.deadline,
+                    accuracy: inf.norm_miou_estimate,
+                    config: inf.config,
+                    retries: 0,
+                    faults_seen: 0,
+                    tenant: d.sub.tenant,
+                    ticket: Some(d.sub.ticket()),
+                    batch_size: n,
+                }));
+            }
+        }
+        Err(err) => {
+            // Batched pass failed (e.g. a guard trip somewhere in the
+            // batch): isolate by re-serving each member individually.
+            if ctx.trace_enabled() {
+                ctx.sink.record(EventKind::Fault {
+                    action: RecoveryAction::Retry,
+                    detail: format!("batch of {} failed ({err}); serving singly", batch.len()),
+                    at_ns: now_ns(),
+                });
+            }
+            for d in &batch {
+                serve_request(
+                    core,
+                    ctx,
+                    config,
+                    scratch,
+                    outcomes,
+                    open_breakers,
+                    consecutive_failures,
+                    breaker_open,
+                    spu,
+                    d,
+                );
+            }
+        }
     }
 }
 
@@ -522,10 +719,11 @@ fn serve_request(
     consecutive_failures: &mut usize,
     breaker_open: &mut bool,
     spu: f64,
-    deadline: Instant,
-    sub: &Submitted,
-    queue_wait: f64,
+    d: &Dispatched,
 ) {
+    let ft = &config.fault_tolerance;
+    let sub = &d.sub;
+    let deadline = d.deadline;
     let traced = ctx.trace_enabled();
     let fault_event = |action: RecoveryAction, detail: String| {
         if traced {
@@ -545,11 +743,7 @@ fn serve_request(
         // Signed remaining slack: negative once past due. Re-derived per
         // attempt, so a retry sees only what the fault left it — the LUT
         // then degrades the retry to a cheaper configuration by itself.
-        let slack_secs = if deadline >= now {
-            deadline.duration_since(now).as_secs_f64()
-        } else {
-            -now.duration_since(deadline).as_secs_f64()
-        };
+        let slack_secs = signed_slack(deadline, now);
         let slack_units = slack_secs / spu;
         if !admissible(slack_units, core.min_resource()) {
             if attempt == 0 {
@@ -560,9 +754,11 @@ fn serve_request(
                         at_ns: now_ns(),
                     });
                 }
-                outcomes
-                    .lock()
-                    .push(Outcome::Shed(ShedReason::SlackExhausted));
+                outcomes.lock().push(Outcome::Shed(ShedRecord {
+                    reason: ShedReason::SlackExhausted,
+                    tenant: sub.tenant,
+                    ticket: Some(sub.ticket()),
+                }));
             } else {
                 // Slack ran out while recovering: the fault, not the
                 // queue, cost this request its deadline.
@@ -574,6 +770,8 @@ fn serve_request(
                     reason: last_reason,
                     retries: attempt,
                     faults_seen,
+                    tenant: sub.tenant,
+                    ticket: Some(sub.ticket()),
                 }));
             }
             return;
@@ -588,7 +786,7 @@ fn serve_request(
             actx = actx.with_exec(exec);
         }
         let mut fctx = FaultCtx::new().with_guard(GuardConfig::default());
-        if let Some(plan) = config.fault {
+        if let Some(plan) = ft.fault {
             fctx = fctx.armed(plan, sub.seq, attempt);
         }
         let actx = actx.with_fault(fctx);
@@ -602,9 +800,7 @@ fn serve_request(
                 // the watchdog is observational here: an attempt that
                 // overran its allowance is recorded as a detection (the
                 // simulator models the true abort).
-                let allowance = slack_secs
-                    .max(0.0)
-                    .min(config.watchdog_grace * expected_secs);
+                let allowance = slack_secs.max(0.0).min(ft.watchdog_grace * expected_secs);
                 if elapsed > allowance {
                     fault_event(
                         RecoveryAction::Detected,
@@ -622,12 +818,15 @@ fn serve_request(
                 }
                 outcomes.lock().push(Outcome::Completed(RequestRecord {
                     latency: finish.duration_since(sub.submitted_at).as_secs_f64(),
-                    queue_wait,
+                    queue_wait: d.queue_wait,
                     met_deadline: finish <= deadline,
                     accuracy: inference.norm_miou_estimate,
                     config: inference.config,
                     retries: attempt,
                     faults_seen,
+                    tenant: sub.tenant,
+                    ticket: Some(sub.ticket()),
+                    batch_size: 1,
                 }));
                 return;
             }
@@ -637,7 +836,7 @@ fn serve_request(
                 let reason = failure_reason(&err);
                 last_reason = reason;
                 fault_event(RecoveryAction::Detected, format!("{reason}: {err}"));
-                if *consecutive_failures >= config.breaker_threshold && !*breaker_open {
+                if *consecutive_failures >= ft.breaker_threshold && !*breaker_open {
                     *breaker_open = true;
                     open_breakers.fetch_add(1, Ordering::Relaxed);
                     fault_event(
@@ -645,12 +844,14 @@ fn serve_request(
                         format!("{} consecutive failures", *consecutive_failures),
                     );
                 }
-                if attempt >= config.recovery.max_retries() {
+                if attempt >= ft.recovery.max_retries() {
                     fault_event(RecoveryAction::FailFast, reason.name().to_string());
                     outcomes.lock().push(Outcome::Failed(FailureRecord {
                         reason,
                         retries: attempt,
                         faults_seen,
+                        tenant: sub.tenant,
+                        ticket: Some(sub.ticket()),
                     }));
                     return;
                 }
@@ -712,5 +913,17 @@ mod tests {
         let cal =
             Calibration::from_timed_runs::<()>(&mut || Ok(0.0), CALIBRATION_RUNS, 2.0).unwrap();
         assert!(cal.secs_per_unit > 0.0, "rate stays positive");
+    }
+
+    #[test]
+    fn admission_accessors() {
+        let a = Admission::Admitted {
+            ticket: RequestTicket(7),
+        };
+        assert!(a.is_admitted());
+        assert_eq!(a.ticket(), Some(RequestTicket(7)));
+        let s = Admission::Shed(ShedReason::QueueFull);
+        assert!(!s.is_admitted());
+        assert_eq!(s.ticket(), None);
     }
 }

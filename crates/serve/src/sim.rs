@@ -1,17 +1,27 @@
 //! Deterministic discrete-event simulation of the serving loop.
 //!
 //! Shares the scheduling semantics of the threaded [`crate::Server`] —
-//! EDF dispatch, admission control at arrival and at dispatch, a bounded
-//! queue — but advances a *virtual* clock, so a load sweep is exactly
-//! reproducible under a fixed seed and independent of the host machine.
-//! Service times are the LUT's resource estimates scaled by a fixed
-//! seconds-per-unit rate; inference outputs are not materialized (the
-//! metrics only need the selected configuration and its accuracy
-//! estimate), which keeps sweeping hundreds of operating points cheap.
+//! weighted-fair multi-tenant EDF dispatch, admission control at arrival
+//! and at dispatch, a bounded queue, continuous batching — but advances a
+//! *virtual* clock, so a load sweep is exactly reproducible under a fixed
+//! seed and independent of the host machine. Service times are the LUT's
+//! resource estimates scaled by a fixed seconds-per-unit rate; inference
+//! outputs are not materialized (the metrics only need the selected
+//! configuration and its accuracy estimate), which keeps sweeping millions
+//! of requests over hundreds of operating points cheap.
+//!
+//! Fleet scale: `replicas` simulates that many identical worker groups,
+//! each with its own queue and `workers` workers; arrivals are routed
+//! round-robin (by arrival order), modeling a stateless load balancer.
 
+use crate::config::TenantSpec;
+use crate::fair::{CoalescePop, DispatchPushError, DispatchQueue};
 use crate::metrics::ServerMetrics;
 use crate::policy::{admissible, budget_for, RecoveryPolicy, SchedulePolicy};
-use crate::request::{FailureReason, FailureRecord, Outcome, RequestRecord, ShedReason};
+use crate::request::{
+    FailureReason, FailureRecord, Outcome, RequestRecord, RequestTicket, ShedReason, ShedRecord,
+    TenantId,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vit_drt::EngineCore;
@@ -24,14 +34,34 @@ pub struct SimArrival {
     pub time: f64,
     /// Relative deadline: the request must finish by `time + slack`.
     pub slack: f64,
+    /// The submitting tenant (default tenant when untagged).
+    pub tenant: TenantId,
+}
+
+impl SimArrival {
+    /// An arrival from the default tenant.
+    pub fn new(time: f64, slack: f64) -> Self {
+        SimArrival {
+            time,
+            slack,
+            tenant: TenantId::default(),
+        }
+    }
+
+    /// Re-tags the arrival with an explicit tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
 }
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Parallel workers.
+    /// Parallel workers per replica.
     pub workers: usize,
-    /// EDF queue capacity; arrivals beyond it are shed.
+    /// Dispatch queue capacity per replica; arrivals beyond it are shed.
     pub queue_depth: usize,
     /// Scheduling policy.
     pub policy: SchedulePolicy,
@@ -48,12 +78,27 @@ pub struct SimConfig {
     /// overrun after the fact), the simulator models the real abort: a
     /// stalled attempt is killed at the allowance and handed to recovery.
     pub watchdog_grace: f64,
+    /// Largest number of same-config requests one engine pass may serve
+    /// (1 = no batching). Like the threaded server, batching is disabled
+    /// while a fault plan is armed.
+    pub max_batch: usize,
+    /// Marginal cost of each extra batched request, as a fraction of the
+    /// single-request service time: a batch of `N` takes
+    /// `expected × (1 + (N−1) × batch_marginal)` virtual seconds. The
+    /// default 0.25 models the amortized-weight-streaming regime of the
+    /// batch-N kernels.
+    pub batch_marginal: f64,
+    /// Identical worker-group replicas behind a round-robin load balancer.
+    pub replicas: usize,
+    /// Per-tenant quotas and fair-share weights (empty = single tenant).
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl SimConfig {
-    /// A clean (fault-free) simulation configuration with the default
-    /// recovery policy and watchdog grace — the common case; chaos runs
-    /// layer [`SimConfig::with_fault`] on top.
+    /// A clean (fault-free) single-replica simulation configuration with
+    /// the default recovery policy and watchdog grace — the common case;
+    /// chaos runs layer [`SimConfig::with_fault`] on top, fleet runs
+    /// [`SimConfig::with_replicas`] and friends.
     pub fn new(
         workers: usize,
         queue_depth: usize,
@@ -68,18 +113,53 @@ impl SimConfig {
             fault: None,
             recovery: RecoveryPolicy::default(),
             watchdog_grace: 4.0,
+            max_batch: 1,
+            batch_marginal: 0.25,
+            replicas: 1,
+            tenants: Vec::new(),
         }
     }
 
     /// Arms fault injection.
+    #[must_use]
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
         self
     }
 
     /// Sets the recovery policy.
+    #[must_use]
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Enables continuous batching up to `max_batch` requests per pass.
+    #[must_use]
+    pub fn with_batching(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the marginal per-request cost of batched service.
+    #[must_use]
+    pub fn with_batch_marginal(mut self, marginal: f64) -> Self {
+        self.batch_marginal = marginal;
+        self
+    }
+
+    /// Simulates `replicas` identical worker groups behind round-robin
+    /// load balancing.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the per-tenant quota/weight specs.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.tenants = tenants;
         self
     }
 }
@@ -113,6 +193,7 @@ impl Ord for OrdF64 {
 struct QueuedReq {
     arrival: f64,
     deadline: f64,
+    tenant: TenantId,
 }
 
 /// Runs the simulation over `arrivals` (any order; sorted internally by
@@ -120,9 +201,10 @@ struct QueuedReq {
 ///
 /// # Panics
 ///
-/// Panics when `config.workers` or `config.queue_depth` is zero, or when
-/// `config.secs_per_unit` is not positive.
-pub fn simulate(core: &EngineCore, config: SimConfig, arrivals: &[SimArrival]) -> ServerMetrics {
+/// Panics when `config.workers`, `config.queue_depth`, `config.max_batch`,
+/// or `config.replicas` is zero, or when `config.secs_per_unit` is not
+/// positive, or when `config.batch_marginal` is negative.
+pub fn simulate(core: &EngineCore, config: &SimConfig, arrivals: &[SimArrival]) -> ServerMetrics {
     ServerMetrics::from_outcomes(&simulate_outcomes(core, config, arrivals))
 }
 
@@ -136,7 +218,7 @@ pub fn simulate(core: &EngineCore, config: SimConfig, arrivals: &[SimArrival]) -
 /// Same contract as [`simulate`].
 pub fn simulate_outcomes(
     core: &EngineCore,
-    config: SimConfig,
+    config: &SimConfig,
     arrivals: &[SimArrival],
 ) -> Vec<Outcome> {
     assert!(config.workers > 0, "simulation needs at least one worker");
@@ -145,17 +227,53 @@ pub fn simulate_outcomes(
         config.secs_per_unit > 0.0,
         "seconds-per-unit must be positive"
     );
-    let spu = config.secs_per_unit;
-    let min_cost = core.min_resource();
+    assert!(config.max_batch > 0, "max batch must be at least 1");
+    assert!(
+        config.batch_marginal >= 0.0,
+        "batch marginal cost cannot be negative"
+    );
+    assert!(config.replicas > 0, "simulation needs at least one replica");
 
     let mut sorted: Vec<SimArrival> = arrivals.to_vec();
     sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
 
-    // Earliest-deadline-first queue of admitted, not-yet-dispatched
-    // requests; FIFO sequence number breaks deadline ties.
-    let mut queue: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::new();
-    let mut queued: Vec<QueuedReq> = Vec::new(); // indexed by seq
-                                                 // When each worker becomes free, as a min-heap.
+    if config.replicas == 1 {
+        return simulate_replica(core, config, &sorted);
+    }
+    // Round-robin load balancing over identical replicas: arrival i (in
+    // time order) goes to replica i mod replicas. Each replica is an
+    // independent queue + worker group; outcomes concatenate (aggregate
+    // metrics are order-insensitive).
+    let mut outcomes = Vec::with_capacity(sorted.len());
+    for r in 0..config.replicas {
+        let share: Vec<SimArrival> = sorted
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % config.replicas == r)
+            .map(|(_, a)| *a)
+            .collect();
+        outcomes.extend(simulate_replica(core, config, &share));
+    }
+    outcomes
+}
+
+/// Simulates one replica over its (time-sorted) share of the arrivals.
+fn simulate_replica(core: &EngineCore, config: &SimConfig, sorted: &[SimArrival]) -> Vec<Outcome> {
+    let spu = config.secs_per_unit;
+    let min_cost = core.min_resource();
+    let fault_plan = config.fault.filter(|p| p.is_active());
+    // As in the threaded server: batching never mixes with an armed fault
+    // plan, keeping per-request fault draws replayable.
+    let batching = config.max_batch > 1 && fault_plan.is_none();
+
+    // Weighted-fair multi-tenant EDF queue of admitted, not-yet-dispatched
+    // requests — the same discipline the threaded server dispatches with.
+    // Items are indices into `queued`; the index doubles as the request's
+    // deterministic fault-draw identity and ticket.
+    let mut queue: DispatchQueue<OrdF64, u64> =
+        DispatchQueue::bounded(config.queue_depth, &config.tenants);
+    let mut queued: Vec<QueuedReq> = Vec::new();
+    // When each worker becomes free, as a min-heap.
     let mut workers: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::new();
     for _ in 0..config.workers {
         workers.push(Reverse(OrdF64(0.0)));
@@ -164,27 +282,38 @@ pub fn simulate_outcomes(
     let mut outcomes: Vec<Outcome> = Vec::with_capacity(sorted.len());
     let mut next_arrival = 0usize;
 
-    // Admission control at arrival time: slack below the cheapest path or
-    // a full queue sheds immediately.
+    // Admission control at arrival time: slack below the cheapest path, a
+    // full queue, or an exhausted tenant quota sheds immediately.
     let admit = |a: &SimArrival,
-                 queue: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
+                 queue: &mut DispatchQueue<OrdF64, u64>,
                  queued: &mut Vec<QueuedReq>,
                  outcomes: &mut Vec<Outcome>| {
         if !admissible(a.slack / spu, min_cost) {
-            outcomes.push(Outcome::Shed(ShedReason::SlackBelowCheapest));
-            return;
-        }
-        if queue.len() >= config.queue_depth {
-            outcomes.push(Outcome::Shed(ShedReason::QueueFull));
+            outcomes.push(Outcome::Shed(ShedRecord::at_admission(
+                ShedReason::SlackBelowCheapest,
+                a.tenant,
+            )));
             return;
         }
         let seq = queued.len() as u64;
         let deadline = a.time + a.slack;
-        queued.push(QueuedReq {
-            arrival: a.time,
-            deadline,
-        });
-        queue.push(Reverse((OrdF64(deadline), seq)));
+        match queue.try_push(a.tenant, OrdF64(deadline), seq) {
+            Ok(()) => queued.push(QueuedReq {
+                arrival: a.time,
+                deadline,
+                tenant: a.tenant,
+            }),
+            Err(e) => {
+                let reason = match e {
+                    DispatchPushError::OverQuota => ShedReason::OverQuota,
+                    DispatchPushError::Full | DispatchPushError::Closed => ShedReason::QueueFull,
+                };
+                // `queued` was not extended, so the seq is re-used by the
+                // next admitted request — sheds never consume fault-draw
+                // identities, exactly as before tenancy existed.
+                outcomes.push(Outcome::Shed(ShedRecord::at_admission(reason, a.tenant)));
+            }
+        }
     };
 
     loop {
@@ -215,13 +344,76 @@ pub fn simulate_outcomes(
             continue;
         }
 
-        // Dispatch the earliest-deadline queued request on the earliest
-        // free worker.
-        let Reverse((_, seq)) = queue.pop().expect("checked non-empty");
+        // Dispatch the weighted-fair-EDF head on the earliest free worker.
+        let (_, _, seq) = queue.pop().expect("checked non-empty");
         let req = queued[seq as usize];
         workers.pop();
         let start = free_at.max(req.arrival);
-        let fault_plan = config.fault.filter(|p| p.is_active());
+
+        if batching {
+            let slack_units = (req.deadline - start) / spu;
+            if admissible(slack_units, min_cost) {
+                // Coalesce: followers join while the next-up request (in
+                // fair-EDF order — never skipped over) is admissible and
+                // resolves to the leader's configuration. Virtual time
+                // does not advance while the batch forms (a zero-cost
+                // batch window over everything already queued).
+                let budget = budget_for(config.policy, core, slack_units);
+                let (entry, _fits) = core.select(budget);
+                let mut members: Vec<u64> = vec![seq];
+                let mut earliest = req.deadline;
+                while members.len() < config.max_batch {
+                    // Service time if one more member joins. A batch must
+                    // never turn a met deadline into a miss: everyone
+                    // shares the batch finish instant, so the batch only
+                    // grows while that projected finish still meets the
+                    // earliest deadline on board — and the candidate's own.
+                    let grown =
+                        entry.resource * spu * (1.0 + members.len() as f64 * config.batch_marginal);
+                    if start + grown > earliest {
+                        break;
+                    }
+                    let picked = queue.pop_if(|&s| {
+                        let cand = queued[s as usize];
+                        let su = (cand.deadline - start) / spu;
+                        start + grown <= cand.deadline
+                            && admissible(su, min_cost)
+                            && core.select(budget_for(config.policy, core, su)).0.config
+                                == entry.config
+                    });
+                    match picked {
+                        CoalescePop::Item((_, _, s)) => {
+                            earliest = earliest.min(queued[s as usize].deadline);
+                            members.push(s);
+                        }
+                        _ => break,
+                    }
+                }
+                let n = members.len();
+                let service =
+                    entry.resource * spu * (1.0 + (n as f64 - 1.0) * config.batch_marginal);
+                let finish = start + service;
+                workers.push(Reverse(OrdF64(finish)));
+                for &s in &members {
+                    let m = queued[s as usize];
+                    outcomes.push(Outcome::Completed(RequestRecord {
+                        latency: finish - m.arrival,
+                        queue_wait: start - m.arrival,
+                        met_deadline: finish <= m.deadline,
+                        accuracy: entry.norm_miou,
+                        config: entry.config,
+                        retries: 0,
+                        faults_seen: 0,
+                        tenant: m.tenant,
+                        ticket: Some(RequestTicket(s)),
+                        batch_size: n as u32,
+                    }));
+                }
+                continue;
+            }
+            // Hopeless leader: fall through to the per-request loop, which
+            // sheds it at dispatch.
+        }
 
         // Per-attempt recovery loop mirroring the threaded worker: each
         // attempt re-checks admissibility against the time already burned
@@ -239,7 +431,11 @@ pub fn simulate_outcomes(
                     // Slack expired while waiting: shed at dispatch,
                     // worker stays free at the same instant.
                     workers.push(Reverse(OrdF64(free_at)));
-                    outcomes.push(Outcome::Shed(ShedReason::SlackExhausted));
+                    outcomes.push(Outcome::Shed(ShedRecord {
+                        reason: ShedReason::SlackExhausted,
+                        tenant: req.tenant,
+                        ticket: Some(RequestTicket(seq)),
+                    }));
                 } else {
                     // Slack ran out mid-recovery: the fault cost this
                     // request its deadline, and the worker its time.
@@ -248,6 +444,8 @@ pub fn simulate_outcomes(
                         reason: last_reason,
                         retries: attempt,
                         faults_seen,
+                        tenant: req.tenant,
+                        ticket: Some(RequestTicket(seq)),
                     }));
                 }
                 break;
@@ -297,6 +495,9 @@ pub fn simulate_outcomes(
                         config: entry.config,
                         retries: attempt,
                         faults_seen,
+                        tenant: req.tenant,
+                        ticket: Some(RequestTicket(seq)),
+                        batch_size: 1,
                     }));
                     break;
                 }
@@ -313,6 +514,8 @@ pub fn simulate_outcomes(
                             reason,
                             retries: attempt,
                             faults_seen,
+                            tenant: req.tenant,
+                            ticket: Some(RequestTicket(seq)),
                         }));
                         break;
                     }
@@ -361,10 +564,7 @@ mod tests {
 
     fn uniform_arrivals(n: usize, gap: f64, slack: f64) -> Vec<SimArrival> {
         (0..n)
-            .map(|i| SimArrival {
-                time: i as f64 * gap,
-                slack,
-            })
+            .map(|i| SimArrival::new(i as f64 * gap, slack))
             .collect()
     }
 
@@ -373,7 +573,7 @@ mod tests {
         let core = test_core();
         let m = simulate(
             &core,
-            SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0),
+            &SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0),
             // One arrival every 4s on 2 workers; service <= 4s: no queueing.
             &uniform_arrivals(20, 4.0, 8.0),
         );
@@ -393,8 +593,8 @@ mod tests {
         // full service 4s), with slack that fits the full model only when
         // the queue is empty.
         let arrivals = uniform_arrivals(60, 2.0, 5.0);
-        let drt = simulate(&core, cfg(SchedulePolicy::DrtDynamic), &arrivals);
-        let stat = simulate(&core, cfg(SchedulePolicy::static_full()), &arrivals);
+        let drt = simulate(&core, &cfg(SchedulePolicy::DrtDynamic), &arrivals);
+        let stat = simulate(&core, &cfg(SchedulePolicy::static_full()), &arrivals);
         assert!(drt.accounts_for_all_submissions());
         assert!(stat.accounts_for_all_submissions());
         assert!(
@@ -413,8 +613,8 @@ mod tests {
         let core = test_core();
         let cfg = SimConfig::new(3, 8, SchedulePolicy::DrtDynamic, 0.01);
         let arrivals = uniform_arrivals(100, 0.013, 0.07);
-        let a = simulate(&core, cfg, &arrivals);
-        let b = simulate(&core, cfg, &arrivals);
+        let a = simulate(&core, &cfg, &arrivals);
+        let b = simulate(&core, &cfg, &arrivals);
         assert_eq!(a.submitted, b.submitted);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.deadline_misses, b.deadline_misses);
@@ -435,8 +635,8 @@ mod tests {
         };
         let cfg = SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0).with_fault(plan);
         let arrivals = uniform_arrivals(200, 2.1, 9.0);
-        let a = simulate(&core, cfg, &arrivals);
-        let b = simulate(&core, cfg, &arrivals);
+        let a = simulate(&core, &cfg, &arrivals);
+        let b = simulate(&core, &cfg, &arrivals);
         assert!(a.accounts_for_all_submissions());
         assert!(a.faults_seen > 0, "rates this high must draw faults");
         assert_eq!(a.completed, b.completed);
@@ -466,10 +666,10 @@ mod tests {
         };
         let healing = simulate(
             &core,
-            cfg(RecoveryPolicy::DegradedRetry { max_retries: 2 }),
+            &cfg(RecoveryPolicy::DegradedRetry { max_retries: 2 }),
             &arrivals,
         );
-        let brittle = simulate(&core, cfg(RecoveryPolicy::FailFast), &arrivals);
+        let brittle = simulate(&core, &cfg(RecoveryPolicy::FailFast), &arrivals);
         assert!(healing.accounts_for_all_submissions());
         assert!(brittle.accounts_for_all_submissions());
         assert!(
@@ -498,7 +698,7 @@ mod tests {
         let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0)
             .with_fault(plan)
             .with_recovery(RecoveryPolicy::FailFast);
-        let m = simulate(&core, cfg, &uniform_arrivals(10, 50.0, 40.0));
+        let m = simulate(&core, &cfg, &uniform_arrivals(10, 50.0, 40.0));
         assert_eq!(m.completed, 0);
         assert_eq!(m.fault_failures, 10);
         assert_eq!(m.failure_histogram, vec![(FailureReason::Watchdog, 10)]);
@@ -518,7 +718,7 @@ mod tests {
             replay_rate: 1.0,
         };
         let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0).with_fault(plan);
-        let m = simulate(&core, cfg, &uniform_arrivals(10, 50.0, 40.0));
+        let m = simulate(&core, &cfg, &uniform_arrivals(10, 50.0, 40.0));
         assert_eq!(m.completed, 10);
         assert_eq!(m.fault_failures, 0);
         assert_eq!(m.degraded_completions, 10, "every completion retried once");
@@ -530,12 +730,183 @@ mod tests {
         let core = test_core();
         let m = simulate(
             &core,
-            SimConfig::new(1, 4, SchedulePolicy::DrtDynamic, 1.0),
+            &SimConfig::new(1, 4, SchedulePolicy::DrtDynamic, 1.0),
             // Slack 0.5 < cheapest cost 1.0: nothing can ever be served.
             &uniform_arrivals(10, 1.0, 0.5),
         );
         assert_eq!(m.completed, 0);
         assert_eq!(m.shed_no_slack, 10);
         assert!(m.accounts_for_all_submissions());
+    }
+
+    #[test]
+    fn batching_strictly_improves_goodput_at_overload() {
+        let core = test_core();
+        // Bursts of 8 simultaneous same-slack requests: one worker serving
+        // them one-by-one (4s each at full) exhausts the later requests'
+        // slack, while one batch-8 pass (4 × (1 + 7×0.25) = 11s) lands the
+        // whole burst inside its 12s slack.
+        let mut arrivals: Vec<SimArrival> = Vec::new();
+        for burst in 0..20 {
+            for _ in 0..8 {
+                arrivals.push(SimArrival::new(burst as f64 * 12.0, 12.0));
+            }
+        }
+        let unbatched = SimConfig::new(1, 16, SchedulePolicy::DrtDynamic, 1.0);
+        let batched = unbatched.clone().with_batching(8);
+        let mu = simulate(&core, &unbatched, &arrivals);
+        let mb = simulate(&core, &batched, &arrivals);
+        assert!(mu.accounts_for_all_submissions());
+        assert!(mb.accounts_for_all_submissions());
+        assert!(mb.batched_completions > 0, "overload must coalesce");
+        assert!(
+            mb.goodput > mu.goodput,
+            "batched {} vs unbatched {}",
+            mb.goodput,
+            mu.goodput
+        );
+        // Every batch member shares one pass but keeps its own record.
+        assert!(mb.mean_batch_size > 1.0);
+    }
+
+    #[test]
+    fn batch_of_requests_share_config_and_finish_time() {
+        let core = test_core();
+        // Two workers idle at t=0; 4 identical-slack arrivals at t=0: the
+        // first worker batches what is queued when it dispatches.
+        let arrivals: Vec<SimArrival> = (0..4).map(|_| SimArrival::new(0.0, 20.0)).collect();
+        let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0).with_batching(4);
+        let outcomes = simulate_outcomes(&core, &cfg, &arrivals);
+        let records: Vec<_> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Completed(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.batch_size == 4));
+        assert!(records.iter().all(|r| r.config == records[0].config));
+        assert!(records.iter().all(|r| r.met_deadline));
+        // Same pass: same finish instant, hence identical latencies here
+        // (all arrived together).
+        assert!(records.iter().all(|r| r.latency == records[0].latency));
+    }
+
+    #[test]
+    fn mixed_config_queue_never_coalesces_across_configs() {
+        let core = test_core();
+        // Both arrive together and both are admissible, but their slacks
+        // resolve to different LUT rows: 3 units buys the mid (2-unit)
+        // path, 30 units the full (4-unit) path. The coalescing predicate
+        // must refuse to pull the full-config request into the mid-config
+        // leader's batch even though a slot is free.
+        let arrivals = vec![SimArrival::new(0.0, 3.0), SimArrival::new(0.0, 30.0)];
+        let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0).with_batching(8);
+        let outcomes = simulate_outcomes(&core, &cfg, &arrivals);
+        let records: Vec<_> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Completed(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records.len(), 2);
+        assert!(
+            records.iter().all(|r| r.batch_size == 1),
+            "different configs must serve as singles, not one mixed batch"
+        );
+        assert_ne!(
+            records[0].config, records[1].config,
+            "the two slacks must really select different paths"
+        );
+        let m = ServerMetrics::from_outcomes(&outcomes);
+        assert_eq!(m.batched_completions, 0);
+        assert_eq!(m.config_histogram.len(), 2);
+    }
+
+    #[test]
+    fn chaos_disables_batching_for_replay_determinism() {
+        let core = test_core();
+        let plan = FaultPlan {
+            seed: 9,
+            crash_rate: 0.2,
+            bitflip_rate: 0.0,
+            stall_rate: 0.0,
+            stall_factor: 1.0,
+            replay_rate: 0.0,
+        };
+        let cfg = SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0)
+            .with_fault(plan)
+            .with_batching(8);
+        let m = simulate(&core, &cfg, &uniform_arrivals(100, 2.1, 9.0));
+        assert!(m.accounts_for_all_submissions());
+        assert_eq!(m.batched_completions, 0, "armed faults must not batch");
+        // And the run matches the batching-free config exactly.
+        let plain = SimConfig::new(2, 16, SchedulePolicy::DrtDynamic, 1.0).with_fault(plan);
+        let p = simulate(&core, &plain, &uniform_arrivals(100, 2.1, 9.0));
+        assert_eq!(m.completed, p.completed);
+        assert_eq!(m.faults_seen, p.faults_seen);
+        assert_eq!(m.p99_latency, p.p99_latency);
+    }
+
+    #[test]
+    fn replicas_scale_capacity_and_stay_deterministic() {
+        let core = test_core();
+        let arrivals = uniform_arrivals(400, 0.7, 6.0);
+        let one = SimConfig::new(1, 16, SchedulePolicy::DrtDynamic, 1.0);
+        let four = one.clone().with_replicas(4);
+        let m1 = simulate(&core, &one, &arrivals);
+        let m4 = simulate(&core, &four, &arrivals);
+        assert!(m1.accounts_for_all_submissions());
+        assert!(m4.accounts_for_all_submissions());
+        assert_eq!(m4.submitted, 400, "replicas conserve every arrival");
+        assert!(
+            m4.goodput > m1.goodput,
+            "4 replicas {} vs 1 replica {}",
+            m4.goodput,
+            m1.goodput
+        );
+        let again = simulate(&core, &four, &arrivals);
+        assert_eq!(m4.completed, again.completed);
+        assert_eq!(m4.p99_latency, again.p99_latency);
+    }
+
+    #[test]
+    fn tenant_quota_protects_the_light_tenant() {
+        let core = test_core();
+        let heavy = TenantId(1);
+        let light = TenantId(2);
+        // Tenant 1 floods (10x the rate of tenant 2) into a shared queue;
+        // its quota caps it at half the queue, so tenant 2 keeps serving.
+        let mut arrivals: Vec<SimArrival> = Vec::new();
+        for i in 0..400 {
+            arrivals.push(SimArrival::new(i as f64 * 0.4, 8.0).with_tenant(heavy));
+        }
+        for i in 0..40 {
+            arrivals.push(SimArrival::new(i as f64 * 4.0, 8.0).with_tenant(light));
+        }
+        let cfg = SimConfig::new(1, 8, SchedulePolicy::DrtDynamic, 1.0).with_tenants(vec![
+            TenantSpec::new(heavy).with_queue_share(0.5),
+            TenantSpec::new(light).with_queue_share(0.5),
+        ]);
+        let m = simulate(&core, &cfg, &arrivals);
+        assert!(m.accounts_for_all_submissions());
+        assert!(m.shed_over_quota > 0, "the flood must hit the quota");
+        let mh = *m.tenant(heavy).unwrap();
+        let ml = *m.tenant(light).unwrap();
+        // Each tenant's rates partition its own submissions.
+        assert!((mh.goodput + mh.miss_rate + mh.shed_rate - 1.0).abs() < 1e-9);
+        assert!((ml.goodput + ml.miss_rate + ml.shed_rate - 1.0).abs() < 1e-9);
+        // Only the flooding tenant pays the quota sheds, and the light
+        // tenant keeps materially better goodput than the flooder.
+        assert_eq!(ml.shed_over_quota, 0);
+        assert!(mh.shed_over_quota > 0);
+        assert!(
+            ml.goodput > mh.goodput,
+            "light {} vs heavy {}",
+            ml.goodput,
+            mh.goodput
+        );
     }
 }

@@ -85,11 +85,11 @@ proptest! {
         let core = tiny_core();
         let arrivals: Vec<SimArrival> = raw
             .iter()
-            .map(|(time, slack)| SimArrival { time: *time, slack: *slack })
+            .map(|(time, slack)| SimArrival::new(*time, *slack))
             .collect();
         let metrics = simulate(
             &core,
-            SimConfig::new(workers, queue_depth, SchedulePolicy::DrtDynamic, 1.0),
+            &SimConfig::new(workers, queue_depth, SchedulePolicy::DrtDynamic, 1.0),
             &arrivals,
         );
         prop_assert_eq!(metrics.submitted, arrivals.len());
@@ -124,7 +124,7 @@ proptest! {
         let core = tiny_core();
         let arrivals: Vec<SimArrival> = raw
             .iter()
-            .map(|(time, slack)| SimArrival { time: *time, slack: *slack })
+            .map(|(time, slack)| SimArrival::new(*time, *slack))
             .collect();
         // One slow worker + tight slacks: some admitted requests expire
         // in-queue, while injected faults force retries on others.
@@ -138,7 +138,7 @@ proptest! {
                 replay_rate: 0.0,
             })
             .with_recovery(RecoveryPolicy::DegradedRetry { max_retries: 2 });
-        let m = simulate(&core, cfg, &arrivals);
+        let m = simulate(&core, &cfg, &arrivals);
         prop_assert_eq!(m.submitted, arrivals.len());
         // Exactly-once accounting: completed + shed + fault-failed
         // partitions the submissions — an in-queue expiry can never also
@@ -164,7 +164,7 @@ proptest! {
         let core = tiny_core();
         let arrivals: Vec<SimArrival> = raw
             .iter()
-            .map(|(time, slack)| SimArrival { time: *time, slack: *slack })
+            .map(|(time, slack)| SimArrival::new(*time, *slack))
             .collect();
         let cfg = SimConfig::new(2, 8, SchedulePolicy::DrtDynamic, 1.0)
             .with_fault(FaultPlan {
@@ -175,8 +175,8 @@ proptest! {
                 stall_factor: 8.0,
                 replay_rate: 0.05,
             });
-        let a = simulate(&core, cfg, &arrivals);
-        let b = simulate(&core, cfg, &arrivals);
+        let a = simulate(&core, &cfg, &arrivals);
+        let b = simulate(&core, &cfg, &arrivals);
         prop_assert_eq!(a.completed, b.completed);
         prop_assert_eq!(a.fault_failures, b.fault_failures);
         prop_assert_eq!(a.faults_seen, b.faults_seen);
@@ -184,5 +184,59 @@ proptest! {
         prop_assert_eq!(a.degraded_completions, b.degraded_completions);
         prop_assert_eq!(a.p99_latency, b.p99_latency);
         prop_assert_eq!(a.failure_histogram, b.failure_histogram);
+    }
+}
+
+proptest! {
+    /// Multi-tenant admission accounting: whatever mix of tenants, weights,
+    /// and queue shares the fuzzer picks — including a heavy tenant trying
+    /// to starve the rest — every tenant's submissions are partitioned
+    /// exactly by `goodput + miss_rate + shed_rate == 1`, and the global
+    /// counters conserve every request.
+    #[test]
+    fn tenant_rates_partition_submissions_under_arbitrary_load(
+        raw in vec((0.0f64..30.0, 0.5f64..8.0, 0u32..3), 1..80),
+        w0 in 0.1f64..4.0,
+        w1 in 0.1f64..4.0,
+        share0 in 0.1f64..1.0,
+        share1 in 0.1f64..1.0,
+        queue_depth in 2usize..10,
+    ) {
+        use vit_serve::{TenantId, TenantSpec};
+
+        let core = tiny_core();
+        let arrivals: Vec<SimArrival> = raw
+            .iter()
+            .map(|(time, slack, t)| {
+                SimArrival::new(*time, *slack).with_tenant(TenantId(*t))
+            })
+            .collect();
+        let cfg = SimConfig::new(1, queue_depth, SchedulePolicy::DrtDynamic, 1.0)
+            .with_tenants(vec![
+                TenantSpec::new(TenantId(0)).with_weight(w0).with_queue_share(share0),
+                TenantSpec::new(TenantId(1)).with_weight(w1).with_queue_share(share1),
+                // Tenant 2 keeps the defaults: weight 1, unlimited share.
+                TenantSpec::new(TenantId(2)),
+            ]);
+        let m = simulate(&core, &cfg, &arrivals);
+        prop_assert_eq!(m.submitted, arrivals.len());
+        prop_assert!(m.accounts_for_all_submissions());
+
+        let mut seen = 0usize;
+        for (id, t) in &m.per_tenant {
+            let expected = arrivals.iter().filter(|a| a.tenant == *id).count();
+            prop_assert_eq!(t.submitted, expected, "tenant {} submissions", id);
+            seen += t.submitted;
+            if t.submitted > 0 {
+                prop_assert!(
+                    (t.goodput + t.miss_rate + t.shed_rate - 1.0).abs() < 1e-9,
+                    "tenant {} rates {} + {} + {} must partition 1",
+                    id, t.goodput, t.miss_rate, t.shed_rate
+                );
+            }
+            prop_assert!(t.shed_over_quota <= t.shed);
+            prop_assert!(t.completed >= t.on_time);
+        }
+        prop_assert_eq!(seen, m.submitted, "tenant breakdown covers every request");
     }
 }

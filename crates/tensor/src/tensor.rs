@@ -376,6 +376,78 @@ impl Tensor {
         }
         Ok(out)
     }
+
+    /// Concatenates tensors along the leading (batch) axis.
+    ///
+    /// Every part must have the same rank and identical trailing dimensions;
+    /// the result's leading dimension is the sum of the parts' leading
+    /// dimensions. Data is copied in order, so stacking N `[1, C, H, W]`
+    /// images yields the exact `[N, C, H, W]` buffer a batch-N kernel
+    /// expects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::InvalidArgument`] for an empty slice and
+    /// [`crate::TensorError::ShapeMismatch`] when trailing dimensions differ.
+    pub fn stack_batch(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or_else(|| {
+            invalid_argument("stack_batch", "cannot stack an empty slice of tensors")
+        })?;
+        if first.rank() == 0 {
+            return Err(invalid_shape(
+                "stack_batch",
+                "rank-0 tensors have no batch axis",
+            ));
+        }
+        let trailing = &first.shape[1..];
+        let mut batch = 0usize;
+        for p in parts {
+            if p.rank() != first.rank() || &p.shape[1..] != trailing {
+                return Err(shape_mismatch(
+                    "stack_batch",
+                    format!("trailing dims {trailing:?}"),
+                    format!("{:?}", p.shape),
+                ));
+            }
+            batch += p.shape[0];
+        }
+        let mut shape = first.shape.clone();
+        shape[0] = batch;
+        let mut data = Vec::with_capacity(numel_of(&shape));
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Splits the leading (batch) axis into per-sample tensors of leading
+    /// dimension 1.
+    ///
+    /// The inverse of [`Tensor::stack_batch`] over single-sample parts: each
+    /// returned tensor is a contiguous copy of one batch entry with shape
+    /// `[1, ...trailing]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::InvalidShape`] for rank-0 tensors.
+    pub fn split_batch(&self) -> Result<Vec<Tensor>> {
+        if self.rank() == 0 {
+            return Err(invalid_shape(
+                "split_batch",
+                "rank-0 tensors have no batch axis",
+            ));
+        }
+        let batch = self.shape[0];
+        let stride: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = 1;
+        Ok((0..batch)
+            .map(|b| Tensor {
+                shape: shape.clone(),
+                data: self.data[b * stride..(b + 1) * stride].to_vec(),
+            })
+            .collect())
+    }
 }
 
 impl Default for Tensor {
@@ -492,6 +564,45 @@ mod tests {
         assert_eq!(m.shape(), &[1, 1, 2]);
         assert_eq!(m.at(&[0, 0, 0]), 1.0);
         assert_eq!(m.at(&[0, 0, 1]), 0.0);
+    }
+
+    #[test]
+    fn stack_batch_concatenates_leading_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[1, 2, 2]).unwrap();
+        let s = Tensor::stack_batch(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        // Round trip: splitting recovers the originals bit-for-bit.
+        let parts = s.split_batch().unwrap();
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    fn stack_batch_sums_multi_sample_parts() {
+        let a = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[3, 3], -1.0, 1.0, 2);
+        let s = Tensor::stack_batch(&[a, b]).unwrap();
+        assert_eq!(s.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn stack_batch_rejects_mismatched_and_empty() {
+        let a = Tensor::zeros(&[1, 2, 2]);
+        let b = Tensor::zeros(&[1, 3, 2]);
+        assert!(Tensor::stack_batch(&[a, b]).is_err());
+        assert!(Tensor::stack_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn split_batch_yields_leading_one_samples() {
+        let t = Tensor::rand_uniform(&[4, 2, 3], -1.0, 1.0, 9);
+        let parts = t.split_batch().unwrap();
+        assert_eq!(parts.len(), 4);
+        for (b, p) in parts.iter().enumerate() {
+            assert_eq!(p.shape(), &[1, 2, 3]);
+            assert_eq!(p.data(), &t.data()[b * 6..(b + 1) * 6]);
+        }
     }
 
     #[test]

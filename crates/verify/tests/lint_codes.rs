@@ -621,6 +621,35 @@ fn exec_safety_pass_is_clean_on_a_compiled_plan() {
 }
 
 #[test]
+fn batch_n_plans_satisfy_the_same_exec_safety_contracts() {
+    // Continuous batching compiles plans from batch-N graphs: the arena
+    // sizing, tiling contracts, and liveness proofs must hold at N > 1
+    // exactly as they do at N = 1 — same lints, zero diagnostics.
+    use vit_models::{build_segformer, SegFormerConfig, SegFormerDynamic, SegFormerVariant};
+    let variant = SegFormerVariant::b0();
+    let dynamic = SegFormerDynamic::full(&variant);
+    for batch in [1usize, 4] {
+        let g = build_segformer(&SegFormerConfig {
+            variant,
+            num_classes: 150,
+            image: (64, 64),
+            batch,
+            dynamic,
+        })
+        .expect("batch-N segformer builds");
+        let plan = ExecPlan::compile(&g, WeightGen::new(0)).expect("batch-N plan compiles");
+        let plan_diags = vit_verify::verify_plan(&g, &plan);
+        assert!(plan_diags.is_empty(), "batch={batch}: {plan_diags:?}");
+        let sched = SchedMeta::of(&g);
+        let diags = verify_exec_safety(&g, &plan, &sched);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "batch={batch}: {diags:?}"
+        );
+    }
+}
+
+#[test]
 fn every_code_documents_its_invariant() {
     for code in Code::ALL {
         assert!(!code.invariant().is_empty(), "{code} lacks an invariant");

@@ -53,19 +53,14 @@ fn main() {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get().min(4))
         .unwrap_or(1);
-    let server = Server::start(
-        Arc::clone(&core),
-        calibration,
-        ServerConfig {
-            workers,
-            queue_depth: 32,
-            resource_kind: ResourceKind::GpuTime,
-            policy: SchedulePolicy::DrtDynamic,
-            exec_threads: 1,
-            use_plans: false,
-            ..ServerConfig::default()
-        },
-    );
+    let config = ServerConfig::builder()
+        .workers(workers)
+        .queue_depth(32)
+        .resource_kind(ResourceKind::GpuTime)
+        .policy(SchedulePolicy::DrtDynamic)
+        .build()
+        .expect("a positive worker count and queue depth validate");
+    let server = Server::start(Arc::clone(&core), calibration, config);
 
     // Open loop at ~0.7x the pool's full-model capacity, cycling tight /
     // medium / loose deadlines.
@@ -77,13 +72,14 @@ fn main() {
     let total = 40;
     for i in 0..total {
         let slack = slacks[i % slacks.len()] * full_secs;
-        let _ = server
-            .submit(InferenceRequest {
-                image: image.clone(),
-                deadline: Instant::now() + Duration::from_secs_f64(slack),
-                resource_kind: ResourceKind::GpuTime,
-            })
-            .expect("resource kind matches");
+        let request = InferenceRequest::new(
+            image.clone(),
+            Instant::now() + Duration::from_secs_f64(slack),
+            ResourceKind::GpuTime,
+        );
+        // Admission tells us up front whether the request got a ticket or
+        // was shed (queue full / slack below the cheapest path).
+        let _admission = server.submit(request).expect("resource kind matches");
         std::thread::sleep(Duration::from_secs_f64(gap));
     }
     let m = server.shutdown();
@@ -116,8 +112,8 @@ fn main() {
             42,
         );
         let cfg = |policy| SimConfig::new(4, 16, policy, 1.0);
-        let drt = simulate(&core, cfg(SchedulePolicy::DrtDynamic), &arrivals);
-        let stat = simulate(&core, cfg(SchedulePolicy::static_full()), &arrivals);
+        let drt = simulate(&core, &cfg(SchedulePolicy::DrtDynamic), &arrivals);
+        let stat = simulate(&core, &cfg(SchedulePolicy::static_full()), &arrivals);
         println!(
             "  {load_x:.1}x  {:8.1}%  {:11.1}%  {:8.3}  {:10.3}",
             drt.deadline_miss_rate * 100.0,

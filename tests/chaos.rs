@@ -259,27 +259,27 @@ fn threaded_server_matches_the_plan_prescribed_outcomes() {
     let srv = Server::start(
         Arc::clone(&core),
         Calibration::from_secs_per_unit(SPU),
-        ServerConfig {
-            workers: 2,
-            fault: Some(plan),
-            recovery: RecoveryPolicy::DegradedRetry {
+        ServerConfig::builder()
+            .workers(2)
+            .fault(plan)
+            .recovery(RecoveryPolicy::DegradedRetry {
                 max_retries: MAX_RETRIES,
-            },
+            })
             // High enough that persistent crashes never open every
             // breaker and start rejecting submissions mid-test.
-            breaker_threshold: usize::MAX,
-            ..ServerConfig::default()
-        },
+            .breaker_threshold(usize::MAX)
+            .build()
+            .expect("chaos config validates"),
     );
     for _ in 0..N {
-        let admitted = srv
-            .submit(InferenceRequest {
-                image: image(3),
-                deadline: Instant::now() + Duration::from_secs_f64(20.0 * SPU),
-                resource_kind: ResourceKind::GpuTime,
-            })
+        let admission = srv
+            .submit(InferenceRequest::new(
+                image(3),
+                Instant::now() + Duration::from_secs_f64(20.0 * SPU),
+                ResourceKind::GpuTime,
+            ))
             .expect("healthy server accepts");
-        assert!(admitted);
+        assert!(admission.is_admitted());
     }
     let m = srv.shutdown();
     assert!(m.accounts_for_all_submissions());
@@ -318,13 +318,13 @@ fn persistent_faults_open_the_circuit_breaker() {
     let srv = Server::start_with(
         Arc::clone(&core),
         Calibration::from_secs_per_unit(SPU),
-        ServerConfig {
-            workers: 1,
-            fault: Some(plan),
-            recovery: RecoveryPolicy::FailFast,
-            breaker_threshold: 2,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .workers(1)
+            .fault(plan)
+            .recovery(RecoveryPolicy::FailFast)
+            .breaker_threshold(2)
+            .build()
+            .expect("chaos config validates"),
         RunContext::default()
             .with_exec(ExecOptions::threaded(1))
             .with_sink(sink.clone() as Arc<dyn TraceSink>),
@@ -332,13 +332,18 @@ fn persistent_faults_open_the_circuit_breaker() {
     let mut accepted = 0usize;
     let mut unhealthy = 0usize;
     for _ in 0..8 {
-        match srv.submit(InferenceRequest {
-            image: image(3),
-            deadline: Instant::now() + Duration::from_secs_f64(20.0 * SPU),
-            resource_kind: ResourceKind::GpuTime,
-        }) {
-            Ok(true) => accepted += 1,
-            Ok(false) => unreachable!("nothing sheds with minutes of slack"),
+        match srv.submit(InferenceRequest::new(
+            image(3),
+            Instant::now() + Duration::from_secs_f64(20.0 * SPU),
+            ResourceKind::GpuTime,
+        )) {
+            Ok(admission) => {
+                assert!(
+                    admission.is_admitted(),
+                    "nothing sheds with minutes of slack"
+                );
+                accepted += 1;
+            }
             Err(SubmitError::AllWorkersUnhealthy { workers }) => {
                 assert_eq!(workers, 1);
                 unhealthy += 1;

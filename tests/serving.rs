@@ -39,26 +39,24 @@ fn image() -> Tensor {
 
 /// A request whose remaining slack is `units` LUT resource units.
 fn request(units: f64) -> InferenceRequest {
-    InferenceRequest {
-        image: image(),
-        deadline: Instant::now() + Duration::from_secs_f64(units * SPU),
-        resource_kind: ResourceKind::GpuTime,
-    }
+    InferenceRequest::new(
+        image(),
+        Instant::now() + Duration::from_secs_f64(units * SPU),
+        ResourceKind::GpuTime,
+    )
 }
 
 fn server(core: &Arc<EngineCore>, workers: usize, queue_depth: usize) -> Server {
     Server::start(
         Arc::clone(core),
         Calibration::from_secs_per_unit(SPU),
-        ServerConfig {
-            workers,
-            queue_depth,
-            resource_kind: ResourceKind::GpuTime,
-            policy: SchedulePolicy::DrtDynamic,
-            exec_threads: 1,
-            use_plans: false,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .workers(workers)
+            .queue_depth(queue_depth)
+            .resource_kind(ResourceKind::GpuTime)
+            .policy(SchedulePolicy::DrtDynamic)
+            .build()
+            .expect("test config validates"),
     )
 }
 
@@ -108,11 +106,16 @@ fn worker_pool_accounts_for_every_submission() {
                 }
             }
         };
-        let admitted = srv.submit(request(units)).expect("resource kind matches");
+        let admission = srv.submit(request(units)).expect("resource kind matches");
         assert_eq!(
-            admitted,
+            admission.is_admitted(),
             i % 2 != 0,
             "admission must be exactly the slack-vs-cheapest threshold"
+        );
+        assert_eq!(
+            admission.ticket().is_some(),
+            admission.is_admitted(),
+            "exactly the admitted submissions carry tickets"
         );
     }
     let m = srv.shutdown();
@@ -182,17 +185,15 @@ fn concurrent_producers_under_overload_conserve_every_record() {
     let srv = Server::start(
         Arc::clone(&core),
         Calibration::from_secs_per_unit(SPU),
-        ServerConfig {
-            workers: 2,
-            queue_depth: 4,
-            resource_kind: ResourceKind::GpuTime,
-            policy: SchedulePolicy::DrtDynamic,
-            exec_threads: 2,
+        ServerConfig::builder()
+            .workers(2)
+            .queue_depth(4)
+            .exec_threads(2)
             // Replay compiled plans here so the concurrent-serving path
             // exercises the plan backend end to end.
-            use_plans: true,
-            ..ServerConfig::default()
-        },
+            .use_plans(true)
+            .build()
+            .expect("test config validates"),
     );
 
     const PRODUCERS: usize = 6;
@@ -212,10 +213,15 @@ fn concurrent_producers_under_overload_conserve_every_record() {
                     } else {
                         min * 1.5
                     };
-                    match srv.submit(request(units)).expect("right resource kind") {
-                        true => accepted.fetch_add(1, Ordering::Relaxed),
-                        false => rejected.fetch_add(1, Ordering::Relaxed),
-                    };
+                    if srv
+                        .submit(request(units))
+                        .expect("right resource kind")
+                        .is_admitted()
+                    {
+                        accepted.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             });
         }
@@ -275,15 +281,11 @@ fn traced_server_records_serving_spans() {
     let srv = Server::start_with(
         Arc::clone(&core),
         Calibration::from_secs_per_unit(SPU),
-        ServerConfig {
-            workers: 2,
-            queue_depth: 16,
-            resource_kind: ResourceKind::GpuTime,
-            policy: SchedulePolicy::DrtDynamic,
-            exec_threads: 1,
-            use_plans: false,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .workers(2)
+            .queue_depth(16)
+            .build()
+            .expect("test config validates"),
         RunContext::default().with_sink(sink.clone() as Arc<dyn TraceSink>),
     );
 
@@ -340,11 +342,11 @@ fn wrong_resource_kind_is_an_error_not_a_shed() {
         ServerConfig::default(),
     );
     let err = srv
-        .submit(InferenceRequest {
-            image: image(),
-            deadline: Instant::now() + Duration::from_secs(5),
-            resource_kind: ResourceKind::GpuEnergy,
-        })
+        .submit(InferenceRequest::new(
+            image(),
+            Instant::now() + Duration::from_secs(5),
+            ResourceKind::GpuEnergy,
+        ))
         .unwrap_err();
     assert_eq!(
         err,
@@ -355,4 +357,154 @@ fn wrong_resource_kind_is_an_error_not_a_shed() {
     );
     let m = srv.shutdown();
     assert_eq!(m.submitted, 0, "a rejected request is not an outcome");
+}
+
+/// A batched server whose window expires with only one request queued must
+/// serve that request exactly as an unbatched server would: it completes,
+/// and no batch is recorded.
+#[test]
+fn batch_window_expiry_with_one_request_serves_it_unbatched() {
+    let core = shared_core();
+    let max = core.max_resource();
+    let srv = Server::start(
+        Arc::clone(&core),
+        Calibration::from_secs_per_unit(SPU),
+        ServerConfig::builder()
+            .workers(1)
+            .max_batch(4)
+            .batch_window(0.02)
+            .build()
+            .expect("test config validates"),
+    );
+    assert!(srv
+        .submit(request(max * 20.0))
+        .expect("resource kind matches")
+        .is_admitted());
+    let m = srv.shutdown();
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.deadline_misses, 0);
+    assert_eq!(
+        m.batched_completions, 0,
+        "a lone request after window expiry is a batch of one, served unbatched"
+    );
+    assert!((m.mean_batch_size - 1.0).abs() < 1e-12);
+}
+
+/// Continuous batching end to end on real threads: while one worker is busy
+/// with a blocker request, a burst of same-slack requests queues up; when
+/// the worker frees, they resolve to the same LUT configuration and
+/// coalesce into batch-N passes. Every record is conserved and on time.
+#[test]
+fn queued_same_config_requests_coalesce_into_batches() {
+    let core = shared_core();
+    let max = core.max_resource();
+    let srv = Server::start(
+        Arc::clone(&core),
+        Calibration::from_secs_per_unit(SPU),
+        ServerConfig::builder()
+            .workers(1)
+            .queue_depth(32)
+            .max_batch(8)
+            .batch_window(0.5)
+            .build()
+            .expect("test config validates"),
+    );
+    // The blocker occupies the single worker while the burst queues up.
+    srv.submit(request(max * 20.0)).expect("kind matches");
+    for _ in 0..8 {
+        assert!(srv
+            .submit(request(max * 20.0))
+            .expect("kind matches")
+            .is_admitted());
+    }
+    let m = srv.shutdown();
+    assert_eq!(m.submitted, 9);
+    assert_eq!(m.completed, 9, "batching never loses a request");
+    assert_eq!(m.deadline_misses, 0);
+    assert!(
+        m.batched_completions >= 2,
+        "the queued burst must coalesce (batched {} of {})",
+        m.batched_completions,
+        m.completed
+    );
+    assert!(m.mean_batch_size > 1.0);
+    // Coalesced or not, every completion ran the same loose-slack path, so
+    // the histogram shows exactly one configuration: the full model.
+    assert_eq!(m.config_histogram.len(), 1);
+}
+
+/// Batch-N execution is bit-identical to N sequential single-image runs —
+/// and to itself — at every exec-pool width. This is the acceptance bar
+/// that lets the server coalesce transparently: a request's output may not
+/// depend on who it shared a batch with or how many threads executed it.
+#[test]
+fn batch_outputs_bit_identical_to_sequential_at_all_thread_counts() {
+    use vit_drt::RunContext;
+    use vit_graph::{ExecOptions, ExecScratch};
+
+    let core = shared_core();
+    let images: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, 90 + i))
+        .collect();
+    let (entry, met) = core.select(core.max_resource());
+
+    // Sequential single-image reference, computed once at one thread.
+    let reference: Vec<Vec<f32>> = {
+        let ctx = RunContext::default();
+        let mut scratch = ExecScratch::new();
+        images
+            .iter()
+            .map(|img| {
+                core.run(&mut scratch, img, entry.clone(), met, &ctx)
+                    .expect("single run succeeds")
+                    .logits
+                    .data()
+                    .to_vec()
+            })
+            .collect()
+    };
+
+    for threads in [1usize, 2, 8] {
+        let ctx = RunContext::default().with_exec(ExecOptions::threaded(threads));
+        let mut scratch = ExecScratch::new();
+        let batch = core
+            .run_batch(&mut scratch, &images, entry.clone(), met, &ctx)
+            .expect("batch run succeeds");
+        assert_eq!(batch.len(), images.len());
+        for (i, inf) in batch.iter().enumerate() {
+            assert_eq!(
+                inf.logits.data(),
+                reference[i].as_slice(),
+                "batch member {i} at {threads} exec threads diverged bitwise"
+            );
+        }
+    }
+}
+
+/// Admission tickets are the correlation key of the redesigned API: every
+/// admitted submission's ticket reappears on exactly one terminal record.
+#[test]
+fn admission_tickets_reappear_on_terminal_records() {
+    use std::collections::BTreeSet;
+
+    let core = shared_core();
+    let max = core.max_resource();
+    let srv = server(&core, 2, 32);
+    let mut issued = BTreeSet::new();
+    for _ in 0..10 {
+        let admission = srv.submit(request(max * 20.0)).expect("kind matches");
+        let ticket = admission.ticket().expect("loose slack is always admitted");
+        assert!(issued.insert(ticket), "tickets must be unique");
+    }
+    let (m, outcomes) = srv.shutdown_outcomes();
+    assert_eq!(m.completed, 10);
+    let seen: BTreeSet<_> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            vit_serve::Outcome::Completed(r) => r.ticket,
+            vit_serve::Outcome::Shed(s) => s.ticket,
+            vit_serve::Outcome::Failed(f) => f.ticket,
+        })
+        .collect();
+    assert_eq!(seen, issued, "every ticket correlates with one record");
 }
